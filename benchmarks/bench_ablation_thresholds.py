@@ -1,0 +1,35 @@
+"""Ablation: the VS-Block participation / supernode-width thresholds.
+
+DESIGN.md calls out two tuned knobs the paper mentions in §4.2: the
+participation threshold on the average supernode width (the paper's
+hand-tuned "160") and the cap on supernode width.  This ablation sweeps both
+on the Cholesky numeric phase so their effect can be compared per matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.sympiler import Sympiler
+
+_THRESHOLDS = [1.0, 1.5, 3.0, 1e9]  # 1e9 effectively disables VS-Block
+_WIDTH_CAPS = [None, 4, 16]
+
+
+@pytest.mark.parametrize("threshold", _THRESHOLDS, ids=lambda t: f"avgwidth>={t:g}")
+def test_ablation_participation_threshold(benchmark, prepared, threshold):
+    A = prepared.A
+    options = prepared.options(vs_block_min_avg_width=threshold)
+    compiled = Sympiler().compile_cholesky(A, options=options)
+    result = benchmark.pedantic(lambda: compiled.factorize(A), rounds=3, iterations=1)
+    benchmark.extra_info["vs_block_applied"] = "vs-block" in compiled.applied_transformations
+    np.testing.assert_allclose(result.to_dense(), prepared.L.to_dense(), atol=1e-8)
+
+
+@pytest.mark.parametrize("cap", _WIDTH_CAPS, ids=lambda c: f"maxwidth={c}")
+def test_ablation_supernode_width_cap(benchmark, prepared, cap):
+    A = prepared.A
+    options = prepared.options(max_supernode_width=cap)
+    compiled = Sympiler().compile_cholesky(A, options=options)
+    result = benchmark.pedantic(lambda: compiled.factorize(A), rounds=3, iterations=1)
+    benchmark.extra_info["n_supernodes"] = compiled.inspection.supernodes.n_supernodes
+    np.testing.assert_allclose(result.to_dense(), prepared.L.to_dense(), atol=1e-8)

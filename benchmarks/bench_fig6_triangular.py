@@ -1,0 +1,49 @@
+"""Figure 6: sparse triangular solve performance (numeric phase).
+
+One benchmark per (suite matrix × variant), where the variants follow the
+figure's legend: the Eigen-like library solve (Fig. 1c) and the Sympiler
+generated code with VS-Block, VS-Block+VI-Prune, and +low-level
+transformations.  ``pytest-benchmark``'s comparison output per matrix group
+reproduces the stacked bars of the figure; GFLOP/s is attached to each run as
+extra info.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.eigen_like import eigen_like_trisolve
+from repro.compiler.sympiler import Sympiler
+from repro.kernels.flops import triangular_solve_flops
+from repro.symbolic.reach import reach_set_sorted
+
+_VARIANTS = ["eigen", "sympiler_vs_block", "sympiler_vs_vi", "sympiler_full"]
+
+
+def _variant_options(prepared, variant):
+    if variant == "sympiler_vs_block":
+        return prepared.options(enable_vi_prune=False, enable_low_level=False)
+    if variant == "sympiler_vs_vi":
+        return prepared.options(enable_low_level=False)
+    return prepared.options()
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_fig6_triangular_solve(benchmark, prepared, rhs_pattern, variant):
+    L, b = prepared.L, prepared.b
+    flops = triangular_solve_flops(L, reach_set_sorted(L, rhs_pattern))
+    if variant == "eigen":
+        run = lambda: eigen_like_trisolve(L, b)  # noqa: E731
+    else:
+        compiled = Sympiler().compile_triangular_solve(
+            L, rhs_pattern=rhs_pattern, options=_variant_options(prepared, variant)
+        )
+        run = lambda: compiled.solve(L, b)  # noqa: E731
+    x = benchmark(run)
+    try:
+        median = benchmark.stats.stats.median
+        benchmark.extra_info["gflops"] = flops / max(median, 1e-12) / 1e9
+    except AttributeError:  # pragma: no cover - older pytest-benchmark APIs
+        pass
+    benchmark.extra_info["reach_size"] = int(reach_set_sorted(L, rhs_pattern).size)
+    # Correctness guard: every variant must produce the same solution.
+    np.testing.assert_allclose(x, eigen_like_trisolve(L, b), atol=1e-8)

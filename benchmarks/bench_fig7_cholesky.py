@@ -1,0 +1,52 @@
+"""Figure 7: sparse Cholesky factorization performance (numeric phase).
+
+One benchmark per (suite matrix × system): the Eigen-like simplicial
+baseline, the CHOLMOD-like supernodal baseline, and the Sympiler-generated
+code with VS-Block only and with VS-Block + low-level transformations.
+GFLOP/s (computed from the factor column counts as in the paper) is attached
+as extra info.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cholmod_like import cholmod_like_numeric, cholmod_like_symbolic
+from repro.baselines.eigen_like import eigen_like_numeric, eigen_like_symbolic
+from repro.compiler.sympiler import Sympiler
+from repro.kernels.flops import cholesky_flops
+
+_VARIANTS = ["eigen_numeric", "cholmod_numeric", "sympiler_vs_block", "sympiler_full"]
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_fig7_cholesky(benchmark, prepared, variant):
+    A = prepared.A
+    flops = cholesky_flops(prepared.inspection.l_col_counts)
+    reference = prepared.L.to_dense()
+
+    if variant == "eigen_numeric":
+        symbolic = eigen_like_symbolic(A)
+        run = lambda: eigen_like_numeric(A, symbolic)  # noqa: E731
+        extract = lambda result: result.to_dense()  # noqa: E731
+    elif variant == "cholmod_numeric":
+        symbolic = cholmod_like_symbolic(A)
+        run = lambda: cholmod_like_numeric(A, symbolic)  # noqa: E731
+        extract = lambda result: result.to_dense()  # noqa: E731
+    else:
+        options = (
+            prepared.options(enable_low_level=False)
+            if variant == "sympiler_vs_block"
+            else prepared.options()
+        )
+        compiled = Sympiler().compile_cholesky(A, options=options)
+        run = lambda: compiled.factorize(A)  # noqa: E731
+        extract = lambda result: result.to_dense()  # noqa: E731
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    try:
+        median = benchmark.stats.stats.median
+        benchmark.extra_info["gflops"] = flops / max(median, 1e-12) / 1e9
+    except AttributeError:  # pragma: no cover - older pytest-benchmark APIs
+        pass
+    benchmark.extra_info["factor_nnz"] = int(prepared.inspection.factor_nnz)
+    np.testing.assert_allclose(extract(result), reference, atol=1e-8)

@@ -1,0 +1,41 @@
+"""Figure 8: triangular solve — accumulated symbolic + numeric time.
+
+The paper normalizes Sympiler's symbolic (inspection) and numeric times to
+Eigen's solve time.  Here each suite matrix gets three benchmarks:
+
+* ``eigen_solve``       — the baseline library solve (the normalizer),
+* ``sympiler_numeric``  — the generated numeric solve alone, and
+* ``sympiler_symbolic_plus_numeric`` — a full cold start: symbolic
+  inspection, transformation, code generation, compilation and one solve
+  (what a user pays when the sparsity pattern is seen for the first time).
+"""
+
+import pytest
+
+from repro.baselines.eigen_like import eigen_like_trisolve
+from repro.compiler.sympiler import Sympiler
+
+_MODES = ["eigen_solve", "sympiler_numeric", "sympiler_symbolic_plus_numeric"]
+
+
+@pytest.mark.parametrize("mode", _MODES)
+def test_fig8_accumulated_trisolve(benchmark, prepared, rhs_pattern, mode):
+    L, b = prepared.L, prepared.b
+    if mode == "eigen_solve":
+        benchmark(lambda: eigen_like_trisolve(L, b))
+        return
+    if mode == "sympiler_numeric":
+        compiled = Sympiler().compile_triangular_solve(
+            L, rhs_pattern=rhs_pattern, options=prepared.options()
+        )
+        benchmark(lambda: compiled.solve(L, b))
+        benchmark.extra_info["symbolic_seconds"] = compiled.symbolic_seconds
+        return
+
+    def cold_start():
+        compiled = Sympiler().compile_triangular_solve(
+            L, rhs_pattern=rhs_pattern, options=prepared.options()
+        )
+        return compiled.solve(L, b)
+
+    benchmark.pedantic(cold_start, rounds=3, iterations=1)

@@ -1,0 +1,44 @@
+"""Figure 9: Cholesky — accumulated symbolic + numeric time.
+
+Per suite matrix, five benchmarks: the symbolic and numeric phases of the
+Eigen-like and CHOLMOD-like baselines, and a Sympiler cold start (inspection
++ transformation + code generation + compilation + one numeric
+factorization).  Normalizing the accumulated times to the Eigen-like total
+reproduces the figure.
+"""
+
+import pytest
+
+from repro.baselines.cholmod_like import cholmod_like_numeric, cholmod_like_symbolic
+from repro.baselines.eigen_like import eigen_like_numeric, eigen_like_symbolic
+from repro.compiler.sympiler import Sympiler
+
+_MODES = [
+    "eigen_symbolic",
+    "eigen_numeric",
+    "cholmod_symbolic",
+    "cholmod_numeric",
+    "sympiler_symbolic_plus_numeric",
+]
+
+
+@pytest.mark.parametrize("mode", _MODES)
+def test_fig9_accumulated_cholesky(benchmark, prepared, mode):
+    A = prepared.A
+    if mode == "eigen_symbolic":
+        benchmark.pedantic(lambda: eigen_like_symbolic(A), rounds=3, iterations=1)
+    elif mode == "eigen_numeric":
+        symbolic = eigen_like_symbolic(A)
+        benchmark.pedantic(lambda: eigen_like_numeric(A, symbolic), rounds=3, iterations=1)
+    elif mode == "cholmod_symbolic":
+        benchmark.pedantic(lambda: cholmod_like_symbolic(A), rounds=3, iterations=1)
+    elif mode == "cholmod_numeric":
+        symbolic = cholmod_like_symbolic(A)
+        benchmark.pedantic(lambda: cholmod_like_numeric(A, symbolic), rounds=3, iterations=1)
+    else:
+
+        def cold_start():
+            compiled = Sympiler().compile_cholesky(A, options=prepared.options())
+            return compiled.factorize(A)
+
+        benchmark.pedantic(cold_start, rounds=3, iterations=1)

@@ -1,0 +1,38 @@
+"""Table 2: matrix-suite construction and symbolic-analysis cost.
+
+The paper's Table 2 lists the evaluation matrices; this benchmark regenerates
+the listing (printed once per session) and measures the cost of building each
+suite matrix plus running the Cholesky symbolic inspector on it — the
+compile-time work every later experiment amortizes.
+"""
+
+import pytest
+
+from repro.bench.figures import table2_suite_listing
+from repro.bench.reporting import render_table
+from repro.bench.suite import load_suite_matrix, selected_suite
+from repro.symbolic.inspector import CholeskyInspector
+
+SUITE = selected_suite()
+
+
+_printed = False
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_listing_once():
+    global _printed
+    if not _printed:
+        print()
+        print(render_table(table2_suite_listing(SUITE), title="Table 2: matrix suite"))
+        _printed = True
+    yield
+
+
+@pytest.mark.parametrize("entry", SUITE, ids=[e.name for e in SUITE])
+def test_symbolic_inspection_cost(benchmark, entry):
+    """Time of the full Cholesky symbolic inspection for each suite matrix."""
+    A = load_suite_matrix(entry)
+    inspector = CholeskyInspector()
+    result = benchmark.pedantic(lambda: inspector.inspect(A), rounds=3, iterations=1)
+    assert result.factor_nnz >= A.n

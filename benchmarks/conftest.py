@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+By default the benchmarks run on the *small* matrix suite so that
+``pytest benchmarks/ --benchmark-only`` finishes in a couple of minutes.  Set
+``REPRO_BENCH_SUITE=full`` to run on the full eleven-matrix suite of Table 2
+(the same one used by ``python -m repro.bench``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import PreparedMatrix
+from repro.bench.suite import selected_suite
+
+SUITE = selected_suite()
+_PREPARED: dict[str, PreparedMatrix] = {}
+
+
+def suite_ids():
+    return [entry.name for entry in SUITE]
+
+
+@pytest.fixture(params=SUITE, ids=suite_ids())
+def prepared(request):
+    """A prepared suite matrix: matrix, factor, sparse RHS, inspection."""
+    entry = request.param
+    if entry.name not in _PREPARED:
+        _PREPARED[entry.name] = PreparedMatrix(entry)
+    return _PREPARED[entry.name]
+
+
+@pytest.fixture()
+def rhs_pattern(prepared):
+    """Nonzero indices of the prepared sparse right-hand side."""
+    return np.nonzero(prepared.b)[0]

@@ -1,0 +1,15 @@
+"""Pytest root configuration.
+
+Ensures the in-tree ``src`` layout is importable even when the package has
+not been installed (e.g. on offline machines where ``pip install -e .``
+cannot fetch the ``wheel`` build dependency).  When the package *is*
+installed, the installed copy wins only if it is not the in-tree one; putting
+``src`` first keeps tests hermetic to this checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

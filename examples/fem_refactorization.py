@@ -1,0 +1,77 @@
+"""Repeated factorization of a FEM matrix with a fixed sparsity pattern.
+
+A time-stepping simulation reassembles its stiffness/mass matrix every step
+with new values on the same mesh (same sparsity).  This example compares, for
+a sequence of such steps, the cost of
+
+* the Eigen-like simplicial baseline (symbolic work re-done inside every
+  numeric factorization), against
+* Sympiler: one compile (symbolic analysis + code generation), then the
+  generated numeric-only kernel per step.
+
+Run with:  python examples/fem_refactorization.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Sympiler, fem_stencil_2d
+from repro.baselines import eigen_like_numeric, eigen_like_symbolic
+from repro.sparse.ordering import minimum_degree_ordering
+
+
+def main() -> None:
+    steps = 8
+    A0 = fem_stencil_2d(22, 22, shift=0.3)
+    perm = minimum_degree_ordering(A0)
+    A0 = perm.symmetric_permute(A0)
+    print(f"FEM matrix: n={A0.n}, nnz={A0.nnz}, time steps: {steps}")
+
+    rng = np.random.default_rng(1)
+    # Per-step matrices: same pattern, scaled values (e.g. varying material
+    # coefficients / time-step sizes).
+    matrices = []
+    for _ in range(steps):
+        Ak = A0.copy()
+        Ak.data *= rng.uniform(0.8, 1.2)
+        matrices.append(Ak)
+
+    # --- Eigen-like baseline ------------------------------------------------
+    t0 = time.perf_counter()
+    symbolic = eigen_like_symbolic(A0)
+    eigen_setup = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for Ak in matrices:
+        eigen_like_numeric(Ak, symbolic)
+    eigen_steps = time.perf_counter() - t0
+
+    # --- Sympiler -----------------------------------------------------------
+    t0 = time.perf_counter()
+    sym = Sympiler()
+    compiled = sym.compile_cholesky(A0)
+    sympiler_setup = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    factors = [compiled.factorize(Ak) for Ak in matrices]
+    sympiler_steps = time.perf_counter() - t0
+
+    print(f"Eigen-like : analyze {eigen_setup:.3f}s, {steps} factorizations {eigen_steps:.3f}s")
+    print(
+        f"Sympiler   : compile {sympiler_setup:.3f}s "
+        f"(inspection+codegen), {steps} factorizations {sympiler_steps:.3f}s"
+    )
+    print(f"per-step numeric speedup over Eigen-like: {eigen_steps / sympiler_steps:.2f}x")
+
+    # Sanity: the last factor reproduces the last matrix.
+    L = factors[-1].to_dense()
+    residual = np.abs(L @ L.T - _full(matrices[-1])).max()
+    print(f"max abs reconstruction error of the last factor: {residual:.2e}")
+
+
+def _full(A):
+    dense = A.to_dense()
+    return dense
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Power-system style Newton-Raphson with a fixed-sparsity Jacobian.
+
+Section 1.2 of the Sympiler paper motivates sparsity-specialized code with
+power-system and circuit simulation: the Jacobian's sparsity pattern is fixed
+by the network topology, while its values change every Newton iteration.
+This example builds a small-world "transmission grid", defines a nonlinear
+nodal balance equation, and solves it with Newton's method.  Sympiler
+compiles the factorization code once (for the pattern); each iteration reuses
+the generated numeric kernels with new Jacobian values.
+
+Run with:  python examples/power_grid_newton.py
+"""
+
+import numpy as np
+
+from repro import power_grid_spd
+from repro.solvers import newton_raphson_fixed_pattern
+from repro.sparse.coo import TripletBuilder
+
+
+def main() -> None:
+    n_buses = 120
+    Y = power_grid_spd(n_buses, neighbours=2, rewire=0.08, seed=42)
+    rng = np.random.default_rng(0)
+    injections = rng.uniform(0.2, 1.0, size=n_buses)
+    target = rng.uniform(0.5, 1.5, size=n_buses)
+    demand = Y.matvec(target) + 0.05 * injections * np.sinh(target)
+
+    def residual(v: np.ndarray) -> np.ndarray:
+        # Nodal balance: Y v + 0.05 * p * sinh(v) - demand = 0
+        return Y.matvec(v) + 0.05 * injections * np.sinh(v) - demand
+
+    def jacobian(v: np.ndarray):
+        # J = Y + 0.05 * diag(p * cosh(v)) — same pattern at every iterate.
+        builder = TripletBuilder(n_buses, n_buses)
+        coo = Y.to_coo()
+        builder.add_many(coo.rows, coo.cols, coo.data)
+        diag = 0.05 * injections * np.cosh(v)
+        for i in range(n_buses):
+            builder.add(i, i, diag[i])
+        return builder.to_csc()
+
+    print(f"grid: {n_buses} buses, {Y.nnz} admittance-matrix entries")
+    result = newton_raphson_fixed_pattern(
+        residual, jacobian, x0=np.ones(n_buses), tol=1e-10, ordering="mindeg"
+    )
+    print(f"converged: {result.converged} in {result.iterations} iterations")
+    print(f"Jacobian factorizations (same pattern, new values): {result.factorizations}")
+    print("residual norm per iteration:")
+    for k, r in enumerate(result.residual_norms):
+        print(f"  iter {k:2d}: {r:.3e}")
+    err = np.abs(result.x - target).max()
+    print(f"max abs error vs the constructed operating point: {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments without the ``wheel`` package (offline machines cannot fetch it
+for PEP 517 builds); ``pip install -e .`` falls back to the legacy
+``setup.py develop`` path in that case.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — a Python reproduction of Sympiler (Cheshmi et al., SC 2017).
+
+Sympiler is a sparsity-aware code generator for sparse matrix algorithms: it
+runs the symbolic analysis of a sparse kernel at compile time and generates
+numeric code specialized to one sparsity pattern.  This package reproduces the
+full system:
+
+* :mod:`repro.sparse`   — CSC/CSR/COO containers, generators, orderings, I/O.
+* :mod:`repro.symbolic` — reach-sets, elimination trees, fill prediction,
+  supernodes, and the symbolic-inspector framework.
+* :mod:`repro.kernels`  — reference numeric kernels (dense micro-kernels,
+  triangular-solve variants, simplicial/supernodal Cholesky).
+* :mod:`repro.compiler` — the Sympiler core: domain AST, lowering,
+  inspector-guided transformations (VI-Prune, VS-Block), low-level
+  transformations and code generation (specialized Python and C backends).
+* :mod:`repro.baselines` — Eigen-like and CHOLMOD-like library baselines.
+* :mod:`repro.solvers`  — factor-once/solve-many driver, preconditioned CG
+  and a Newton–Raphson loop with a fixed-sparsity Jacobian.
+* :mod:`repro.bench`    — the benchmark harness reproducing every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Sympiler, laplacian_2d, sparse_rhs
+
+    A = laplacian_2d(30)                    # an SPD model problem
+    sym = Sympiler()
+    chol = sym.compile_cholesky(A)          # symbolic analysis + codegen
+    L = chol.factorize(A)                   # numeric-only specialized code
+    b = sparse_rhs(A.n, density=0.02)
+    tri = sym.compile_triangular_solve(L, rhs_pattern=b.nonzero()[0])
+    x = tri.solve(L, b)
+"""
+
+from repro._version import __version__
+from repro.compiler import (
+    SympiledCholesky,
+    SympiledTriangularSolve,
+    Sympiler,
+    SympilerOptions,
+)
+from repro.sparse import (
+    CSCMatrix,
+    CSRMatrix,
+    COOMatrix,
+    Permutation,
+    TripletBuilder,
+    banded_spd,
+    block_tridiagonal_spd,
+    circuit_like_spd,
+    fem_stencil_2d,
+    laplacian_2d,
+    laplacian_3d,
+    power_grid_spd,
+    random_spd,
+    sparse_rhs,
+)
+from repro.solvers import SparseLinearSolver
+
+__all__ = [
+    "__version__",
+    "Sympiler",
+    "SympilerOptions",
+    "SympiledCholesky",
+    "SympiledTriangularSolve",
+    "SparseLinearSolver",
+    "CSCMatrix",
+    "CSRMatrix",
+    "COOMatrix",
+    "TripletBuilder",
+    "Permutation",
+    "laplacian_2d",
+    "laplacian_3d",
+    "fem_stencil_2d",
+    "banded_spd",
+    "block_tridiagonal_spd",
+    "random_spd",
+    "circuit_like_spd",
+    "power_grid_spd",
+    "sparse_rhs",
+]

@@ -1,0 +1,72 @@
+"""Command-line entry point: ``python -m repro.bench <experiment> [options]``.
+
+Experiments
+-----------
+``table2``   — the matrix suite listing (Table 2).
+``fig6``     — triangular-solve performance (Figure 6).
+``fig7``     — Cholesky performance (Figure 7).
+``fig8``     — triangular-solve symbolic+numeric, normalized (Figure 8).
+``fig9``     — Cholesky symbolic+numeric, normalized (Figure 9).
+``intro``    — §1.1 speedups over the naive and library triangular solves.
+``overheads``— §4.3 compile-time cost relative to one numeric execution.
+``all``      — run every experiment in sequence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import (
+    fig6_triangular_performance,
+    fig7_cholesky_performance,
+    fig8_triangular_accumulated,
+    fig9_cholesky_accumulated,
+    intro_triangular_speedups,
+    overhead_report,
+    table2_suite_listing,
+)
+from repro.bench.reporting import render_csv, render_table
+from repro.bench.suite import build_suite, small_suite
+
+_EXPERIMENTS = {
+    "table2": ("Table 2: matrix suite", table2_suite_listing),
+    "fig6": ("Figure 6: triangular solve GFLOP/s", fig6_triangular_performance),
+    "fig7": ("Figure 7: Cholesky GFLOP/s", fig7_cholesky_performance),
+    "fig8": ("Figure 8: triangular solve symbolic+numeric (normalized)", fig8_triangular_accumulated),
+    "fig9": ("Figure 9: Cholesky symbolic+numeric (normalized)", fig9_cholesky_accumulated),
+    "intro": ("Section 1.1: speedups over naive/library triangular solve", intro_triangular_speedups),
+    "overheads": ("Section 4.3: compile-time overheads", overhead_report),
+}
+
+
+def main(argv=None) -> int:
+    """Run the requested experiment(s) and print their result tables."""
+    parser = argparse.ArgumentParser(prog="python -m repro.bench", description=__doc__)
+    parser.add_argument("experiment", choices=[*_EXPERIMENTS, "all"], help="experiment to run")
+    parser.add_argument("--small", action="store_true", help="use the small (fast) matrix suite")
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of an ASCII table")
+    parser.add_argument(
+        "--backend",
+        choices=["python", "c"],
+        default="python",
+        help="code-generation backend for the Sympiler variants",
+    )
+    args = parser.parse_args(argv)
+
+    suite = small_suite() if args.small else build_suite()
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        title, fn = _EXPERIMENTS[name]
+        kwargs = {} if name == "table2" else {"backend": args.backend}
+        rows = fn(suite, **kwargs)
+        if args.csv:
+            sys.stdout.write(render_csv(rows))
+        else:
+            sys.stdout.write(render_table(rows, title=title))
+        sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

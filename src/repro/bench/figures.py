@@ -1,0 +1,414 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every driver returns a list of row dicts (one row per suite matrix, or per
+matrix × variant) so it can be rendered by :mod:`repro.bench.reporting`,
+consumed by the pytest-benchmark modules under ``benchmarks/`` and asserted
+on by the integration tests.  EXPERIMENTS.md records the measured outcomes
+against the paper's numbers.
+
+Variant naming follows the paper's legends:
+
+* Figure 6 (triangular solve, GFLOP/s): ``eigen``, ``sympiler_vs_block``,
+  ``sympiler_vs_vi``, ``sympiler_full`` (VS-Block + VI-Prune + low-level).
+* Figure 7 (Cholesky, GFLOP/s): ``eigen_numeric``, ``cholmod_numeric``,
+  ``sympiler_vs_block``, ``sympiler_full``.
+* Figures 8/9 (accumulated symbolic + numeric, normalized to Eigen).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.cholmod_like import cholmod_like_numeric, cholmod_like_symbolic
+from repro.baselines.eigen_like import (
+    eigen_like_numeric,
+    eigen_like_symbolic,
+    eigen_like_trisolve,
+)
+from repro.bench.metrics import gflops_rate, time_callable
+from repro.bench.reporting import geometric_mean
+from repro.bench.suite import SuiteEntry, build_suite, load_suite_matrix
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import Sympiler
+from repro.kernels.cholesky import cholesky_supernodal
+from repro.kernels.flops import cholesky_flops, triangular_solve_flops
+from repro.kernels.triangular import trisolve_naive
+from repro.sparse.generators import sparse_rhs
+from repro.symbolic.inspector import CholeskyInspector
+from repro.symbolic.reach import reach_set_sorted
+
+__all__ = [
+    "table2_suite_listing",
+    "fig6_triangular_performance",
+    "fig7_cholesky_performance",
+    "fig8_triangular_accumulated",
+    "fig9_cholesky_accumulated",
+    "intro_triangular_speedups",
+    "overhead_report",
+]
+
+#: RHS fill used for the triangular-solve experiments (< 5 %, §4.2).
+RHS_DENSITY = 0.02
+
+
+# --------------------------------------------------------------------------- #
+# Shared per-matrix preparation
+# --------------------------------------------------------------------------- #
+class PreparedMatrix:
+    """Cached artefacts for one suite entry (matrix, factor, RHS)."""
+
+    def __init__(self, entry: SuiteEntry, *, rhs_density: float = RHS_DENSITY, backend: str = "python") -> None:
+        self.entry = entry
+        self.backend = backend
+        self.A = load_suite_matrix(entry)
+        self.inspection = CholeskyInspector().inspect(self.A)
+        self.L = cholesky_supernodal(self.A, self.inspection)
+        self.b = sparse_rhs(self.A.n, density=rhs_density, seed=1000 + entry.problem_id)
+        self.rhs_pattern = np.nonzero(self.b)[0]
+
+    def options(self, **overrides) -> SympilerOptions:
+        """Sympiler options bound to the selected backend."""
+        return SympilerOptions(backend=self.backend, **overrides)
+
+
+_PREPARED_CACHE: Dict[str, PreparedMatrix] = {}
+
+
+def prepare(entry: SuiteEntry, *, backend: str = "python") -> PreparedMatrix:
+    """Build (or fetch from cache) the prepared artefacts of a suite entry."""
+    key = f"{entry.name}:{backend}"
+    if key not in _PREPARED_CACHE:
+        _PREPARED_CACHE[key] = PreparedMatrix(entry, backend=backend)
+    return _PREPARED_CACHE[key]
+
+
+def _entries(suite: Optional[Sequence[SuiteEntry]]) -> List[SuiteEntry]:
+    return list(suite) if suite is not None else build_suite()
+
+
+# --------------------------------------------------------------------------- #
+# Table 2
+# --------------------------------------------------------------------------- #
+def table2_suite_listing(suite: Optional[Sequence[SuiteEntry]] = None) -> List[Dict[str, object]]:
+    """Table 2: the matrix suite with order and nonzero counts."""
+    rows: List[Dict[str, object]] = []
+    for entry in _entries(suite):
+        A = load_suite_matrix(entry)
+        rows.append(
+            {
+                "problem_id": entry.problem_id,
+                "name": entry.name,
+                "stands_in_for": entry.stands_in_for,
+                "n": A.n,
+                "nnz_A": A.nnz,
+                "ordering": entry.ordering,
+                "domain": entry.domain,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6: triangular solve performance
+# --------------------------------------------------------------------------- #
+def fig6_triangular_performance(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    repeats: int = 3,
+    backend: str = "python",
+) -> List[Dict[str, object]]:
+    """Figure 6: triangular-solve GFLOP/s, Sympiler variants vs. Eigen."""
+    rows: List[Dict[str, object]] = []
+    sym = Sympiler()
+    for entry in _entries(suite):
+        prep = prepare(entry, backend=backend)
+        L, b, rhs = prep.L, prep.b, prep.rhs_pattern
+        # Useful FLOPs of the solve: every variant performs (at least) the work
+        # of the reach-set columns, so all GFLOP/s figures use this count.
+        flops = triangular_solve_flops(L, reach_set_sorted(L, rhs))
+
+        eigen_seconds, x_ref = time_callable(lambda: eigen_like_trisolve(L, b), repeats=repeats)
+
+        variants = {
+            "sympiler_vs_block": prep.options(enable_vi_prune=False, enable_low_level=False),
+            "sympiler_vs_vi": prep.options(enable_low_level=False),
+            "sympiler_full": prep.options(),
+        }
+        row: Dict[str, object] = {
+            "problem_id": entry.problem_id,
+            "name": entry.name,
+            "n": L.n,
+            "nnz_L": L.nnz,
+            "reach_size": 0,
+            "eigen_gflops": gflops_rate(flops, eigen_seconds),
+            "eigen_seconds": eigen_seconds,
+        }
+        for vname, opts in variants.items():
+            compiled = sym.compile_triangular_solve(L, rhs_pattern=rhs, options=opts)
+            row["reach_size"] = compiled.reach_size
+            seconds, x = time_callable(lambda: compiled.solve(L, b), repeats=repeats)
+            if not np.allclose(x, x_ref, atol=1e-8):
+                raise AssertionError(f"variant {vname} produced a wrong solution on {entry.name}")
+            row[f"{vname}_gflops"] = gflops_rate(flops, seconds)
+            row[f"{vname}_seconds"] = seconds
+            row[f"{vname}_speedup_vs_eigen"] = eigen_seconds / seconds
+        rows.append(row)
+    speedups = [r["sympiler_full_speedup_vs_eigen"] for r in rows]
+    if speedups:
+        rows.append(
+            {
+                "problem_id": "-",
+                "name": "geomean",
+                "n": "-",
+                "nnz_L": "-",
+                "reach_size": "-",
+                "eigen_gflops": "-",
+                "eigen_seconds": "-",
+                "sympiler_full_speedup_vs_eigen": geometric_mean(speedups),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7: Cholesky performance
+# --------------------------------------------------------------------------- #
+def fig7_cholesky_performance(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    repeats: int = 2,
+    backend: str = "python",
+) -> List[Dict[str, object]]:
+    """Figure 7: Cholesky numeric GFLOP/s — Eigen, CHOLMOD and Sympiler."""
+    rows: List[Dict[str, object]] = []
+    sym = Sympiler()
+    for entry in _entries(suite):
+        prep = prepare(entry, backend=backend)
+        A = prep.A
+        flops = cholesky_flops(prep.inspection.l_col_counts)
+        l_ref = prep.L.to_dense()
+
+        eigen_sym = eigen_like_symbolic(A)
+        eigen_seconds, eigen_L = time_callable(
+            lambda: eigen_like_numeric(A, eigen_sym), repeats=repeats
+        )
+        cholmod_sym = cholmod_like_symbolic(A)
+        cholmod_seconds, cholmod_L = time_callable(
+            lambda: cholmod_like_numeric(A, cholmod_sym), repeats=repeats
+        )
+        if not np.allclose(eigen_L.to_dense(), l_ref, atol=1e-8):
+            raise AssertionError(f"Eigen-like factor mismatch on {entry.name}")
+        if not np.allclose(cholmod_L.to_dense(), l_ref, atol=1e-8):
+            raise AssertionError(f"CHOLMOD-like factor mismatch on {entry.name}")
+
+        row: Dict[str, object] = {
+            "problem_id": entry.problem_id,
+            "name": entry.name,
+            "n": A.n,
+            "nnz_L": prep.inspection.factor_nnz,
+            "eigen_gflops": gflops_rate(flops, eigen_seconds),
+            "cholmod_gflops": gflops_rate(flops, cholmod_seconds),
+            "eigen_seconds": eigen_seconds,
+            "cholmod_seconds": cholmod_seconds,
+        }
+        variants = {
+            "sympiler_vs_block": prep.options(enable_low_level=False),
+            "sympiler_full": prep.options(),
+        }
+        for vname, opts in variants.items():
+            compiled = sym.compile_cholesky(A, options=opts)
+            seconds, L = time_callable(lambda: compiled.factorize(A), repeats=repeats)
+            if not np.allclose(L.to_dense(), l_ref, atol=1e-8):
+                raise AssertionError(f"variant {vname} factor mismatch on {entry.name}")
+            row[f"{vname}_gflops"] = gflops_rate(flops, seconds)
+            row[f"{vname}_seconds"] = seconds
+        row["sympiler_speedup_vs_eigen"] = eigen_seconds / row["sympiler_full_seconds"]
+        row["sympiler_speedup_vs_cholmod"] = cholmod_seconds / row["sympiler_full_seconds"]
+        rows.append(row)
+    if rows:
+        rows.append(
+            {
+                "problem_id": "-",
+                "name": "geomean",
+                "n": "-",
+                "nnz_L": "-",
+                "sympiler_speedup_vs_eigen": geometric_mean(
+                    [r["sympiler_speedup_vs_eigen"] for r in rows]
+                ),
+                "sympiler_speedup_vs_cholmod": geometric_mean(
+                    [r["sympiler_speedup_vs_cholmod"] for r in rows]
+                ),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8: triangular solve, accumulated symbolic + numeric
+# --------------------------------------------------------------------------- #
+def fig8_triangular_accumulated(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    repeats: int = 3,
+    backend: str = "python",
+) -> List[Dict[str, object]]:
+    """Figure 8: Sympiler symbolic+numeric time normalized to Eigen's solve."""
+    rows: List[Dict[str, object]] = []
+    sym = Sympiler()
+    for entry in _entries(suite):
+        prep = prepare(entry, backend=backend)
+        L, b, rhs = prep.L, prep.b, prep.rhs_pattern
+        eigen_seconds, x_ref = time_callable(lambda: eigen_like_trisolve(L, b), repeats=repeats)
+        compiled = sym.compile_triangular_solve(L, rhs_pattern=rhs, options=prep.options())
+        numeric_seconds, x = time_callable(lambda: compiled.solve(L, b), repeats=repeats)
+        if not np.allclose(x, x_ref, atol=1e-8):
+            raise AssertionError(f"Sympiler trisolve mismatch on {entry.name}")
+        symbolic_seconds = compiled.timings.inspection + compiled.timings.transformation
+        codegen_seconds = compiled.timings.codegen + compiled.timings.compile
+        rows.append(
+            {
+                "problem_id": entry.problem_id,
+                "name": entry.name,
+                "eigen_seconds": eigen_seconds,
+                "sympiler_numeric_seconds": numeric_seconds,
+                "sympiler_symbolic_seconds": symbolic_seconds,
+                "sympiler_codegen_seconds": codegen_seconds,
+                "sympiler_numeric_normalized": numeric_seconds / eigen_seconds,
+                "sympiler_accumulated_normalized": (numeric_seconds + symbolic_seconds)
+                / eigen_seconds,
+                "codegen_over_numeric": codegen_seconds / max(numeric_seconds, 1e-12),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9: Cholesky, accumulated symbolic + numeric
+# --------------------------------------------------------------------------- #
+def fig9_cholesky_accumulated(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    repeats: int = 2,
+    backend: str = "python",
+) -> List[Dict[str, object]]:
+    """Figure 9: symbolic+numeric time of all three systems normalized to Eigen."""
+    rows: List[Dict[str, object]] = []
+    sym = Sympiler()
+    for entry in _entries(suite):
+        prep = prepare(entry, backend=backend)
+        A = prep.A
+        eigen_sym = eigen_like_symbolic(A)
+        eigen_numeric_seconds, _ = time_callable(
+            lambda: eigen_like_numeric(A, eigen_sym), repeats=repeats
+        )
+        eigen_total = eigen_sym.seconds + eigen_numeric_seconds
+        cholmod_sym = cholmod_like_symbolic(A)
+        cholmod_numeric_seconds, _ = time_callable(
+            lambda: cholmod_like_numeric(A, cholmod_sym), repeats=repeats
+        )
+        compiled = sym.compile_cholesky(A, options=prep.options())
+        sympiler_numeric_seconds, _ = time_callable(
+            lambda: compiled.factorize(A), repeats=repeats
+        )
+        sympiler_symbolic = compiled.timings.inspection + compiled.timings.transformation
+        sympiler_codegen = compiled.timings.codegen + compiled.timings.compile
+        rows.append(
+            {
+                "problem_id": entry.problem_id,
+                "name": entry.name,
+                "eigen_symbolic_seconds": eigen_sym.seconds,
+                "eigen_numeric_seconds": eigen_numeric_seconds,
+                "cholmod_symbolic_seconds": cholmod_sym.seconds,
+                "cholmod_numeric_seconds": cholmod_numeric_seconds,
+                "sympiler_symbolic_seconds": sympiler_symbolic,
+                "sympiler_numeric_seconds": sympiler_numeric_seconds,
+                "sympiler_codegen_seconds": sympiler_codegen,
+                "eigen_total_normalized": 1.0,
+                "cholmod_total_normalized": (cholmod_sym.seconds + cholmod_numeric_seconds)
+                / eigen_total,
+                "sympiler_total_normalized": (sympiler_symbolic + sympiler_numeric_seconds)
+                / eigen_total,
+                "codegen_over_numeric": sympiler_codegen
+                / max(sympiler_numeric_seconds, 1e-12),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# §1.1 intro speedups (vs. naive and library triangular solve)
+# --------------------------------------------------------------------------- #
+def intro_triangular_speedups(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    repeats: int = 3,
+    backend: str = "python",
+) -> List[Dict[str, object]]:
+    """§1.1: Sympiler trisolve speedup over Fig. 1b (naive) and Fig. 1c (library)."""
+    rows: List[Dict[str, object]] = []
+    sym = Sympiler()
+    for entry in _entries(suite):
+        prep = prepare(entry, backend=backend)
+        L, b, rhs = prep.L, prep.b, prep.rhs_pattern
+        naive_seconds, x_ref = time_callable(lambda: trisolve_naive(L, b), repeats=repeats)
+        library_seconds, _ = time_callable(lambda: eigen_like_trisolve(L, b), repeats=repeats)
+        compiled = sym.compile_triangular_solve(L, rhs_pattern=rhs, options=prep.options())
+        sympiler_seconds, x = time_callable(lambda: compiled.solve(L, b), repeats=repeats)
+        if not np.allclose(x, x_ref, atol=1e-8):
+            raise AssertionError(f"Sympiler trisolve mismatch on {entry.name}")
+        rows.append(
+            {
+                "problem_id": entry.problem_id,
+                "name": entry.name,
+                "reach_size": compiled.reach_size,
+                "n": L.n,
+                "speedup_vs_naive": naive_seconds / sympiler_seconds,
+                "speedup_vs_library": library_seconds / sympiler_seconds,
+            }
+        )
+    if rows:
+        rows.append(
+            {
+                "problem_id": "-",
+                "name": "geomean",
+                "reach_size": "-",
+                "n": "-",
+                "speedup_vs_naive": geometric_mean([r["speedup_vs_naive"] for r in rows]),
+                "speedup_vs_library": geometric_mean([r["speedup_vs_library"] for r in rows]),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# §4.3 overhead report
+# --------------------------------------------------------------------------- #
+def overhead_report(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    backend: str = "python",
+) -> List[Dict[str, object]]:
+    """§4.3: compile-time cost of Sympiler relative to one numeric execution."""
+    rows: List[Dict[str, object]] = []
+    sym = Sympiler()
+    for entry in _entries(suite):
+        prep = prepare(entry, backend=backend)
+        tri = sym.compile_triangular_solve(prep.L, rhs_pattern=prep.rhs_pattern, options=prep.options())
+        tri_numeric, _ = time_callable(lambda: tri.solve(prep.L, prep.b), repeats=3)
+        chol = sym.compile_cholesky(prep.A, options=prep.options())
+        chol_numeric, _ = time_callable(lambda: chol.factorize(prep.A), repeats=2)
+        rows.append(
+            {
+                "problem_id": entry.problem_id,
+                "name": entry.name,
+                "tri_symbolic_over_numeric": tri.timings.inspection / max(tri_numeric, 1e-12),
+                "tri_codegen_over_numeric": (tri.timings.codegen + tri.timings.compile)
+                / max(tri_numeric, 1e-12),
+                "chol_symbolic_over_numeric": chol.timings.inspection / max(chol_numeric, 1e-12),
+                "chol_codegen_over_numeric": (chol.timings.codegen + chol.timings.compile)
+                / max(chol_numeric, 1e-12),
+            }
+        )
+    return rows

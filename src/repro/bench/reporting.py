@@ -1,0 +1,64 @@
+"""Render experiment result rows as ASCII tables or CSV."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_csv", "geometric_mean"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(rows: List[Dict[str, object]], *, columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render a list of result dicts as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    formatted: List[List[str]] = []
+    for row in rows:
+        line = []
+        for c in columns:
+            text = _format_value(row.get(c, ""))
+            widths[c] = max(widths[c], len(text))
+            line.append(text)
+        formatted.append(line)
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    parts.append(header)
+    parts.append("-+-".join("-" * widths[c] for c in columns))
+    for line in formatted:
+        parts.append(" | ".join(text.ljust(widths[c]) for text, c in zip(line, columns)))
+    return "\n".join(parts) + "\n"
+
+
+def render_csv(rows: List[Dict[str, object]], *, columns: Sequence[str] | None = None) -> str:
+    """Render result rows as CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(c) for c in columns)]
+    for row in rows:
+        lines.append(",".join(_format_value(row.get(c, "")) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for average-speedup summaries)."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

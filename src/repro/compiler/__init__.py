@@ -1,0 +1,34 @@
+"""The Sympiler core: symbolic-enabled code generation.
+
+This package implements the paper's primary contribution — a domain-specific
+code generator that
+
+1. runs a *symbolic inspector* over the input sparsity pattern at compile
+   time (:mod:`repro.symbolic`),
+2. lowers the requested numerical method (triangular solve or Cholesky) into
+   a domain-specific AST annotated with where inspector-guided
+   transformations may apply (:mod:`repro.compiler.lowering`),
+3. applies the inspector-guided transformations **VI-Prune** and **VS-Block**
+   followed by enabled low-level transformations — peeling, unrolling, loop
+   distribution, vectorization (:mod:`repro.compiler.transforms`), and
+4. emits matrix-specific source code through one of two backends — a
+   specialized-Python/NumPy backend (always available) or a C backend
+   compiled with the system compiler and loaded through ``ctypes``
+   (:mod:`repro.compiler.codegen`).
+
+The user-facing entry point is :class:`repro.compiler.sympiler.Sympiler`.
+"""
+
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import (
+    SympiledCholesky,
+    SympiledTriangularSolve,
+    Sympiler,
+)
+
+__all__ = [
+    "Sympiler",
+    "SympilerOptions",
+    "SympiledTriangularSolve",
+    "SympiledCholesky",
+]

@@ -1,0 +1,590 @@
+"""Domain-specific AST for sparse kernels.
+
+The code implementing a numerical solver is represented in a domain-specific
+AST (§2.1 of the paper).  Lowering produces *generic* loop nests annotated
+with the places where inspector-guided transformations may apply (the
+analogue of Figure 2a); the VI-Prune and VS-Block passes then replace those
+annotated loops with *domain statements* that carry the inspection sets they
+consume (the analogue of Figures 2b/2c), and the low-level passes refine the
+annotations (peel / unroll / vectorize / distribute).  Code-generation
+backends walk the final AST and emit matrix-specialized source.
+
+Two node families therefore coexist:
+
+* generic expression/statement nodes (:class:`Var`, :class:`ArrayRef`,
+  :class:`Assign`, :class:`ForRange`, ...) — enough to express the kernels of
+  Figure 1 and to be pretty-printed for inspection, and
+* domain statements (:class:`PeeledColumnSolve`,
+  :class:`SupernodeTriangularBlock`, :class:`SimplicialCholeskyLoop`,
+  :class:`SupernodalCholeskyLoop`, :class:`PrunedColumnSolveLoop`) introduced
+  by the transformations, each carrying the compile-time constant arrays that
+  the backends embed into generated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Var",
+    "IntConst",
+    "FloatConst",
+    "ArrayRef",
+    "BinOp",
+    "Call",
+    "Stmt",
+    "Assign",
+    "ForRange",
+    "If",
+    "Block",
+    "Comment",
+    "KernelFunction",
+    "PrunedColumnSolveLoop",
+    "PeeledColumnSolve",
+    "SupernodeTriangularBlock",
+    "SimplicialCholeskyLoop",
+    "SupernodalCholeskyLoop",
+    "walk",
+    "pretty",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Base classes
+# --------------------------------------------------------------------------- #
+class Node:
+    """Base class of every AST node."""
+
+    def children(self) -> Iterable["Node"]:
+        """Direct child nodes (used by :func:`walk`)."""
+        return ()
+
+
+class Expr(Node):
+    """Base class of expressions."""
+
+
+class Stmt(Node):
+    """Base class of statements.  Every statement carries an annotation dict.
+
+    Annotations are the communication channel between phases: lowering marks
+    loops with ``role``/``prunable``/``blockable``; inspector-guided passes
+    add hints such as ``peel``/``vectorize``/``unroll`` that the low-level
+    passes and backends honour.
+    """
+
+    def __init__(self, annotations: Optional[Dict[str, object]] = None) -> None:
+        self.annotations: Dict[str, object] = dict(annotations or {})
+
+    def annotate(self, **kwargs) -> "Stmt":
+        """Add annotations in place and return ``self`` (builder style)."""
+        self.annotations.update(kwargs)
+        return self
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar variable or array name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatConst(Expr):
+    """A floating-point literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """``array[index]`` with an arbitrary index expression."""
+
+    array: str
+    index: Expr
+
+    def children(self) -> Iterable[Node]:
+        return (self.index,)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Iterable[Node]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a named (runtime or intrinsic) function."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Iterable[Node]:
+        return self.args
+
+
+# --------------------------------------------------------------------------- #
+# Generic statements
+# --------------------------------------------------------------------------- #
+class Assign(Stmt):
+    """``target op value`` where ``op`` is one of ``=, +=, -=, *=, /=``."""
+
+    VALID_OPS = ("=", "+=", "-=", "*=", "/=")
+
+    def __init__(self, target: Expr, value: Expr, op: str = "=", **annotations) -> None:
+        super().__init__(annotations)
+        if op not in self.VALID_OPS:
+            raise ValueError(f"invalid assignment operator {op!r}")
+        self.target = target
+        self.value = value
+        self.op = op
+
+    def children(self) -> Iterable[Node]:
+        return (self.target, self.value)
+
+
+class Block(Stmt):
+    """A sequence of statements."""
+
+    def __init__(self, statements: Sequence[Stmt] = (), **annotations) -> None:
+        super().__init__(annotations)
+        self.statements: List[Stmt] = list(statements)
+
+    def append(self, stmt: Stmt) -> None:
+        """Append a statement."""
+        self.statements.append(stmt)
+
+    def children(self) -> Iterable[Node]:
+        return tuple(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+class ForRange(Stmt):
+    """``for index in range(start, end): body``."""
+
+    def __init__(self, index: str, start: Expr, end: Expr, body: Block, **annotations) -> None:
+        super().__init__(annotations)
+        self.index = index
+        self.start = start
+        self.end = end
+        self.body = body
+
+    def children(self) -> Iterable[Node]:
+        return (self.start, self.end, self.body)
+
+
+class If(Stmt):
+    """``if condition: body`` (used by the library-style guard of Fig. 1c)."""
+
+    def __init__(self, condition: Expr, body: Block, **annotations) -> None:
+        super().__init__(annotations)
+        self.condition = condition
+        self.body = body
+
+    def children(self) -> Iterable[Node]:
+        return (self.condition, self.body)
+
+
+class Comment(Stmt):
+    """A free-form comment emitted verbatim by the backends."""
+
+    def __init__(self, text: str, **annotations) -> None:
+        super().__init__(annotations)
+        self.text = text
+
+
+# --------------------------------------------------------------------------- #
+# Domain statements produced by the inspector-guided transformations
+# --------------------------------------------------------------------------- #
+class PrunedColumnSolveLoop(Stmt):
+    """A triangular-solve column loop restricted to a pruned iteration space.
+
+    Produced by VI-Prune from the annotated column loop: iterates over the
+    embedded ``columns`` array (the reach-set or a contiguous run of it) in
+    the stored order, performing the standard column solve for each entry.
+
+    Attributes
+    ----------
+    columns:
+        Column indices to visit, in a valid topological order.
+    constant_name:
+        Name under which ``columns`` is embedded in the generated code.
+    vectorize:
+        Whether the inner update is emitted as a vector operation.
+    """
+
+    def __init__(
+        self,
+        columns: np.ndarray,
+        constant_name: str,
+        *,
+        vectorize: bool = True,
+        **annotations,
+    ) -> None:
+        super().__init__(annotations)
+        self.columns = np.asarray(columns, dtype=np.int64)
+        self.constant_name = constant_name
+        self.vectorize = bool(vectorize)
+
+
+class PeeledColumnSolve(Stmt):
+    """One peeled triangular-solve iteration, fully specialized.
+
+    Produced by the loop-peeling low-level transformation for reach-set
+    iterations that deserve straight-line code (Figure 1e): the column index,
+    its diagonal position and the off-diagonal slice bounds are literals in
+    the generated code; when ``unroll`` is set the off-diagonal update is also
+    emitted entry-by-entry.
+    """
+
+    def __init__(
+        self,
+        column: int,
+        diag_pos: int,
+        offdiag_start: int,
+        offdiag_end: int,
+        rows: np.ndarray,
+        *,
+        unroll: bool = False,
+        **annotations,
+    ) -> None:
+        super().__init__(annotations)
+        self.column = int(column)
+        self.diag_pos = int(diag_pos)
+        self.offdiag_start = int(offdiag_start)
+        self.offdiag_end = int(offdiag_end)
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.unroll = bool(unroll)
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries of the peeled column (diagonal included)."""
+        return self.offdiag_end - self.offdiag_start + 1
+
+
+class SupernodeTriangularBlock(Stmt):
+    """One VS-Block'd supernode of a triangular solve.
+
+    The diagonal block is solved densely (unrolled when ``unroll`` is set) and
+    the off-diagonal panel is applied as a dense matrix–vector product.  All
+    positions below are *compile-time constants* referring into ``Lx``/``Li``.
+
+    Attributes
+    ----------
+    sn_id: supernode index in the partition.
+    c0, width: first column and number of columns.
+    n_rows: rows of the supernode (width + off-diagonal rows).
+    col_starts: position of each column's diagonal entry in ``Lx``.
+    rows_start, rows_end: slice of ``Li`` holding the supernode's row pattern
+        (the pattern of its first column).
+    unroll: emit the diagonal solve unrolled.
+    use_blas: call the library dense kernels instead of specialized ones.
+    """
+
+    def __init__(
+        self,
+        sn_id: int,
+        c0: int,
+        width: int,
+        n_rows: int,
+        col_starts: np.ndarray,
+        rows_start: int,
+        rows_end: int,
+        *,
+        unroll: bool = False,
+        use_blas: bool = False,
+        **annotations,
+    ) -> None:
+        super().__init__(annotations)
+        self.sn_id = int(sn_id)
+        self.c0 = int(c0)
+        self.width = int(width)
+        self.n_rows = int(n_rows)
+        self.col_starts = np.asarray(col_starts, dtype=np.int64)
+        self.rows_start = int(rows_start)
+        self.rows_end = int(rows_end)
+        self.unroll = bool(unroll)
+        self.use_blas = bool(use_blas)
+
+    @property
+    def n_offdiag_rows(self) -> int:
+        """Rows strictly below the supernode's diagonal block."""
+        return self.n_rows - self.width
+
+
+class SimplicialCholeskyLoop(Stmt):
+    """The VI-Pruned (simplicial) Cholesky column loop.
+
+    All symbolic information is embedded as constant arrays:
+
+    * ``l_indptr`` / ``l_indices`` — the predicted factor pattern,
+    * ``prune_ptr`` / ``update_pos`` / ``update_end`` — for every column
+      ``j``, the slice ``prune_ptr[j]:prune_ptr[j+1]`` of ``update_pos`` and
+      ``update_end`` lists, for each column ``k`` in the prune-set of ``j``,
+      the position of ``L[j, k]`` inside column ``k`` and the end of column
+      ``k`` (so the numeric loop performs no pattern look-ups at all),
+    * ``a_diag_pos`` / ``a_col_end`` — where the lower part of each column of
+      ``A`` starts/ends in its CSC arrays.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        l_indptr: np.ndarray,
+        l_indices: np.ndarray,
+        prune_ptr: np.ndarray,
+        update_pos: np.ndarray,
+        update_end: np.ndarray,
+        a_diag_pos: np.ndarray,
+        a_col_end: np.ndarray,
+        *,
+        vectorize: bool = True,
+        **annotations,
+    ) -> None:
+        super().__init__(annotations)
+        self.n = int(n)
+        self.l_indptr = np.asarray(l_indptr, dtype=np.int64)
+        self.l_indices = np.asarray(l_indices, dtype=np.int64)
+        self.prune_ptr = np.asarray(prune_ptr, dtype=np.int64)
+        self.update_pos = np.asarray(update_pos, dtype=np.int64)
+        self.update_end = np.asarray(update_end, dtype=np.int64)
+        self.a_diag_pos = np.asarray(a_diag_pos, dtype=np.int64)
+        self.a_col_end = np.asarray(a_col_end, dtype=np.int64)
+        self.vectorize = bool(vectorize)
+
+    @property
+    def factor_nnz(self) -> int:
+        """Nonzeros of the factor being produced."""
+        return int(self.l_indptr[-1])
+
+
+class SupernodalCholeskyLoop(Stmt):
+    """The VS-Block'd Cholesky supernode loop.
+
+    In addition to the factor pattern and the ``A``-column positions (see
+    :class:`SimplicialCholeskyLoop`), the descriptor embeds:
+
+    * ``sup_start`` / ``sup_end`` — column range of every supernode,
+    * ``desc_ptr`` / ``desc_pos`` / ``desc_end`` / ``desc_mult_end`` — for
+      every supernode, the positions inside ``Lx``/``Li`` of every descendant
+      column's update slice and of the sub-slice providing the multipliers,
+    * ``distribute_single_columns`` — whether width-1 supernodes are peeled
+      into a separate streamlined (simplicial) loop (loop distribution),
+    * ``use_small_kernels`` — whether diagonal blocks up to the small-kernel
+      limit use the specialized unrolled kernels instead of the library ones.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        l_indptr: np.ndarray,
+        l_indices: np.ndarray,
+        a_diag_pos: np.ndarray,
+        a_col_end: np.ndarray,
+        sup_start: np.ndarray,
+        sup_end: np.ndarray,
+        desc_ptr: np.ndarray,
+        desc_pos: np.ndarray,
+        desc_end: np.ndarray,
+        desc_mult_end: np.ndarray,
+        *,
+        distribute_single_columns: bool = True,
+        use_small_kernels: bool = True,
+        small_kernel_max_width: int = 3,
+        vectorize: bool = True,
+        **annotations,
+    ) -> None:
+        super().__init__(annotations)
+        self.n = int(n)
+        self.l_indptr = np.asarray(l_indptr, dtype=np.int64)
+        self.l_indices = np.asarray(l_indices, dtype=np.int64)
+        self.a_diag_pos = np.asarray(a_diag_pos, dtype=np.int64)
+        self.a_col_end = np.asarray(a_col_end, dtype=np.int64)
+        self.sup_start = np.asarray(sup_start, dtype=np.int64)
+        self.sup_end = np.asarray(sup_end, dtype=np.int64)
+        self.desc_ptr = np.asarray(desc_ptr, dtype=np.int64)
+        self.desc_pos = np.asarray(desc_pos, dtype=np.int64)
+        self.desc_end = np.asarray(desc_end, dtype=np.int64)
+        self.desc_mult_end = np.asarray(desc_mult_end, dtype=np.int64)
+        self.distribute_single_columns = bool(distribute_single_columns)
+        self.use_small_kernels = bool(use_small_kernels)
+        self.small_kernel_max_width = int(small_kernel_max_width)
+        self.vectorize = bool(vectorize)
+
+    @property
+    def n_supernodes(self) -> int:
+        """Number of supernodes in the descriptor."""
+        return int(self.sup_start.size)
+
+    @property
+    def factor_nnz(self) -> int:
+        """Nonzeros of the factor being produced."""
+        return int(self.l_indptr[-1])
+
+
+# --------------------------------------------------------------------------- #
+# Kernel function
+# --------------------------------------------------------------------------- #
+class KernelFunction(Node):
+    """A complete kernel: name, parameters, body and embedded constants.
+
+    ``constants`` maps names to NumPy arrays that the backends embed into the
+    generated code (static arrays in C, injected module globals in Python);
+    they are the materialized inspection sets.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str],
+        body: Block,
+        *,
+        method: str,
+        constants: Optional[Dict[str, np.ndarray]] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.params = list(params)
+        self.body = body
+        self.method = method
+        self.constants: Dict[str, np.ndarray] = dict(constants or {})
+        self.meta: Dict[str, object] = dict(meta or {})
+
+    def add_constant(self, name: str, value: np.ndarray) -> str:
+        """Register an embedded constant array and return its name."""
+        if name in self.constants:
+            raise ValueError(f"constant {name!r} already registered")
+        self.constants[name] = np.asarray(value)
+        return name
+
+    def children(self) -> Iterable[Node]:
+        return (self.body,)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"KernelFunction(name={self.name!r}, method={self.method!r}, "
+            f"params={self.params}, constants={sorted(self.constants)})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Traversal and pretty-printing
+# --------------------------------------------------------------------------- #
+def walk(node: Node) -> Iterable[Node]:
+    """Yield ``node`` and every descendant in depth-first pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def _expr_str(e: Expr) -> str:
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, IntConst):
+        return str(e.value)
+    if isinstance(e, FloatConst):
+        return repr(e.value)
+    if isinstance(e, ArrayRef):
+        return f"{e.array}[{_expr_str(e.index)}]"
+    if isinstance(e, BinOp):
+        return f"({_expr_str(e.left)} {e.op} {_expr_str(e.right)})"
+    if isinstance(e, Call):
+        args = ", ".join(_expr_str(a) for a in e.args)
+        return f"{e.func}({args})"
+    raise TypeError(f"unknown expression node {type(e).__name__}")
+
+
+def _annot_str(stmt: Stmt) -> str:
+    if not stmt.annotations:
+        return ""
+    parts = ", ".join(f"{k}={v!r}" for k, v in sorted(stmt.annotations.items()))
+    return f"  # @{parts}"
+
+
+def _stmt_lines(stmt: Stmt, indent: int) -> List[str]:
+    pad = "  " * indent
+    if isinstance(stmt, Comment):
+        return [f"{pad}# {stmt.text}"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{_expr_str(stmt.target)} {stmt.op} {_expr_str(stmt.value)}{_annot_str(stmt)}"]
+    if isinstance(stmt, Block):
+        lines: List[str] = []
+        for s in stmt.statements:
+            lines.extend(_stmt_lines(s, indent))
+        return lines
+    if isinstance(stmt, ForRange):
+        header = (
+            f"{pad}for {stmt.index} in {_expr_str(stmt.start)} .. {_expr_str(stmt.end)}:"
+            f"{_annot_str(stmt)}"
+        )
+        return [header] + _stmt_lines(stmt.body, indent + 1)
+    if isinstance(stmt, If):
+        header = f"{pad}if {_expr_str(stmt.condition)}:{_annot_str(stmt)}"
+        return [header] + _stmt_lines(stmt.body, indent + 1)
+    if isinstance(stmt, PrunedColumnSolveLoop):
+        return [
+            f"{pad}pruned-column-solve over {stmt.constant_name} "
+            f"({stmt.columns.size} columns, vectorize={stmt.vectorize}){_annot_str(stmt)}"
+        ]
+    if isinstance(stmt, PeeledColumnSolve):
+        return [
+            f"{pad}peeled-column-solve col={stmt.column} nnz={stmt.nnz} "
+            f"unroll={stmt.unroll}{_annot_str(stmt)}"
+        ]
+    if isinstance(stmt, SupernodeTriangularBlock):
+        return [
+            f"{pad}supernode-trsolve sn={stmt.sn_id} cols={stmt.c0}..{stmt.c0 + stmt.width} "
+            f"rows={stmt.n_rows} unroll={stmt.unroll} blas={stmt.use_blas}{_annot_str(stmt)}"
+        ]
+    if isinstance(stmt, SimplicialCholeskyLoop):
+        return [
+            f"{pad}simplicial-cholesky n={stmt.n} nnz(L)={stmt.factor_nnz} "
+            f"vectorize={stmt.vectorize}{_annot_str(stmt)}"
+        ]
+    if isinstance(stmt, SupernodalCholeskyLoop):
+        return [
+            f"{pad}supernodal-cholesky n={stmt.n} supernodes={stmt.n_supernodes} "
+            f"nnz(L)={stmt.factor_nnz} distribute={stmt.distribute_single_columns} "
+            f"small-kernels={stmt.use_small_kernels}{_annot_str(stmt)}"
+        ]
+    raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+
+def pretty(node: Node) -> str:
+    """Human-readable rendering of a kernel or statement (for tests/docs)."""
+    if isinstance(node, KernelFunction):
+        header = f"kernel {node.name}({', '.join(node.params)})  [method={node.method}]"
+        const = [
+            f"  const {name}: shape={tuple(np.asarray(v).shape)}"
+            for name, v in sorted(node.constants.items())
+        ]
+        return "\n".join([header, *const, *_stmt_lines(node.body, 1)])
+    if isinstance(node, Stmt):
+        return "\n".join(_stmt_lines(node, 0))
+    if isinstance(node, Expr):
+        return _expr_str(node)
+    raise TypeError(f"unknown node {type(node).__name__}")

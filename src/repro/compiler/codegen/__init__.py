@@ -1,0 +1,21 @@
+"""Code-generation backends.
+
+* :mod:`repro.compiler.codegen.python_backend` — emits matrix-specialized
+  Python/NumPy source and compiles it with :func:`compile`/``exec``.
+* :mod:`repro.compiler.codegen.c_backend` — emits matrix-specialized C,
+  compiles it with the system compiler and loads it through ``ctypes``.
+* :mod:`repro.compiler.codegen.runtime` — the tiny runtime namespace the
+  generated Python code links against (dense micro-kernels), plus helpers for
+  caching generated artifacts on disk.
+"""
+
+from repro.compiler.codegen.c_backend import CBackend, CCompilationError, c_compiler_available
+from repro.compiler.codegen.python_backend import GeneratedModule, PythonBackend
+
+__all__ = [
+    "PythonBackend",
+    "GeneratedModule",
+    "CBackend",
+    "CCompilationError",
+    "c_compiler_available",
+]

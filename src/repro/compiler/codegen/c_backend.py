@@ -1,0 +1,592 @@
+"""Specialized-C code generation backend.
+
+Emits matrix-specialized C source (inspection sets as ``static const`` arrays,
+loop structure following the transformed AST), compiles it with the system C
+compiler and loads the resulting shared object through :mod:`ctypes`.  This is
+the closest analogue of the original Sympiler, which generates C and compiles
+it with GCC ``-O3`` (§4.1); the backend is optional — environments without a
+C compiler use the Python backend instead.
+
+Entry points generated:
+
+* triangular solve — ``void <name>(const int64_t* Lp, const int64_t* Li,
+  const double* Lx, const double* b, double* x)``
+* Cholesky — ``int64_t <name>(const int64_t* Ap, const int64_t* Ai,
+  const double* Ax, double* Lx)`` returning 0 on success or ``j + 1`` when a
+  non-positive pivot is met at column ``j``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.ast import (
+    Assign,
+    Block,
+    Call,
+    Comment,
+    ForRange,
+    KernelFunction,
+    PeeledColumnSolve,
+    PrunedColumnSolveLoop,
+    SimplicialCholeskyLoop,
+    Stmt,
+    SupernodalCholeskyLoop,
+    SupernodeTriangularBlock,
+    Var,
+)
+from repro.compiler.codegen.runtime import generated_code_dir, pattern_fingerprint
+
+__all__ = ["CBackend", "CGeneratedModule", "CCompilationError", "c_compiler_available"]
+
+
+class CCompilationError(RuntimeError):
+    """Raised when the C compiler is unavailable or compilation fails."""
+
+
+def c_compiler_available(compiler: str = "cc") -> bool:
+    """True when the requested C compiler executable is on PATH."""
+    return shutil.which(compiler) is not None
+
+
+def _format_c_array(name: str, values: np.ndarray, ctype: str) -> str:
+    """Render a constant array as a ``static const`` C definition."""
+    flat = np.asarray(values).ravel()
+    if ctype == "int64_t":
+        body = ",".join(str(int(v)) for v in flat)
+    else:
+        body = ",".join(repr(float(v)) for v in flat)
+    if flat.size == 0:
+        # Zero-length arrays are not portable C; emit a one-element dummy.
+        return f"static const {ctype} {name}[1] = {{0}};"
+    return f"static const {ctype} {name}[{flat.size}] = {{{body}}};"
+
+
+@dataclass
+class CGeneratedModule:
+    """Generated C source plus its compiled shared object."""
+
+    source: str
+    entry_name: str
+    constants: Dict[str, np.ndarray]
+    method: str
+    codegen_seconds: float
+    compiler: str
+    flags: Tuple[str, ...]
+    n: int
+    factor_nnz: int = 0
+    compile_seconds: float = 0.0
+    shared_object: Optional[str] = None
+    _callable: Optional[Callable] = field(default=None, repr=False)
+
+    @property
+    def line_count(self) -> int:
+        """Number of lines of generated source."""
+        return self.source.count("\n") + 1
+
+    # ------------------------------------------------------------------ #
+    def compile(self) -> Callable:
+        """Compile the C source and return a NumPy-friendly wrapper."""
+        if self._callable is not None:
+            return self._callable
+        if not c_compiler_available(self.compiler):
+            raise CCompilationError(
+                f"C compiler {self.compiler!r} not found; use the python backend instead"
+            )
+        start = time.perf_counter()
+        cache = generated_code_dir()
+        stem = f"{self.entry_name}_{pattern_fingerprint(np.frombuffer(self.source.encode(), dtype=np.uint8))}"
+        c_path = os.path.join(cache, stem + ".c")
+        so_path = os.path.join(cache, stem + ".so")
+        with open(c_path, "w", encoding="utf-8") as fh:
+            fh.write(self.source)
+        if not os.path.exists(so_path):
+            cmd = [self.compiler, *self.flags, "-o", so_path, c_path, "-lm"]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                raise CCompilationError(
+                    f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr}"
+                )
+        lib = ctypes.CDLL(so_path)
+        fn = getattr(lib, self.entry_name)
+        self.shared_object = so_path
+        self.compile_seconds = time.perf_counter() - start
+
+        i64p = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+        f64p = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+        if self.method == "triangular-solve":
+            fn.restype = None
+            fn.argtypes = [i64p, i64p, f64p, f64p, f64p]
+
+            def wrapper(Lp, Li, Lx, b):
+                Lp = np.ascontiguousarray(Lp, dtype=np.int64)
+                Li = np.ascontiguousarray(Li, dtype=np.int64)
+                Lx = np.ascontiguousarray(Lx, dtype=np.float64)
+                b = np.ascontiguousarray(b, dtype=np.float64)
+                x = np.empty(self.n, dtype=np.float64)
+                fn(Lp, Li, Lx, b, x)
+                return x
+
+        elif self.method == "cholesky":
+            fn.restype = ctypes.c_int64
+            fn.argtypes = [i64p, i64p, f64p, f64p]
+
+            def wrapper(Ap, Ai, Ax):
+                Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+                Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+                Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+                Lx = np.zeros(self.factor_nnz, dtype=np.float64)
+                status = fn(Ap, Ai, Ax, Lx)
+                if status != 0:
+                    raise ValueError(
+                        f"matrix is not positive definite at column {int(status) - 1}"
+                    )
+                return Lx
+
+        else:  # pragma: no cover - guarded during generation
+            raise CCompilationError(f"unsupported method {self.method!r}")
+        self._callable = wrapper
+        return wrapper
+
+
+class _CEmitter:
+    """Accumulates indented C source lines."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append(("    " * self.indent) + line if line else "")
+
+    def push(self) -> None:
+        self.indent += 1
+
+    def pop(self) -> None:
+        self.indent -= 1
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+_DENSE_HELPERS = r"""
+static void repro_dense_chol(double* D, int64_t w) {
+    for (int64_t k = 0; k < w; k++) {
+        double piv = sqrt(D[k * w + k]);
+        D[k * w + k] = piv;
+        for (int64_t i = k + 1; i < w; i++) D[i * w + k] /= piv;
+        for (int64_t j = k + 1; j < w; j++) {
+            double djk = D[j * w + k];
+            for (int64_t i = j; i < w; i++) D[i * w + j] -= D[i * w + k] * djk;
+        }
+    }
+}
+
+static void repro_dense_trsm_rt(const double* Ld, int64_t w, double* B, int64_t nrow) {
+    /* Solve X * Ld^T = B in place, B row-major (nrow x w). */
+    for (int64_t r = 0; r < nrow; r++) {
+        double* row = B + r * w;
+        for (int64_t k = 0; k < w; k++) {
+            double v = row[k];
+            for (int64_t j = 0; j < k; j++) v -= Ld[k * w + j] * row[j];
+            row[k] = v / Ld[k * w + k];
+        }
+    }
+}
+"""
+
+
+class CBackend:
+    """Generate and compile specialized C code from a transformed kernel."""
+
+    name = "c"
+
+    def __init__(self, compiler: str = "cc", flags: Tuple[str, ...] = ("-O3", "-march=native", "-fPIC", "-shared")) -> None:
+        self.compiler = compiler
+        self.flags = tuple(flags)
+
+    # ------------------------------------------------------------------ #
+    def generate(self, kernel: KernelFunction, context) -> CGeneratedModule:
+        """Emit a :class:`CGeneratedModule` for ``kernel``."""
+        start = time.perf_counter()
+        self._constants: Dict[str, np.ndarray] = {}
+        self._const_counter = 0
+        self._n = context.inspection.n
+        out = _CEmitter()
+        out.emit("/* Sympiler-generated kernel (C backend). */")
+        out.emit("#include <stdint.h>")
+        out.emit("#include <math.h>")
+        out.emit("#include <string.h>")
+        out.emit("")
+        body_out = _CEmitter()
+        body_out.indent = 1
+        factor_nnz = 0
+        if kernel.method == "triangular-solve":
+            self._emit_trisolve_body(body_out, kernel, context)
+            signature = (
+                f"void {kernel.name}(const int64_t* Lp, const int64_t* Li, "
+                "const double* Lx, const double* b, double* x)"
+            )
+        elif kernel.method == "cholesky":
+            factor_nnz = int(context.inspection.factor_nnz)
+            self._emit_cholesky_body(body_out, kernel, context)
+            signature = (
+                f"int64_t {kernel.name}(const int64_t* Ap, const int64_t* Ai, "
+                "const double* Ax, double* Lx)"
+            )
+        else:
+            raise CCompilationError(f"unsupported method {kernel.method!r}")
+
+        for name, value in sorted(self._constants.items()):
+            out.emit(_format_c_array(name, value, "int64_t"))
+        out.emit("")
+        if kernel.method == "cholesky":
+            out.emit(_DENSE_HELPERS)
+            out.emit(f"static double repro_f[{self._n}];")
+            out.emit(f"static int64_t repro_rowmap[{self._n}];")
+            max_panel = self._max_panel_size(kernel)
+            if max_panel:
+                out.emit(f"static double repro_panel[{max_panel}];")
+                max_w = self._max_supernode_width(kernel)
+                out.emit(f"static double repro_mult[{max(max_w, 1)}];")
+            out.emit("")
+        out.emit(signature + " {")
+        out.lines.extend(body_out.lines)
+        out.emit("}")
+        source = out.source()
+        codegen_seconds = time.perf_counter() - start
+        for name, value in self._constants.items():
+            if name not in kernel.constants:
+                kernel.constants[name] = value
+        return CGeneratedModule(
+            source=source,
+            entry_name=kernel.name,
+            constants=dict(self._constants),
+            method=kernel.method,
+            codegen_seconds=codegen_seconds,
+            compiler=self.compiler,
+            flags=self.flags,
+            n=self._n,
+            factor_nnz=factor_nnz,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constant management / helpers
+    # ------------------------------------------------------------------ #
+    def _add_constant(self, name: str, value: np.ndarray) -> str:
+        cname = f"_C_{name}"
+        if cname in self._constants:
+            existing = self._constants[cname]
+            if existing.shape == np.asarray(value).shape and np.array_equal(existing, value):
+                return cname
+            self._const_counter += 1
+            cname = f"_C_{name}_{self._const_counter}"
+        self._constants[cname] = np.asarray(value, dtype=np.int64)
+        return cname
+
+    @staticmethod
+    def _domain_nodes(kernel: KernelFunction, node_type) -> List[Stmt]:
+        from repro.compiler.ast import walk
+
+        return [node for node in walk(kernel.body) if isinstance(node, node_type)]
+
+    def _max_panel_size(self, kernel: KernelFunction) -> int:
+        loops = self._domain_nodes(kernel, SupernodalCholeskyLoop)
+        best = 0
+        for loop in loops:
+            for s in range(loop.n_supernodes):
+                c0 = int(loop.sup_start[s])
+                c1 = int(loop.sup_end[s])
+                w = c1 - c0
+                nr = int(loop.l_indptr[c0 + 1] - loop.l_indptr[c0])
+                best = max(best, nr * w)
+        return best
+
+    def _max_supernode_width(self, kernel: KernelFunction) -> int:
+        loops = self._domain_nodes(kernel, SupernodalCholeskyLoop)
+        best = 0
+        for loop in loops:
+            widths = loop.sup_end - loop.sup_start
+            if widths.size:
+                best = max(best, int(widths.max()))
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Triangular solve
+    # ------------------------------------------------------------------ #
+    def _emit_trisolve_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        n = self._n
+        out.emit(f"for (int64_t i = 0; i < {n}; i++) x[i] = b[i];")
+        self._emit_trisolve_block(out, kernel.body, context)
+
+    def _emit_trisolve_block(self, out: _CEmitter, block: Block, context) -> None:
+        for stmt in block.statements:
+            if isinstance(stmt, Comment):
+                out.emit(f"/* {stmt.text} */")
+            elif isinstance(stmt, Block):
+                self._emit_trisolve_block(out, stmt, context)
+            elif isinstance(stmt, Assign):
+                # The only generic assignment in the lowered trisolve is the
+                # initial copy of b into x, already emitted in the preamble.
+                if isinstance(stmt.target, Var) and stmt.target.name == "x" and isinstance(stmt.value, Call):
+                    continue
+                raise CCompilationError("unexpected generic assignment in C trisolve")
+            elif isinstance(stmt, ForRange):
+                if stmt.annotations.get("role") == "column-loop":
+                    self._emit_trisolve_all_columns(out)
+                else:
+                    raise CCompilationError("unexpected generic loop in C trisolve")
+            elif isinstance(stmt, PrunedColumnSolveLoop):
+                self._emit_pruned_loop_c(out, stmt)
+            elif isinstance(stmt, PeeledColumnSolve):
+                self._emit_peeled_c(out, stmt)
+            elif isinstance(stmt, SupernodeTriangularBlock):
+                self._emit_supernode_trisolve_c(out, stmt)
+            else:
+                raise CCompilationError(f"C backend cannot emit {type(stmt).__name__}")
+
+    def _emit_trisolve_all_columns(self, out: _CEmitter) -> None:
+        n = self._n
+        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
+        out.push()
+        out.emit("int64_t p0 = Lp[j], p1 = Lp[j + 1];")
+        out.emit("double xj = x[j] / Lx[p0];")
+        out.emit("x[j] = xj;")
+        out.emit("for (int64_t p = p0 + 1; p < p1; p++) x[Li[p]] -= Lx[p] * xj;")
+        out.pop()
+        out.emit("}")
+
+    def _emit_pruned_loop_c(self, out: _CEmitter, stmt: PrunedColumnSolveLoop) -> None:
+        cname = self._add_constant(stmt.constant_name, stmt.columns)
+        out.emit(f"/* pruned column loop over {stmt.columns.size} columns */")
+        out.emit(f"for (int64_t t = 0; t < {stmt.columns.size}; t++) {{")
+        out.push()
+        out.emit(f"int64_t j = {cname}[t];")
+        out.emit("int64_t p0 = Lp[j], p1 = Lp[j + 1];")
+        out.emit("double xj = x[j] / Lx[p0];")
+        out.emit("x[j] = xj;")
+        out.emit("for (int64_t p = p0 + 1; p < p1; p++) x[Li[p]] -= Lx[p] * xj;")
+        out.pop()
+        out.emit("}")
+
+    def _emit_peeled_c(self, out: _CEmitter, stmt: PeeledColumnSolve) -> None:
+        j = stmt.column
+        out.emit(f"/* peeled column {j} */")
+        if stmt.nnz == 1:
+            out.emit(f"x[{j}] /= Lx[{stmt.diag_pos}];")
+            return
+        out.emit("{")
+        out.push()
+        out.emit(f"double xj = x[{j}] / Lx[{stmt.diag_pos}];")
+        out.emit(f"x[{j}] = xj;")
+        if stmt.unroll:
+            for offset, row in enumerate(stmt.rows):
+                out.emit(f"x[{int(row)}] -= Lx[{stmt.offdiag_start + offset}] * xj;")
+        else:
+            out.emit(
+                f"for (int64_t p = {stmt.offdiag_start}; p < {stmt.offdiag_end}; p++) "
+                "x[Li[p]] -= Lx[p] * xj;"
+            )
+        out.pop()
+        out.emit("}")
+
+    def _emit_supernode_trisolve_c(self, out: _CEmitter, stmt: SupernodeTriangularBlock) -> None:
+        c0, w, n_rows = stmt.c0, stmt.width, stmt.n_rows
+        col_starts = stmt.col_starts
+        n_off = stmt.n_offdiag_rows
+        off_lo = stmt.rows_start + w
+        out.emit(f"/* supernode {stmt.sn_id}: columns {c0}..{c0 + w} */")
+        out.emit("{")
+        out.push()
+        if stmt.unroll:
+            for ii in range(w):
+                terms = []
+                for jj in range(ii):
+                    pos = int(col_starts[jj]) + (ii - jj)
+                    terms.append(f"Lx[{pos}] * xb{jj}")
+                rhs = f"x[{c0 + ii}]"
+                if terms:
+                    rhs = f"({rhs} - " + " - ".join(terms) + ")"
+                out.emit(f"double xb{ii} = {rhs} / Lx[{int(col_starts[ii])}];")
+            for ii in range(w):
+                out.emit(f"x[{c0 + ii}] = xb{ii};")
+            for jj in range(w):
+                p0 = int(col_starts[jj]) + (w - jj)
+                out.emit(
+                    f"for (int64_t r = 0; r < {n_off}; r++) "
+                    f"x[Li[{off_lo} + r]] -= Lx[{p0} + r] * xb{jj};"
+                )
+        else:
+            cs_name = self._add_constant(f"sn{stmt.sn_id}_col_starts", col_starts)
+            out.emit(f"for (int64_t jj = 0; jj < {w}; jj++) {{")
+            out.push()
+            out.emit(f"int64_t cs = {cs_name}[jj];")
+            out.emit(f"double xj = x[{c0} + jj] / Lx[cs];")
+            out.emit(f"x[{c0} + jj] = xj;")
+            out.emit(f"for (int64_t i = 1; i < {w} - jj; i++) x[{c0} + jj + i] -= Lx[cs + i] * xj;")
+            out.emit(
+                f"for (int64_t r = 0; r < {n_off}; r++) "
+                f"x[Li[{off_lo} + r]] -= Lx[cs + ({w} - jj) + r] * xj;"
+            )
+            out.pop()
+            out.emit("}")
+        out.pop()
+        out.emit("}")
+
+    # ------------------------------------------------------------------ #
+    # Cholesky
+    # ------------------------------------------------------------------ #
+    def _emit_cholesky_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        simplicial = self._domain_nodes(kernel, SimplicialCholeskyLoop)
+        supernodal = self._domain_nodes(kernel, SupernodalCholeskyLoop)
+        out.emit("(void)Ap;  /* the A pattern is baked into the generated constants */")
+        if supernodal:
+            self._emit_supernodal_cholesky_c(out, supernodal[0])
+        elif simplicial:
+            self._emit_simplicial_cholesky_c(out, simplicial[0])
+        else:
+            raise CCompilationError(
+                "the C backend requires a VI-Pruned or VS-Block'd Cholesky kernel"
+            )
+
+    def _emit_simplicial_cholesky_c(self, out: _CEmitter, stmt: SimplicialCholeskyLoop) -> None:
+        n = stmt.n
+        lp = self._add_constant("l_indptr", stmt.l_indptr)
+        li = self._add_constant("l_indices", stmt.l_indices)
+        ad = self._add_constant("a_diag_pos", stmt.a_diag_pos)
+        ae = self._add_constant("a_col_end", stmt.a_col_end)
+        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
+        up = self._add_constant("update_pos", stmt.update_pos)
+        ue = self._add_constant("update_end", stmt.update_end)
+        nnzl = int(stmt.l_indptr[-1])
+        out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
+        out.emit(f"memset(repro_f, 0, {n} * sizeof(double));")
+        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
+        out.push()
+        out.emit(f"for (int64_t p = {ad}[j]; p < {ae}[j]; p++) repro_f[Ai[p]] = Ax[p];")
+        out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
+        out.push()
+        out.emit(f"int64_t ps = {up}[t], pe = {ue}[t];")
+        out.emit("double ljk = Lx[ps];")
+        out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{li}[p]] -= Lx[p] * ljk;")
+        out.pop()
+        out.emit("}")
+        out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
+        out.emit("double d = repro_f[j];")
+        out.emit("if (!(d > 0.0)) return j + 1;")
+        out.emit("double ljj = sqrt(d);")
+        out.emit("Lx[lp0] = ljj;")
+        out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / ljj;")
+        out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{li}[p]] = 0.0;")
+        out.pop()
+        out.emit("}")
+        out.emit("return 0;")
+
+    def _emit_supernodal_cholesky_c(self, out: _CEmitter, stmt: SupernodalCholeskyLoop) -> None:
+        n = stmt.n
+        lp = self._add_constant("l_indptr", stmt.l_indptr)
+        li = self._add_constant("l_indices", stmt.l_indices)
+        ad = self._add_constant("a_diag_pos", stmt.a_diag_pos)
+        ae = self._add_constant("a_col_end", stmt.a_col_end)
+        ss = self._add_constant("sup_start", stmt.sup_start)
+        se = self._add_constant("sup_end", stmt.sup_end)
+        dp = self._add_constant("desc_ptr", stmt.desc_ptr)
+        dpos = self._add_constant("desc_pos", stmt.desc_pos)
+        dme = self._add_constant("desc_mult_end", stmt.desc_mult_end)
+        dend = self._add_constant("desc_end", stmt.desc_end)
+        nnzl = int(stmt.l_indptr[-1])
+        n_super = stmt.n_supernodes
+        out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
+        out.emit(f"memset(repro_f, 0, {n} * sizeof(double));")
+        out.emit(f"for (int64_t s = 0; s < {n_super}; s++) {{")
+        out.push()
+        out.emit(f"int64_t c0 = {ss}[s], c1 = {se}[s];")
+        out.emit("int64_t w = c1 - c0;")
+        if stmt.distribute_single_columns:
+            out.emit("if (w == 1) {")
+            out.push()
+            out.emit(f"int64_t lp0 = {lp}[c0], lp1 = {lp}[c0 + 1];")
+            out.emit(f"for (int64_t p = {ad}[c0]; p < {ae}[c0]; p++) repro_f[Ai[p]] = Ax[p];")
+            out.emit(f"for (int64_t t = {dp}[s]; t < {dp}[s + 1]; t++) {{")
+            out.push()
+            out.emit(f"int64_t ps = {dpos}[t], pe = {dend}[t];")
+            out.emit("double ljk = Lx[ps];")
+            out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{li}[p]] -= Lx[p] * ljk;")
+            out.pop()
+            out.emit("}")
+            out.emit("double d = repro_f[c0];")
+            out.emit("if (!(d > 0.0)) return c0 + 1;")
+            out.emit("double ljj = sqrt(d);")
+            out.emit("Lx[lp0] = ljj;")
+            out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / ljj;")
+            out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{li}[p]] = 0.0;")
+            out.emit("continue;")
+            out.pop()
+            out.emit("}")
+        out.emit(f"int64_t r0 = {lp}[c0], r1 = {lp}[c0 + 1];")
+        out.emit("int64_t nr = r1 - r0;")
+        out.emit(f"for (int64_t i = 0; i < nr; i++) repro_rowmap[{li}[r0 + i]] = i;")
+        out.emit("for (int64_t i = 0; i < nr * w; i++) repro_panel[i] = 0.0;")
+        out.emit("for (int64_t jj = 0; jj < w; jj++) {")
+        out.push()
+        out.emit("int64_t c = c0 + jj;")
+        out.emit(
+            f"for (int64_t p = {ad}[c]; p < {ae}[c]; p++) "
+            "repro_panel[repro_rowmap[Ai[p]] * w + jj] = Ax[p];"
+        )
+        out.pop()
+        out.emit("}")
+        out.emit(f"for (int64_t t = {dp}[s]; t < {dp}[s + 1]; t++) {{")
+        out.push()
+        out.emit(f"int64_t ps = {dpos}[t], pm = {dme}[t], pe = {dend}[t];")
+        out.emit("for (int64_t i = 0; i < w; i++) repro_mult[i] = 0.0;")
+        out.emit(f"for (int64_t p = ps; p < pm; p++) repro_mult[{li}[p] - c0] = Lx[p];")
+        out.emit("for (int64_t p = ps; p < pe; p++) {")
+        out.push()
+        out.emit(f"double* row = repro_panel + repro_rowmap[{li}[p]] * w;")
+        out.emit("double lv = Lx[p];")
+        out.emit("for (int64_t i = 0; i < w; i++) row[i] -= lv * repro_mult[i];")
+        out.pop()
+        out.emit("}")
+        out.pop()
+        out.emit("}")
+        # Dense factorization of the diagonal block (row-major, stride w).
+        out.emit("/* dense Cholesky of the w x w diagonal block (in place) */")
+        out.emit("for (int64_t k = 0; k < w; k++) {")
+        out.push()
+        out.emit("double piv = repro_panel[k * w + k];")
+        out.emit("if (!(piv > 0.0)) return c0 + k + 1;")
+        out.emit("piv = sqrt(piv);")
+        out.emit("repro_panel[k * w + k] = piv;")
+        out.emit("for (int64_t i = k + 1; i < w; i++) repro_panel[i * w + k] /= piv;")
+        out.emit("for (int64_t j = k + 1; j < w; j++) {")
+        out.push()
+        out.emit("double djk = repro_panel[j * w + k];")
+        out.emit("for (int64_t i = j; i < w; i++) repro_panel[i * w + j] -= repro_panel[i * w + k] * djk;")
+        out.pop()
+        out.emit("}")
+        out.pop()
+        out.emit("}")
+        out.emit("repro_dense_trsm_rt(repro_panel, w, repro_panel + w * w, nr - w);")
+        out.emit("for (int64_t jj = 0; jj < w; jj++) {")
+        out.push()
+        out.emit("int64_t c = c0 + jj;")
+        out.emit(f"int64_t lp0 = {lp}[c];")
+        out.emit("for (int64_t i = jj; i < w; i++) Lx[lp0 + (i - jj)] = repro_panel[i * w + jj];")
+        out.emit(
+            "for (int64_t r = 0; r < nr - w; r++) "
+            "Lx[lp0 + (w - jj) + r] = repro_panel[(w + r) * w + jj];"
+        )
+        out.pop()
+        out.emit("}")
+        out.pop()
+        out.emit("}")
+        out.emit("return 0;")

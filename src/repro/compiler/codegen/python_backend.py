@@ -1,0 +1,503 @@
+"""Specialized-Python code generation backend.
+
+Walks the transformed kernel AST and emits a Python module specialized for
+one sparsity pattern:
+
+* loop structures follow the transformed AST (pruned loops over embedded
+  inspection sets, peeled straight-line columns, supernode blocks),
+* every position derived from the sparsity pattern (diagonal positions, panel
+  slice bounds, update positions) appears either as a literal integer or as
+  an element of an embedded constant array — the generated numeric code never
+  performs a symbolic computation,
+* inner updates are emitted as NumPy slice operations (the backend's analogue
+  of vectorization), dense blocks call the ``_rt`` micro-kernels or are fully
+  unrolled when the transformation annotated them so.
+
+The resulting :class:`GeneratedModule` holds the source text, the embedded
+constants and a compiled entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.compiler.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Comment,
+    Expr,
+    FloatConst,
+    ForRange,
+    If,
+    IntConst,
+    KernelFunction,
+    PeeledColumnSolve,
+    PrunedColumnSolveLoop,
+    SimplicialCholeskyLoop,
+    Stmt,
+    SupernodalCholeskyLoop,
+    SupernodeTriangularBlock,
+    Var,
+)
+from repro.compiler.codegen.runtime import runtime_namespace
+
+__all__ = ["PythonBackend", "GeneratedModule", "CodegenError"]
+
+#: Supernode widths above this value are gathered with a small loop instead of
+#: fully enumerated slice assignments, to keep generated sources compact.
+_LARGE_BLOCK_LOOP_WIDTH = 24
+
+
+class CodegenError(RuntimeError):
+    """Raised when the backend cannot emit code for a kernel."""
+
+
+@dataclass
+class GeneratedModule:
+    """A generated, compiled Python module specialized to one pattern."""
+
+    source: str
+    entry_name: str
+    constants: Dict[str, np.ndarray]
+    method: str
+    codegen_seconds: float
+    compile_seconds: float = 0.0
+    _callable: Optional[Callable] = field(default=None, repr=False)
+
+    def compile(self) -> Callable:
+        """Compile (exec) the generated source and return the entry callable."""
+        if self._callable is not None:
+            return self._callable
+        start = time.perf_counter()
+        namespace: Dict[str, object] = {"np": np, "_rt": runtime_namespace()}
+        for name, value in self.constants.items():
+            namespace[name] = value
+        code = compile(self.source, f"<sympiler:{self.entry_name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - executing our own generated code
+        self.compile_seconds = time.perf_counter() - start
+        fn = namespace.get(self.entry_name)
+        if not callable(fn):
+            raise CodegenError(f"generated module does not define {self.entry_name!r}")
+        self._callable = fn
+        return fn
+
+    @property
+    def line_count(self) -> int:
+        """Number of lines of generated source."""
+        return self.source.count("\n") + 1
+
+
+class _Emitter:
+    """Accumulates indented source lines."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append(("    " * self.indent) + line if line else "")
+
+    def push(self) -> None:
+        self.indent += 1
+
+    def pop(self) -> None:
+        self.indent -= 1
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class PythonBackend:
+    """Generate specialized Python source from a transformed kernel."""
+
+    name = "python"
+
+    def generate(self, kernel: KernelFunction, context) -> GeneratedModule:
+        """Emit a :class:`GeneratedModule` for ``kernel``.
+
+        ``context`` is the :class:`~repro.compiler.transforms.base.CompilationContext`
+        used during transformation; the backend reads the matrix order from it
+        for the generic (un-transformed) loops.
+        """
+        start = time.perf_counter()
+        self._constants: Dict[str, np.ndarray] = {}
+        self._const_counter = 0
+        self._n = context.inspection.n
+        out = _Emitter()
+        out.emit(f'"""Sympiler-generated {kernel.method} kernel (python backend).')
+        out.emit("")
+        out.emit("Auto-generated; all symbolic analysis was performed at compile time.")
+        out.emit('"""')
+        entry = kernel.name
+        if kernel.method == "triangular-solve":
+            out.emit(f"def {entry}(Lp, Li, Lx, b):")
+            out.push()
+            self._emit_block(out, kernel.body, kernel)
+            out.emit("return x")
+            out.pop()
+        elif kernel.method == "cholesky":
+            out.emit(f"def {entry}(Ap, Ai, Ax):")
+            out.push()
+            self._emit_block(out, kernel.body, kernel)
+            out.emit("return Lx")
+            out.pop()
+        else:
+            raise CodegenError(f"unsupported method {kernel.method!r}")
+        source = out.source()
+        codegen_seconds = time.perf_counter() - start
+        # Also expose the constants on the kernel for introspection.
+        for name, value in self._constants.items():
+            if name not in kernel.constants:
+                kernel.constants[name] = value
+        return GeneratedModule(
+            source=source,
+            entry_name=entry,
+            constants=dict(self._constants),
+            method=kernel.method,
+            codegen_seconds=codegen_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constant management
+    # ------------------------------------------------------------------ #
+    def _add_constant(self, name: str, value: np.ndarray) -> str:
+        cname = f"_C_{name}"
+        if cname in self._constants:
+            existing = self._constants[cname]
+            if existing is value or (
+                existing.shape == np.asarray(value).shape and np.array_equal(existing, value)
+            ):
+                return cname
+            self._const_counter += 1
+            cname = f"_C_{name}_{self._const_counter}"
+        self._constants[cname] = np.asarray(value)
+        return cname
+
+    # ------------------------------------------------------------------ #
+    # Statement dispatch
+    # ------------------------------------------------------------------ #
+    def _emit_block(self, out: _Emitter, block: Block, kernel: KernelFunction) -> None:
+        for stmt in block.statements:
+            self._emit_stmt(out, stmt, kernel)
+
+    def _emit_stmt(self, out: _Emitter, stmt: Stmt, kernel: KernelFunction) -> None:
+        if isinstance(stmt, Comment):
+            out.emit(f"# {stmt.text}")
+        elif isinstance(stmt, Block):
+            self._emit_block(out, stmt, kernel)
+        elif isinstance(stmt, Assign):
+            self._emit_generic_assign(out, stmt)
+        elif isinstance(stmt, ForRange):
+            self._emit_generic_for(out, stmt, kernel)
+        elif isinstance(stmt, If):
+            out.emit(f"if {self._expr(stmt.condition)}:")
+            out.push()
+            self._emit_block(out, stmt.body, kernel)
+            out.pop()
+        elif isinstance(stmt, PrunedColumnSolveLoop):
+            self._emit_pruned_column_loop(out, stmt)
+        elif isinstance(stmt, PeeledColumnSolve):
+            self._emit_peeled_column(out, stmt)
+        elif isinstance(stmt, SupernodeTriangularBlock):
+            self._emit_supernode_trisolve(out, stmt)
+        elif isinstance(stmt, SimplicialCholeskyLoop):
+            self._emit_simplicial_cholesky(out, stmt)
+        elif isinstance(stmt, SupernodalCholeskyLoop):
+            self._emit_supernodal_cholesky(out, stmt)
+        else:
+            raise CodegenError(f"python backend cannot emit {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Generic expressions / statements (used by un-transformed kernels)
+    # ------------------------------------------------------------------ #
+    def _expr(self, e: Expr, subst: Optional[Dict[str, str]] = None) -> str:
+        subst = subst or {}
+        if isinstance(e, Var):
+            if e.name in subst:
+                return subst[e.name]
+            if e.name == "n":
+                return str(self._n)
+            return e.name
+        if isinstance(e, IntConst):
+            return str(e.value)
+        if isinstance(e, FloatConst):
+            return repr(e.value)
+        if isinstance(e, ArrayRef):
+            return f"{e.array}[{self._expr(e.index, subst)}]"
+        if isinstance(e, BinOp):
+            return f"({self._expr(e.left, subst)} {e.op} {self._expr(e.right, subst)})"
+        if isinstance(e, Call):
+            args = [self._expr(a, subst) for a in e.args]
+            if e.func == "copy":
+                return f"np.array({args[0]}, dtype=np.float64)"
+            if e.func == "sqrt":
+                return f"({args[0]}) ** 0.5"
+            return f"_rt.{e.func}({', '.join(args)})"
+        raise CodegenError(f"cannot emit expression {type(e).__name__}")
+
+    def _emit_generic_assign(self, out: _Emitter, stmt: Assign, subst: Optional[Dict[str, str]] = None) -> None:
+        out.emit(f"{self._expr(stmt.target, subst)} {stmt.op} {self._expr(stmt.value, subst)}")
+
+    def _emit_generic_for(self, out: _Emitter, stmt: ForRange, kernel: KernelFunction) -> None:
+        if stmt.annotations.get("vectorizable") and self._loop_is_vectorizable(stmt):
+            # Replace the loop variable by a slice over the loop bounds.
+            slice_text = f"{self._expr(stmt.start)}:{self._expr(stmt.end)}"
+            subst = {stmt.index: slice_text}
+            for inner in stmt.body.statements:
+                if isinstance(inner, Assign):
+                    self._emit_generic_assign(out, inner, subst)
+            return
+        out.emit(
+            f"for {stmt.index} in range({self._expr(stmt.start)}, {self._expr(stmt.end)}):"
+        )
+        out.push()
+        self._emit_block(out, stmt.body, kernel)
+        out.pop()
+
+    @staticmethod
+    def _loop_is_vectorizable(stmt: ForRange) -> bool:
+        """A loop can be emitted as a slice when its body is plain assignments."""
+        return all(isinstance(s, (Assign, Comment)) for s in stmt.body.statements)
+
+    # ------------------------------------------------------------------ #
+    # Triangular solve emitters
+    # ------------------------------------------------------------------ #
+    def _emit_pruned_column_loop(self, out: _Emitter, stmt: PrunedColumnSolveLoop) -> None:
+        cname = self._add_constant(stmt.constant_name, stmt.columns)
+        out.emit(f"# pruned column loop over {stmt.columns.size} columns")
+        out.emit(f"for j in {cname}:")
+        out.push()
+        out.emit("p0 = Lp[j]")
+        out.emit("p1 = Lp[j + 1]")
+        out.emit("xj = x[j] / Lx[p0]")
+        out.emit("x[j] = xj")
+        if stmt.vectorize:
+            out.emit("x[Li[p0 + 1:p1]] -= Lx[p0 + 1:p1] * xj")
+        else:
+            out.emit("for p in range(p0 + 1, p1):")
+            out.push()
+            out.emit("x[Li[p]] -= Lx[p] * xj")
+            out.pop()
+        out.pop()
+
+    def _emit_peeled_column(self, out: _Emitter, stmt: PeeledColumnSolve) -> None:
+        j = stmt.column
+        out.emit(f"# peeled column {j} ({stmt.nnz} stored entries)")
+        if stmt.nnz == 1:
+            out.emit(f"x[{j}] /= Lx[{stmt.diag_pos}]")
+            return
+        out.emit(f"xj = x[{j}] / Lx[{stmt.diag_pos}]")
+        out.emit(f"x[{j}] = xj")
+        if stmt.unroll:
+            for offset, row in enumerate(stmt.rows):
+                out.emit(f"x[{int(row)}] -= Lx[{stmt.offdiag_start + offset}] * xj")
+        else:
+            s0, s1 = stmt.offdiag_start, stmt.offdiag_end
+            out.emit(f"x[Li[{s0}:{s1}]] -= Lx[{s0}:{s1}] * xj")
+
+    def _emit_supernode_trisolve(self, out: _Emitter, stmt: SupernodeTriangularBlock) -> None:
+        c0, w, n_rows = stmt.c0, stmt.width, stmt.n_rows
+        col_starts = stmt.col_starts
+        n_off = stmt.n_offdiag_rows
+        off_lo = stmt.rows_start + w
+        off_hi = stmt.rows_end
+        out.emit(
+            f"# supernode {stmt.sn_id}: columns {c0}..{c0 + w}, "
+            f"{n_off} off-diagonal rows"
+        )
+        if stmt.unroll:
+            # Fully unrolled forward substitution on the diagonal block.
+            for ii in range(w):
+                terms = []
+                for jj in range(ii):
+                    pos = int(col_starts[jj]) + (ii - jj)
+                    terms.append(f"Lx[{pos}] * xb{jj}")
+                rhs = f"x[{c0 + ii}]"
+                if terms:
+                    rhs = f"({rhs} - " + " - ".join(terms) + ")"
+                out.emit(f"xb{ii} = {rhs} / Lx[{int(col_starts[ii])}]")
+            for ii in range(w):
+                out.emit(f"x[{c0 + ii}] = xb{ii}")
+            if n_off > 0:
+                panel_terms = []
+                for jj in range(w):
+                    p0 = int(col_starts[jj]) + (w - jj)
+                    p1 = int(col_starts[jj]) + (n_rows - jj)
+                    panel_terms.append(f"Lx[{p0}:{p1}] * xb{jj}")
+                out.emit(f"x[Li[{off_lo}:{off_hi}]] -= " + " + ".join(panel_terms))
+            return
+        # Gathered dense block path.
+        if w <= _LARGE_BLOCK_LOOP_WIDTH:
+            out.emit(f"_D = np.zeros(({w}, {w}))")
+            for jj in range(w):
+                p0 = int(col_starts[jj])
+                out.emit(f"_D[{jj}:, {jj}] = Lx[{p0}:{p0 + (w - jj)}]")
+            if n_off > 0:
+                panel_cols = []
+                for jj in range(w):
+                    p0 = int(col_starts[jj]) + (w - jj)
+                    p1 = int(col_starts[jj]) + (n_rows - jj)
+                    panel_cols.append(f"Lx[{p0}:{p1}]")
+                out.emit(f"_P = np.stack(({', '.join(panel_cols)},), axis=1)")
+        else:
+            cs_name = self._add_constant(f"sn{stmt.sn_id}_col_starts", col_starts)
+            out.emit(f"_D = np.zeros(({w}, {w}))")
+            out.emit(f"_P = np.empty(({n_off}, {w}))")
+            out.emit(f"for _jj in range({w}):")
+            out.push()
+            out.emit(f"_s = {cs_name}[_jj]")
+            out.emit(f"_D[_jj:, _jj] = Lx[_s:_s + ({w} - _jj)]")
+            out.emit(f"_P[:, _jj] = Lx[_s + ({w} - _jj):_s + ({n_rows} - _jj)]")
+            out.pop()
+        out.emit(f"_xb = _rt.dense_lower_solve(_D, x[{c0}:{c0 + w}])")
+        out.emit(f"x[{c0}:{c0 + w}] = _xb")
+        if n_off > 0:
+            out.emit(f"x[Li[{off_lo}:{off_hi}]] -= _P @ _xb")
+
+    # ------------------------------------------------------------------ #
+    # Cholesky emitters
+    # ------------------------------------------------------------------ #
+    def _emit_cholesky_preamble(
+        self, out: _Emitter, l_indptr: np.ndarray, l_indices: np.ndarray,
+        a_diag_pos: np.ndarray, a_col_end: np.ndarray, n: int,
+    ) -> None:
+        lp = self._add_constant("l_indptr", l_indptr)
+        li = self._add_constant("l_indices", l_indices)
+        ad = self._add_constant("a_diag_pos", a_diag_pos)
+        ae = self._add_constant("a_col_end", a_col_end)
+        out.emit(f"Lp = {lp}")
+        out.emit(f"Li = {li}")
+        out.emit(f"_ad = {ad}")
+        out.emit(f"_ae = {ae}")
+        out.emit(f"Lx = np.zeros({int(l_indptr[-1])})")
+        out.emit(f"f = np.zeros({n})")
+
+    def _emit_simplicial_cholesky(self, out: _Emitter, stmt: SimplicialCholeskyLoop) -> None:
+        n = stmt.n
+        self._emit_cholesky_preamble(
+            out, stmt.l_indptr, stmt.l_indices, stmt.a_diag_pos, stmt.a_col_end, n
+        )
+        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
+        up = self._add_constant("update_pos", stmt.update_pos)
+        ue = self._add_constant("update_end", stmt.update_end)
+        out.emit("# simplicial left-looking factorization; update loop pruned to the")
+        out.emit("# row sparsity pattern of L (all positions resolved at compile time)")
+        out.emit(f"for j in range({n}):")
+        out.push()
+        out.emit("a0 = _ad[j]; a1 = _ae[j]")
+        out.emit("f[Ai[a0:a1]] = Ax[a0:a1]")
+        out.emit(f"for t in range({pp}[j], {pp}[j + 1]):")
+        out.push()
+        out.emit(f"ps = {up}[t]; pe = {ue}[t]")
+        out.emit("ljk = Lx[ps]")
+        if stmt.vectorize:
+            out.emit("f[Li[ps:pe]] -= Lx[ps:pe] * ljk")
+        else:
+            out.emit("for p in range(ps, pe):")
+            out.push()
+            out.emit("f[Li[p]] -= Lx[p] * ljk")
+            out.pop()
+        out.pop()
+        out.emit("lp0 = Lp[j]; lp1 = Lp[j + 1]")
+        out.emit("d = f[j]")
+        out.emit("if d <= 0.0:")
+        out.push()
+        out.emit('raise ValueError("matrix is not positive definite at column %d" % j)')
+        out.pop()
+        out.emit("ljj = d ** 0.5")
+        out.emit("Lx[lp0] = ljj")
+        out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
+        out.emit("f[Li[lp0:lp1]] = 0.0")
+        out.pop()
+
+    def _emit_supernodal_cholesky(self, out: _Emitter, stmt: SupernodalCholeskyLoop) -> None:
+        n = stmt.n
+        self._emit_cholesky_preamble(
+            out, stmt.l_indptr, stmt.l_indices, stmt.a_diag_pos, stmt.a_col_end, n
+        )
+        ss = self._add_constant("sup_start", stmt.sup_start)
+        se = self._add_constant("sup_end", stmt.sup_end)
+        dp = self._add_constant("desc_ptr", stmt.desc_ptr)
+        dpos = self._add_constant("desc_pos", stmt.desc_pos)
+        dme = self._add_constant("desc_mult_end", stmt.desc_mult_end)
+        dend = self._add_constant("desc_end", stmt.desc_end)
+        n_super = stmt.n_supernodes
+        out.emit(f"_rowmap = np.empty({n}, dtype=np.int64)")
+        out.emit("# supernodal left-looking factorization over the block-set")
+        out.emit(f"for s in range({n_super}):")
+        out.push()
+        out.emit(f"c0 = {ss}[s]; c1 = {se}[s]; w = c1 - c0")
+        if stmt.distribute_single_columns:
+            out.emit("if w == 1:")
+            out.push()
+            out.emit("# streamlined single-column path (loop distribution)")
+            out.emit("lp0 = Lp[c0]; lp1 = Lp[c0 + 1]")
+            out.emit("a0 = _ad[c0]; a1 = _ae[c0]")
+            out.emit("f[Ai[a0:a1]] = Ax[a0:a1]")
+            out.emit(f"for t in range({dp}[s], {dp}[s + 1]):")
+            out.push()
+            out.emit(f"ps = {dpos}[t]; pe = {dend}[t]")
+            out.emit("ljk = Lx[ps]")
+            out.emit("f[Li[ps:pe]] -= Lx[ps:pe] * ljk")
+            out.pop()
+            out.emit("d = f[c0]")
+            out.emit("if d <= 0.0:")
+            out.push()
+            out.emit('raise ValueError("matrix is not positive definite at column %d" % c0)')
+            out.pop()
+            out.emit("ljj = d ** 0.5")
+            out.emit("Lx[lp0] = ljj")
+            out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
+            out.emit("f[Li[lp0:lp1]] = 0.0")
+            out.emit("continue")
+            out.pop()
+        out.emit("r0 = Lp[c0]; r1 = Lp[c0 + 1]")
+        out.emit("rows = Li[r0:r1]")
+        out.emit("nr = r1 - r0")
+        out.emit("_rowmap[rows] = np.arange(nr)")
+        out.emit("panel = np.zeros((nr, w))")
+        out.emit("for jj in range(w):")
+        out.push()
+        out.emit("c = c0 + jj")
+        out.emit("a0 = _ad[c]; a1 = _ae[c]")
+        out.emit("panel[_rowmap[Ai[a0:a1]], jj] = Ax[a0:a1]")
+        out.pop()
+        out.emit(f"for t in range({dp}[s], {dp}[s + 1]):")
+        out.push()
+        out.emit(f"ps = {dpos}[t]; pm = {dme}[t]; pe = {dend}[t]")
+        out.emit("vals = Lx[ps:pe]")
+        out.emit("m = np.zeros(w)")
+        out.emit("m[Li[ps:pm] - c0] = Lx[ps:pm]")
+        out.emit("panel[_rowmap[Li[ps:pe]], :] -= np.outer(vals, m)")
+        out.pop()
+        out.emit("D = panel[:w, :w]")
+        if stmt.use_small_kernels:
+            out.emit(f"if w <= {stmt.small_kernel_max_width}:")
+            out.push()
+            out.emit("Ld = _rt.small_cholesky(D)")
+            out.pop()
+            out.emit("else:")
+            out.push()
+            out.emit("Ld = _rt.dense_cholesky(D)")
+            out.pop()
+        else:
+            out.emit("Ld = _rt.dense_cholesky(D)")
+        out.emit("if nr > w:")
+        out.push()
+        out.emit("panel[w:, :] = _rt.dense_solve_transposed_right(Ld, panel[w:, :])")
+        out.pop()
+        out.emit("for jj in range(w):")
+        out.push()
+        out.emit("c = c0 + jj")
+        out.emit("lp0 = Lp[c]")
+        out.emit("Lx[lp0:lp0 + (w - jj)] = Ld[jj:, jj]")
+        out.emit("Lx[lp0 + (w - jj):Lp[c + 1]] = panel[w:, jj]")
+        out.pop()
+        out.pop()

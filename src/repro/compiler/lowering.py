@@ -1,0 +1,155 @@
+"""Lowering: numerical method → initial annotated AST.
+
+Sympiler first lowers the requested numerical method into a loop-nest AST
+whose loops are annotated with the inspector-guided transformations that may
+apply to them (Figure 2a of the paper).  No sparsity-specific information is
+used here: the lowered code is the generic algorithm (Figure 1b for the
+triangular solve, Figure 4 for left-looking Cholesky); specialization happens
+in the transformation passes.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Comment,
+    ForRange,
+    IntConst,
+    KernelFunction,
+    Var,
+)
+
+__all__ = ["lower_triangular_solve", "lower_cholesky"]
+
+
+def lower_triangular_solve() -> KernelFunction:
+    """Initial AST of the forward-substitution triangular solve (Fig. 1b).
+
+    The column loop is annotated as both VI-Prune-able (its iteration space
+    can be restricted to the reach-set) and VS-Block-able (consecutive columns
+    with equal structure can be solved as dense blocks); the inner update is
+    annotated as vectorizable.
+    """
+    j = Var("j")
+    p = Var("p")
+    lp_j = ArrayRef("Lp", j)
+    lp_j1 = ArrayRef("Lp", BinOp("+", j, IntConst(1)))
+
+    inner = ForRange(
+        "p",
+        BinOp("+", lp_j, IntConst(1)),
+        lp_j1,
+        Block(
+            [
+                Assign(
+                    ArrayRef("x", ArrayRef("Li", p)),
+                    BinOp("*", ArrayRef("Lx", p), ArrayRef("x", j)),
+                    op="-=",
+                )
+            ]
+        ),
+        role="inner-update",
+        vectorizable=True,
+    )
+    column_body = Block(
+        [
+            Assign(ArrayRef("x", j), ArrayRef("Lx", lp_j), op="/="),
+            inner,
+        ]
+    )
+    column_loop = ForRange(
+        "j",
+        IntConst(0),
+        Var("n"),
+        column_body,
+        role="column-loop",
+        prunable=True,
+        blockable=True,
+    )
+    body = Block(
+        [
+            Comment("forward substitution: L x = b, L in CSC {n, Lp, Li, Lx}"),
+            Assign(Var("x"), Call("copy", (Var("b"),))),
+            column_loop,
+        ]
+    )
+    return KernelFunction(
+        name="triangular_solve",
+        params=["Lp", "Li", "Lx", "b"],
+        body=body,
+        method="triangular-solve",
+        meta={"algorithm": "forward-substitution", "figure": "1b"},
+    )
+
+
+def lower_cholesky() -> KernelFunction:
+    """Initial AST of left-looking sparse Cholesky (Fig. 4 of the paper).
+
+    The update loop over previously factorized columns is annotated as
+    VI-Prune-able (it can be restricted to the row sparsity pattern of ``L``),
+    and the outer column loop as VS-Block-able (columns can be grouped into
+    supernodes and processed with dense sub-kernels).
+    """
+    j = Var("j")
+    r = Var("r")
+
+    update_body = Block(
+        [
+            # f(j:n) -= L(j:n, r) * L(j, r)
+            Assign(
+                Var("f"),
+                BinOp("*", Call("L_col_tail", (r, j)), Call("L_entry", (j, r))),
+                op="-=",
+            )
+        ]
+    )
+    update_loop = ForRange(
+        "r",
+        IntConst(0),
+        j,
+        update_body,
+        role="update-loop",
+        prunable=True,
+    )
+    column_body = Block(
+        [
+            Comment("gather column j of A into the dense work vector f"),
+            Assign(Var("f"), Call("A_col_lower", (j,))),
+            update_loop,
+            Comment("column factorization: diagonal then off-diagonal scaling"),
+            Assign(Call("L_entry", (j, j)), Call("sqrt", (ArrayRef("f", j),))),
+            Assign(
+                Call("L_col_tail", (j, BinOp("+", j, IntConst(1)))),
+                BinOp("/", Var("f"), Call("L_entry", (j, j))),
+                op="=",
+                role="off-diagonal-scale",
+                vectorizable=True,
+            ),
+        ]
+    )
+    column_loop = ForRange(
+        "j",
+        IntConst(0),
+        Var("n"),
+        column_body,
+        role="column-loop",
+        prunable=False,
+        blockable=True,
+    )
+    body = Block(
+        [
+            Comment("left-looking sparse Cholesky: A = L * L^T"),
+            column_loop,
+        ]
+    )
+    return KernelFunction(
+        name="cholesky",
+        params=["Ap", "Ai", "Ax"],
+        body=body,
+        method="cholesky",
+        meta={"algorithm": "left-looking", "figure": "4"},
+    )

@@ -1,0 +1,163 @@
+"""Configuration of the Sympiler code generator.
+
+The options gather every tunable the paper mentions:
+
+* which inspector-guided transformations run and in which order (§4.2 notes
+  VS-Block is applied before VI-Prune in the current Sympiler),
+* the VS-Block *participation* threshold — supernodal code is only generated
+  when the average participating supernode is large enough (the paper uses a
+  hand-tuned value of 160 on full-scale SuiteSparse matrices; the default
+  here is expressed as an average supernode width suited to the down-scaled
+  synthetic suite, see DESIGN.md),
+* the BLAS-switch threshold on the average column count (§4.2): below it the
+  generated code uses the hand-specialized small dense kernels, above it the
+  library (NumPy/BLAS) routines,
+* low-level transformation thresholds (peeling, unrolling, vectorization),
+* the code-generation backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["SympilerOptions"]
+
+_VALID_BACKENDS = ("python", "c")
+_VALID_TRANSFORM_NAMES = ("vs-block", "vi-prune")
+
+
+@dataclass(frozen=True)
+class SympilerOptions:
+    """Immutable bundle of code-generation options.
+
+    Attributes
+    ----------
+    backend:
+        ``"python"`` (specialized Python/NumPy source, always available) or
+        ``"c"`` (specialized C compiled with the system compiler and loaded
+        via ``ctypes``).
+    enable_vi_prune, enable_vs_block, enable_low_level:
+        Toggles for the transformation stages; disabling all of them produces
+        the un-transformed lowered kernel (useful for ablations).
+    transformation_order:
+        Order in which the enabled inspector-guided transformations run.  The
+        paper's default applies VS-Block before VI-Prune.
+    vs_block_min_avg_width:
+        VS-Block participation threshold: if the average width of supernodes
+        with at least two columns is below this value the transformation is
+        skipped for the matrix (the analogue of the paper's hand-tuned 160 on
+        full-scale matrices).
+    vs_block_min_supernode_width:
+        Individual supernodes narrower than this are handled by the pruned
+        column loop rather than the dense block path.
+    max_supernode_width:
+        Optional cap on supernode width (limits panel size).
+    blas_switch_avg_colcount:
+        If the average column count of the factor is at least this value the
+        generated code calls the library (NumPy/BLAS) dense kernels for every
+        block; otherwise blocks up to ``small_kernel_max_width`` use the
+        hand-specialized unrolled kernels.
+    small_kernel_max_width:
+        Largest block order handled by the specialized unrolled kernels.
+    peel_single_nonzero_columns:
+        Peel reach-set iterations whose column holds only a diagonal entry
+        into a single specialized statement.
+    peel_colcount_threshold:
+        Reach-set iterations whose column count exceeds this value are peeled
+        into straight-line specialized statements (Figure 1(e) peels columns
+        with more than 2 nonzeros).
+    max_peeled_iterations:
+        Upper bound on the number of peeled iterations, to keep generated
+        sources bounded.
+    unroll_max_width:
+        Supernode diagonal solves up to this width are emitted fully unrolled.
+    vectorize_min_length:
+        Inner updates at least this long are annotated for vectorization
+        (emitted as NumPy slice operations / contiguous C loops).
+    c_compiler, c_flags:
+        Compiler executable and flags for the C backend.
+    """
+
+    backend: str = "python"
+    enable_vi_prune: bool = True
+    enable_vs_block: bool = True
+    enable_low_level: bool = True
+    transformation_order: Tuple[str, ...] = ("vs-block", "vi-prune")
+
+    vs_block_min_avg_width: float = 1.2
+    vs_block_min_supernode_width: int = 2
+    max_supernode_width: Optional[int] = None
+
+    blas_switch_avg_colcount: float = 12.0
+    small_kernel_max_width: int = 3
+
+    peel_single_nonzero_columns: bool = True
+    peel_colcount_threshold: int = 2
+    max_peeled_iterations: int = 64
+    unroll_max_width: int = 4
+    vectorize_min_length: int = 4
+
+    c_compiler: str = "cc"
+    c_flags: Tuple[str, ...] = ("-O3", "-march=native", "-fPIC", "-shared")
+
+    def __post_init__(self) -> None:
+        if self.backend not in _VALID_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {_VALID_BACKENDS}"
+            )
+        for name in self.transformation_order:
+            if name not in _VALID_TRANSFORM_NAMES:
+                raise ValueError(
+                    f"unknown transformation {name!r}; expected names from "
+                    f"{_VALID_TRANSFORM_NAMES}"
+                )
+        if len(set(self.transformation_order)) != len(self.transformation_order):
+            raise ValueError("transformation_order must not repeat a transformation")
+        if self.vs_block_min_supernode_width < 1:
+            raise ValueError("vs_block_min_supernode_width must be at least 1")
+        if self.max_supernode_width is not None and self.max_supernode_width < 1:
+            raise ValueError("max_supernode_width must be positive when given")
+        if self.peel_colcount_threshold < 1:
+            raise ValueError("peel_colcount_threshold must be at least 1")
+        if self.max_peeled_iterations < 0:
+            raise ValueError("max_peeled_iterations must be non-negative")
+        if self.unroll_max_width < 1:
+            raise ValueError("unroll_max_width must be at least 1")
+        if self.vectorize_min_length < 1:
+            raise ValueError("vectorize_min_length must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    def with_updates(self, **changes) -> "SympilerOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def active_transformations(self) -> Tuple[str, ...]:
+        """The inspector-guided transformations that will actually run."""
+        active = []
+        for name in self.transformation_order:
+            if name == "vs-block" and self.enable_vs_block:
+                active.append(name)
+            elif name == "vi-prune" and self.enable_vi_prune:
+                active.append(name)
+        return tuple(active)
+
+    @classmethod
+    def baseline(cls) -> "SympilerOptions":
+        """Options with every transformation disabled (un-transformed code)."""
+        return cls(enable_vi_prune=False, enable_vs_block=False, enable_low_level=False)
+
+    @classmethod
+    def vi_prune_only(cls) -> "SympilerOptions":
+        """Options enabling only VI-Prune."""
+        return cls(enable_vs_block=False, enable_low_level=False)
+
+    @classmethod
+    def vs_block_only(cls) -> "SympilerOptions":
+        """Options enabling only VS-Block."""
+        return cls(enable_vi_prune=False, enable_low_level=False)
+
+    @classmethod
+    def all_transformations(cls) -> "SympilerOptions":
+        """Options enabling both inspector-guided passes and low-level ones."""
+        return cls()

@@ -1,0 +1,313 @@
+"""The Sympiler driver: symbolic inspection → transformation → code generation.
+
+:class:`Sympiler` is the user-facing compiler.  Given a numerical method and
+the sparsity pattern of its inputs it produces a *compiled artifact*
+(:class:`SympiledTriangularSolve` or :class:`SympiledCholesky`) that exposes
+
+* the specialized numeric entry point (``solve`` / ``factorize``) which only
+  touches numeric arrays,
+* the generated source, the applied transformations and the threshold
+  decisions (for inspection, tests and ablation benchmarks), and
+* a breakdown of the compile-time cost (symbolic inspection, transformation,
+  code generation and compilation) — the quantities reported as "Sympiler
+  (symbolic)" in Figures 8 and 9 of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compiler.ast import KernelFunction
+from repro.compiler.codegen.c_backend import CBackend
+from repro.compiler.codegen.python_backend import PythonBackend
+from repro.compiler.codegen.runtime import pattern_fingerprint
+from repro.compiler.lowering import lower_cholesky, lower_triangular_solve
+from repro.compiler.options import SympilerOptions
+from repro.compiler.transforms.base import CompilationContext
+from repro.compiler.transforms.pipeline import build_pipeline
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.inspector import (
+    CholeskyInspectionResult,
+    CholeskyInspector,
+    TriangularInspectionResult,
+    TriangularSolveInspector,
+)
+
+__all__ = ["Sympiler", "SympiledTriangularSolve", "SympiledCholesky", "PatternMismatchError"]
+
+
+class PatternMismatchError(ValueError):
+    """Raised when numeric inputs do not match the compile-time pattern."""
+
+
+def _backend_for(options: SympilerOptions):
+    if options.backend == "python":
+        return PythonBackend()
+    if options.backend == "c":
+        return CBackend(compiler=options.c_compiler, flags=options.c_flags)
+    raise ValueError(f"unknown backend {options.backend!r}")
+
+
+@dataclass
+class CompileTimings:
+    """Breakdown of the compile-time (symbolic) cost in seconds."""
+
+    inspection: float = 0.0
+    transformation: float = 0.0
+    codegen: float = 0.0
+    compile: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total symbolic (compile-time) cost."""
+        return self.inspection + self.transformation + self.codegen + self.compile
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the benchmark harness."""
+        return {
+            "inspection": self.inspection,
+            "transformation": self.transformation,
+            "codegen": self.codegen,
+            "compile": self.compile,
+            "total": self.total,
+        }
+
+
+@dataclass
+class _CompiledArtifact:
+    """State shared by the two artifact types."""
+
+    kernel: KernelFunction = field(repr=False)
+    module: object = field(repr=False)
+    entry: callable = field(repr=False)
+    options: SympilerOptions
+    applied_transformations: List[str]
+    decisions: Dict[str, object]
+    timings: CompileTimings
+    fingerprint: str
+
+    @property
+    def source(self) -> str:
+        """The generated source code (Python or C depending on the backend)."""
+        return self.module.source
+
+    @property
+    def constants(self) -> Dict[str, np.ndarray]:
+        """The inspection-set constants embedded into the generated code."""
+        return dict(self.kernel.constants)
+
+    @property
+    def symbolic_seconds(self) -> float:
+        """Total compile-time (symbolic + codegen + compilation) cost."""
+        return self.timings.total
+
+
+@dataclass
+class SympiledTriangularSolve(_CompiledArtifact):
+    """A triangular solve specialized to one ``L`` pattern and RHS pattern."""
+
+    inspection: TriangularInspectionResult = None
+
+    def solve(self, L: CSCMatrix, b: np.ndarray, *, check_pattern: bool = False) -> np.ndarray:
+        """Solve ``L x = b`` with the specialized numeric code.
+
+        ``L`` must have the same sparsity pattern (and ``b`` a nonzero pattern
+        covered by the compile-time RHS pattern) as at compile time; set
+        ``check_pattern=True`` to verify this (at the cost of hashing the
+        pattern arrays).
+        """
+        if check_pattern:
+            self.verify_pattern(L)
+        return self.solve_arrays(L.indptr, L.indices, L.data, b)
+
+    def solve_arrays(
+        self, Lp: np.ndarray, Li: np.ndarray, Lx: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """Raw-array entry point (numeric arrays only)."""
+        return self.entry(Lp, Li, Lx, np.asarray(b, dtype=np.float64))
+
+    def verify_pattern(self, L: CSCMatrix) -> None:
+        """Raise :class:`PatternMismatchError` if ``L`` has a different pattern."""
+        fp = pattern_fingerprint(L.indptr, L.indices, extra=self._rhs_extra())
+        if fp != self.fingerprint:
+            raise PatternMismatchError(
+                "the matrix pattern differs from the pattern this kernel was "
+                "generated for; re-run Sympiler.compile_triangular_solve"
+            )
+
+    def _rhs_extra(self) -> str:
+        return ",".join(str(int(i)) for i in self.inspection.rhs_pattern)
+
+    @property
+    def reach_size(self) -> int:
+        """Number of columns the specialized solve visits."""
+        return self.inspection.reach_size
+
+
+@dataclass
+class SympiledCholesky(_CompiledArtifact):
+    """A Cholesky factorization specialized to one matrix pattern."""
+
+    inspection: CholeskyInspectionResult = None
+
+    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> CSCMatrix:
+        """Factorize ``A`` (same pattern as at compile time) into ``L``."""
+        if check_pattern:
+            self.verify_pattern(A)
+        lx = self.factorize_arrays(A.indptr, A.indices, A.data)
+        return CSCMatrix(
+            self.inspection.n,
+            self.inspection.n,
+            self.inspection.l_indptr,
+            self.inspection.l_indices,
+            lx,
+            check=False,
+        )
+
+    def factorize_arrays(self, Ap: np.ndarray, Ai: np.ndarray, Ax: np.ndarray) -> np.ndarray:
+        """Raw-array entry point: returns the numeric values of ``L``."""
+        return self.entry(Ap, Ai, np.asarray(Ax, dtype=np.float64))
+
+    def verify_pattern(self, A: CSCMatrix) -> None:
+        """Raise :class:`PatternMismatchError` if ``A`` has a different pattern."""
+        fp = pattern_fingerprint(A.indptr, A.indices)
+        if fp != self.fingerprint:
+            raise PatternMismatchError(
+                "the matrix pattern differs from the pattern this kernel was "
+                "generated for; re-run Sympiler.compile_cholesky"
+            )
+
+    @property
+    def factor_nnz(self) -> int:
+        """Number of stored entries of the factor the kernel produces."""
+        return self.inspection.factor_nnz
+
+    @property
+    def l_pattern(self) -> CSCMatrix:
+        """The factor pattern (zero values), available before factorizing."""
+        return self.inspection.l_pattern_matrix()
+
+
+class Sympiler:
+    """The symbolic-enabled code generator (the paper's Figure 2 pipeline)."""
+
+    def __init__(self, options: Optional[SympilerOptions] = None) -> None:
+        self.options = options or SympilerOptions()
+
+    # ------------------------------------------------------------------ #
+    def compile_triangular_solve(
+        self,
+        L: CSCMatrix,
+        rhs_pattern: Optional[Sequence[int] | np.ndarray] = None,
+        options: Optional[SympilerOptions] = None,
+    ) -> SympiledTriangularSolve:
+        """Generate a solver for ``L x = b`` specialized to ``L``'s pattern.
+
+        Parameters
+        ----------
+        L:
+            Lower-triangular matrix (only its pattern is used here).
+        rhs_pattern:
+            Nonzero indices of the right-hand side; ``None`` means dense.
+        options:
+            Per-call options overriding the compiler's defaults.
+        """
+        options = options or self.options
+        inspector = TriangularSolveInspector()
+        inspection = inspector.inspect(L, rhs_pattern=rhs_pattern)
+
+        kernel = lower_triangular_solve()
+        context = CompilationContext(
+            method="triangular-solve",
+            matrix=L,
+            inspection=inspection,
+            options=options,
+            rhs_pattern=inspection.rhs_pattern,
+        )
+        t0 = time.perf_counter()
+        kernel = build_pipeline(options).run(kernel, context)
+        transform_seconds = time.perf_counter() - t0
+
+        backend = _backend_for(options)
+        module = backend.generate(kernel, context)
+        entry = module.compile()
+        timings = CompileTimings(
+            inspection=inspection.symbolic_seconds,
+            transformation=transform_seconds,
+            codegen=module.codegen_seconds,
+            compile=module.compile_seconds,
+        )
+        fingerprint = pattern_fingerprint(
+            L.indptr,
+            L.indices,
+            extra=",".join(str(int(i)) for i in inspection.rhs_pattern),
+        )
+        return SympiledTriangularSolve(
+            kernel=kernel,
+            module=module,
+            entry=entry,
+            options=options,
+            applied_transformations=list(context.applied),
+            decisions=dict(context.decisions),
+            timings=timings,
+            fingerprint=fingerprint,
+            inspection=inspection,
+        )
+
+    # ------------------------------------------------------------------ #
+    def compile_cholesky(
+        self,
+        A: CSCMatrix,
+        options: Optional[SympilerOptions] = None,
+    ) -> SympiledCholesky:
+        """Generate a Cholesky factorization specialized to ``A``'s pattern."""
+        options = options or self.options
+        # The numeric Cholesky code cannot exist without the predicted factor
+        # pattern, i.e. VI-Prune is part of the baseline generated code (the
+        # paper makes the same observation in the caption of Figure 7).
+        forced_vi_prune = False
+        if not options.enable_vi_prune:
+            options = options.with_updates(enable_vi_prune=True)
+            forced_vi_prune = True
+
+        inspector = CholeskyInspector()
+        inspection = inspector.inspect(A, max_supernode_width=options.max_supernode_width)
+
+        kernel = lower_cholesky()
+        context = CompilationContext(
+            method="cholesky",
+            matrix=A,
+            inspection=inspection,
+            options=options,
+        )
+        if forced_vi_prune:
+            context.decisions["vi-prune-forced"] = True
+        t0 = time.perf_counter()
+        kernel = build_pipeline(options).run(kernel, context)
+        transform_seconds = time.perf_counter() - t0
+
+        backend = _backend_for(options)
+        module = backend.generate(kernel, context)
+        entry = module.compile()
+        timings = CompileTimings(
+            inspection=inspection.symbolic_seconds,
+            transformation=transform_seconds,
+            codegen=module.codegen_seconds,
+            compile=module.compile_seconds,
+        )
+        fingerprint = pattern_fingerprint(A.indptr, A.indices)
+        return SympiledCholesky(
+            kernel=kernel,
+            module=module,
+            entry=entry,
+            options=options,
+            applied_transformations=list(context.applied),
+            decisions=dict(context.decisions),
+            timings=timings,
+            fingerprint=fingerprint,
+            inspection=inspection,
+        )

@@ -1,0 +1,95 @@
+"""Transformation framework: context, base class and pipeline."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.compiler.ast import KernelFunction
+from repro.compiler.options import SympilerOptions
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.inspector import (
+    CholeskyInspectionResult,
+    TriangularInspectionResult,
+)
+
+__all__ = ["CompilationContext", "Transform", "TransformPipeline"]
+
+InspectionResult = Union[TriangularInspectionResult, CholeskyInspectionResult]
+
+
+@dataclass
+class CompilationContext:
+    """Everything a transformation pass may consult.
+
+    Attributes
+    ----------
+    method:
+        ``"triangular-solve"`` or ``"cholesky"``.
+    matrix:
+        The input matrix pattern — ``L`` for triangular solve, ``A`` for
+        Cholesky.  Transforms only read its structure, never its values.
+    inspection:
+        The symbolic-inspection result for this matrix (and RHS pattern).
+    options:
+        Code-generation options.
+    rhs_pattern:
+        Nonzero indices of the RHS (triangular solve only).
+    applied:
+        Names of the transformations that actually rewrote the kernel, in
+        order (reported by the compiled artifact and used in tests/benches).
+    decisions:
+        Free-form record of threshold decisions (e.g. why VS-Block was
+        skipped), used for reporting and ablation studies.
+    """
+
+    method: str
+    matrix: CSCMatrix
+    inspection: InspectionResult
+    options: SympilerOptions
+    rhs_pattern: Optional[np.ndarray] = None
+    applied: List[str] = field(default_factory=list)
+    decisions: Dict[str, object] = field(default_factory=dict)
+
+    def record(self, name: str, **decision) -> None:
+        """Record that transformation ``name`` ran, with optional details."""
+        self.applied.append(name)
+        if decision:
+            self.decisions[name] = decision
+
+
+class Transform(ABC):
+    """A single transformation pass over a :class:`KernelFunction`."""
+
+    #: Short name used in reports and in ``CompilationContext.applied``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def apply(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
+        """Rewrite ``kernel`` (in place or by returning a new function)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+class TransformPipeline:
+    """An ordered sequence of transformation passes."""
+
+    def __init__(self, passes: List[Transform]) -> None:
+        self.passes = list(passes)
+
+    def run(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
+        """Apply every pass in order and return the final kernel."""
+        for pass_ in self.passes:
+            kernel = pass_.apply(kernel, context)
+        return kernel
+
+    def pass_names(self) -> List[str]:
+        """Names of the configured passes, in execution order."""
+        return [p.name for p in self.passes]
+
+    def __len__(self) -> int:
+        return len(self.passes)

@@ -1,0 +1,47 @@
+"""Assemble the transformation pipeline from the configured options."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.options import SympilerOptions
+from repro.compiler.transforms.base import Transform, TransformPipeline
+from repro.compiler.transforms.lowlevel import (
+    LoopDistributeTransform,
+    PeelTransform,
+    SmallKernelTransform,
+    UnrollTransform,
+)
+from repro.compiler.transforms.vi_prune import VIPruneTransform
+from repro.compiler.transforms.vs_block import VSBlockTransform
+
+__all__ = ["build_pipeline"]
+
+_INSPECTOR_GUIDED = {
+    "vs-block": VSBlockTransform,
+    "vi-prune": VIPruneTransform,
+}
+
+
+def build_pipeline(options: SympilerOptions) -> TransformPipeline:
+    """Create the pass sequence for the given options.
+
+    The inspector-guided passes run first (in the configured order, VS-Block
+    before VI-Prune by default, matching §4.2), followed by the low-level
+    passes when enabled.  Peeling runs before unrolling so freshly peeled
+    statements can be unrolled; distribution and the small-kernel switch act
+    on the supernodal Cholesky loop only.
+    """
+    passes: List[Transform] = []
+    for name in options.active_transformations():
+        passes.append(_INSPECTOR_GUIDED[name]())
+    if options.enable_low_level:
+        passes.extend(
+            [
+                PeelTransform(),
+                UnrollTransform(),
+                LoopDistributeTransform(),
+                SmallKernelTransform(),
+            ]
+        )
+    return TransformPipeline(passes)

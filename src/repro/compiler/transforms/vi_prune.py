@@ -1,0 +1,210 @@
+"""Variable Iteration-Space Pruning (VI-Prune, §2.3.1).
+
+VI-Prune restricts a loop's iteration space to an inspection set:
+
+* **Triangular solve** — the column loop over ``0..n`` becomes a loop over
+  the reach-set computed by the DFS inspector; every use of the original loop
+  index is replaced by the corresponding reach-set entry (Figure 3a→3b,
+  Figure 1d/1e).
+* **Cholesky** — the update loop over all columns ``r < j`` becomes a loop
+  over the row sparsity pattern of row ``j`` of ``L`` (the prune-set of
+  Figure 4); the transformation materializes those per-column sets, together
+  with the factor pattern, into flat descriptor arrays so the numeric loop
+  performs no pattern look-ups (and no transpose of ``A``) at run time.
+
+When VS-Block has already been applied the pass operates on the blocked
+structure instead: participating supernode blocks that contain no reached
+column are dropped, and the single-column runs are intersected with the
+reach-set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.compiler.ast import (
+    Block,
+    Comment,
+    ForRange,
+    KernelFunction,
+    PrunedColumnSolveLoop,
+    SimplicialCholeskyLoop,
+    SupernodalCholeskyLoop,
+    SupernodeTriangularBlock,
+    walk,
+)
+from repro.compiler.transforms.base import CompilationContext, Transform
+from repro.compiler.transforms.descriptors import simplicial_descriptors
+from repro.symbolic.inspector import (
+    CholeskyInspectionResult,
+    TriangularInspectionResult,
+)
+
+__all__ = ["VIPruneTransform"]
+
+
+def _find_prunable_loop(kernel: KernelFunction) -> ForRange | None:
+    for node in walk(kernel.body):
+        if isinstance(node, ForRange) and node.annotations.get("role") == "column-loop":
+            return node
+    return None
+
+
+def _replace_statement(block: Block, old, new_statements: List) -> bool:
+    """Replace ``old`` with ``new_statements`` inside ``block`` (recursively)."""
+    for i, stmt in enumerate(block.statements):
+        if stmt is old:
+            block.statements[i : i + 1] = new_statements
+            return True
+        if isinstance(stmt, Block) and _replace_statement(stmt, old, new_statements):
+            return True
+        if isinstance(stmt, ForRange) and _replace_statement(stmt.body, old, new_statements):
+            return True
+    return False
+
+
+class VIPruneTransform(Transform):
+    """The VI-Prune inspector-guided transformation."""
+
+    name = "vi-prune"
+
+    def apply(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
+        if context.method == "triangular-solve":
+            return self._apply_triangular(kernel, context)
+        if context.method == "cholesky":
+            return self._apply_cholesky(kernel, context)
+        raise ValueError(f"VI-Prune does not support method {context.method!r}")
+
+    # ------------------------------------------------------------------ #
+    # Triangular solve
+    # ------------------------------------------------------------------ #
+    def _apply_triangular(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        inspection = context.inspection
+        if not isinstance(inspection, TriangularInspectionResult):
+            raise TypeError("triangular-solve VI-Prune needs a triangular inspection")
+        reach = inspection.reach
+        reach_sorted = inspection.reach_sorted
+
+        blocked = any(
+            isinstance(node, (SupernodeTriangularBlock, PrunedColumnSolveLoop))
+            for node in walk(kernel.body)
+        )
+        if blocked:
+            self._prune_blocked_triangular(kernel, reach_sorted)
+            context.record(self.name, mode="blocked", reach_size=int(reach.size))
+            kernel.meta["vi_prune"] = True
+            return kernel
+
+        loop = _find_prunable_loop(kernel)
+        if loop is None or not loop.annotations.get("prunable", False):
+            context.decisions[self.name] = {"skipped": "no prunable loop found"}
+            return kernel
+        pruned = PrunedColumnSolveLoop(
+            columns=reach,
+            constant_name="prune_set",
+            vectorize=True,
+            role="pruned-column-loop",
+            source="reach-set",
+        )
+        replaced = _replace_statement(kernel.body, loop, [
+            Comment(f"VI-Prune: iterate the reach-set ({reach.size} of {inspection.n} columns)"),
+            pruned,
+        ])
+        if not replaced:
+            raise RuntimeError("failed to replace the prunable column loop")
+        if "prune_set" not in kernel.constants:
+            kernel.add_constant("prune_set", reach)
+        context.record(self.name, mode="loop", reach_size=int(reach.size))
+        kernel.meta["vi_prune"] = True
+        return kernel
+
+    @staticmethod
+    def _prune_blocked_triangular(kernel: KernelFunction, reach_sorted: np.ndarray) -> None:
+        """Filter an already VS-Block'd body down to the reach-set."""
+        reach_set = set(int(c) for c in reach_sorted)
+
+        def prune_block(block: Block) -> None:
+            new_statements: List = []
+            for stmt in block.statements:
+                if isinstance(stmt, SupernodeTriangularBlock):
+                    cols = range(stmt.c0, stmt.c0 + stmt.width)
+                    if any(c in reach_set for c in cols):
+                        new_statements.append(stmt)
+                elif isinstance(stmt, PrunedColumnSolveLoop):
+                    kept = np.asarray(
+                        [c for c in stmt.columns if int(c) in reach_set], dtype=np.int64
+                    )
+                    if kept.size:
+                        stmt.columns = kept
+                        new_statements.append(stmt)
+                elif isinstance(stmt, Block):
+                    prune_block(stmt)
+                    new_statements.append(stmt)
+                else:
+                    new_statements.append(stmt)
+            block.statements = new_statements
+
+        prune_block(kernel.body)
+
+    # ------------------------------------------------------------------ #
+    # Cholesky
+    # ------------------------------------------------------------------ #
+    def _apply_cholesky(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        inspection = context.inspection
+        if not isinstance(inspection, CholeskyInspectionResult):
+            raise TypeError("Cholesky VI-Prune needs a Cholesky inspection")
+
+        # If VS-Block already replaced the column loop with a supernodal loop,
+        # the prune-sets are already embedded in its descendant descriptors.
+        if any(isinstance(node, SupernodalCholeskyLoop) for node in walk(kernel.body)):
+            context.record(self.name, mode="subsumed-by-vs-block")
+            kernel.meta["vi_prune"] = True
+            return kernel
+        if any(isinstance(node, SimplicialCholeskyLoop) for node in walk(kernel.body)):
+            context.record(self.name, mode="already-applied")
+            return kernel
+
+        loop = _find_prunable_loop(kernel)
+        if loop is None:
+            context.decisions[self.name] = {"skipped": "no column loop found"}
+            return kernel
+        desc = simplicial_descriptors(context.matrix, inspection)
+        simplicial = SimplicialCholeskyLoop(
+            n=inspection.n,
+            l_indptr=inspection.l_indptr,
+            l_indices=inspection.l_indices,
+            prune_ptr=desc.prune_ptr,
+            update_pos=desc.update_pos,
+            update_end=desc.update_end,
+            a_diag_pos=desc.a_diag_pos,
+            a_col_end=desc.a_col_end,
+            vectorize=True,
+            role="simplicial-cholesky",
+        )
+        replaced = _replace_statement(kernel.body, loop, [
+            Comment(
+                "VI-Prune: update loop restricted to the row sparsity pattern of L "
+                f"({int(desc.prune_ptr[-1])} updates in total)"
+            ),
+            simplicial,
+        ])
+        if not replaced:
+            raise RuntimeError("failed to replace the Cholesky column loop")
+        for cname, value in (
+            ("l_indptr", inspection.l_indptr),
+            ("l_indices", inspection.l_indices),
+            ("prune_ptr", desc.prune_ptr),
+            ("update_pos", desc.update_pos),
+            ("update_end", desc.update_end),
+        ):
+            if cname not in kernel.constants:
+                kernel.add_constant(cname, value)
+        context.record(self.name, mode="loop", total_updates=int(desc.prune_ptr[-1]))
+        kernel.meta["vi_prune"] = True
+        return kernel

@@ -1,0 +1,54 @@
+"""Reference numeric kernels.
+
+These are straightforward, well-tested implementations of every numeric
+routine the system needs:
+
+* dense micro-kernels (:mod:`repro.kernels.dense`) used inside supernodal
+  code and by the code generator's specialized small-block kernels,
+* the four sparse triangular-solve variants of Figure 1
+  (:mod:`repro.kernels.triangular`),
+* simplicial and supernodal sparse Cholesky (:mod:`repro.kernels.cholesky`),
+* FLOP-counting helpers (:mod:`repro.kernels.flops`) used to report GFLOP/s
+  the same way for every variant.
+
+The baselines in :mod:`repro.baselines` and the generated code produced by
+:mod:`repro.compiler` are all validated against these kernels.
+"""
+
+from repro.kernels.cholesky import (
+    cholesky_left_looking,
+    cholesky_supernodal,
+    cholesky_up_looking,
+)
+from repro.kernels.dense import (
+    dense_cholesky,
+    dense_lower_solve,
+    dense_solve_transposed_right,
+    small_cholesky,
+    small_lower_solve,
+)
+from repro.kernels.flops import cholesky_flops, gflops, triangular_solve_flops
+from repro.kernels.triangular import (
+    trisolve_decoupled,
+    trisolve_library,
+    trisolve_naive,
+    trisolve_supernodal,
+)
+
+__all__ = [
+    "dense_cholesky",
+    "dense_lower_solve",
+    "dense_solve_transposed_right",
+    "small_cholesky",
+    "small_lower_solve",
+    "trisolve_naive",
+    "trisolve_library",
+    "trisolve_decoupled",
+    "trisolve_supernodal",
+    "cholesky_up_looking",
+    "cholesky_left_looking",
+    "cholesky_supernodal",
+    "triangular_solve_flops",
+    "cholesky_flops",
+    "gflops",
+]

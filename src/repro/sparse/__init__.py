@@ -1,0 +1,68 @@
+"""Sparse-matrix substrate for the Sympiler reproduction.
+
+This package provides the compressed sparse data structures, synthetic matrix
+generators, orderings, permutations and I/O that both the symbolic-analysis
+layer (:mod:`repro.symbolic`) and the code generator (:mod:`repro.compiler`)
+are built on.  The central container is :class:`repro.sparse.csc.CSCMatrix`,
+the compressed-sparse-column format used throughout the paper.
+"""
+
+from repro.sparse.coo import COOMatrix, TripletBuilder
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.generators import (
+    arrow_spd,
+    banded_spd,
+    block_tridiagonal_spd,
+    circuit_like_spd,
+    fem_stencil_2d,
+    laplacian_2d,
+    laplacian_3d,
+    power_grid_spd,
+    random_spd,
+    sparse_rhs,
+)
+from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.sparse.ordering import (
+    minimum_degree_ordering,
+    natural_ordering,
+    reverse_cuthill_mckee,
+)
+from repro.sparse.permutation import Permutation
+from repro.sparse.utils import (
+    dense_lower_from_csc,
+    is_symmetric_pattern,
+    lower_triangle,
+    residual_norm,
+    symmetrize_pattern,
+    upper_triangle,
+)
+
+__all__ = [
+    "CSCMatrix",
+    "CSRMatrix",
+    "COOMatrix",
+    "TripletBuilder",
+    "Permutation",
+    "read_matrix_market",
+    "write_matrix_market",
+    "minimum_degree_ordering",
+    "reverse_cuthill_mckee",
+    "natural_ordering",
+    "laplacian_2d",
+    "laplacian_3d",
+    "fem_stencil_2d",
+    "banded_spd",
+    "block_tridiagonal_spd",
+    "arrow_spd",
+    "random_spd",
+    "circuit_like_spd",
+    "power_grid_spd",
+    "sparse_rhs",
+    "lower_triangle",
+    "upper_triangle",
+    "symmetrize_pattern",
+    "is_symmetric_pattern",
+    "residual_norm",
+    "dense_lower_from_csc",
+]

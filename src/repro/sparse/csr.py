@@ -1,0 +1,135 @@
+"""Compressed-sparse-row (CSR) matrix container.
+
+CSR is the row-major mirror of CSC.  The symbolic layer uses it when a
+row-wise traversal of the matrix is the natural access pattern (for example
+when computing the row sparsity pattern of ``L`` used by the Cholesky
+VI-Prune inspector).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csc import CSCMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A compressed-sparse-row matrix with sorted column indices per row."""
+
+    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        if check:
+            self.validate()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the CSR invariants do not hold."""
+        if self.indptr.shape != (self.n_rows + 1,):
+            raise ValueError("indptr must have length n_rows + 1")
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must start at 0 and be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape[0] != nnz or self.data.shape[0] != nnz:
+            raise ValueError("indices/data length must equal indptr[-1]")
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= self.n_cols):
+            raise ValueError("column index out of range")
+        for i in range(self.n_rows):
+            row = self.indices[self.indptr[i] : self.indptr[i + 1]]
+            if row.size > 1 and np.any(np.diff(row) <= 0):
+                raise ValueError(f"column indices in row {i} must be strictly increasing")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_rows, n_cols)``."""
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+    def row_slice(self, i: int) -> slice:
+        """The slice of ``indices``/``data`` occupied by row ``i``."""
+        if not (0 <= i < self.n_rows):
+            raise IndexError(f"row {i} out of range [0, {self.n_rows})")
+        return slice(int(self.indptr[i]), int(self.indptr[i + 1]))
+
+    def row_cols(self, i: int) -> np.ndarray:
+        """Column indices of row ``i`` (a view)."""
+        return self.indices[self.row_slice(i)]
+
+    def row_values(self, i: int) -> np.ndarray:
+        """Numeric values of row ``i`` (a view)."""
+        return self.data[self.row_slice(i)]
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(i, cols, values)`` for every row."""
+        for i in range(self.n_rows):
+            s = self.row_slice(i)
+            yield i, self.indices[s], self.data[s]
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_csc(cls, csc: "CSCMatrix") -> "CSRMatrix":
+        """Build from a CSC matrix.
+
+        CSR of ``A`` has the same compressed arrays as CSC of ``Aᵀ``, so the
+        conversion reuses the CSC transpose kernel.
+        """
+        t = csc.transpose()
+        return cls(csc.n_rows, csc.n_cols, t.indptr, t.indices, t.data, check=False)
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert back to CSC."""
+        from repro.sparse.csc import CSCMatrix
+
+        as_csc_of_t = CSCMatrix(
+            self.n_cols, self.n_rows, self.indptr, self.indices, self.data, check=False
+        )
+        return as_csc_of_t.transpose()
+
+    def to_dense(self) -> np.ndarray:
+        """Return a dense copy."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for i in range(self.n_rows):
+            s = self.row_slice(i)
+            dense[i, self.indices[s]] = self.data[s]
+        return dense
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix–vector product ``A @ x`` (row-wise dot products)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},)")
+        y = np.empty(self.n_rows, dtype=np.float64)
+        for i in range(self.n_rows):
+            s = self.row_slice(i)
+            y[i] = np.dot(self.data[s], x[self.indices[s]])
+        return y
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

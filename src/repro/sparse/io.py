@@ -1,0 +1,115 @@
+"""Matrix Market I/O.
+
+The paper's experiments use matrices from the SuiteSparse collection, which is
+distributed in Matrix Market coordinate format.  This module implements a
+self-contained reader/writer for the ``matrix coordinate real
+{general,symmetric}`` flavours so the benchmark suite can be exported,
+inspected and re-imported without SciPy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def read_matrix_market(path: Union[str, os.PathLike]) -> CSCMatrix:
+    """Read a Matrix Market coordinate file into a :class:`CSCMatrix`.
+
+    Supports the ``real``/``integer``/``pattern`` fields with ``general`` or
+    ``symmetric`` symmetry.  Symmetric files are expanded to a full pattern.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise ValueError("not a Matrix Market file (missing %%MatrixMarket header)")
+        tokens = header.strip().split()
+        if len(tokens) < 5:
+            raise ValueError(f"malformed Matrix Market header: {header!r}")
+        _, obj, fmt, field, symmetry = tokens[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise ValueError("only 'matrix coordinate' files are supported")
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in {"real", "integer", "pattern"}:
+            raise ValueError(f"unsupported field type {field!r}")
+        if symmetry not in {"general", "symmetric"}:
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+        # Skip comment lines, then read the size line.
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows_s, n_cols_s, nnz_s = line.split()
+        n_rows, n_cols, nnz = int(n_rows_s), int(n_cols_s), int(nnz_s)
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        count = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            i = int(parts[0]) - 1
+            j = int(parts[1]) - 1
+            v = 1.0 if field == "pattern" else float(parts[2])
+            rows.append(i)
+            cols.append(j)
+            vals.append(v)
+            if symmetry == "symmetric" and i != j:
+                rows.append(j)
+                cols.append(i)
+                vals.append(v)
+            count += 1
+        if count != nnz:
+            raise ValueError(f"expected {nnz} entries, found {count}")
+    coo = COOMatrix(
+        n_rows,
+        n_cols,
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+    )
+    return coo.to_csc()
+
+
+def write_matrix_market(
+    path: Union[str, os.PathLike],
+    A: CSCMatrix,
+    *,
+    symmetric: bool = False,
+    comment: str = "",
+) -> None:
+    """Write ``A`` to a Matrix Market coordinate file.
+
+    With ``symmetric=True`` only the lower triangle is written and the file is
+    tagged ``symmetric``; the caller is responsible for ``A`` actually being
+    symmetric.
+    """
+    symmetry = "symmetric" if symmetric else "general"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{_HEADER_PREFIX} matrix coordinate real {symmetry}\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        entries = []
+        for j in range(A.n_cols):
+            s = A.col_slice(j)
+            for i, v in zip(A.indices[s], A.data[s]):
+                if symmetric and i < j:
+                    continue
+                entries.append((int(i), int(j), float(v)))
+        fh.write(f"{A.n_rows} {A.n_cols} {len(entries)}\n")
+        for i, j, v in entries:
+            fh.write(f"{i + 1} {j + 1} {v:.17g}\n")

@@ -1,0 +1,139 @@
+"""Permutations and symmetric permutation of sparse matrices.
+
+Fill-reducing orderings (see :mod:`repro.sparse.ordering`) produce a
+:class:`Permutation` which is applied symmetrically to an SPD matrix before
+factorization: ``B = P A Pᵀ``.  The same permutation object converts
+right-hand sides and solutions between the original and permuted orderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """A permutation of ``n`` items.
+
+    The convention is the "new ← old" map used by CSparse: ``perm[k]`` is the
+    *original* index that ends up in position ``k`` after permuting, so that
+    for a vector ``x``, ``(P x)[k] = x[perm[k]]``.
+    """
+
+    __slots__ = ("perm", "inv")
+
+    def __init__(self, perm: np.ndarray) -> None:
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.ndim != 1:
+            raise ValueError("a permutation must be a 1-D integer array")
+        n = perm.size
+        seen = np.zeros(n, dtype=bool)
+        if n and (perm.min() < 0 or perm.max() >= n):
+            raise ValueError("permutation entries out of range")
+        seen[perm] = True
+        if not np.all(seen):
+            raise ValueError("permutation is not a bijection")
+        self.perm = perm
+        inv = np.empty(n, dtype=np.int64)
+        inv[perm] = np.arange(n, dtype=np.int64)
+        self.inv = inv
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """The identity permutation on ``n`` items."""
+        return cls(np.arange(n, dtype=np.int64))
+
+    @classmethod
+    def from_inverse(cls, inv: np.ndarray) -> "Permutation":
+        """Build from the inverse ("old → new") map."""
+        inv = np.asarray(inv, dtype=np.int64)
+        perm = np.empty_like(inv)
+        perm[inv] = np.arange(inv.size, dtype=np.int64)
+        return cls(perm)
+
+    @property
+    def n(self) -> int:
+        """Number of permuted items."""
+        return int(self.perm.size)
+
+    def is_identity(self) -> bool:
+        """True when the permutation leaves every index in place."""
+        return bool(np.array_equal(self.perm, np.arange(self.n, dtype=np.int64)))
+
+    # ------------------------------------------------------------------ #
+    # Vector application
+    # ------------------------------------------------------------------ #
+    def apply_vec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``P x`` (gather: ``out[k] = x[perm[k]]``)."""
+        x = np.asarray(x)
+        if x.shape[0] != self.n:
+            raise ValueError("vector length does not match the permutation size")
+        return x[self.perm]
+
+    def apply_inverse_vec(self, y: np.ndarray) -> np.ndarray:
+        """Return ``Pᵀ y`` (scatter back to the original ordering)."""
+        y = np.asarray(y)
+        if y.shape[0] != self.n:
+            raise ValueError("vector length does not match the permutation size")
+        return y[self.inv]
+
+    # ------------------------------------------------------------------ #
+    # Matrix application
+    # ------------------------------------------------------------------ #
+    def symmetric_permute(self, A: CSCMatrix) -> CSCMatrix:
+        """Return ``P A Pᵀ`` for a square matrix ``A``."""
+        if not A.is_square():
+            raise ValueError("symmetric permutation requires a square matrix")
+        if A.n_rows != self.n:
+            raise ValueError("matrix order does not match the permutation size")
+        coo = A.to_coo()
+        new_rows = self.inv[coo.rows]
+        new_cols = self.inv[coo.cols]
+        return COOMatrix(A.n_rows, A.n_cols, new_rows, new_cols, coo.data).to_csc()
+
+    def permute_rows(self, A: CSCMatrix) -> CSCMatrix:
+        """Return ``P A`` (rows reordered)."""
+        if A.n_rows != self.n:
+            raise ValueError("row count does not match the permutation size")
+        coo = A.to_coo()
+        return COOMatrix(
+            A.n_rows, A.n_cols, self.inv[coo.rows], coo.cols, coo.data
+        ).to_csc()
+
+    def permute_cols(self, A: CSCMatrix) -> CSCMatrix:
+        """Return ``A Pᵀ`` (columns reordered)."""
+        if A.n_cols != self.n:
+            raise ValueError("column count does not match the permutation size")
+        coo = A.to_coo()
+        return COOMatrix(
+            A.n_rows, A.n_cols, coo.rows, self.inv[coo.cols], coo.data
+        ).to_csc()
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+    def compose(self, other: "Permutation") -> "Permutation":
+        """Return the permutation "apply ``other`` first, then ``self``"."""
+        if self.n != other.n:
+            raise ValueError("cannot compose permutations of different sizes")
+        return Permutation(other.perm[self.perm])
+
+    def inverse(self) -> "Permutation":
+        """Return the inverse permutation."""
+        return Permutation(self.inv.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return np.array_equal(self.perm, other.perm)
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash(self.perm.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Permutation(n={self.n})"

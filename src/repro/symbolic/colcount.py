@@ -1,0 +1,57 @@
+"""Row and column counts of the Cholesky factor.
+
+Column counts (``colcount[j] = nnz(L[:, j])`` including the diagonal) and row
+counts are the quantities Sympiler's heuristics consume: the supernode
+detection rule compares adjacent column counts, the VS-Block participation
+threshold uses the average supernode size, and the BLAS-switch threshold uses
+the average column count (§4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.etree import elimination_tree
+from repro.symbolic.fill_pattern import _upper_pattern, ereach
+
+__all__ = [
+    "column_counts_of_factor",
+    "row_counts_of_factor",
+    "average_column_count",
+]
+
+
+def column_counts_of_factor(A: CSCMatrix, parent: np.ndarray | None = None) -> np.ndarray:
+    """``nnz`` per column of ``L`` (diagonal included), without forming ``L``.
+
+    Uses the row-subtree characterization: row ``k`` contributes one entry to
+    every column in ``ereach(A, k)``, and every column has its diagonal.
+    """
+    if parent is None:
+        parent = elimination_tree(A)
+    n = A.n
+    counts = np.ones(n, dtype=np.int64)  # the diagonal of every column
+    upper = _upper_pattern(A)
+    for k in range(n):
+        for j in ereach(A, k, parent, _upper=upper):
+            counts[int(j)] += 1
+    return counts
+
+
+def row_counts_of_factor(A: CSCMatrix, parent: np.ndarray | None = None) -> np.ndarray:
+    """``nnz`` per row of ``L`` (diagonal included)."""
+    if parent is None:
+        parent = elimination_tree(A)
+    n = A.n
+    upper = _upper_pattern(A)
+    counts = np.empty(n, dtype=np.int64)
+    for k in range(n):
+        counts[k] = ereach(A, k, parent, _upper=upper).size + 1
+    return counts
+
+
+def average_column_count(A: CSCMatrix, parent: np.ndarray | None = None) -> float:
+    """Mean column count of ``L`` — the paper's BLAS-switch heuristic input."""
+    counts = column_counts_of_factor(A, parent)
+    return float(counts.mean()) if counts.size else 0.0

@@ -1,0 +1,145 @@
+"""Fill-in prediction: row and column patterns of the Cholesky factor.
+
+Two closely related questions are answered here, both purely symbolic:
+
+* ``ereach(A, k, parent)`` — the nonzero pattern of *row* ``k`` of ``L``,
+  i.e. the set of columns ``j < k`` with ``L[k, j] != 0``.  This is the
+  *prune-set* used by the VI-Prune transformation in the Cholesky update
+  phase (Figure 4 and Table 1 of the paper): when factorizing column ``k``
+  only those columns contribute updates.
+* ``cholesky_pattern(A)`` — the full column pattern of ``L`` including
+  fill-in, equation (1) of the paper.  Knowing it ahead of time lets the
+  numeric code allocate ``L`` once and never perform dynamic allocation.
+
+Both are computed from the elimination tree by upward traversals bounded by
+marked nodes, the standard ``cs_ereach`` technique, giving an overall
+``O(|L|)`` symbolic cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.utils import lower_triangle
+from repro.symbolic.etree import elimination_tree
+
+__all__ = [
+    "ereach",
+    "row_patterns_of_factor",
+    "cholesky_pattern",
+    "symbolic_factor_nnz",
+]
+
+
+def _upper_pattern(A: CSCMatrix) -> CSCMatrix:
+    """Pattern holding, per column ``k``, the entries ``A[i, k]`` with ``i <= k``.
+
+    ``ereach`` needs the upper triangle of the symmetric matrix.  If only the
+    lower triangle is stored, its transpose provides the upper part.
+    """
+    if A.is_lower_triangular() and A.n > 1:
+        return A.transpose()
+    return A
+
+
+def ereach(A: CSCMatrix, k: int, parent: np.ndarray, *, _upper: CSCMatrix | None = None) -> np.ndarray:
+    """Nonzero pattern of row ``k`` of the Cholesky factor ``L``.
+
+    Returns the column indices ``j < k`` such that ``L[k, j] != 0``, in
+    ascending order (ascending order is a topological order of the
+    elimination tree because ``parent[j] > j``).
+
+    Parameters
+    ----------
+    A:
+        The SPD matrix (full symmetric or lower-triangular storage).
+    k:
+        Row index.
+    parent:
+        Elimination tree of ``A``.
+    """
+    if not (0 <= k < A.n):
+        raise IndexError(f"row {k} out of range")
+    upper = _upper if _upper is not None else _upper_pattern(A)
+    marked = np.zeros(A.n, dtype=bool)
+    marked[k] = True
+    result: List[int] = []
+    rows = upper.col_rows(k)
+    for i in rows:
+        i = int(i)
+        if i > k:
+            continue
+        # Walk up the etree from i until a marked node is found, collecting
+        # the path: every node on it is a nonzero of row k of L.
+        path = []
+        while not marked[i]:
+            path.append(i)
+            marked[i] = True
+            i = int(parent[i])
+            if i == -1:
+                break
+        result.extend(path)
+    result.sort()
+    return np.asarray(result, dtype=np.int64)
+
+
+def row_patterns_of_factor(A: CSCMatrix, parent: np.ndarray | None = None) -> List[np.ndarray]:
+    """Row patterns of ``L`` for every row (list of ascending index arrays).
+
+    Row ``k``'s pattern excludes the diagonal; it is exactly the prune-set of
+    the Cholesky update phase for column ``k``.
+    """
+    if parent is None:
+        parent = elimination_tree(A)
+    upper = _upper_pattern(A)
+    return [ereach(A, k, parent, _upper=upper) for k in range(A.n)]
+
+
+def cholesky_pattern(
+    A: CSCMatrix, parent: np.ndarray | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Column pattern of the Cholesky factor ``L`` (with fill-in).
+
+    Implements equation (1) of the paper via row subtrees: row ``k`` of ``L``
+    has nonzeros in the columns ``ereach(A, k)``, therefore column ``j``
+    contains row ``k`` for every ``k`` whose ereach includes ``j``, plus the
+    diagonal entry ``(j, j)``.
+
+    Returns
+    -------
+    (indptr, indices):
+        CSC structure arrays of the lower-triangular factor with sorted rows
+        per column.
+    """
+    if parent is None:
+        parent = elimination_tree(A)
+    n = A.n
+    upper = _upper_pattern(A)
+    col_rows: List[List[int]] = [[j] for j in range(n)]
+    for k in range(n):
+        for j in ereach(A, k, parent, _upper=upper):
+            col_rows[int(j)].append(k)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for j in range(n):
+        indptr[j + 1] = indptr[j] + len(col_rows[j])
+    indices = np.empty(int(indptr[-1]), dtype=np.int64)
+    for j in range(n):
+        # Rows were appended in increasing k, so each column is already sorted.
+        indices[indptr[j] : indptr[j + 1]] = col_rows[j]
+    return indptr, indices
+
+
+def symbolic_factor_nnz(A: CSCMatrix, parent: np.ndarray | None = None) -> int:
+    """Number of nonzeros of ``L`` (diagonal included), without forming it."""
+    indptr, _ = cholesky_pattern(A, parent)
+    return int(indptr[-1])
+
+
+def fill_in_count(A: CSCMatrix, parent: np.ndarray | None = None) -> int:
+    """Number of fill-in entries: ``nnz(L) - nnz(tril(A))``."""
+    nnz_l = symbolic_factor_nnz(A, parent)
+    nnz_tril = lower_triangle(A).nnz
+    return nnz_l - nnz_tril

@@ -1,0 +1,332 @@
+"""The symbolic-inspector framework.
+
+Section 2.2 of the paper classifies symbolic inspectors by the numerical
+method and the transformation they enable: each inspector builds an
+*inspection graph* from the sparsity pattern, traverses it with an
+*inspection strategy*, and produces an *inspection set* that guides the
+inspector-guided transformations (Table 1).
+
+========================  =================  ======================  =====================
+Transformation            Method             Inspection graph         Inspection set
+========================  =================  ======================  =====================
+VI-Prune                  triangular solve   DG_L + SP(rhs)           reach-set
+VS-Block                  triangular solve   DG_L                     block-set (supernodes)
+VI-Prune                  Cholesky           etree + SP(A)            prune-set (row patterns)
+VS-Block                  Cholesky           etree + ColCount(A)      block-set (supernodes)
+========================  =================  ======================  =====================
+
+The concrete inspectors below compute all sets needed by both transformations
+for each method, record how long symbolic analysis took (this is the
+"Sympiler (symbolic)" time in Figures 8 and 9), and return an immutable
+result object consumed by :mod:`repro.compiler`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.colcount import column_counts_of_factor
+from repro.symbolic.etree import elimination_tree, postorder
+from repro.symbolic.fill_pattern import _upper_pattern, cholesky_pattern, ereach
+from repro.symbolic.reach import reach_set, reach_set_sorted
+from repro.symbolic.supernodes import (
+    SupernodePartition,
+    cholesky_supernodes,
+    triangular_supernodes,
+)
+
+__all__ = [
+    "InspectionSet",
+    "SymbolicInspector",
+    "TriangularSolveInspector",
+    "CholeskyInspector",
+    "TriangularInspectionResult",
+    "CholeskyInspectionResult",
+    "inspector_for_method",
+]
+
+
+@dataclass(frozen=True)
+class InspectionSet:
+    """A named inspection set: the output of one inspection strategy.
+
+    Attributes
+    ----------
+    name:
+        Set name as used in the paper ("prune-set", "block-set", ...).
+    strategy:
+        The inspection strategy that produced it (e.g. "dfs",
+        "node-equivalence", "up-traversal").
+    graph:
+        The inspection graph it was computed on (e.g. "DG_L", "etree+SP(A)").
+    payload:
+        The set itself; structure depends on the strategy (an index array for
+        a reach-set, a :class:`SupernodePartition` for a block-set, a list of
+        per-column index arrays for Cholesky prune-sets).
+    """
+
+    name: str
+    strategy: str
+    graph: str
+    payload: object
+
+
+@dataclass(frozen=True)
+class TriangularInspectionResult:
+    """Everything the compiler needs to specialize a sparse triangular solve."""
+
+    n: int
+    rhs_pattern: np.ndarray
+    reach: np.ndarray
+    reach_sorted: np.ndarray
+    supernodes: SupernodePartition
+    l_col_counts: np.ndarray
+    symbolic_seconds: float
+    sets: Dict[str, InspectionSet] = field(repr=False)
+
+    @property
+    def reach_size(self) -> int:
+        """Number of columns that participate in the solve."""
+        return int(self.reach.size)
+
+    def prune_set(self) -> InspectionSet:
+        """The VI-Prune inspection set (the reach-set)."""
+        return self.sets["prune-set"]
+
+    def block_set(self) -> InspectionSet:
+        """The VS-Block inspection set (the supernodes)."""
+        return self.sets["block-set"]
+
+
+@dataclass(frozen=True)
+class CholeskyInspectionResult:
+    """Everything the compiler needs to specialize a sparse Cholesky."""
+
+    n: int
+    parent: np.ndarray
+    post: np.ndarray
+    l_indptr: np.ndarray
+    l_indices: np.ndarray
+    row_patterns: List[np.ndarray]
+    l_col_counts: np.ndarray
+    supernodes: SupernodePartition
+    symbolic_seconds: float
+    sets: Dict[str, InspectionSet] = field(repr=False)
+
+    @property
+    def factor_nnz(self) -> int:
+        """Predicted number of nonzeros of ``L`` (diagonal included)."""
+        return int(self.l_indptr[-1])
+
+    @property
+    def average_column_count(self) -> float:
+        """Mean column count of ``L`` — input of the BLAS-switch heuristic."""
+        return float(self.l_col_counts.mean()) if self.l_col_counts.size else 0.0
+
+    def prune_set(self) -> InspectionSet:
+        """The VI-Prune inspection set (per-column row patterns of ``L``)."""
+        return self.sets["prune-set"]
+
+    def block_set(self) -> InspectionSet:
+        """The VS-Block inspection set (the supernodes)."""
+        return self.sets["block-set"]
+
+    def l_pattern_matrix(self) -> CSCMatrix:
+        """The factor pattern as an all-zero CSC matrix, ready to be filled."""
+        return CSCMatrix.from_pattern(self.n, self.n, self.l_indptr, self.l_indices)
+
+
+class SymbolicInspector(ABC):
+    """Base class of all symbolic inspectors.
+
+    Subclasses implement :meth:`inspect`, which performs all pattern-only
+    analysis for one numerical method and returns a result object containing
+    the inspection sets of Table 1 plus the elapsed symbolic time.
+    """
+
+    #: Name of the numerical method this inspector serves.
+    method: str = "abstract"
+
+    @abstractmethod
+    def inspect(self, matrix: CSCMatrix, **kwargs):
+        """Run symbolic analysis on ``matrix`` and return a result object."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(method={self.method!r})"
+
+
+class TriangularSolveInspector(SymbolicInspector):
+    """Symbolic inspector for sparse triangular solve ``L x = b``.
+
+    Inspection graph: the dependence graph DG_L (plus the RHS pattern for the
+    reach-set).  Strategies: depth-first search for the reach-set (VI-Prune),
+    node equivalence for the supernodes (VS-Block).
+    """
+
+    method = "triangular-solve"
+
+    def inspect(
+        self,
+        matrix: CSCMatrix,
+        rhs_pattern: Optional[Sequence[int] | np.ndarray] = None,
+        **kwargs,
+    ) -> TriangularInspectionResult:
+        """Inspect a lower-triangular matrix and an optional RHS pattern.
+
+        When ``rhs_pattern`` is omitted the RHS is assumed dense, i.e. the
+        reach-set is every column (VI-Prune then degenerates to the original
+        loop, as the paper notes for dense right-hand sides).
+        """
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        if not matrix.is_lower_triangular():
+            raise ValueError("triangular-solve inspection requires a lower-triangular L")
+        start = time.perf_counter()
+        n = matrix.n
+        if rhs_pattern is None:
+            rhs = np.arange(n, dtype=np.int64)
+        else:
+            rhs = np.unique(np.asarray(list(rhs_pattern), dtype=np.int64))
+            if rhs.size and (rhs.min() < 0 or rhs.max() >= n):
+                raise IndexError("rhs pattern indices out of range")
+        reach = reach_set(matrix, rhs)
+        reach_sorted = np.sort(reach)
+        supernodes = triangular_supernodes(matrix)
+        col_counts = np.diff(matrix.indptr).astype(np.int64)
+        elapsed = time.perf_counter() - start
+        sets = {
+            "prune-set": InspectionSet(
+                name="prune-set",
+                strategy="dfs",
+                graph="DG_L + SP(rhs)",
+                payload=reach,
+            ),
+            "block-set": InspectionSet(
+                name="block-set",
+                strategy="node-equivalence",
+                graph="DG_L",
+                payload=supernodes,
+            ),
+        }
+        return TriangularInspectionResult(
+            n=n,
+            rhs_pattern=rhs,
+            reach=reach,
+            reach_sorted=reach_sorted,
+            supernodes=supernodes,
+            l_col_counts=col_counts,
+            symbolic_seconds=elapsed,
+            sets=sets,
+        )
+
+
+class CholeskyInspector(SymbolicInspector):
+    """Symbolic inspector for sparse Cholesky factorization ``A = L Lᵀ``.
+
+    Inspection graph: the elimination tree together with the pattern of ``A``.
+    Strategies: single-node up-traversals bounded by marked nodes (``ereach``)
+    for the per-column prune-sets, and the column-count/etree merging rule for
+    the supernode block-set.
+    """
+
+    method = "cholesky"
+
+    def inspect(
+        self,
+        matrix: CSCMatrix,
+        *,
+        max_supernode_width: int | None = None,
+        **kwargs,
+    ) -> CholeskyInspectionResult:
+        """Inspect a symmetric positive-definite matrix.
+
+        ``matrix`` may store the full symmetric pattern or only its lower
+        triangle.  Only the pattern is read.
+        """
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        if not matrix.is_square():
+            raise ValueError("Cholesky inspection requires a square matrix")
+        start = time.perf_counter()
+        n = matrix.n
+        parent = elimination_tree(matrix)
+        post = postorder(parent)
+        upper = _upper_pattern(matrix)
+        row_patterns = [ereach(matrix, k, parent, _upper=upper) for k in range(n)]
+        # Column pattern of L, derived from the row patterns (equation (1)).
+        col_rows: List[List[int]] = [[j] for j in range(n)]
+        for k in range(n):
+            for j in row_patterns[k]:
+                col_rows[int(j)].append(k)
+        l_indptr = np.zeros(n + 1, dtype=np.int64)
+        for j in range(n):
+            l_indptr[j + 1] = l_indptr[j] + len(col_rows[j])
+        l_indices = np.empty(int(l_indptr[-1]), dtype=np.int64)
+        for j in range(n):
+            l_indices[l_indptr[j] : l_indptr[j + 1]] = col_rows[j]
+        col_counts = np.diff(l_indptr).astype(np.int64)
+        supernodes = cholesky_supernodes(col_counts, parent, max_width=max_supernode_width)
+        elapsed = time.perf_counter() - start
+        sets = {
+            "prune-set": InspectionSet(
+                name="prune-set",
+                strategy="up-traversal",
+                graph="etree + SP(A)",
+                payload=row_patterns,
+            ),
+            "block-set": InspectionSet(
+                name="block-set",
+                strategy="up-traversal",
+                graph="etree + ColCount(A)",
+                payload=supernodes,
+            ),
+        }
+        return CholeskyInspectionResult(
+            n=n,
+            parent=parent,
+            post=post,
+            l_indptr=l_indptr,
+            l_indices=l_indices,
+            row_patterns=row_patterns,
+            l_col_counts=col_counts,
+            supernodes=supernodes,
+            symbolic_seconds=elapsed,
+            sets=sets,
+        )
+
+
+_INSPECTORS = {
+    TriangularSolveInspector.method: TriangularSolveInspector,
+    "trisolve": TriangularSolveInspector,
+    "triangular": TriangularSolveInspector,
+    CholeskyInspector.method: CholeskyInspector,
+}
+
+
+def inspector_for_method(method: str) -> SymbolicInspector:
+    """Instantiate the symbolic inspector registered for ``method``."""
+    key = method.lower()
+    if key not in _INSPECTORS:
+        raise ValueError(
+            f"no symbolic inspector registered for method {method!r}; "
+            f"available: {sorted(set(_INSPECTORS))}"
+        )
+    return _INSPECTORS[key]()
+
+
+def verify_cholesky_pattern_consistency(A: CSCMatrix) -> bool:
+    """Cross-check the inspector's L pattern against :func:`cholesky_pattern`.
+
+    Used by the test-suite as an internal consistency oracle.
+    """
+    result = CholeskyInspector().inspect(A)
+    indptr, indices = cholesky_pattern(A, result.parent)
+    return bool(
+        np.array_equal(indptr, result.l_indptr) and np.array_equal(indices, result.l_indices)
+    )

@@ -1,0 +1,159 @@
+"""Tests for the benchmark harness (suite, metrics, reporting, drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    fig6_triangular_performance,
+    fig7_cholesky_performance,
+    fig8_triangular_accumulated,
+    fig9_cholesky_accumulated,
+    intro_triangular_speedups,
+    overhead_report,
+    prepare,
+    table2_suite_listing,
+)
+from repro.bench.metrics import gflops_rate, time_callable
+from repro.bench.reporting import geometric_mean, render_csv, render_table
+from repro.bench.suite import build_suite, load_suite_matrix, small_suite
+from repro.sparse.utils import is_symmetric_pattern
+
+
+class TestSuite:
+    def test_full_suite_has_eleven_entries_like_table2(self):
+        suite = build_suite()
+        assert len(suite) == 11
+        assert [e.problem_id for e in suite] == list(range(1, 12))
+        names = {e.stands_in_for for e in suite}
+        assert {"cbuckle", "ecology2", "tmt_sym", "Dubcova2"} <= names
+
+    def test_small_suite_entries_build_quickly(self):
+        for entry in small_suite():
+            A = load_suite_matrix(entry, cache=False)
+            assert A.is_square()
+            assert is_symmetric_pattern(A)
+
+    def test_load_suite_matrix_applies_ordering_and_caches(self):
+        entry = small_suite()[1]  # mindeg-ordered entry
+        unpermuted = load_suite_matrix(entry, permute=False, cache=False)
+        permuted = load_suite_matrix(entry, permute=True)
+        assert permuted.nnz == unpermuted.nnz
+        again = load_suite_matrix(entry, permute=True)
+        assert again is permuted  # cached object
+
+
+class TestMetricsAndReporting:
+    def test_time_callable_returns_median_and_result(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return "value"
+
+        seconds, result = time_callable(fn, repeats=3, warmup=1)
+        assert result == "value"
+        assert seconds >= 0.0
+        assert len(calls) == 4
+
+    def test_time_callable_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_gflops_rate(self):
+        assert gflops_rate(3_000_000_000, 1.5) == pytest.approx(2.0)
+        assert gflops_rate(1, 0.0) == float("inf")
+
+    def test_render_table_and_csv(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "b", "value": 2.0}]
+        table = render_table(rows, title="demo")
+        assert "demo" in table and "name" in table and "1.500" in table
+        csv = render_csv(rows)
+        assert csv.splitlines()[0] == "name,value"
+        assert render_table([]) == "(no rows)\n"
+        assert render_csv([]) == ""
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert np.isnan(geometric_mean([]))
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return small_suite()[:2]
+
+
+class TestExperimentDrivers:
+    def test_table2_rows(self, tiny_suite):
+        rows = table2_suite_listing(tiny_suite)
+        assert len(rows) == 2
+        assert set(rows[0]) >= {"problem_id", "name", "n", "nnz_A", "ordering"}
+
+    def test_prepare_caches_artifacts(self, tiny_suite):
+        first = prepare(tiny_suite[0])
+        second = prepare(tiny_suite[0])
+        assert first is second
+        assert first.L.is_lower_triangular()
+        assert np.count_nonzero(first.b) >= 1
+
+    def test_fig6_rows_have_all_variants(self, tiny_suite):
+        rows = fig6_triangular_performance(tiny_suite, repeats=1)
+        matrix_rows = [r for r in rows if r["name"] != "geomean"]
+        assert len(matrix_rows) == len(tiny_suite)
+        for row in matrix_rows:
+            for key in (
+                "eigen_gflops",
+                "sympiler_vs_block_gflops",
+                "sympiler_vs_vi_gflops",
+                "sympiler_full_gflops",
+                "sympiler_full_speedup_vs_eigen",
+            ):
+                assert key in row and row[key] > 0
+
+    def test_fig7_rows_have_all_variants(self, tiny_suite):
+        rows = fig7_cholesky_performance(tiny_suite, repeats=1)
+        matrix_rows = [r for r in rows if r["name"] != "geomean"]
+        for row in matrix_rows:
+            for key in (
+                "eigen_gflops",
+                "cholmod_gflops",
+                "sympiler_vs_block_gflops",
+                "sympiler_full_gflops",
+            ):
+                assert key in row and row[key] > 0
+
+    def test_fig8_normalization(self, tiny_suite):
+        rows = fig8_triangular_accumulated(tiny_suite, repeats=1)
+        for row in rows:
+            assert row["sympiler_numeric_normalized"] > 0
+            assert row["sympiler_accumulated_normalized"] >= row["sympiler_numeric_normalized"]
+
+    def test_fig9_normalization(self, tiny_suite):
+        rows = fig9_cholesky_accumulated(tiny_suite, repeats=1)
+        for row in rows:
+            assert row["eigen_total_normalized"] == pytest.approx(1.0)
+            assert row["sympiler_total_normalized"] > 0
+            assert row["cholmod_total_normalized"] > 0
+
+    def test_intro_speedups(self, tiny_suite):
+        rows = intro_triangular_speedups(tiny_suite, repeats=1)
+        matrix_rows = [r for r in rows if r["name"] != "geomean"]
+        for row in matrix_rows:
+            # The specialized solve must beat the naive full-column solve.
+            assert row["speedup_vs_naive"] > 1.0
+
+    def test_overhead_report(self, tiny_suite):
+        rows = overhead_report(tiny_suite)
+        for row in rows:
+            assert row["tri_codegen_over_numeric"] > 0
+            assert row["chol_symbolic_over_numeric"] > 0
+
+
+def test_cli_table2_small(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["table2", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert main(["table2", "--small", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("problem_id,")

@@ -1,0 +1,115 @@
+"""Tests for the specialized-C code-generation backend."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scipy_reference import reference_cholesky, reference_trisolve
+from repro.compiler.codegen.c_backend import (
+    CBackend,
+    CCompilationError,
+    CGeneratedModule,
+    c_compiler_available,
+    _format_c_array,
+)
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import Sympiler
+from repro.sparse.generators import block_tridiagonal_spd, sparse_rhs
+
+needs_cc = pytest.mark.skipif(
+    not (c_compiler_available("cc") or c_compiler_available("gcc")),
+    reason="no C compiler available",
+)
+
+
+def _c_options(**overrides):
+    compiler = "cc" if c_compiler_available("cc") else "gcc"
+    return SympilerOptions(backend="c", c_compiler=compiler, **overrides)
+
+
+def test_format_c_array():
+    text = _format_c_array("_C_x", np.array([1, 2, 3]), "int64_t")
+    assert text == "static const int64_t _C_x[3] = {1,2,3};"
+    empty = _format_c_array("_C_empty", np.array([], dtype=np.int64), "int64_t")
+    assert "[1] = {0}" in empty
+
+
+def test_c_compiler_available_for_missing_binary():
+    assert not c_compiler_available("definitely-not-a-compiler-xyz")
+
+
+def test_missing_compiler_raises_clear_error():
+    module = CGeneratedModule(
+        source="int main(void){return 0;}\n",
+        entry_name="main",
+        constants={},
+        method="triangular-solve",
+        codegen_seconds=0.0,
+        compiler="definitely-not-a-compiler-xyz",
+        flags=(),
+        n=1,
+    )
+    with pytest.raises(CCompilationError):
+        module.compile()
+
+
+@needs_cc
+class TestCGeneratedKernels:
+    def test_triangular_solve_matches_reference(self, lower_factors):
+        sym = Sympiler()
+        for L in lower_factors.values():
+            b = sparse_rhs(L.n, density=0.05, seed=21)
+            compiled = sym.compile_triangular_solve(
+                L, rhs_pattern=np.nonzero(b)[0], options=_c_options()
+            )
+            np.testing.assert_allclose(
+                compiled.solve(L, b), reference_trisolve(L, b), atol=1e-9
+            )
+
+    def test_cholesky_simplicial_and_supernodal_match_reference(self, spd_matrices):
+        sym = Sympiler()
+        for options in (_c_options(enable_vs_block=False), _c_options()):
+            for name in ("laplacian_2d", "block", "circuit"):
+                A = spd_matrices[name]
+                compiled = sym.compile_cholesky(A, options=options)
+                L = compiled.factorize(A)
+                np.testing.assert_allclose(
+                    L.to_dense(), reference_cholesky(A), atol=1e-9
+                )
+
+    def test_c_source_embeds_static_constants(self, spd_matrices):
+        compiled = Sympiler().compile_cholesky(spd_matrices["fem"], options=_c_options())
+        assert "static const int64_t" in compiled.source
+        assert compiled.source.startswith("/* Sympiler-generated kernel (C backend). */")
+        assert compiled.module.shared_object is not None
+
+    def test_c_backend_agrees_with_python_backend(self, spd_matrices):
+        A = spd_matrices["block"]
+        sym = Sympiler()
+        c_factor = sym.compile_cholesky(A, options=_c_options()).factorize(A)
+        py_factor = sym.compile_cholesky(A, options=SympilerOptions()).factorize(A)
+        np.testing.assert_allclose(c_factor.to_dense(), py_factor.to_dense(), atol=1e-12)
+
+    def test_non_positive_definite_returns_error(self):
+        A = block_tridiagonal_spd(4, 4, seed=5, dense_coupling=True)
+        compiled = Sympiler().compile_cholesky(A, options=_c_options())
+        bad = A.copy()
+        for j in range(bad.n):
+            rows = bad.col_rows(j)
+            pos = int(np.searchsorted(rows, j))
+            bad.data[bad.indptr[j] + pos] = -1.0
+        with pytest.raises(ValueError):
+            compiled.factorize(bad)
+
+    def test_peeled_and_blocked_structures_present(self, lower_factors):
+        L = lower_factors["block"]
+        b = sparse_rhs(L.n, nnz=2, seed=30)
+        compiled = Sympiler().compile_triangular_solve(
+            L, rhs_pattern=np.nonzero(b)[0], options=_c_options()
+        )
+        assert "/* supernode" in compiled.source or "/* pruned column loop" in compiled.source
+
+
+def test_backend_name_and_flags():
+    backend = CBackend(compiler="gcc", flags=("-O2", "-shared", "-fPIC"))
+    assert backend.name == "c"
+    assert backend.flags == ("-O2", "-shared", "-fPIC")

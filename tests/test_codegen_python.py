@@ -1,0 +1,183 @@
+"""Tests for the specialized-Python code-generation backend."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scipy_reference import reference_cholesky, reference_trisolve
+from repro.compiler.codegen.python_backend import CodegenError, GeneratedModule, PythonBackend
+from repro.compiler.codegen.runtime import pattern_fingerprint, runtime_namespace
+from repro.compiler.lowering import lower_triangular_solve
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import Sympiler
+from repro.compiler.transforms.base import CompilationContext
+from repro.compiler.transforms.pipeline import build_pipeline
+from repro.sparse.generators import block_tridiagonal_spd, sparse_rhs
+from repro.symbolic.inspector import TriangularSolveInspector
+
+
+def _generate_trisolve(L, b, options):
+    inspection = TriangularSolveInspector().inspect(L, rhs_pattern=np.nonzero(b)[0])
+    context = CompilationContext(
+        method="triangular-solve",
+        matrix=L,
+        inspection=inspection,
+        options=options,
+        rhs_pattern=inspection.rhs_pattern,
+    )
+    kernel = build_pipeline(options).run(lower_triangular_solve(), context)
+    module = PythonBackend().generate(kernel, context)
+    return module, kernel
+
+
+class TestGeneratedTriangularSolve:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            SympilerOptions.baseline(),
+            SympilerOptions.vi_prune_only(),
+            SympilerOptions.vs_block_only(),
+            SympilerOptions(enable_low_level=False),
+            SympilerOptions(),
+        ],
+        ids=["baseline", "vi-prune", "vs-block", "vs+vi", "full"],
+    )
+    def test_generated_solve_is_correct(self, lower_factors, options):
+        for L in lower_factors.values():
+            b = sparse_rhs(L.n, density=0.05, seed=13)
+            module, _ = _generate_trisolve(L, b, options)
+            fn = module.compile()
+            x = fn(L.indptr, L.indices, L.data, b)
+            np.testing.assert_allclose(x, reference_trisolve(L, b), atol=1e-9)
+
+    def test_source_contains_no_symbolic_calls(self, lower_factors):
+        L = lower_factors["block"]
+        b = sparse_rhs(L.n, nnz=2, seed=1)
+        module, _ = _generate_trisolve(L, b, SympilerOptions())
+        # The generated numeric code must not recompute reach sets, etrees or
+        # patterns: it may only index, slice and call the dense runtime.
+        for forbidden in ("etree", "ereach", "inspect", "searchsorted", "reach_set("):
+            assert forbidden not in module.source
+        assert module.method == "triangular-solve"
+        assert module.line_count > 5
+
+    def test_constants_are_exposed(self, lower_factors):
+        L = lower_factors["fem"]
+        b = sparse_rhs(L.n, nnz=3, seed=2)
+        module, kernel = _generate_trisolve(L, b, SympilerOptions.vi_prune_only())
+        assert any(name.startswith("_C_") for name in module.constants)
+        # The kernel function mirrors the embedded constants for introspection.
+        assert set(module.constants) <= set(kernel.constants) | set(
+            f"_C_{k}" for k in kernel.constants
+        ) | set(module.constants)
+
+    def test_peeled_columns_appear_as_literals(self, lower_factors):
+        L = lower_factors["circuit"]
+        b = sparse_rhs(L.n, nnz=2, seed=3)
+        module, kernel = _generate_trisolve(L, b, SympilerOptions())
+        if kernel.meta.get("peeled_iterations", 0):
+            assert "# peeled column" in module.source
+
+    def test_compile_is_cached(self, lower_factors):
+        L = lower_factors["fem"]
+        b = sparse_rhs(L.n, nnz=2, seed=4)
+        module, _ = _generate_trisolve(L, b, SympilerOptions())
+        assert module.compile() is module.compile()
+
+    def test_codegen_seconds_recorded(self, lower_factors):
+        L = lower_factors["fem"]
+        b = sparse_rhs(L.n, nnz=2, seed=5)
+        module, _ = _generate_trisolve(L, b, SympilerOptions())
+        assert module.codegen_seconds >= 0.0
+        module.compile()
+        assert module.compile_seconds >= 0.0
+
+
+class TestGeneratedCholesky:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            SympilerOptions.vi_prune_only(),
+            SympilerOptions(enable_low_level=False),
+            SympilerOptions(),
+        ],
+        ids=["simplicial", "supernodal", "supernodal+lowlevel"],
+    )
+    def test_generated_factorization_is_correct(self, spd_matrix, options):
+        compiled = Sympiler().compile_cholesky(spd_matrix, options=options)
+        L = compiled.factorize(spd_matrix)
+        np.testing.assert_allclose(L.to_dense(), reference_cholesky(spd_matrix), atol=1e-9)
+
+    def test_generated_source_structure_simplicial(self, spd_matrices):
+        compiled = Sympiler().compile_cholesky(
+            spd_matrices["laplacian_2d"], options=SympilerOptions.vi_prune_only()
+        )
+        assert "simplicial left-looking factorization" in compiled.source
+        assert "_C_prune_ptr" in compiled.source
+        assert "transpose" not in compiled.source
+
+    def test_generated_source_structure_supernodal(self):
+        A = block_tridiagonal_spd(6, 5, seed=3, dense_coupling=True)
+        compiled = Sympiler().compile_cholesky(A, options=SympilerOptions())
+        assert "supernodal left-looking factorization" in compiled.source
+        assert "_C_sup_start" in compiled.source
+        # Loop distribution emits the streamlined single-column path.
+        assert "streamlined single-column path" in compiled.source
+
+    def test_non_positive_definite_detected_at_run_time(self):
+        A = block_tridiagonal_spd(4, 4, seed=5, dense_coupling=True)
+        compiled = Sympiler().compile_cholesky(A)
+        bad = A.copy()
+        # Make the matrix indefinite while keeping the pattern identical.
+        for j in range(bad.n):
+            rows = bad.col_rows(j)
+            pos = int(np.searchsorted(rows, j))
+            bad.data[bad.indptr[j] + pos] = -1.0
+        with pytest.raises(ValueError):
+            compiled.factorize(bad)
+
+
+class TestBackendInfrastructure:
+    def test_runtime_namespace_contents(self):
+        rt = runtime_namespace()
+        for name in (
+            "dense_cholesky",
+            "dense_lower_solve",
+            "dense_solve_transposed_right",
+            "small_cholesky",
+            "small_lower_solve",
+        ):
+            assert callable(getattr(rt, name))
+
+    def test_pattern_fingerprint_is_stable_and_sensitive(self):
+        a = np.array([0, 1, 2], dtype=np.int64)
+        b = np.array([0, 1, 3], dtype=np.int64)
+        assert pattern_fingerprint(a) == pattern_fingerprint(a.copy())
+        assert pattern_fingerprint(a) != pattern_fingerprint(b)
+        assert pattern_fingerprint(a, extra="x") != pattern_fingerprint(a)
+
+    def test_generated_module_requires_entry_point(self):
+        module = GeneratedModule(
+            source="y = 1\n",
+            entry_name="missing",
+            constants={},
+            method="triangular-solve",
+            codegen_seconds=0.0,
+        )
+        with pytest.raises(CodegenError):
+            module.compile()
+
+    def test_unsupported_method_rejected(self, lower_factors):
+        L = lower_factors["fem"]
+        b = sparse_rhs(L.n, nnz=2, seed=6)
+        options = SympilerOptions()
+        inspection = TriangularSolveInspector().inspect(L, rhs_pattern=np.nonzero(b)[0])
+        context = CompilationContext(
+            method="triangular-solve",
+            matrix=L,
+            inspection=inspection,
+            options=options,
+        )
+        kernel = build_pipeline(options).run(lower_triangular_solve(), context)
+        kernel.method = "qr"
+        with pytest.raises(CodegenError):
+            PythonBackend().generate(kernel, context)

@@ -1,0 +1,134 @@
+"""Tests for the COO container and the triplet builder."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix, TripletBuilder
+
+
+def test_coo_basic_properties():
+    coo = COOMatrix(3, 4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+    assert coo.shape == (3, 4)
+    assert coo.nnz == 3
+
+
+def test_coo_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        COOMatrix(3, 3, [0, 1], [1], [1.0, 2.0])
+
+
+def test_coo_rejects_out_of_range_indices():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, [0, 2], [0, 1], [1.0, 1.0])
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, [0, 1], [0, 5], [1.0, 1.0])
+
+
+def test_coo_rejects_negative_indices():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, [-1, 1], [0, 1], [1.0, 1.0])
+
+
+def test_coo_rejects_negative_dimensions():
+    with pytest.raises(ValueError):
+        COOMatrix(-1, 2, [], [], [])
+
+
+def test_coo_rejects_2d_arrays():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, [[0], [1]], [[0], [1]], [[1.0], [1.0]])
+
+
+def test_coo_to_dense_sums_duplicates():
+    coo = COOMatrix(2, 2, [0, 0, 1], [0, 0, 1], [1.0, 2.5, 4.0])
+    dense = coo.to_dense()
+    assert dense[0, 0] == pytest.approx(3.5)
+    assert dense[1, 1] == pytest.approx(4.0)
+
+
+def test_coo_to_csc_sums_duplicates():
+    coo = COOMatrix(3, 3, [0, 0, 2, 2], [1, 1, 0, 0], [1.0, 1.0, 2.0, 3.0])
+    csc = coo.to_csc()
+    assert csc.nnz == 2
+    assert csc.get(0, 1) == pytest.approx(2.0)
+    assert csc.get(2, 0) == pytest.approx(5.0)
+
+
+def test_coo_transpose_swaps_indices():
+    coo = COOMatrix(2, 3, [0, 1], [2, 0], [5.0, 7.0])
+    t = coo.transpose()
+    assert t.shape == (3, 2)
+    np.testing.assert_array_equal(t.rows, coo.cols)
+    np.testing.assert_array_equal(t.cols, coo.rows)
+
+
+def test_coo_empty_matrix():
+    coo = COOMatrix(4, 4, [], [], [])
+    assert coo.nnz == 0
+    assert np.all(coo.to_dense() == 0.0)
+    assert coo.to_csc().nnz == 0
+
+
+def test_builder_add_and_convert():
+    b = TripletBuilder(3, 3)
+    b.add(0, 0, 1.0)
+    b.add(1, 2, -2.0)
+    assert b.nnz == 2
+    csc = b.to_csc()
+    assert csc.get(0, 0) == pytest.approx(1.0)
+    assert csc.get(1, 2) == pytest.approx(-2.0)
+
+
+def test_builder_bounds_checking():
+    b = TripletBuilder(2, 2)
+    with pytest.raises(IndexError):
+        b.add(2, 0, 1.0)
+    with pytest.raises(IndexError):
+        b.add(0, -1, 1.0)
+
+
+def test_builder_rejects_negative_shape():
+    with pytest.raises(ValueError):
+        TripletBuilder(-1, 3)
+
+
+def test_builder_add_many():
+    b = TripletBuilder(4, 4)
+    b.add_many([0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+    assert b.nnz == 3
+    dense = b.to_coo().to_dense()
+    assert dense[1, 2] == pytest.approx(2.0)
+
+
+def test_builder_add_many_mismatched_lengths():
+    b = TripletBuilder(4, 4)
+    with pytest.raises(ValueError):
+        b.add_many([0, 1], [1], [1.0, 2.0])
+
+
+def test_builder_add_many_bounds():
+    b = TripletBuilder(2, 2)
+    with pytest.raises(IndexError):
+        b.add_many([0, 3], [0, 1], [1.0, 1.0])
+
+
+def test_builder_add_symmetric_mirrors_offdiagonal():
+    b = TripletBuilder(3, 3)
+    b.add_symmetric(2, 0, -1.5)
+    dense = b.to_coo().to_dense()
+    assert dense[2, 0] == pytest.approx(-1.5)
+    assert dense[0, 2] == pytest.approx(-1.5)
+
+
+def test_builder_add_symmetric_diagonal_once():
+    b = TripletBuilder(3, 3)
+    b.add_symmetric(1, 1, 4.0)
+    assert b.nnz == 1
+    assert b.to_coo().to_dense()[1, 1] == pytest.approx(4.0)
+
+
+def test_builder_duplicates_summed_on_conversion():
+    b = TripletBuilder(2, 2)
+    b.add(0, 0, 1.0)
+    b.add(0, 0, 2.0)
+    assert b.to_csc().get(0, 0) == pytest.approx(3.0)

@@ -1,0 +1,73 @@
+"""Tests for the CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture()
+def dense():
+    return np.array(
+        [
+            [2.0, 0.0, 1.0],
+            [0.0, 0.0, 3.0],
+            [4.0, 5.0, 0.0],
+        ]
+    )
+
+
+def test_from_csc_roundtrip(dense):
+    A = CSCMatrix.from_dense(dense)
+    R = CSRMatrix.from_csc(A)
+    np.testing.assert_allclose(R.to_dense(), dense)
+    np.testing.assert_allclose(R.to_csc().to_dense(), dense)
+
+
+def test_row_access(dense):
+    R = CSRMatrix.from_csc(CSCMatrix.from_dense(dense))
+    np.testing.assert_array_equal(R.row_cols(2), [0, 1])
+    np.testing.assert_allclose(R.row_values(2), [4.0, 5.0])
+    with pytest.raises(IndexError):
+        R.row_slice(5)
+
+
+def test_iter_rows(dense):
+    R = CSRMatrix.from_csc(CSCMatrix.from_dense(dense))
+    rows = list(R.iter_rows())
+    assert len(rows) == 3
+    i, cols, vals = rows[1]
+    assert i == 1
+    np.testing.assert_array_equal(cols, [2])
+
+
+def test_matvec(dense, rng):
+    R = CSRMatrix.from_csc(CSCMatrix.from_dense(dense))
+    x = rng.normal(size=3)
+    np.testing.assert_allclose(R.matvec(x), dense @ x)
+    with pytest.raises(ValueError):
+        R.matvec(np.ones(4))
+
+
+def test_shape_and_nnz(dense):
+    R = CSRMatrix.from_csc(CSCMatrix.from_dense(dense))
+    assert R.shape == (3, 3)
+    assert R.nnz == 5
+
+
+def test_validation_rejects_bad_structure():
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, [0, 1], [0], [1.0])
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, [0, 2, 2], [1, 0], [1.0, 1.0])
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, [0, 1, 2], [0, 9], [1.0, 1.0])
+
+
+def test_rectangular_csr():
+    dense = np.array([[1.0, 0.0, 2.0, 0.0], [0.0, 3.0, 0.0, 4.0]])
+    R = CSRMatrix.from_csc(CSCMatrix.from_dense(dense))
+    assert R.shape == (2, 4)
+    np.testing.assert_allclose(R.to_dense(), dense)
+    np.testing.assert_allclose(R.to_csc().to_dense(), dense)

@@ -1,0 +1,113 @@
+"""Tests for the elimination tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scipy_reference import reference_cholesky
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.utils import lower_triangle
+from repro.symbolic.etree import (
+    EliminationTree,
+    child_counts,
+    elimination_tree,
+    first_children,
+    postorder,
+    tree_depths,
+)
+
+
+def _brute_force_parent(A):
+    """parent[j] = min{i > j : L[i, j] != 0} from the dense numeric factor."""
+    L = reference_cholesky(A)
+    n = L.shape[0]
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        below = np.nonzero(np.abs(L[j + 1 :, j]) > 1e-12)[0]
+        if below.size:
+            parent[j] = j + 1 + below[0]
+    return parent
+
+
+def test_parent_matches_brute_force(spd_matrix):
+    parent = elimination_tree(spd_matrix)
+    np.testing.assert_array_equal(parent, _brute_force_parent(spd_matrix))
+
+
+def test_parent_is_strictly_greater_than_child(spd_matrix):
+    parent = elimination_tree(spd_matrix)
+    for j, p in enumerate(parent):
+        assert p == -1 or p > j
+
+
+def test_etree_accepts_lower_triangular_storage(spd_matrix):
+    full_parent = elimination_tree(spd_matrix)
+    lower_parent = elimination_tree(lower_triangle(spd_matrix))
+    np.testing.assert_array_equal(full_parent, lower_parent)
+
+
+def test_etree_of_diagonal_matrix_is_a_forest_of_roots():
+    A = CSCMatrix.identity(5)
+    parent = elimination_tree(A)
+    assert np.all(parent == -1)
+
+
+def test_etree_of_tridiagonal_matrix_is_a_chain():
+    dense = np.diag(np.full(6, 4.0)) + np.diag(np.full(5, -1.0), 1) + np.diag(np.full(5, -1.0), -1)
+    parent = elimination_tree(CSCMatrix.from_dense(dense))
+    np.testing.assert_array_equal(parent, [1, 2, 3, 4, 5, -1])
+
+
+def test_etree_requires_square():
+    with pytest.raises(ValueError):
+        elimination_tree(CSCMatrix.from_dense(np.ones((2, 3))))
+
+
+def test_postorder_is_a_permutation_and_respects_children(spd_matrix):
+    parent = elimination_tree(spd_matrix)
+    post = postorder(parent)
+    assert sorted(post.tolist()) == list(range(parent.size))
+    position = np.empty(parent.size, dtype=np.int64)
+    position[post] = np.arange(parent.size)
+    for j, p in enumerate(parent):
+        if p != -1:
+            assert position[j] < position[p]
+
+
+def test_postorder_rejects_cycles():
+    with pytest.raises(ValueError):
+        postorder(np.array([1, 0]))
+
+
+def test_child_counts_and_children_lists(spd_matrix):
+    parent = elimination_tree(spd_matrix)
+    counts = child_counts(parent)
+    children = first_children(parent)
+    for j in range(parent.size):
+        assert counts[j] == len(children[j])
+        for c in children[j]:
+            assert parent[c] == j
+
+
+def test_tree_depths(spd_matrix):
+    parent = elimination_tree(spd_matrix)
+    depth = tree_depths(parent)
+    for j, p in enumerate(parent):
+        if p == -1:
+            assert depth[j] == 0 or depth[j] >= 0
+        else:
+            assert depth[j] == depth[p] + 1
+
+
+def test_elimination_tree_dataclass(spd_matrices):
+    A = spd_matrices["fem"]
+    tree = EliminationTree.from_matrix(A)
+    assert tree.n == A.n
+    roots = tree.roots()
+    assert roots.size >= 1
+    for r in roots:
+        assert tree.parent[r] == -1
+    # Path to root ends at a root.
+    path = tree.path_to_root(0)
+    assert tree.parent[path[-1]] == -1
+    assert tree.n_children(int(roots[0])) == len(tree.children[int(roots[0])])
+    assert tree.depths().min() == 0

@@ -1,0 +1,120 @@
+"""Tests for the symbolic-inspector framework."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import sparse_rhs
+from repro.symbolic.fill_pattern import cholesky_pattern
+from repro.symbolic.inspector import (
+    CholeskyInspector,
+    InspectionSet,
+    TriangularSolveInspector,
+    inspector_for_method,
+    verify_cholesky_pattern_consistency,
+)
+from repro.symbolic.reach import reach_set
+
+
+class TestTriangularSolveInspector:
+    def test_reach_set_matches_direct_computation(self, lower_factors):
+        L = lower_factors["fem"]
+        b = sparse_rhs(L.n, nnz=4, seed=1)
+        rhs = np.nonzero(b)[0]
+        result = TriangularSolveInspector().inspect(L, rhs_pattern=rhs)
+        np.testing.assert_array_equal(result.reach, reach_set(L, rhs))
+        np.testing.assert_array_equal(result.reach_sorted, np.sort(result.reach))
+        assert result.reach_size == result.reach.size
+
+    def test_dense_rhs_defaults_to_all_columns(self, lower_factors):
+        L = lower_factors["banded"]
+        result = TriangularSolveInspector().inspect(L)
+        assert result.reach_size == L.n
+
+    def test_inspection_sets_table1(self, lower_factors):
+        L = lower_factors["block"]
+        result = TriangularSolveInspector().inspect(L, rhs_pattern=[0])
+        prune = result.prune_set()
+        block = result.block_set()
+        assert isinstance(prune, InspectionSet)
+        assert prune.strategy == "dfs"
+        assert prune.graph.startswith("DG_L")
+        assert block.strategy == "node-equivalence"
+        assert block.payload.n_columns == L.n
+
+    def test_symbolic_time_recorded(self, lower_factors):
+        result = TriangularSolveInspector().inspect(lower_factors["circuit"], rhs_pattern=[1])
+        assert result.symbolic_seconds >= 0.0
+
+    def test_rejects_non_lower_triangular(self):
+        A = CSCMatrix.from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        with pytest.raises(ValueError):
+            TriangularSolveInspector().inspect(A)
+
+    def test_rejects_out_of_range_rhs(self, lower_factors):
+        L = lower_factors["fem"]
+        with pytest.raises(IndexError):
+            TriangularSolveInspector().inspect(L, rhs_pattern=[L.n + 5])
+
+    def test_rejects_unknown_kwargs(self, lower_factors):
+        with pytest.raises(TypeError):
+            TriangularSolveInspector().inspect(lower_factors["fem"], bogus=1)
+
+
+class TestCholeskyInspector:
+    def test_factor_pattern_matches_reference(self, spd_matrix):
+        assert verify_cholesky_pattern_consistency(spd_matrix)
+
+    def test_result_fields_are_consistent(self, spd_matrix):
+        result = CholeskyInspector().inspect(spd_matrix)
+        assert result.n == spd_matrix.n
+        assert result.factor_nnz == int(result.l_indptr[-1])
+        np.testing.assert_array_equal(result.l_col_counts, np.diff(result.l_indptr))
+        assert len(result.row_patterns) == result.n
+        assert result.supernodes.n_columns == result.n
+        assert result.average_column_count == pytest.approx(result.l_col_counts.mean())
+
+    def test_row_patterns_match_column_pattern(self, spd_matrices):
+        A = spd_matrices["laplacian_2d"]
+        result = CholeskyInspector().inspect(A)
+        indptr, indices = cholesky_pattern(A, result.parent)
+        np.testing.assert_array_equal(indptr, result.l_indptr)
+        np.testing.assert_array_equal(indices, result.l_indices)
+
+    def test_l_pattern_matrix(self, spd_matrices):
+        A = spd_matrices["block"]
+        result = CholeskyInspector().inspect(A)
+        L0 = result.l_pattern_matrix()
+        assert L0.nnz == result.factor_nnz
+        assert np.all(L0.data == 0.0)
+        assert L0.is_lower_triangular()
+
+    def test_inspection_sets_table1(self, spd_matrices):
+        result = CholeskyInspector().inspect(spd_matrices["fem"])
+        prune = result.prune_set()
+        block = result.block_set()
+        assert prune.strategy == "up-traversal"
+        assert "etree" in prune.graph
+        assert block.name == "block-set"
+        assert block.payload.n_supernodes >= 1
+
+    def test_max_supernode_width_honoured(self, spd_matrices):
+        A = spd_matrices["block"]
+        result = CholeskyInspector().inspect(A, max_supernode_width=2)
+        assert result.supernodes.max_size() <= 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            CholeskyInspector().inspect(CSCMatrix.from_dense(np.ones((2, 3))))
+
+    def test_rejects_unknown_kwargs(self, spd_matrices):
+        with pytest.raises(TypeError):
+            CholeskyInspector().inspect(spd_matrices["fem"], bogus=True)
+
+
+def test_inspector_for_method_registry():
+    assert isinstance(inspector_for_method("triangular-solve"), TriangularSolveInspector)
+    assert isinstance(inspector_for_method("trisolve"), TriangularSolveInspector)
+    assert isinstance(inspector_for_method("cholesky"), CholeskyInspector)
+    with pytest.raises(ValueError):
+        inspector_for_method("lu")

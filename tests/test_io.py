@@ -1,0 +1,108 @@
+"""Tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import laplacian_2d
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+def test_roundtrip_general(tmp_path, rng):
+    dense = rng.normal(size=(5, 7))
+    dense[np.abs(dense) < 0.8] = 0.0
+    A = CSCMatrix.from_dense(dense)
+    path = tmp_path / "general.mtx"
+    write_matrix_market(path, A)
+    B = read_matrix_market(path)
+    np.testing.assert_allclose(B.to_dense(), A.to_dense())
+
+
+def test_roundtrip_symmetric(tmp_path):
+    A = laplacian_2d(5)
+    path = tmp_path / "sym.mtx"
+    write_matrix_market(path, A, symmetric=True, comment="5x5 grid Laplacian")
+    B = read_matrix_market(path)
+    np.testing.assert_allclose(B.to_dense(), A.to_dense())
+
+
+def test_symmetric_file_is_smaller(tmp_path):
+    A = laplacian_2d(6)
+    p1 = tmp_path / "full.mtx"
+    p2 = tmp_path / "sym.mtx"
+    write_matrix_market(p1, A)
+    write_matrix_market(p2, A, symmetric=True)
+    assert p2.stat().st_size < p1.stat().st_size
+
+
+def test_comment_written(tmp_path):
+    A = CSCMatrix.identity(2)
+    path = tmp_path / "c.mtx"
+    write_matrix_market(path, A, comment="hello\nworld")
+    text = path.read_text()
+    assert "% hello" in text
+    assert "% world" in text
+
+
+def test_read_pattern_file(tmp_path):
+    path = tmp_path / "pattern.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "3 3 2\n"
+        "1 1\n"
+        "3 2\n"
+    )
+    A = read_matrix_market(path)
+    assert A.get(0, 0) == 1.0
+    assert A.get(2, 1) == 1.0
+    assert A.nnz == 2
+
+
+def test_read_integer_field(tmp_path):
+    path = tmp_path / "int.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 2\n"
+        "1 1 4\n"
+        "2 2 -7\n"
+    )
+    A = read_matrix_market(path)
+    assert A.get(1, 1) == pytest.approx(-7.0)
+
+
+def test_read_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("not a matrix market file\n1 1 0\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_read_rejects_unsupported_format(tmp_path):
+    path = tmp_path / "bad2.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_read_rejects_wrong_entry_count(tmp_path):
+    path = tmp_path / "bad3.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n"
+    )
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_read_skips_comment_lines(tmp_path):
+    path = tmp_path / "comments.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "% another comment\n"
+        "2 2 1\n"
+        "2 1 5.0\n"
+    )
+    A = read_matrix_market(path)
+    assert A.get(1, 0) == pytest.approx(5.0)

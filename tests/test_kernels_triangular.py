@@ -1,0 +1,134 @@
+"""Tests for the sparse triangular-solve kernel variants."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scipy_reference import reference_trisolve
+from repro.kernels.triangular import (
+    trisolve_decoupled,
+    trisolve_library,
+    trisolve_naive,
+    trisolve_supernodal,
+)
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import sparse_rhs
+from repro.symbolic.inspector import TriangularSolveInspector
+
+
+@pytest.fixture(params=["laplacian_2d", "fem", "banded", "block", "circuit", "arrow"])
+def factor(request, lower_factors):
+    return lower_factors[request.param]
+
+
+def _inspect(L, b):
+    return TriangularSolveInspector().inspect(L, rhs_pattern=np.nonzero(b)[0])
+
+
+def test_naive_matches_reference_dense_rhs(factor, rng):
+    b = rng.normal(size=factor.n)
+    np.testing.assert_allclose(trisolve_naive(factor, b), reference_trisolve(factor, b), atol=1e-9)
+
+
+def test_library_matches_reference_sparse_rhs(factor):
+    b = sparse_rhs(factor.n, density=0.05, seed=3)
+    np.testing.assert_allclose(
+        trisolve_library(factor, b), reference_trisolve(factor, b), atol=1e-9
+    )
+
+
+def test_decoupled_matches_reference(factor):
+    b = sparse_rhs(factor.n, density=0.05, seed=4)
+    ins = _inspect(factor, b)
+    np.testing.assert_allclose(
+        trisolve_decoupled(factor, b, ins.reach), reference_trisolve(factor, b), atol=1e-9
+    )
+
+
+def test_decoupled_with_sorted_reach(factor):
+    b = sparse_rhs(factor.n, density=0.05, seed=5)
+    ins = _inspect(factor, b)
+    np.testing.assert_allclose(
+        trisolve_decoupled(factor, b, ins.reach_sorted),
+        reference_trisolve(factor, b),
+        atol=1e-9,
+    )
+
+
+def test_supernodal_matches_reference(factor):
+    b = sparse_rhs(factor.n, density=0.08, seed=6)
+    ins = _inspect(factor, b)
+    np.testing.assert_allclose(
+        trisolve_supernodal(factor, b, ins.supernodes, ins.reach_sorted),
+        reference_trisolve(factor, b),
+        atol=1e-9,
+    )
+
+
+def test_supernodal_without_reach_processes_everything(factor, rng):
+    b = rng.normal(size=factor.n)
+    ins = TriangularSolveInspector().inspect(factor)
+    np.testing.assert_allclose(
+        trisolve_supernodal(factor, b, ins.supernodes),
+        reference_trisolve(factor, b),
+        atol=1e-9,
+    )
+
+
+def test_all_variants_agree(factor):
+    b = sparse_rhs(factor.n, density=0.03, seed=7)
+    ins = _inspect(factor, b)
+    x1 = trisolve_naive(factor, b)
+    x2 = trisolve_library(factor, b)
+    x3 = trisolve_decoupled(factor, b, ins.reach)
+    x4 = trisolve_supernodal(factor, b, ins.supernodes, ins.reach_sorted)
+    np.testing.assert_allclose(x1, x2, atol=1e-10)
+    np.testing.assert_allclose(x1, x3, atol=1e-10)
+    np.testing.assert_allclose(x1, x4, atol=1e-10)
+
+
+def test_solution_is_zero_outside_reach(factor):
+    b = sparse_rhs(factor.n, nnz=1, seed=8)
+    ins = _inspect(factor, b)
+    x = trisolve_decoupled(factor, b, ins.reach)
+    outside = np.setdiff1d(np.arange(factor.n), ins.reach_sorted)
+    np.testing.assert_allclose(x[outside], 0.0)
+
+
+def test_input_validation_non_square():
+    rect = CSCMatrix.from_dense(np.tril(np.ones((3, 2))))
+    with pytest.raises(ValueError):
+        trisolve_naive(rect, np.ones(2))
+
+
+def test_input_validation_not_lower_triangular():
+    U = CSCMatrix.from_dense(np.triu(np.ones((3, 3))))
+    with pytest.raises(ValueError):
+        trisolve_naive(U, np.ones(3))
+
+
+def test_input_validation_rhs_shape(lower_factors):
+    L = lower_factors["fem"]
+    with pytest.raises(ValueError):
+        trisolve_naive(L, np.ones(L.n + 1))
+
+
+def test_missing_diagonal_detected():
+    dense = np.array([[0.0, 0.0], [1.0, 1.0]])
+    L = CSCMatrix.from_dense(dense)
+    with pytest.raises(ValueError):
+        trisolve_naive(L, np.array([1.0, 1.0]))
+
+
+def test_supernodal_partition_size_mismatch(lower_factors):
+    L = lower_factors["fem"]
+    other = TriangularSolveInspector().inspect(lower_factors["banded"]).supernodes
+    if other.n_columns != L.n:
+        with pytest.raises(ValueError):
+            trisolve_supernodal(L, np.ones(L.n), other)
+
+
+def test_identity_solve():
+    L = CSCMatrix.identity(4)
+    b = np.array([1.0, 2.0, 3.0, 4.0])
+    np.testing.assert_allclose(trisolve_naive(L, b), b)
+    np.testing.assert_allclose(trisolve_library(L, b), b)

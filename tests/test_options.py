@@ -1,0 +1,65 @@
+"""Tests for SympilerOptions."""
+
+import pytest
+
+from repro.compiler.options import SympilerOptions
+
+
+def test_defaults_follow_the_paper():
+    opts = SympilerOptions()
+    assert opts.backend == "python"
+    assert opts.transformation_order == ("vs-block", "vi-prune")
+    assert opts.enable_vi_prune and opts.enable_vs_block and opts.enable_low_level
+
+
+def test_active_transformations_respects_toggles():
+    assert SympilerOptions().active_transformations() == ("vs-block", "vi-prune")
+    assert SympilerOptions(enable_vs_block=False).active_transformations() == ("vi-prune",)
+    assert SympilerOptions(enable_vi_prune=False).active_transformations() == ("vs-block",)
+    assert SympilerOptions.baseline().active_transformations() == ()
+
+
+def test_active_transformations_respects_order():
+    opts = SympilerOptions(transformation_order=("vi-prune", "vs-block"))
+    assert opts.active_transformations() == ("vi-prune", "vs-block")
+
+
+def test_named_constructors():
+    assert SympilerOptions.vi_prune_only().active_transformations() == ("vi-prune",)
+    assert SympilerOptions.vs_block_only().active_transformations() == ("vs-block",)
+    assert SympilerOptions.all_transformations().enable_low_level
+
+
+def test_with_updates_returns_new_instance():
+    base = SympilerOptions()
+    other = base.with_updates(backend="c", unroll_max_width=6)
+    assert other.backend == "c"
+    assert other.unroll_max_width == 6
+    assert base.backend == "python"
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        SympilerOptions(backend="fortran")
+    with pytest.raises(ValueError):
+        SympilerOptions(transformation_order=("vs-block", "vs-block"))
+    with pytest.raises(ValueError):
+        SympilerOptions(transformation_order=("loop-fusion",))
+    with pytest.raises(ValueError):
+        SympilerOptions(vs_block_min_supernode_width=0)
+    with pytest.raises(ValueError):
+        SympilerOptions(max_supernode_width=0)
+    with pytest.raises(ValueError):
+        SympilerOptions(peel_colcount_threshold=0)
+    with pytest.raises(ValueError):
+        SympilerOptions(max_peeled_iterations=-1)
+    with pytest.raises(ValueError):
+        SympilerOptions(unroll_max_width=0)
+    with pytest.raises(ValueError):
+        SympilerOptions(vectorize_min_length=0)
+
+
+def test_options_are_immutable():
+    opts = SympilerOptions()
+    with pytest.raises(Exception):
+        opts.backend = "c"

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.scipy_reference import reference_cholesky, reference_trisolve
+from repro.compiler.sympiler import Sympiler
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.permutation import Permutation
+from repro.sparse.utils import lower_triangle
+from repro.symbolic.etree import elimination_tree, postorder
+from repro.symbolic.fill_pattern import cholesky_pattern
+from repro.symbolic.inspector import TriangularSolveInspector
+from repro.symbolic.reach import reach_set
+from repro.symbolic.supernodes import triangular_supernodes
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def coo_matrices(draw, max_n=8, max_entries=30):
+    n_rows = draw(st.integers(1, max_n))
+    n_cols = draw(st.integers(1, max_n))
+    n_entries = draw(st.integers(0, max_entries))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=n_entries, max_size=n_entries)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=n_entries, max_size=n_entries)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=n_entries,
+            max_size=n_entries,
+        )
+    )
+    return COOMatrix(n_rows, n_cols, np.array(rows, dtype=np.int64),
+                     np.array(cols, dtype=np.int64), np.array(vals))
+
+
+@st.composite
+def spd_matrices_strategy(draw, max_n=10):
+    n = draw(st.integers(2, max_n))
+    density = draw(st.floats(0.0, 0.6))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    dense = np.zeros((n, n))
+    mask = rng.random((n, n)) < density
+    vals = -np.abs(rng.normal(size=(n, n)))
+    dense[mask] = vals[mask]
+    dense = np.tril(dense, -1)
+    dense = dense + dense.T
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    return CSCMatrix.from_dense(dense)
+
+
+@st.composite
+def lower_triangular_strategy(draw, max_n=10):
+    A = draw(spd_matrices_strategy(max_n=max_n))
+    return CSCMatrix.from_dense(np.linalg.cholesky(
+        A.to_dense() if not A.is_lower_triangular() else A.to_dense()
+    ))
+
+
+# --------------------------------------------------------------------------- #
+# Sparse containers
+# --------------------------------------------------------------------------- #
+@_settings
+@given(coo_matrices())
+def test_coo_to_csc_preserves_dense_form(coo):
+    np.testing.assert_allclose(coo.to_csc().to_dense(), coo.to_dense(), atol=1e-12)
+
+
+@_settings
+@given(coo_matrices())
+def test_csc_transpose_is_involutive(coo):
+    A = coo.to_csc()
+    np.testing.assert_allclose(A.transpose().transpose().to_dense(), A.to_dense())
+
+
+@_settings
+@given(coo_matrices())
+def test_csc_matvec_matches_dense(coo):
+    A = coo.to_csc()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=A.n_cols)
+    np.testing.assert_allclose(A.matvec(x), A.to_dense() @ x, atol=1e-9)
+
+
+@_settings
+@given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+def test_permutation_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    p = Permutation(rng.permutation(n))
+    x = rng.normal(size=n)
+    np.testing.assert_allclose(p.apply_inverse_vec(p.apply_vec(x)), x)
+    assert p.compose(p.inverse()).is_identity()
+
+
+@_settings
+@given(spd_matrices_strategy(), st.integers(0, 2**31 - 1))
+def test_symmetric_permutation_preserves_spectrum(A, seed):
+    rng = np.random.default_rng(seed)
+    p = Permutation(rng.permutation(A.n))
+    B = p.symmetric_permute(A)
+    np.testing.assert_allclose(
+        np.sort(np.linalg.eigvalsh(B.to_dense())),
+        np.sort(np.linalg.eigvalsh(A.to_dense())),
+        atol=1e-8,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Symbolic invariants
+# --------------------------------------------------------------------------- #
+@_settings
+@given(spd_matrices_strategy())
+def test_etree_parent_exceeds_child(A):
+    parent = elimination_tree(A)
+    for j, p in enumerate(parent):
+        assert p == -1 or p > j
+    assert sorted(postorder(parent).tolist()) == list(range(A.n))
+
+
+@_settings
+@given(spd_matrices_strategy())
+def test_cholesky_pattern_contains_tril_and_matches_numeric_factor(A):
+    indptr, indices = cholesky_pattern(A)
+    tril = lower_triangle(A)
+    numeric = np.abs(reference_cholesky(A)) > 1e-12
+    for j in range(A.n):
+        predicted = set(indices[indptr[j] : indptr[j + 1]].tolist())
+        assert set(tril.col_rows(j).tolist()) <= predicted
+        assert set(np.nonzero(numeric[:, j])[0].tolist()) <= predicted
+
+
+@_settings
+@given(lower_triangular_strategy(), st.integers(0, 2**31 - 1))
+def test_reach_set_is_closed_and_contains_sources(L, seed):
+    rng = np.random.default_rng(seed)
+    n_sources = rng.integers(1, max(2, L.n // 2))
+    sources = rng.choice(L.n, size=n_sources, replace=False)
+    reach = reach_set(L, sources)
+    reach_set_py = set(int(v) for v in reach)
+    assert set(int(s) for s in sources) <= reach_set_py
+    # Closure: every dependent of a reached column is reached.
+    for j in reach_set_py:
+        rows = L.col_rows(j)
+        for i in rows[rows > j]:
+            assert int(i) in reach_set_py
+
+
+@_settings
+@given(lower_triangular_strategy())
+def test_triangular_supernodes_partition_columns(L):
+    partition = triangular_supernodes(L)
+    covered = []
+    for s, c0, c1 in partition.iter_supernodes():
+        covered.extend(range(c0, c1))
+    assert covered == list(range(L.n))
+
+
+# --------------------------------------------------------------------------- #
+# Generated-code invariants
+# --------------------------------------------------------------------------- #
+@_settings
+@given(lower_triangular_strategy(), st.integers(0, 2**31 - 1))
+def test_generated_triangular_solve_matches_reference(L, seed):
+    rng = np.random.default_rng(seed)
+    b = np.zeros(L.n)
+    nnz = int(rng.integers(1, max(2, L.n // 2)))
+    b[rng.choice(L.n, size=nnz, replace=False)] = rng.uniform(0.5, 2.0, size=nnz)
+    compiled = Sympiler().compile_triangular_solve(L, rhs_pattern=np.nonzero(b)[0])
+    np.testing.assert_allclose(compiled.solve(L, b), reference_trisolve(L, b), atol=1e-8)
+
+
+@_settings
+@given(spd_matrices_strategy())
+def test_generated_cholesky_matches_reference(A):
+    compiled = Sympiler().compile_cholesky(A)
+    L = compiled.factorize(A)
+    np.testing.assert_allclose(L.to_dense(), reference_cholesky(A), atol=1e-8)
+
+
+@_settings
+@given(spd_matrices_strategy())
+def test_inspector_reach_consistency_with_solution_pattern(A):
+    L = CSCMatrix.from_dense(reference_cholesky(A))
+    b = np.zeros(L.n)
+    b[0] = 1.0
+    result = TriangularSolveInspector().inspect(L, rhs_pattern=[0])
+    x = reference_trisolve(L, b)
+    nonzeros = set(np.nonzero(np.abs(x) > 1e-14)[0].tolist())
+    assert nonzeros <= set(int(v) for v in result.reach)

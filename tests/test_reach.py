@@ -1,0 +1,141 @@
+"""Tests for reach-set computation and the dependence graph."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scipy_reference import reference_trisolve
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import sparse_rhs
+from repro.symbolic.dependency_graph import DependencyGraph
+from repro.symbolic.reach import reach_set, reach_set_sorted
+
+
+def _brute_force_reach(L, sources):
+    """Transitive closure of the column dependence relation."""
+    n = L.n
+    adjacency = [set(int(i) for i in L.col_rows(j) if i > j) for j in range(n)]
+    visited = set()
+    stack = list(int(s) for s in sources)
+    while stack:
+        v = stack.pop()
+        if v in visited:
+            continue
+        visited.add(v)
+        stack.extend(adjacency[v] - visited)
+    return visited
+
+
+@pytest.fixture(params=["laplacian_2d", "fem", "block", "circuit", "arrow"])
+def factor(request, lower_factors):
+    return lower_factors[request.param]
+
+
+def test_reach_matches_brute_force(factor):
+    b = sparse_rhs(factor.n, nnz=3, seed=7)
+    sources = np.nonzero(b)[0]
+    reach = reach_set(factor, sources)
+    assert set(int(v) for v in reach) == _brute_force_reach(factor, sources)
+
+
+def test_reach_contains_sources(factor):
+    sources = [0, factor.n // 2]
+    reach = set(int(v) for v in reach_set(factor, sources))
+    assert set(sources) <= reach
+
+
+def test_reach_is_topologically_ordered(factor):
+    b = sparse_rhs(factor.n, nnz=4, seed=3)
+    reach = reach_set(factor, np.nonzero(b)[0])
+    graph = DependencyGraph.from_lower_triangular(factor)
+    assert graph.is_valid_topological_order(reach.tolist())
+
+
+def test_reach_sorted_is_same_set(factor):
+    b = sparse_rhs(factor.n, nnz=5, seed=9)
+    sources = np.nonzero(b)[0]
+    assert set(reach_set(factor, sources).tolist()) == set(
+        reach_set_sorted(factor, sources).tolist()
+    )
+    assert np.all(np.diff(reach_set_sorted(factor, sources)) > 0)
+
+
+def test_reach_predicts_solution_nonzeros(factor):
+    # Gilbert & Peierls: the nonzero pattern of x is Reach_L(beta).
+    b = sparse_rhs(factor.n, nnz=2, seed=11)
+    x = reference_trisolve(factor, b)
+    nonzeros = set(np.nonzero(np.abs(x) > 1e-14)[0].tolist())
+    reach = set(int(v) for v in reach_set(factor, np.nonzero(b)[0]))
+    assert nonzeros <= reach
+
+
+def test_reach_empty_sources(factor):
+    assert reach_set(factor, []).size == 0
+
+
+def test_reach_dense_rhs_covers_dependent_columns(factor):
+    reach = reach_set(factor, np.arange(factor.n))
+    assert sorted(reach.tolist()) == list(range(factor.n))
+
+
+def test_reach_rejects_out_of_range_sources(factor):
+    with pytest.raises(IndexError):
+        reach_set(factor, [factor.n + 1])
+
+
+def test_reach_requires_lower_triangular():
+    A = CSCMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+    with pytest.raises(ValueError):
+        reach_set(A, [0])
+
+
+def test_reach_long_chain_no_recursion_limit():
+    # A bidiagonal matrix creates a dependency chain of length n; the
+    # iterative DFS must handle it without hitting Python's recursion limit.
+    n = 5000
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indices = []
+    data = []
+    for j in range(n):
+        rows = [j] if j == n - 1 else [j, j + 1]
+        indices.extend(rows)
+        data.extend([1.0] * len(rows))
+        indptr[j + 1] = indptr[j] + len(rows)
+    L = CSCMatrix(n, n, indptr, np.array(indices), np.array(data))
+    reach = reach_set(L, [0])
+    assert reach.size == n
+    assert reach[0] == 0 and reach[-1] == n - 1
+
+
+def test_dependency_graph_structure(factor):
+    graph = DependencyGraph.from_lower_triangular(factor)
+    assert graph.n == factor.n
+    # Out-neighbours of column j are exactly its below-diagonal row indices.
+    for j in range(factor.n):
+        rows = factor.col_rows(j)
+        np.testing.assert_array_equal(graph.out_neighbors(j), rows[rows > j])
+        assert graph.out_degree(j) == int((rows > j).sum())
+
+
+def test_dependency_graph_reachable_from(factor):
+    graph = DependencyGraph.from_lower_triangular(factor)
+    reach = graph.reachable_from([0])
+    assert set(reach.tolist()) == _brute_force_reach(factor, [0])
+
+
+def test_dependency_graph_rejects_upper_triangular():
+    U = CSCMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+    with pytest.raises(ValueError):
+        DependencyGraph.from_lower_triangular(U)
+
+
+def test_dependency_graph_invalid_order_detected(factor):
+    graph = DependencyGraph.from_lower_triangular(factor)
+    # Find a column with at least one dependent and place it after it.
+    for j in range(factor.n):
+        neighbours = graph.out_neighbors(j)
+        if neighbours.size:
+            bad = [int(neighbours[0]), j]
+            assert not graph.is_valid_topological_order(bad)
+            break
+    else:  # pragma: no cover - every factor here has off-diagonal entries
+        pytest.skip("factor has no off-diagonal entries")

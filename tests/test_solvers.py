@@ -1,0 +1,173 @@
+"""Tests for the application-level solvers."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.cg import incomplete_cholesky_ic0, preconditioned_conjugate_gradient
+from repro.solvers.linear_solver import SparseLinearSolver
+from repro.solvers.newton import newton_raphson_fixed_pattern
+from repro.baselines.scipy_reference import reference_cholesky, reference_solve
+from repro.sparse.coo import TripletBuilder
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import banded_spd, laplacian_2d, power_grid_spd
+
+
+class TestSparseLinearSolver:
+    def test_solve_matches_reference(self, spd_matrix, rng):
+        solver = SparseLinearSolver(spd_matrix, ordering="mindeg")
+        x_true = rng.normal(size=spd_matrix.n)
+        b = spd_matrix.matvec(x_true)
+        x = solver.solve(b)
+        np.testing.assert_allclose(x, x_true, atol=1e-7)
+        assert solver.residual(x, b) < 1e-9
+
+    @pytest.mark.parametrize("ordering", ["natural", "mindeg", "rcm"])
+    def test_orderings(self, spd_matrices, ordering, rng):
+        A = spd_matrices["laplacian_2d"]
+        solver = SparseLinearSolver(A, ordering=ordering)
+        b = rng.normal(size=A.n)
+        np.testing.assert_allclose(solver.solve(b), reference_solve(A, b), atol=1e-7)
+
+    def test_refactorize_with_new_values(self, spd_matrices, rng):
+        A = spd_matrices["banded"]
+        solver = SparseLinearSolver(A)
+        b = rng.normal(size=A.n)
+        x1 = solver.solve(b)
+        A2 = A.scale(2.0)
+        solver.factorize(A2)
+        x2 = solver.solve(b)
+        np.testing.assert_allclose(x2, x1 / 2.0, atol=1e-8)
+
+    def test_refactorize_rejects_different_pattern(self, spd_matrices):
+        solver = SparseLinearSolver(spd_matrices["fem"])
+        with pytest.raises(ValueError):
+            solver.factorize(spd_matrices["banded"])
+
+    def test_solve_many(self, spd_matrices, rng):
+        A = spd_matrices["circuit"]
+        solver = SparseLinearSolver(A)
+        B = rng.normal(size=(A.n, 3))
+        X = solver.solve_many(B)
+        for k in range(3):
+            np.testing.assert_allclose(A.matvec(X[:, k]), B[:, k], atol=1e-7)
+
+    def test_shape_validation(self, spd_matrices):
+        solver = SparseLinearSolver(spd_matrices["fem"])
+        with pytest.raises(ValueError):
+            solver.solve(np.ones(3))
+        with pytest.raises(ValueError):
+            solver.solve_many(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            SparseLinearSolver(CSCMatrix.from_dense(np.ones((2, 3))))
+
+    def test_factor_properties(self, spd_matrices):
+        A = spd_matrices["laplacian_2d"]
+        solver = SparseLinearSolver(A, ordering="natural")
+        np.testing.assert_allclose(
+            solver.L.to_dense(), reference_cholesky(A), atol=1e-8
+        )
+        assert solver.factor_nnz == solver.L.nnz
+        assert solver.setup_seconds >= 0.0
+
+
+class TestIncompleteCholesky:
+    def test_ic0_equals_exact_factor_when_no_fill(self):
+        # A tridiagonal SPD matrix factors without fill, so IC(0) is exact.
+        A = banded_spd(25, 1, seed=3)
+        L = incomplete_cholesky_ic0(A)
+        np.testing.assert_allclose(L.to_dense(), reference_cholesky(A), atol=1e-9)
+
+    def test_ic0_pattern_is_tril_of_a(self, spd_matrices):
+        A = spd_matrices["fem"]
+        L = incomplete_cholesky_ic0(A)
+        from repro.sparse.utils import lower_triangle
+
+        assert L.pattern_equal(lower_triangle(A))
+        assert L.is_lower_triangular()
+
+    def test_ic0_requires_square(self):
+        with pytest.raises(ValueError):
+            incomplete_cholesky_ic0(CSCMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestConjugateGradient:
+    def test_cg_converges_with_preconditioner(self, rng):
+        A = laplacian_2d(12)
+        x_true = rng.normal(size=A.n)
+        b = A.matvec(x_true)
+        result = preconditioned_conjugate_gradient(A, b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+
+    def test_preconditioner_reduces_iterations(self, rng):
+        A = laplacian_2d(14)
+        b = rng.normal(size=A.n)
+        plain = preconditioned_conjugate_gradient(A, b, use_preconditioner=False, tol=1e-8)
+        precond = preconditioned_conjugate_gradient(A, b, use_preconditioner=True, tol=1e-8)
+        assert precond.converged
+        assert precond.iterations <= plain.iterations
+
+    def test_cg_residual_history_is_recorded(self, rng):
+        A = power_grid_spd(60, seed=2)
+        b = rng.normal(size=A.n)
+        result = preconditioned_conjugate_gradient(A, b, tol=1e-9)
+        assert len(result.residual_norms) >= result.iterations
+        assert result.final_residual <= 1e-9
+
+    def test_cg_max_iterations_cap(self, rng):
+        A = laplacian_2d(10)
+        b = rng.normal(size=A.n)
+        result = preconditioned_conjugate_gradient(
+            A, b, use_preconditioner=False, tol=1e-16, max_iterations=3
+        )
+        assert not result.converged
+        assert result.iterations == 3
+
+    def test_cg_input_validation(self):
+        A = laplacian_2d(4)
+        with pytest.raises(ValueError):
+            preconditioned_conjugate_gradient(A, np.ones(3))
+        with pytest.raises(ValueError):
+            preconditioned_conjugate_gradient(CSCMatrix.from_dense(np.ones((2, 3))), np.ones(3))
+
+
+class TestNewtonRaphson:
+    def test_solves_small_nonlinear_system(self):
+        # F(x) = A x + 0.1 * x^3 - b, with the SPD Jacobian A + 0.3 diag(x^2).
+        A = laplacian_2d(5)
+        n = A.n
+        rng = np.random.default_rng(3)
+        x_target = rng.uniform(0.2, 1.0, size=n)
+        b = A.matvec(x_target) + 0.1 * x_target**3
+
+        def residual(x):
+            return A.matvec(x) + 0.1 * x**3 - b
+
+        def jacobian(x):
+            builder = TripletBuilder(n, n)
+            coo = A.to_coo()
+            builder.add_many(coo.rows, coo.cols, coo.data)
+            for i in range(n):
+                builder.add(i, i, 0.3 * x[i] ** 2)
+            return builder.to_csc()
+
+        result = newton_raphson_fixed_pattern(residual, jacobian, np.zeros(n), tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_target, atol=1e-7)
+        assert result.factorizations >= 1
+        assert result.residual_norms[-1] < result.residual_norms[0]
+
+    def test_iteration_cap(self):
+        A = laplacian_2d(4)
+        n = A.n
+
+        def residual(x):
+            return A.matvec(x) - np.ones(n)
+
+        def jacobian(x):
+            return A
+
+        result = newton_raphson_fixed_pattern(
+            residual, jacobian, np.zeros(n), tol=1e-30, max_iterations=2
+        )
+        assert result.iterations == 2

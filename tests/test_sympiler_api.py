@@ -1,0 +1,142 @@
+"""End-to-end tests of the Sympiler driver API (Python backend)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scipy_reference import reference_cholesky, reference_trisolve
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import PatternMismatchError, Sympiler
+from repro.sparse.generators import laplacian_2d, sparse_rhs
+from repro.sparse.permutation import Permutation
+
+
+class TestCompileTriangularSolve:
+    def test_solve_matches_reference(self, lower_factors):
+        sym = Sympiler()
+        for L in lower_factors.values():
+            b = sparse_rhs(L.n, density=0.04, seed=31)
+            compiled = sym.compile_triangular_solve(L, rhs_pattern=np.nonzero(b)[0])
+            np.testing.assert_allclose(
+                compiled.solve(L, b), reference_trisolve(L, b), atol=1e-9
+            )
+
+    def test_dense_rhs_compilation(self, lower_factors, rng):
+        L = lower_factors["fem"]
+        compiled = Sympiler().compile_triangular_solve(L)
+        b = rng.normal(size=L.n)
+        np.testing.assert_allclose(compiled.solve(L, b), reference_trisolve(L, b), atol=1e-9)
+        assert compiled.reach_size == L.n
+
+    def test_reuse_across_value_changes(self, lower_factors):
+        L = lower_factors["banded"]
+        b = sparse_rhs(L.n, nnz=3, seed=5)
+        compiled = Sympiler().compile_triangular_solve(L, rhs_pattern=np.nonzero(b)[0])
+        L2 = L.copy()
+        L2.data *= 2.0
+        np.testing.assert_allclose(
+            compiled.solve(L2, b), reference_trisolve(L2, b), atol=1e-9
+        )
+
+    def test_artifact_metadata(self, lower_factors):
+        L = lower_factors["block"]
+        b = sparse_rhs(L.n, nnz=2, seed=6)
+        compiled = Sympiler().compile_triangular_solve(L, rhs_pattern=np.nonzero(b)[0])
+        assert "vi-prune" in compiled.applied_transformations
+        assert compiled.timings.total >= 0.0
+        assert compiled.symbolic_seconds == pytest.approx(compiled.timings.total)
+        assert isinstance(compiled.source, str) and compiled.source
+        assert compiled.constants
+        assert "vs-block" in compiled.decisions
+
+    def test_verify_pattern_detects_mismatch(self, lower_factors):
+        L = lower_factors["fem"]
+        other = lower_factors["banded"]
+        b = sparse_rhs(L.n, nnz=2, seed=7)
+        compiled = Sympiler().compile_triangular_solve(L, rhs_pattern=np.nonzero(b)[0])
+        compiled.verify_pattern(L)
+        with pytest.raises(PatternMismatchError):
+            compiled.verify_pattern(other)
+
+    def test_solve_with_check_pattern(self, lower_factors):
+        L = lower_factors["fem"]
+        b = sparse_rhs(L.n, nnz=2, seed=8)
+        compiled = Sympiler().compile_triangular_solve(L, rhs_pattern=np.nonzero(b)[0])
+        np.testing.assert_allclose(
+            compiled.solve(L, b, check_pattern=True), reference_trisolve(L, b), atol=1e-9
+        )
+
+
+class TestCompileCholesky:
+    def test_factorize_matches_reference(self, spd_matrix):
+        compiled = Sympiler().compile_cholesky(spd_matrix)
+        L = compiled.factorize(spd_matrix)
+        np.testing.assert_allclose(L.to_dense(), reference_cholesky(spd_matrix), atol=1e-9)
+
+    def test_factor_uses_predicted_pattern(self, spd_matrices):
+        A = spd_matrices["fem"]
+        compiled = Sympiler().compile_cholesky(A)
+        L = compiled.factorize(A)
+        np.testing.assert_array_equal(L.indptr, compiled.inspection.l_indptr)
+        assert compiled.factor_nnz == L.nnz
+        assert compiled.l_pattern.pattern_equal(L)
+
+    def test_refactorization_with_new_values(self, spd_matrices):
+        A = spd_matrices["laplacian_2d"]
+        compiled = Sympiler().compile_cholesky(A)
+        L1 = compiled.factorize(A)
+        L2 = compiled.factorize(A.scale(9.0))
+        np.testing.assert_allclose(L2.to_dense(), 3.0 * L1.to_dense(), atol=1e-9)
+
+    def test_vi_prune_is_forced_for_cholesky(self, spd_matrices):
+        A = spd_matrices["circuit"]
+        compiled = Sympiler().compile_cholesky(A, options=SympilerOptions.baseline())
+        assert compiled.decisions.get("vi-prune-forced") is True
+        L = compiled.factorize(A)
+        np.testing.assert_allclose(L.to_dense(), reference_cholesky(A), atol=1e-9)
+
+    def test_verify_pattern_detects_mismatch(self, spd_matrices):
+        compiled = Sympiler().compile_cholesky(spd_matrices["fem"])
+        with pytest.raises(PatternMismatchError):
+            compiled.verify_pattern(spd_matrices["banded"])
+        compiled.verify_pattern(spd_matrices["fem"])
+
+    def test_transformation_reporting(self, spd_matrices):
+        A = spd_matrices["block"]
+        full = Sympiler().compile_cholesky(A, options=SympilerOptions())
+        assert "vs-block" in full.applied_transformations
+        simplicial = Sympiler().compile_cholesky(A, options=SympilerOptions.vi_prune_only())
+        assert "vs-block" not in simplicial.applied_transformations
+
+    def test_default_options_can_be_set_on_the_compiler(self, spd_matrices):
+        sym = Sympiler(SympilerOptions(enable_low_level=False))
+        compiled = sym.compile_cholesky(spd_matrices["fem"])
+        assert compiled.options.enable_low_level is False
+
+
+class TestOrderingIntegration:
+    def test_compile_on_permuted_matrix(self):
+        from repro.sparse.ordering import minimum_degree_ordering
+
+        A = laplacian_2d(9)
+        perm = minimum_degree_ordering(A)
+        B = perm.symmetric_permute(A)
+        compiled = Sympiler().compile_cholesky(B)
+        L = compiled.factorize(B)
+        np.testing.assert_allclose(L.to_dense(), reference_cholesky(B), atol=1e-9)
+        # Fewer nonzeros than the natural-ordering factor on this mesh.
+        natural = Sympiler().compile_cholesky(A)
+        assert compiled.factor_nnz <= natural.factor_nnz
+
+    def test_reverse_permutation_backward_solve(self, lower_factors, rng):
+        # Solving L^T z = y through the reversed transposed factor, as the
+        # high-level solver does.
+        L = lower_factors["fem"]
+        n = L.n
+        reverse = Permutation(np.arange(n - 1, -1, -1, dtype=np.int64))
+        Lt_rev = reverse.symmetric_permute(L.transpose())
+        assert Lt_rev.is_lower_triangular()
+        y = rng.normal(size=n)
+        compiled = Sympiler().compile_triangular_solve(Lt_rev)
+        z_rev = compiled.solve(Lt_rev, y[::-1].copy())
+        z = z_rev[::-1]
+        np.testing.assert_allclose(L.transpose().to_dense() @ z, y, atol=1e-8)
