@@ -13,6 +13,7 @@ Eigen's solve time.  Here each suite matrix gets three benchmarks:
 import pytest
 
 from repro.baselines.eigen_like import eigen_like_trisolve
+from repro.compiler.cache import ArtifactCache
 from repro.compiler.sympiler import Sympiler
 
 _MODES = ["eigen_solve", "sympiler_numeric", "sympiler_symbolic_plus_numeric"]
@@ -33,7 +34,10 @@ def test_fig8_accumulated_trisolve(benchmark, prepared, rhs_pattern, mode):
         return
 
     def cold_start():
-        compiled = Sympiler().compile_triangular_solve(
+        # A fresh private cache per round: the process-wide shared cache
+        # would otherwise turn the "cold" compile into a dict lookup.
+        sym = Sympiler(cache=ArtifactCache())
+        compiled = sym.compile_triangular_solve(
             L, rhs_pattern=rhs_pattern, options=prepared.options()
         )
         return compiled.solve(L, b)

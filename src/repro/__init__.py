@@ -34,10 +34,14 @@ Quickstart::
 
 from repro._version import __version__
 from repro.compiler import (
+    LDLTFactors,
     SympiledCholesky,
+    SympiledLDLT,
     SympiledTriangularSolve,
     Sympiler,
     SympilerOptions,
+    kernel_spec,
+    registered_kernels,
 )
 from repro.sparse import (
     CSCMatrix,
@@ -53,6 +57,7 @@ from repro.sparse import (
     laplacian_3d,
     power_grid_spd,
     random_spd,
+    saddle_point_indefinite,
     sparse_rhs,
 )
 from repro.solvers import SparseLinearSolver
@@ -63,6 +68,10 @@ __all__ = [
     "SympilerOptions",
     "SympiledCholesky",
     "SympiledTriangularSolve",
+    "SympiledLDLT",
+    "LDLTFactors",
+    "kernel_spec",
+    "registered_kernels",
     "SparseLinearSolver",
     "CSCMatrix",
     "CSRMatrix",
@@ -77,5 +86,6 @@ __all__ = [
     "random_spd",
     "circuit_like_spd",
     "power_grid_spd",
+    "saddle_point_indefinite",
     "sparse_rhs",
 ]

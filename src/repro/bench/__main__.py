@@ -9,6 +9,7 @@ Experiments
 ``fig9``     — Cholesky symbolic+numeric, normalized (Figure 9).
 ``intro``    — §1.1 speedups over the naive and library triangular solves.
 ``overheads``— §4.3 compile-time cost relative to one numeric execution.
+``ldlt``     — LDLᵀ vs. Cholesky (the kernel-registry extension).
 ``all``      — run every experiment in sequence.
 """
 
@@ -23,6 +24,7 @@ from repro.bench.figures import (
     fig8_triangular_accumulated,
     fig9_cholesky_accumulated,
     intro_triangular_speedups,
+    ldlt_performance,
     overhead_report,
     table2_suite_listing,
 )
@@ -37,6 +39,7 @@ _EXPERIMENTS = {
     "fig9": ("Figure 9: Cholesky symbolic+numeric (normalized)", fig9_cholesky_accumulated),
     "intro": ("Section 1.1: speedups over naive/library triangular solve", intro_triangular_speedups),
     "overheads": ("Section 4.3: compile-time overheads", overhead_report),
+    "ldlt": ("LDL^T vs. Cholesky (kernel-registry extension)", ldlt_performance),
 }
 
 

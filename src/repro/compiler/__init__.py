@@ -16,19 +16,53 @@ code generator that
    compiled with the system compiler and loaded through ``ctypes``
    (:mod:`repro.compiler.codegen`).
 
-The user-facing entry point is :class:`repro.compiler.sympiler.Sympiler`.
+The user-facing entry point is :class:`repro.compiler.sympiler.Sympiler`, a
+generic driver over the kernel registry (:mod:`repro.compiler.registry`):
+every kernel — triangular solve, Cholesky, LDLᵀ — is declared once as a
+:class:`~repro.compiler.registry.KernelSpec` and compiled through the same
+``compile(kernel_name, pattern, options)`` path, with compiled artifacts
+cached by pattern fingerprint (:mod:`repro.compiler.cache`).
 """
 
-from repro.compiler.options import SympilerOptions
-from repro.compiler.sympiler import (
+from repro.compiler.artifacts import (
+    CompileTimings,
+    LDLTFactors,
+    PatternMismatchError,
     SympiledCholesky,
+    SympiledLDLT,
     SympiledTriangularSolve,
-    Sympiler,
 )
+from repro.compiler.cache import ArtifactCache, CacheStats
+from repro.compiler.options import SympilerOptions
+from repro.compiler.registry import (
+    DuplicateKernelError,
+    KernelRegistry,
+    KernelSpec,
+    UnknownKernelError,
+    default_registry,
+    kernel_spec,
+    register_kernel,
+    registered_kernels,
+)
+from repro.compiler.sympiler import Sympiler
 
 __all__ = [
     "Sympiler",
     "SympilerOptions",
     "SympiledTriangularSolve",
     "SympiledCholesky",
+    "SympiledLDLT",
+    "LDLTFactors",
+    "PatternMismatchError",
+    "CompileTimings",
+    "ArtifactCache",
+    "CacheStats",
+    "KernelSpec",
+    "KernelRegistry",
+    "DuplicateKernelError",
+    "UnknownKernelError",
+    "default_registry",
+    "register_kernel",
+    "kernel_spec",
+    "registered_kernels",
 ]

@@ -1,0 +1,224 @@
+"""Compiled-artifact types returned by the Sympiler driver.
+
+Every kernel registered in :mod:`repro.compiler.registry` declares one
+artifact class here.  An artifact bundles
+
+* the specialized numeric entry point (``solve`` / ``factorize``) which only
+  touches numeric arrays,
+* the generated source, the applied transformations and the threshold
+  decisions (for inspection, tests and ablation benchmarks), and
+* a breakdown of the compile-time cost (symbolic inspection, transformation,
+  code generation and compilation) — the quantities reported as "Sympiler
+  (symbolic)" in Figures 8 and 9 of the paper.
+
+Artifacts are immutable once built and are what the artifact cache stores, so
+a cache hit returns the very same object (same timings, same generated code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.compiler.ast import KernelFunction
+from repro.compiler.codegen.runtime import pattern_fingerprint, rhs_fingerprint_extra
+from repro.compiler.options import SympilerOptions
+from repro.kernels.ldlt import LDLTFactors
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.inspector import (
+    CholeskyInspectionResult,
+    TriangularInspectionResult,
+)
+
+__all__ = [
+    "CompileTimings",
+    "PatternMismatchError",
+    "CompiledArtifact",
+    "SympiledFactorization",
+    "SympiledTriangularSolve",
+    "SympiledCholesky",
+    "SympiledLDLT",
+    "LDLTFactors",
+]
+
+
+class PatternMismatchError(ValueError):
+    """Raised when numeric inputs do not match the compile-time pattern."""
+
+
+@dataclass
+class CompileTimings:
+    """Breakdown of the compile-time (symbolic) cost in seconds."""
+
+    inspection: float = 0.0
+    transformation: float = 0.0
+    codegen: float = 0.0
+    compile: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total symbolic (compile-time) cost."""
+        return self.inspection + self.transformation + self.codegen + self.compile
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the benchmark harness."""
+        return {
+            "inspection": self.inspection,
+            "transformation": self.transformation,
+            "codegen": self.codegen,
+            "compile": self.compile,
+            "total": self.total,
+        }
+
+
+@dataclass
+class CompiledArtifact:
+    """State shared by every compiled-kernel artifact type."""
+
+    kernel: KernelFunction = field(repr=False)
+    module: object = field(repr=False)
+    entry: callable = field(repr=False)
+    options: SympilerOptions
+    applied_transformations: List[str]
+    decisions: Dict[str, object]
+    timings: CompileTimings
+    fingerprint: str
+
+    @property
+    def source(self) -> str:
+        """The generated source code (Python or C depending on the backend)."""
+        return self.module.source
+
+    @property
+    def constants(self) -> Dict[str, np.ndarray]:
+        """The inspection-set constants embedded into the generated code."""
+        return dict(self.kernel.constants)
+
+    @property
+    def symbolic_seconds(self) -> float:
+        """Total compile-time (symbolic + codegen + compilation) cost."""
+        return self.timings.total
+
+    def _check_fingerprint(self, fp: str, hint: str) -> None:
+        if fp != self.fingerprint:
+            raise PatternMismatchError(
+                "the matrix pattern differs from the pattern this kernel was "
+                f"generated for; re-run {hint}"
+            )
+
+
+@dataclass
+class SympiledTriangularSolve(CompiledArtifact):
+    """A triangular solve specialized to one ``L`` pattern and RHS pattern."""
+
+    inspection: TriangularInspectionResult = None
+
+    def solve(self, L: CSCMatrix, b: np.ndarray, *, check_pattern: bool = False) -> np.ndarray:
+        """Solve ``L x = b`` with the specialized numeric code.
+
+        ``L`` must have the same sparsity pattern (and ``b`` a nonzero pattern
+        covered by the compile-time RHS pattern) as at compile time; set
+        ``check_pattern=True`` to verify this (at the cost of hashing the
+        pattern arrays).
+        """
+        if check_pattern:
+            self.verify_pattern(L)
+        return self.solve_arrays(L.indptr, L.indices, L.data, b)
+
+    def solve_arrays(
+        self, Lp: np.ndarray, Li: np.ndarray, Lx: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """Raw-array entry point (numeric arrays only)."""
+        return self.entry(Lp, Li, Lx, np.asarray(b, dtype=np.float64))
+
+    def verify_pattern(self, L: CSCMatrix) -> None:
+        """Raise :class:`PatternMismatchError` if ``L`` has a different pattern."""
+        extra = rhs_fingerprint_extra(self.inspection.n, self.inspection.rhs_pattern)
+        fp = pattern_fingerprint(L.indptr, L.indices, extra=extra)
+        self._check_fingerprint(fp, 'Sympiler.compile("triangular-solve", ...)')
+
+    @property
+    def reach_size(self) -> int:
+        """Number of columns the specialized solve visits."""
+        return self.inspection.reach_size
+
+
+@dataclass
+class SympiledFactorization(CompiledArtifact):
+    """Shared behaviour of the factorization artifacts (LLᵀ, LDLᵀ, ...).
+
+    The factor pattern, its fingerprint check and the numeric raw-array entry
+    point are identical across factorization kernels; subclasses only shape
+    the value of :meth:`factorize` (a factor matrix, an ``(L, D)`` pair, ...).
+    """
+
+    inspection: CholeskyInspectionResult = None
+    #: Registry name shown in the pattern-mismatch hint.
+    kernel_name = "factorization"
+
+    def factorize_arrays(self, Ap: np.ndarray, Ai: np.ndarray, Ax: np.ndarray):
+        """Raw-array entry point: returns the backend entry's numeric output."""
+        return self.entry(Ap, Ai, np.asarray(Ax, dtype=np.float64))
+
+    def verify_pattern(self, A: CSCMatrix) -> None:
+        """Raise :class:`PatternMismatchError` if ``A`` has a different pattern."""
+        fp = pattern_fingerprint(A.indptr, A.indices)
+        self._check_fingerprint(fp, f'Sympiler.compile("{self.kernel_name}", ...)')
+
+    def _assemble_factor(self, lx: np.ndarray) -> CSCMatrix:
+        """Numeric factor values on the predicted pattern, as a CSC matrix."""
+        return CSCMatrix(
+            self.inspection.n,
+            self.inspection.n,
+            self.inspection.l_indptr,
+            self.inspection.l_indices,
+            lx,
+            check=False,
+        )
+
+    @property
+    def factor_nnz(self) -> int:
+        """Number of stored entries of the factor the kernel produces."""
+        return self.inspection.factor_nnz
+
+    @property
+    def l_pattern(self) -> CSCMatrix:
+        """The factor pattern (zero values), available before factorizing."""
+        return self.inspection.l_pattern_matrix()
+
+
+@dataclass
+class SympiledCholesky(SympiledFactorization):
+    """A Cholesky factorization specialized to one matrix pattern."""
+
+    kernel_name = "cholesky"
+
+    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> CSCMatrix:
+        """Factorize ``A`` (same pattern as at compile time) into ``L``."""
+        if check_pattern:
+            self.verify_pattern(A)
+        return self._assemble_factor(self.factorize_arrays(A.indptr, A.indices, A.data))
+
+
+@dataclass
+class SympiledLDLT(SympiledFactorization):
+    """An LDLᵀ factorization specialized to one symmetric matrix pattern.
+
+    Serves symmetric *indefinite* systems (saddle-point/KKT matrices) that
+    Cholesky rejects; ``factorize`` returns :class:`LDLTFactors` whose unit
+    lower-triangular ``L`` (explicit unit diagonal) shares the Cholesky factor
+    pattern, so the generated triangular-solve kernels apply to it unchanged.
+    """
+
+    kernel_name = "ldlt"
+
+    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> LDLTFactors:
+        """Factorize ``A`` (same pattern as at compile time) into ``L, D``."""
+        if check_pattern:
+            self.verify_pattern(A)
+        lx, d = self.factorize_arrays(A.indptr, A.indices, A.data)
+        return LDLTFactors(
+            L=self._assemble_factor(lx), d=np.asarray(d, dtype=np.float64)
+        )

@@ -337,9 +337,12 @@ class SupernodeTriangularBlock(Stmt):
 
 
 class SimplicialCholeskyLoop(Stmt):
-    """The VI-Pruned (simplicial) Cholesky column loop.
+    """The VI-Pruned (simplicial) left-looking factorization column loop.
 
-    All symbolic information is embedded as constant arrays:
+    Shared by the LLᵀ (Cholesky) and LDLᵀ kernels, distinguished by
+    ``factor_kind``: ``"llt"`` emits the square-root column factorization,
+    ``"ldlt"`` the unit-diagonal/D-scaled one.  All symbolic information is
+    embedded as constant arrays:
 
     * ``l_indptr`` / ``l_indices`` — the predicted factor pattern,
     * ``prune_ptr`` / ``update_pos`` / ``update_end`` — for every column
@@ -347,6 +350,8 @@ class SimplicialCholeskyLoop(Stmt):
       ``update_end`` lists, for each column ``k`` in the prune-set of ``j``,
       the position of ``L[j, k]`` inside column ``k`` and the end of column
       ``k`` (so the numeric loop performs no pattern look-ups at all),
+    * ``update_col`` — the prune-set column ``k`` of every update slot (the
+      LDLᵀ update must scale by ``D[k]``),
     * ``a_diag_pos`` / ``a_col_end`` — where the lower part of each column of
       ``A`` starts/ends in its CSC arrays.
     """
@@ -362,10 +367,14 @@ class SimplicialCholeskyLoop(Stmt):
         a_diag_pos: np.ndarray,
         a_col_end: np.ndarray,
         *,
+        update_col: Optional[np.ndarray] = None,
+        factor_kind: str = "llt",
         vectorize: bool = True,
         **annotations,
     ) -> None:
         super().__init__(annotations)
+        if factor_kind not in ("llt", "ldlt"):
+            raise ValueError(f"unknown factor kind {factor_kind!r}")
         self.n = int(n)
         self.l_indptr = np.asarray(l_indptr, dtype=np.int64)
         self.l_indices = np.asarray(l_indices, dtype=np.int64)
@@ -374,7 +383,13 @@ class SimplicialCholeskyLoop(Stmt):
         self.update_end = np.asarray(update_end, dtype=np.int64)
         self.a_diag_pos = np.asarray(a_diag_pos, dtype=np.int64)
         self.a_col_end = np.asarray(a_col_end, dtype=np.int64)
+        self.update_col = (
+            None if update_col is None else np.asarray(update_col, dtype=np.int64)
+        )
+        self.factor_kind = factor_kind
         self.vectorize = bool(vectorize)
+        if factor_kind == "ldlt" and self.update_col is None:
+            raise ValueError("the LDL^T simplicial loop requires update_col")
 
     @property
     def factor_nnz(self) -> int:
@@ -383,7 +398,7 @@ class SimplicialCholeskyLoop(Stmt):
 
 
 class SupernodalCholeskyLoop(Stmt):
-    """The VS-Block'd Cholesky supernode loop.
+    """The VS-Block'd supernode factorization loop (LLᵀ or LDLᵀ).
 
     In addition to the factor pattern and the ``A``-column positions (see
     :class:`SimplicialCholeskyLoop`), the descriptor embeds:
@@ -392,10 +407,13 @@ class SupernodalCholeskyLoop(Stmt):
     * ``desc_ptr`` / ``desc_pos`` / ``desc_end`` / ``desc_mult_end`` — for
       every supernode, the positions inside ``Lx``/``Li`` of every descendant
       column's update slice and of the sub-slice providing the multipliers,
+    * ``desc_col`` — the descendant column index of every descriptor slot
+      (the LDLᵀ panel update must scale its multipliers by ``D[k]``),
     * ``distribute_single_columns`` — whether width-1 supernodes are peeled
       into a separate streamlined (simplicial) loop (loop distribution),
     * ``use_small_kernels`` — whether diagonal blocks up to the small-kernel
-      limit use the specialized unrolled kernels instead of the library ones.
+      limit use the specialized unrolled kernels instead of the library ones
+      (LLᵀ only; the LDLᵀ diagonal blocks always use the dense LDLᵀ kernel).
     """
 
     def __init__(
@@ -412,6 +430,8 @@ class SupernodalCholeskyLoop(Stmt):
         desc_end: np.ndarray,
         desc_mult_end: np.ndarray,
         *,
+        desc_col: Optional[np.ndarray] = None,
+        factor_kind: str = "llt",
         distribute_single_columns: bool = True,
         use_small_kernels: bool = True,
         small_kernel_max_width: int = 3,
@@ -419,6 +439,8 @@ class SupernodalCholeskyLoop(Stmt):
         **annotations,
     ) -> None:
         super().__init__(annotations)
+        if factor_kind not in ("llt", "ldlt"):
+            raise ValueError(f"unknown factor kind {factor_kind!r}")
         self.n = int(n)
         self.l_indptr = np.asarray(l_indptr, dtype=np.int64)
         self.l_indices = np.asarray(l_indices, dtype=np.int64)
@@ -430,6 +452,10 @@ class SupernodalCholeskyLoop(Stmt):
         self.desc_pos = np.asarray(desc_pos, dtype=np.int64)
         self.desc_end = np.asarray(desc_end, dtype=np.int64)
         self.desc_mult_end = np.asarray(desc_mult_end, dtype=np.int64)
+        self.desc_col = None if desc_col is None else np.asarray(desc_col, dtype=np.int64)
+        self.factor_kind = factor_kind
+        if factor_kind == "ldlt" and self.desc_col is None:
+            raise ValueError("the LDL^T supernodal loop requires desc_col")
         self.distribute_single_columns = bool(distribute_single_columns)
         self.use_small_kernels = bool(use_small_kernels)
         self.small_kernel_max_width = int(small_kernel_max_width)
@@ -563,12 +589,13 @@ def _stmt_lines(stmt: Stmt, indent: int) -> List[str]:
     if isinstance(stmt, SimplicialCholeskyLoop):
         return [
             f"{pad}simplicial-cholesky n={stmt.n} nnz(L)={stmt.factor_nnz} "
-            f"vectorize={stmt.vectorize}{_annot_str(stmt)}"
+            f"kind={stmt.factor_kind} vectorize={stmt.vectorize}{_annot_str(stmt)}"
         ]
     if isinstance(stmt, SupernodalCholeskyLoop):
         return [
             f"{pad}supernodal-cholesky n={stmt.n} supernodes={stmt.n_supernodes} "
-            f"nnz(L)={stmt.factor_nnz} distribute={stmt.distribute_single_columns} "
+            f"nnz(L)={stmt.factor_nnz} kind={stmt.factor_kind} "
+            f"distribute={stmt.distribute_single_columns} "
             f"small-kernels={stmt.use_small_kernels}{_annot_str(stmt)}"
         ]
     raise TypeError(f"unknown statement node {type(stmt).__name__}")

@@ -1,0 +1,149 @@
+"""Pattern-keyed compiled-artifact cache.
+
+The paper's premise is that sparsity patterns are fixed while numeric values
+change, so the symbolic + codegen cost amortizes over many numeric runs.
+This module makes the amortization explicit: compiled artifacts are cached
+under ``(kernel name, pattern fingerprint, options fingerprint)`` so a second
+``Sympiler.compile`` for an already-seen pattern is a dictionary lookup — no
+inspection, no transformation, no code generation, no compilation.
+
+The cache is a bounded thread-safe LRU (the SEJITS ``LazySpecializedFunction``
+idiom of caching specialized code by argument configuration).  It is
+in-memory and per-process; the C backend additionally keeps its on-disk
+``.so`` cache (see :mod:`repro.compiler.codegen.c_backend`) which survives
+process restarts and is shared between processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.compiler.options import SympilerOptions
+
+__all__ = ["ArtifactCache", "CacheStats", "options_fingerprint", "cache_key"]
+
+#: Default maximum number of cached artifacts per cache instance.
+DEFAULT_MAXSIZE = 128
+
+
+def options_fingerprint(options: SympilerOptions) -> str:
+    """A short stable fingerprint of a :class:`SympilerOptions` bundle.
+
+    Any field change (backend, transformation toggles, thresholds, compiler
+    flags) changes the fingerprint, so cached artifacts are never reused
+    across differing code-generation configurations.
+    """
+    payload = repr(sorted(asdict(options).items()))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def cache_key(
+    kernel: Hashable, pattern_fp: str, options: SympilerOptions
+) -> Tuple[Hashable, str, str]:
+    """The cache key of one compiled artifact.
+
+    ``kernel`` identifies the kernel spec — the driver passes the
+    :class:`~repro.compiler.registry.KernelSpec` object itself, so equal
+    names from *different* registries (an advertised extension point) never
+    alias each other in a shared cache.
+    """
+    return (kernel, pattern_fp, options_fingerprint(options))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of an :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ArtifactCache:
+    """A bounded, thread-safe LRU cache of compiled artifacts.
+
+    Keys are arbitrary hashables (the driver uses
+    ``(kernel, pattern fingerprint, options fingerprint)`` tuples); values are
+    the artifact objects themselves, returned by reference on a hit.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = CacheStats()
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Return the cached artifact for ``key`` (marking it recently used)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return entry
+
+    def put(self, key: Hashable, artifact: object) -> None:
+        """Insert ``artifact`` under ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = artifact
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        with self._lock:
+            self._stats = CacheStats()
+
+    @property
+    def stats(self) -> CacheStats:
+        """The live counter object (read-only use expected)."""
+        return self._stats
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ArtifactCache(size={len(self)}/{self.maxsize}, "
+            f"hits={self._stats.hits}, misses={self._stats.misses})"
+        )

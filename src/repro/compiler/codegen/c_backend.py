@@ -23,6 +23,7 @@ import os
 import shutil
 import subprocess
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -44,8 +45,16 @@ from repro.compiler.ast import (
     Var,
 )
 from repro.compiler.codegen.runtime import generated_code_dir, pattern_fingerprint
+from repro.compiler.registration import register_unique
 
-__all__ = ["CBackend", "CGeneratedModule", "CCompilationError", "c_compiler_available"]
+__all__ = [
+    "CBackend",
+    "CGeneratedModule",
+    "CCompilationError",
+    "CMethodSpec",
+    "c_compiler_available",
+    "register_c_method",
+]
 
 
 class CCompilationError(RuntimeError):
@@ -55,6 +64,31 @@ class CCompilationError(RuntimeError):
 def c_compiler_available(compiler: str = "cc") -> bool:
     """True when the requested C compiler executable is on PATH."""
     return shutil.which(compiler) is not None
+
+
+def _tmp_name(path: str) -> str:
+    """A collision-free temp name next to ``path``.
+
+    The uuid component keeps concurrent *threads* of one process (same pid)
+    from sharing a temp file, not just concurrent processes.
+    """
+    return f"{path}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    Parallel workers compiling the same pattern therefore never observe a
+    half-written source file in the shared on-disk cache.
+    """
+    tmp = _tmp_name(path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def _format_c_array(name: str, values: np.ndarray, ctype: str) -> str:
@@ -94,67 +128,168 @@ class CGeneratedModule:
 
     # ------------------------------------------------------------------ #
     def compile(self) -> Callable:
-        """Compile the C source and return a NumPy-friendly wrapper."""
+        """Compile the C source and return a NumPy-friendly wrapper.
+
+        Source and shared object are written to the on-disk cache through a
+        temp-file + atomic-rename protocol, so concurrent processes working on
+        the same pattern never load a half-written artifact; a pre-existing
+        ``.so`` for the same source fingerprint skips compilation entirely.
+        """
         if self._callable is not None:
             return self._callable
         if not c_compiler_available(self.compiler):
             raise CCompilationError(
                 f"C compiler {self.compiler!r} not found; use the python backend instead"
             )
+        spec = _C_METHOD_SPECS.get(self.method)
+        if spec is None:  # pragma: no cover - guarded during generation
+            raise CCompilationError(f"unsupported method {self.method!r}")
         start = time.perf_counter()
         cache = generated_code_dir()
-        stem = f"{self.entry_name}_{pattern_fingerprint(np.frombuffer(self.source.encode(), dtype=np.uint8))}"
+        # The stem covers source AND toolchain: the same generated source
+        # built with different flags (an -O0 vs -O3 ablation, say) must not
+        # reuse the other's shared object.
+        source_fp = pattern_fingerprint(
+            np.frombuffer(self.source.encode(), dtype=np.uint8),
+            extra=f"{self.compiler} {' '.join(self.flags)}",
+        )
+        stem = f"{self.entry_name}_{source_fp}"
         c_path = os.path.join(cache, stem + ".c")
         so_path = os.path.join(cache, stem + ".so")
-        with open(c_path, "w", encoding="utf-8") as fh:
-            fh.write(self.source)
+        _atomic_write_text(c_path, self.source)
         if not os.path.exists(so_path):
-            cmd = [self.compiler, *self.flags, "-o", so_path, c_path, "-lm"]
-            proc = subprocess.run(cmd, capture_output=True, text=True)
-            if proc.returncode != 0:
-                raise CCompilationError(
-                    f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr}"
-                )
+            tmp_so = _tmp_name(so_path)
+            cmd = [self.compiler, *self.flags, "-o", tmp_so, c_path, "-lm"]
+            try:
+                proc = subprocess.run(cmd, capture_output=True, text=True)
+                if proc.returncode != 0:
+                    raise CCompilationError(
+                        f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr}"
+                    )
+                os.replace(tmp_so, so_path)
+            finally:
+                if os.path.exists(tmp_so):
+                    os.unlink(tmp_so)
         lib = ctypes.CDLL(so_path)
         fn = getattr(lib, self.entry_name)
         self.shared_object = so_path
         self.compile_seconds = time.perf_counter() - start
+        self._callable = spec.wrapper_factory(self, fn)
+        return self._callable
 
-        i64p = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
-        f64p = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
-        if self.method == "triangular-solve":
-            fn.restype = None
-            fn.argtypes = [i64p, i64p, f64p, f64p, f64p]
 
-            def wrapper(Lp, Li, Lx, b):
-                Lp = np.ascontiguousarray(Lp, dtype=np.int64)
-                Li = np.ascontiguousarray(Li, dtype=np.int64)
-                Lx = np.ascontiguousarray(Lx, dtype=np.float64)
-                b = np.ascontiguousarray(b, dtype=np.float64)
-                x = np.empty(self.n, dtype=np.float64)
-                fn(Lp, Li, Lx, b, x)
-                return x
+# --------------------------------------------------------------------------- #
+# Per-method ABI specs (entry signature + ctypes wrapper)
+# --------------------------------------------------------------------------- #
+_I64P = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_F64P = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
 
-        elif self.method == "cholesky":
-            fn.restype = ctypes.c_int64
-            fn.argtypes = [i64p, i64p, f64p, f64p]
 
-            def wrapper(Ap, Ai, Ax):
-                Ap = np.ascontiguousarray(Ap, dtype=np.int64)
-                Ai = np.ascontiguousarray(Ai, dtype=np.int64)
-                Ax = np.ascontiguousarray(Ax, dtype=np.float64)
-                Lx = np.zeros(self.factor_nnz, dtype=np.float64)
-                status = fn(Ap, Ai, Ax, Lx)
-                if status != 0:
-                    raise ValueError(
-                        f"matrix is not positive definite at column {int(status) - 1}"
-                    )
-                return Lx
+def _trisolve_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = None
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, _F64P]
 
-        else:  # pragma: no cover - guarded during generation
-            raise CCompilationError(f"unsupported method {self.method!r}")
-        self._callable = wrapper
-        return wrapper
+    def wrapper(Lp, Li, Lx, b):
+        Lp = np.ascontiguousarray(Lp, dtype=np.int64)
+        Li = np.ascontiguousarray(Li, dtype=np.int64)
+        Lx = np.ascontiguousarray(Lx, dtype=np.float64)
+        b = np.ascontiguousarray(b, dtype=np.float64)
+        x = np.empty(module.n, dtype=np.float64)
+        fn(Lp, Li, Lx, b, x)
+        return x
+
+    return wrapper
+
+
+def _cholesky_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P]
+
+    def wrapper(Ap, Ai, Ax):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.factor_nnz, dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx)
+        if status != 0:
+            raise ValueError(
+                f"matrix is not positive definite at column {int(status) - 1}"
+            )
+        return Lx
+
+    return wrapper
+
+
+def _ldlt_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, _F64P]
+
+    def wrapper(Ap, Ai, Ax):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.factor_nnz, dtype=np.float64)
+        D = np.zeros(module.n, dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx, D)
+        if status != 0:
+            raise ValueError(
+                f"matrix is singular (zero pivot) at column {int(status) - 1}"
+            )
+        return Lx, D
+
+    return wrapper
+
+
+@dataclass(frozen=True)
+class CMethodSpec:
+    """ABI description of one kernel method for the C backend.
+
+    ``signature`` is a format template over ``{name}``; ``body_emitter`` names
+    the :class:`CBackend` method emitting the function body;
+    ``wrapper_factory`` builds the NumPy-friendly ctypes wrapper.  The backend
+    dispatches on this table, so registering a new kernel method means adding
+    a spec instead of editing the generator.
+    """
+
+    signature: str
+    body_emitter: str
+    wrapper_factory: Callable
+    needs_factor_nnz: bool = False
+
+
+_C_METHOD_SPECS: Dict[str, CMethodSpec] = {
+    "triangular-solve": CMethodSpec(
+        signature=(
+            "void {name}(const int64_t* Lp, const int64_t* Li, "
+            "const double* Lx, const double* b, double* x)"
+        ),
+        body_emitter="_emit_trisolve_body",
+        wrapper_factory=_trisolve_wrapper,
+    ),
+    "cholesky": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx)"
+        ),
+        body_emitter="_emit_factorization_body",
+        wrapper_factory=_cholesky_wrapper,
+        needs_factor_nnz=True,
+    ),
+    "ldlt": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx, double* D)"
+        ),
+        body_emitter="_emit_factorization_body",
+        wrapper_factory=_ldlt_wrapper,
+        needs_factor_nnz=True,
+    ),
+}
+
+
+def register_c_method(method: str, spec: CMethodSpec) -> None:
+    """Register the ABI spec of an additional kernel method."""
+    register_unique(_C_METHOD_SPECS, method, spec, kind="C method spec")
 
 
 class _CEmitter:
@@ -226,29 +361,26 @@ class CBackend:
         out.emit("#include <math.h>")
         out.emit("#include <string.h>")
         out.emit("")
+        method_spec = _C_METHOD_SPECS.get(kernel.method)
+        if method_spec is None:
+            raise CCompilationError(f"unsupported method {kernel.method!r}")
         body_out = _CEmitter()
         body_out.indent = 1
-        factor_nnz = 0
-        if kernel.method == "triangular-solve":
-            self._emit_trisolve_body(body_out, kernel, context)
-            signature = (
-                f"void {kernel.name}(const int64_t* Lp, const int64_t* Li, "
-                "const double* Lx, const double* b, double* x)"
-            )
-        elif kernel.method == "cholesky":
-            factor_nnz = int(context.inspection.factor_nnz)
-            self._emit_cholesky_body(body_out, kernel, context)
-            signature = (
-                f"int64_t {kernel.name}(const int64_t* Ap, const int64_t* Ai, "
-                "const double* Ax, double* Lx)"
-            )
-        else:
-            raise CCompilationError(f"unsupported method {kernel.method!r}")
+        factor_nnz = (
+            int(context.inspection.factor_nnz) if method_spec.needs_factor_nnz else 0
+        )
+        getattr(self, method_spec.body_emitter)(body_out, kernel, context)
+        signature = method_spec.signature.format(name=kernel.name)
 
         for name, value in sorted(self._constants.items()):
             out.emit(_format_c_array(name, value, "int64_t"))
         out.emit("")
-        if kernel.method == "cholesky":
+        # Static work buffers and dense helpers are keyed off the domain
+        # statements actually present, not off the kernel name.
+        has_factor_loop = bool(
+            self._domain_nodes(kernel, (SimplicialCholeskyLoop, SupernodalCholeskyLoop))
+        )
+        if has_factor_loop:
             out.emit(_DENSE_HELPERS)
             out.emit(f"static double repro_f[{self._n}];")
             out.emit(f"static int64_t repro_rowmap[{self._n}];")
@@ -442,9 +574,9 @@ class CBackend:
         out.emit("}")
 
     # ------------------------------------------------------------------ #
-    # Cholesky
+    # Left-looking factorizations (Cholesky and LDL^T)
     # ------------------------------------------------------------------ #
-    def _emit_cholesky_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+    def _emit_factorization_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
         simplicial = self._domain_nodes(kernel, SimplicialCholeskyLoop)
         supernodal = self._domain_nodes(kernel, SupernodalCholeskyLoop)
         out.emit("(void)Ap;  /* the A pattern is baked into the generated constants */")
@@ -454,11 +586,12 @@ class CBackend:
             self._emit_simplicial_cholesky_c(out, simplicial[0])
         else:
             raise CCompilationError(
-                "the C backend requires a VI-Pruned or VS-Block'd Cholesky kernel"
+                "the C backend requires a VI-Pruned or VS-Block'd factorization kernel"
             )
 
     def _emit_simplicial_cholesky_c(self, out: _CEmitter, stmt: SimplicialCholeskyLoop) -> None:
         n = stmt.n
+        ldlt = stmt.factor_kind == "ldlt"
         lp = self._add_constant("l_indptr", stmt.l_indptr)
         li = self._add_constant("l_indices", stmt.l_indices)
         ad = self._add_constant("a_diag_pos", stmt.a_diag_pos)
@@ -466,6 +599,7 @@ class CBackend:
         pp = self._add_constant("prune_ptr", stmt.prune_ptr)
         up = self._add_constant("update_pos", stmt.update_pos)
         ue = self._add_constant("update_end", stmt.update_end)
+        uc = self._add_constant("update_col", stmt.update_col) if ldlt else None
         nnzl = int(stmt.l_indptr[-1])
         out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
         out.emit(f"memset(repro_f, 0, {n} * sizeof(double));")
@@ -475,16 +609,25 @@ class CBackend:
         out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
         out.push()
         out.emit(f"int64_t ps = {up}[t], pe = {ue}[t];")
-        out.emit("double ljk = Lx[ps];")
+        if ldlt:
+            out.emit(f"double ljk = Lx[ps] * D[{uc}[t]];")
+        else:
+            out.emit("double ljk = Lx[ps];")
         out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{li}[p]] -= Lx[p] * ljk;")
         out.pop()
         out.emit("}")
         out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
         out.emit("double d = repro_f[j];")
-        out.emit("if (!(d > 0.0)) return j + 1;")
-        out.emit("double ljj = sqrt(d);")
-        out.emit("Lx[lp0] = ljj;")
-        out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / ljj;")
+        if ldlt:
+            out.emit("if (d == 0.0) return j + 1;")
+            out.emit("D[j] = d;")
+            out.emit("Lx[lp0] = 1.0;")
+            out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / d;")
+        else:
+            out.emit("if (!(d > 0.0)) return j + 1;")
+            out.emit("double ljj = sqrt(d);")
+            out.emit("Lx[lp0] = ljj;")
+            out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / ljj;")
         out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{li}[p]] = 0.0;")
         out.pop()
         out.emit("}")
@@ -492,6 +635,7 @@ class CBackend:
 
     def _emit_supernodal_cholesky_c(self, out: _CEmitter, stmt: SupernodalCholeskyLoop) -> None:
         n = stmt.n
+        ldlt = stmt.factor_kind == "ldlt"
         lp = self._add_constant("l_indptr", stmt.l_indptr)
         li = self._add_constant("l_indices", stmt.l_indices)
         ad = self._add_constant("a_diag_pos", stmt.a_diag_pos)
@@ -502,6 +646,7 @@ class CBackend:
         dpos = self._add_constant("desc_pos", stmt.desc_pos)
         dme = self._add_constant("desc_mult_end", stmt.desc_mult_end)
         dend = self._add_constant("desc_end", stmt.desc_end)
+        dc = self._add_constant("desc_col", stmt.desc_col) if ldlt else None
         nnzl = int(stmt.l_indptr[-1])
         n_super = stmt.n_supernodes
         out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
@@ -518,15 +663,24 @@ class CBackend:
             out.emit(f"for (int64_t t = {dp}[s]; t < {dp}[s + 1]; t++) {{")
             out.push()
             out.emit(f"int64_t ps = {dpos}[t], pe = {dend}[t];")
-            out.emit("double ljk = Lx[ps];")
+            if ldlt:
+                out.emit(f"double ljk = Lx[ps] * D[{dc}[t]];")
+            else:
+                out.emit("double ljk = Lx[ps];")
             out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{li}[p]] -= Lx[p] * ljk;")
             out.pop()
             out.emit("}")
             out.emit("double d = repro_f[c0];")
-            out.emit("if (!(d > 0.0)) return c0 + 1;")
-            out.emit("double ljj = sqrt(d);")
-            out.emit("Lx[lp0] = ljj;")
-            out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / ljj;")
+            if ldlt:
+                out.emit("if (d == 0.0) return c0 + 1;")
+                out.emit("D[c0] = d;")
+                out.emit("Lx[lp0] = 1.0;")
+                out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / d;")
+            else:
+                out.emit("if (!(d > 0.0)) return c0 + 1;")
+                out.emit("double ljj = sqrt(d);")
+                out.emit("Lx[lp0] = ljj;")
+                out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / ljj;")
             out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{li}[p]] = 0.0;")
             out.emit("continue;")
             out.pop()
@@ -548,7 +702,11 @@ class CBackend:
         out.push()
         out.emit(f"int64_t ps = {dpos}[t], pm = {dme}[t], pe = {dend}[t];")
         out.emit("for (int64_t i = 0; i < w; i++) repro_mult[i] = 0.0;")
-        out.emit(f"for (int64_t p = ps; p < pm; p++) repro_mult[{li}[p] - c0] = Lx[p];")
+        if ldlt:
+            out.emit(f"double dk = D[{dc}[t]];")
+            out.emit(f"for (int64_t p = ps; p < pm; p++) repro_mult[{li}[p] - c0] = Lx[p] * dk;")
+        else:
+            out.emit(f"for (int64_t p = ps; p < pm; p++) repro_mult[{li}[p] - c0] = Lx[p];")
         out.emit("for (int64_t p = ps; p < pe; p++) {")
         out.push()
         out.emit(f"double* row = repro_panel + repro_rowmap[{li}[p]] * w;")
@@ -558,24 +716,49 @@ class CBackend:
         out.emit("}")
         out.pop()
         out.emit("}")
-        # Dense factorization of the diagonal block (row-major, stride w).
-        out.emit("/* dense Cholesky of the w x w diagonal block (in place) */")
-        out.emit("for (int64_t k = 0; k < w; k++) {")
-        out.push()
-        out.emit("double piv = repro_panel[k * w + k];")
-        out.emit("if (!(piv > 0.0)) return c0 + k + 1;")
-        out.emit("piv = sqrt(piv);")
-        out.emit("repro_panel[k * w + k] = piv;")
-        out.emit("for (int64_t i = k + 1; i < w; i++) repro_panel[i * w + k] /= piv;")
-        out.emit("for (int64_t j = k + 1; j < w; j++) {")
-        out.push()
-        out.emit("double djk = repro_panel[j * w + k];")
-        out.emit("for (int64_t i = j; i < w; i++) repro_panel[i * w + j] -= repro_panel[i * w + k] * djk;")
-        out.pop()
-        out.emit("}")
-        out.pop()
-        out.emit("}")
-        out.emit("repro_dense_trsm_rt(repro_panel, w, repro_panel + w * w, nr - w);")
+        if ldlt:
+            # Dense LDL^T of the diagonal block; pivots go straight into D.
+            out.emit("/* dense LDL^T of the w x w diagonal block (in place) */")
+            out.emit("for (int64_t k = 0; k < w; k++) {")
+            out.push()
+            out.emit("double piv = repro_panel[k * w + k];")
+            out.emit("if (piv == 0.0) return c0 + k + 1;")
+            out.emit("D[c0 + k] = piv;")
+            out.emit("repro_panel[k * w + k] = 1.0;")
+            out.emit("for (int64_t i = k + 1; i < w; i++) repro_panel[i * w + k] /= piv;")
+            out.emit("for (int64_t j = k + 1; j < w; j++) {")
+            out.push()
+            out.emit("double cjk = repro_panel[j * w + k] * piv;")
+            out.emit("for (int64_t i = j; i < w; i++) repro_panel[i * w + j] -= repro_panel[i * w + k] * cjk;")
+            out.pop()
+            out.emit("}")
+            out.pop()
+            out.emit("}")
+            # Off-diagonal panel: X (D L_d^T) = B -> trsm by L_d^T, then /= D.
+            out.emit("repro_dense_trsm_rt(repro_panel, w, repro_panel + w * w, nr - w);")
+            out.emit("for (int64_t r = 0; r < nr - w; r++)")
+            out.push()
+            out.emit("for (int64_t k = 0; k < w; k++) repro_panel[(w + r) * w + k] /= D[c0 + k];")
+            out.pop()
+        else:
+            # Dense factorization of the diagonal block (row-major, stride w).
+            out.emit("/* dense Cholesky of the w x w diagonal block (in place) */")
+            out.emit("for (int64_t k = 0; k < w; k++) {")
+            out.push()
+            out.emit("double piv = repro_panel[k * w + k];")
+            out.emit("if (!(piv > 0.0)) return c0 + k + 1;")
+            out.emit("piv = sqrt(piv);")
+            out.emit("repro_panel[k * w + k] = piv;")
+            out.emit("for (int64_t i = k + 1; i < w; i++) repro_panel[i * w + k] /= piv;")
+            out.emit("for (int64_t j = k + 1; j < w; j++) {")
+            out.push()
+            out.emit("double djk = repro_panel[j * w + k];")
+            out.emit("for (int64_t i = j; i < w; i++) repro_panel[i * w + j] -= repro_panel[i * w + k] * djk;")
+            out.pop()
+            out.emit("}")
+            out.pop()
+            out.emit("}")
+            out.emit("repro_dense_trsm_rt(repro_panel, w, repro_panel + w * w, nr - w);")
         out.emit("for (int64_t jj = 0; jj < w; jj++) {")
         out.push()
         out.emit("int64_t c = c0 + jj;")

@@ -47,8 +47,15 @@ from repro.compiler.ast import (
     Var,
 )
 from repro.compiler.codegen.runtime import runtime_namespace
+from repro.compiler.registration import register_unique
 
-__all__ = ["PythonBackend", "GeneratedModule", "CodegenError"]
+__all__ = [
+    "PythonBackend",
+    "GeneratedModule",
+    "CodegenError",
+    "PythonMethodSpec",
+    "register_python_method",
+]
 
 #: Supernode widths above this value are gathered with a small loop instead of
 #: fully enumerated slice assignments, to keep generated sources compact.
@@ -57,6 +64,31 @@ _LARGE_BLOCK_LOOP_WIDTH = 24
 
 class CodegenError(RuntimeError):
     """Raised when the backend cannot emit code for a kernel."""
+
+
+@dataclass(frozen=True)
+class PythonMethodSpec:
+    """Entry-point shape of one kernel method (params + returned expression).
+
+    The backend dispatches on this table instead of per-kernel branches;
+    registering a new kernel method means adding a spec, not editing the
+    generator.
+    """
+
+    params: str
+    result: str
+
+
+_PY_METHOD_SPECS: Dict[str, PythonMethodSpec] = {
+    "triangular-solve": PythonMethodSpec(params="Lp, Li, Lx, b", result="x"),
+    "cholesky": PythonMethodSpec(params="Ap, Ai, Ax", result="Lx"),
+    "ldlt": PythonMethodSpec(params="Ap, Ai, Ax", result="(Lx, D)"),
+}
+
+
+def register_python_method(method: str, spec: PythonMethodSpec) -> None:
+    """Register the entry-point shape of an additional kernel method."""
+    register_unique(_PY_METHOD_SPECS, method, spec, kind="python method spec")
 
 
 @dataclass
@@ -136,20 +168,14 @@ class PythonBackend:
         out.emit("Auto-generated; all symbolic analysis was performed at compile time.")
         out.emit('"""')
         entry = kernel.name
-        if kernel.method == "triangular-solve":
-            out.emit(f"def {entry}(Lp, Li, Lx, b):")
-            out.push()
-            self._emit_block(out, kernel.body, kernel)
-            out.emit("return x")
-            out.pop()
-        elif kernel.method == "cholesky":
-            out.emit(f"def {entry}(Ap, Ai, Ax):")
-            out.push()
-            self._emit_block(out, kernel.body, kernel)
-            out.emit("return Lx")
-            out.pop()
-        else:
+        method_spec = _PY_METHOD_SPECS.get(kernel.method)
+        if method_spec is None:
             raise CodegenError(f"unsupported method {kernel.method!r}")
+        out.emit(f"def {entry}({method_spec.params}):")
+        out.push()
+        self._emit_block(out, kernel.body, kernel)
+        out.emit(f"return {method_spec.result}")
+        out.pop()
         source = out.source()
         codegen_seconds = time.perf_counter() - start
         # Also expose the constants on the kernel for introspection.
@@ -367,6 +393,7 @@ class PythonBackend:
     def _emit_cholesky_preamble(
         self, out: _Emitter, l_indptr: np.ndarray, l_indices: np.ndarray,
         a_diag_pos: np.ndarray, a_col_end: np.ndarray, n: int,
+        *, ldlt: bool = False,
     ) -> None:
         lp = self._add_constant("l_indptr", l_indptr)
         li = self._add_constant("l_indices", l_indices)
@@ -377,16 +404,21 @@ class PythonBackend:
         out.emit(f"_ad = {ad}")
         out.emit(f"_ae = {ae}")
         out.emit(f"Lx = np.zeros({int(l_indptr[-1])})")
+        if ldlt:
+            out.emit(f"D = np.empty({n})")
         out.emit(f"f = np.zeros({n})")
 
     def _emit_simplicial_cholesky(self, out: _Emitter, stmt: SimplicialCholeskyLoop) -> None:
         n = stmt.n
+        ldlt = stmt.factor_kind == "ldlt"
         self._emit_cholesky_preamble(
-            out, stmt.l_indptr, stmt.l_indices, stmt.a_diag_pos, stmt.a_col_end, n
+            out, stmt.l_indptr, stmt.l_indices, stmt.a_diag_pos, stmt.a_col_end, n,
+            ldlt=ldlt,
         )
         pp = self._add_constant("prune_ptr", stmt.prune_ptr)
         up = self._add_constant("update_pos", stmt.update_pos)
         ue = self._add_constant("update_end", stmt.update_end)
+        uc = self._add_constant("update_col", stmt.update_col) if ldlt else None
         out.emit("# simplicial left-looking factorization; update loop pruned to the")
         out.emit("# row sparsity pattern of L (all positions resolved at compile time)")
         out.emit(f"for j in range({n}):")
@@ -396,7 +428,10 @@ class PythonBackend:
         out.emit(f"for t in range({pp}[j], {pp}[j + 1]):")
         out.push()
         out.emit(f"ps = {up}[t]; pe = {ue}[t]")
-        out.emit("ljk = Lx[ps]")
+        if ldlt:
+            out.emit(f"ljk = Lx[ps] * D[{uc}[t]]")
+        else:
+            out.emit("ljk = Lx[ps]")
         if stmt.vectorize:
             out.emit("f[Li[ps:pe]] -= Lx[ps:pe] * ljk")
         else:
@@ -407,20 +442,31 @@ class PythonBackend:
         out.pop()
         out.emit("lp0 = Lp[j]; lp1 = Lp[j + 1]")
         out.emit("d = f[j]")
-        out.emit("if d <= 0.0:")
-        out.push()
-        out.emit('raise ValueError("matrix is not positive definite at column %d" % j)')
-        out.pop()
-        out.emit("ljj = d ** 0.5")
-        out.emit("Lx[lp0] = ljj")
-        out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
+        if ldlt:
+            out.emit("if d == 0.0:")
+            out.push()
+            out.emit('raise ValueError("matrix is singular (zero pivot) at column %d" % j)')
+            out.pop()
+            out.emit("D[j] = d")
+            out.emit("Lx[lp0] = 1.0")
+            out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / d")
+        else:
+            out.emit("if d <= 0.0:")
+            out.push()
+            out.emit('raise ValueError("matrix is not positive definite at column %d" % j)')
+            out.pop()
+            out.emit("ljj = d ** 0.5")
+            out.emit("Lx[lp0] = ljj")
+            out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
         out.emit("f[Li[lp0:lp1]] = 0.0")
         out.pop()
 
     def _emit_supernodal_cholesky(self, out: _Emitter, stmt: SupernodalCholeskyLoop) -> None:
         n = stmt.n
+        ldlt = stmt.factor_kind == "ldlt"
         self._emit_cholesky_preamble(
-            out, stmt.l_indptr, stmt.l_indices, stmt.a_diag_pos, stmt.a_col_end, n
+            out, stmt.l_indptr, stmt.l_indices, stmt.a_diag_pos, stmt.a_col_end, n,
+            ldlt=ldlt,
         )
         ss = self._add_constant("sup_start", stmt.sup_start)
         se = self._add_constant("sup_end", stmt.sup_end)
@@ -428,6 +474,7 @@ class PythonBackend:
         dpos = self._add_constant("desc_pos", stmt.desc_pos)
         dme = self._add_constant("desc_mult_end", stmt.desc_mult_end)
         dend = self._add_constant("desc_end", stmt.desc_end)
+        dc = self._add_constant("desc_col", stmt.desc_col) if ldlt else None
         n_super = stmt.n_supernodes
         out.emit(f"_rowmap = np.empty({n}, dtype=np.int64)")
         out.emit("# supernodal left-looking factorization over the block-set")
@@ -444,17 +491,29 @@ class PythonBackend:
             out.emit(f"for t in range({dp}[s], {dp}[s + 1]):")
             out.push()
             out.emit(f"ps = {dpos}[t]; pe = {dend}[t]")
-            out.emit("ljk = Lx[ps]")
+            if ldlt:
+                out.emit(f"ljk = Lx[ps] * D[{dc}[t]]")
+            else:
+                out.emit("ljk = Lx[ps]")
             out.emit("f[Li[ps:pe]] -= Lx[ps:pe] * ljk")
             out.pop()
             out.emit("d = f[c0]")
-            out.emit("if d <= 0.0:")
-            out.push()
-            out.emit('raise ValueError("matrix is not positive definite at column %d" % c0)')
-            out.pop()
-            out.emit("ljj = d ** 0.5")
-            out.emit("Lx[lp0] = ljj")
-            out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
+            if ldlt:
+                out.emit("if d == 0.0:")
+                out.push()
+                out.emit('raise ValueError("matrix is singular (zero pivot) at column %d" % c0)')
+                out.pop()
+                out.emit("D[c0] = d")
+                out.emit("Lx[lp0] = 1.0")
+                out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / d")
+            else:
+                out.emit("if d <= 0.0:")
+                out.push()
+                out.emit('raise ValueError("matrix is not positive definite at column %d" % c0)')
+                out.pop()
+                out.emit("ljj = d ** 0.5")
+                out.emit("Lx[lp0] = ljj")
+                out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
             out.emit("f[Li[lp0:lp1]] = 0.0")
             out.emit("continue")
             out.pop()
@@ -474,25 +533,37 @@ class PythonBackend:
         out.emit(f"ps = {dpos}[t]; pm = {dme}[t]; pe = {dend}[t]")
         out.emit("vals = Lx[ps:pe]")
         out.emit("m = np.zeros(w)")
-        out.emit("m[Li[ps:pm] - c0] = Lx[ps:pm]")
+        if ldlt:
+            out.emit(f"m[Li[ps:pm] - c0] = Lx[ps:pm] * D[{dc}[t]]")
+        else:
+            out.emit("m[Li[ps:pm] - c0] = Lx[ps:pm]")
         out.emit("panel[_rowmap[Li[ps:pe]], :] -= np.outer(vals, m)")
         out.pop()
-        out.emit("D = panel[:w, :w]")
-        if stmt.use_small_kernels:
-            out.emit(f"if w <= {stmt.small_kernel_max_width}:")
+        if ldlt:
+            out.emit("_Db = panel[:w, :w]")
+            out.emit("Ld, _dv = _rt.dense_ldlt(_Db)")
+            out.emit("D[c0:c1] = _dv")
+            out.emit("if nr > w:")
             out.push()
-            out.emit("Ld = _rt.small_cholesky(D)")
-            out.pop()
-            out.emit("else:")
-            out.push()
-            out.emit("Ld = _rt.dense_cholesky(D)")
+            out.emit("panel[w:, :] = _rt.dense_solve_transposed_right(Ld, panel[w:, :]) / _dv")
             out.pop()
         else:
-            out.emit("Ld = _rt.dense_cholesky(D)")
-        out.emit("if nr > w:")
-        out.push()
-        out.emit("panel[w:, :] = _rt.dense_solve_transposed_right(Ld, panel[w:, :])")
-        out.pop()
+            out.emit("D = panel[:w, :w]")
+            if stmt.use_small_kernels:
+                out.emit(f"if w <= {stmt.small_kernel_max_width}:")
+                out.push()
+                out.emit("Ld = _rt.small_cholesky(D)")
+                out.pop()
+                out.emit("else:")
+                out.push()
+                out.emit("Ld = _rt.dense_cholesky(D)")
+                out.pop()
+            else:
+                out.emit("Ld = _rt.dense_cholesky(D)")
+            out.emit("if nr > w:")
+            out.push()
+            out.emit("panel[w:, :] = _rt.dense_solve_transposed_right(Ld, panel[w:, :])")
+            out.pop()
         out.emit("for jj in range(w):")
         out.push()
         out.emit("c = c0 + jj")

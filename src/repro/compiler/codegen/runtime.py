@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.kernels.dense import (
     dense_cholesky,
+    dense_ldlt,
     dense_lower_solve,
     dense_solve_transposed_right,
     small_cholesky,
@@ -29,6 +30,7 @@ from repro.kernels.dense import (
 __all__ = [
     "runtime_namespace",
     "pattern_fingerprint",
+    "rhs_fingerprint_extra",
     "generated_code_dir",
 ]
 
@@ -37,6 +39,7 @@ def runtime_namespace() -> types.SimpleNamespace:
     """The ``_rt`` namespace injected into generated Python modules."""
     return types.SimpleNamespace(
         dense_cholesky=dense_cholesky,
+        dense_ldlt=dense_ldlt,
         dense_lower_solve=dense_lower_solve,
         dense_solve_transposed_right=dense_solve_transposed_right,
         small_cholesky=small_cholesky,
@@ -60,6 +63,21 @@ def pattern_fingerprint(*arrays: np.ndarray, extra: str = "") -> str:
     if extra:
         digest.update(extra.encode())
     return digest.hexdigest()[:16]
+
+
+def rhs_fingerprint_extra(n: int, rhs: "np.ndarray | None") -> str:
+    """Fingerprint suffix encoding a (normalized) RHS pattern.
+
+    ``rhs`` must be ``None`` (dense) or sorted unique in-range indices, as the
+    triangular inspector produces.  A dense RHS — explicit or implicit — maps
+    to the constant token ``"dense"`` rather than an O(n) index listing, so
+    fingerprinting stays cheap on the factor-once/solve-many hot path.  Used
+    by both the registry's cache fingerprint and the compiled artifact's
+    ``verify_pattern``, which therefore always agree.
+    """
+    if rhs is None or rhs.size == n:
+        return "dense"
+    return ",".join(str(int(i)) for i in rhs)
 
 
 def generated_code_dir() -> str:

@@ -23,7 +23,7 @@ from repro.compiler.ast import (
     Var,
 )
 
-__all__ = ["lower_triangular_solve", "lower_cholesky"]
+__all__ = ["lower_triangular_solve", "lower_cholesky", "lower_ldlt"]
 
 
 def lower_triangular_solve() -> KernelFunction:
@@ -152,4 +152,79 @@ def lower_cholesky() -> KernelFunction:
         body=body,
         method="cholesky",
         meta={"algorithm": "left-looking", "figure": "4"},
+    )
+
+
+def lower_ldlt() -> KernelFunction:
+    """Initial AST of left-looking sparse LDLᵀ (``A = L D Lᵀ``).
+
+    Structurally the Figure 4 loop nest with the square-root column
+    factorization replaced by pivot extraction (``D(j) = f(j)``) and a
+    division by the pivot; every descendant update is scaled by ``D(r)``.
+    The same loops carry the same transformation annotations as Cholesky:
+    the update loop is VI-Prune-able, the column loop VS-Block-able.
+    """
+    j = Var("j")
+    r = Var("r")
+
+    update_body = Block(
+        [
+            # f(j:n) -= L(j:n, r) * (D(r) * L(j, r))
+            Assign(
+                Var("f"),
+                BinOp(
+                    "*",
+                    Call("L_col_tail", (r, j)),
+                    BinOp("*", Call("D_entry", (r,)), Call("L_entry", (j, r))),
+                ),
+                op="-=",
+            )
+        ]
+    )
+    update_loop = ForRange(
+        "r",
+        IntConst(0),
+        j,
+        update_body,
+        role="update-loop",
+        prunable=True,
+    )
+    column_body = Block(
+        [
+            Comment("gather column j of A into the dense work vector f"),
+            Assign(Var("f"), Call("A_col_lower", (j,))),
+            update_loop,
+            Comment("column factorization: pivot extraction, then pivot scaling"),
+            Assign(Call("D_entry", (j,)), ArrayRef("f", j)),
+            Assign(Call("L_entry", (j, j)), IntConst(1)),
+            Assign(
+                Call("L_col_tail", (j, BinOp("+", j, IntConst(1)))),
+                BinOp("/", Var("f"), Call("D_entry", (j,))),
+                op="=",
+                role="off-diagonal-scale",
+                vectorizable=True,
+            ),
+        ]
+    )
+    column_loop = ForRange(
+        "j",
+        IntConst(0),
+        Var("n"),
+        column_body,
+        role="column-loop",
+        prunable=False,
+        blockable=True,
+    )
+    body = Block(
+        [
+            Comment("left-looking sparse LDL^T: A = L * D * L^T"),
+            column_loop,
+        ]
+    )
+    return KernelFunction(
+        name="ldlt",
+        params=["Ap", "Ai", "Ax"],
+        body=body,
+        method="ldlt",
+        meta={"algorithm": "left-looking", "figure": "4 (LDL^T variant)"},
     )

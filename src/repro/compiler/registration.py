@@ -1,0 +1,47 @@
+"""Shared conflict-checked registration for the compiler's extension tables.
+
+The compiler exposes several per-method extension points (kernel specs,
+backend ABI specs, inspector-guided transforms).  They all follow one
+contract, implemented here once: registering the *same object* again is a
+no-op (safe re-imports), registering a *different* object under a taken key
+raises ``ValueError`` — identity, not equality, so two equivalent-looking
+specs with distinct callables still conflict loudly instead of silently
+shadowing each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Type, TypeVar
+
+__all__ = ["register_unique", "register_unique_many"]
+
+T = TypeVar("T")
+
+
+def register_unique_many(
+    table: Dict[str, T],
+    keys: Sequence[str],
+    value: T,
+    *,
+    kind: str,
+    error: Type[Exception] = ValueError,
+) -> T:
+    """Insert ``value`` under every key in ``keys`` with conflict checking.
+
+    Every key is validated before any is written, so a conflicting key never
+    leaves a partial registration behind.  ``kind`` names the extension point
+    in the error message; ``error`` lets callers raise their own exception
+    type.  Returns ``value``.
+    """
+    for key in keys:
+        existing = table.get(key)
+        if existing is not None and existing is not value:
+            raise error(f"a {kind} is already registered for {key!r}")
+    for key in keys:
+        table[key] = value
+    return value
+
+
+def register_unique(table: Dict[str, T], key: str, value: T, *, kind: str) -> T:
+    """Insert ``value`` under ``key`` in ``table`` with conflict checking."""
+    return register_unique_many(table, (key,), value, kind=kind)

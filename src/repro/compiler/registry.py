@@ -1,0 +1,318 @@
+"""The kernel registry: one declarative spec per sparse kernel.
+
+The paper's pipeline (symbolic inspection → inspector-guided transformation →
+code generation) is the same for every numerical method; what differs per
+kernel is *which* inspector runs, *which* lowering produces the initial AST,
+*which* transformations apply and *what* artifact the user gets back.  A
+:class:`KernelSpec` declares exactly those ingredients once, and the
+:class:`~repro.compiler.sympiler.Sympiler` driver walks the spec generically —
+adding a kernel means registering a spec, not editing the driver.
+
+Registered kernels (the default registry):
+
+==================  =============================  ==========================
+name                inspector                      artifact
+==================  =============================  ==========================
+``triangular-solve``  :class:`TriangularSolveInspector`  :class:`SympiledTriangularSolve`
+``cholesky``          :class:`CholeskyInspector`         :class:`SympiledCholesky`
+``ldlt``              :class:`LDLTInspector`             :class:`SympiledLDLT`
+==================  =============================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.compiler.artifacts import (
+    SympiledCholesky,
+    SympiledLDLT,
+    SympiledTriangularSolve,
+)
+from repro.compiler.codegen.runtime import pattern_fingerprint, rhs_fingerprint_extra
+from repro.compiler.lowering import lower_cholesky, lower_ldlt, lower_triangular_solve
+from repro.compiler.options import SympilerOptions
+from repro.compiler.registration import register_unique_many
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.inspector import (
+    CholeskyInspector,
+    LDLTInspector,
+    TriangularSolveInspector,
+    normalize_rhs_pattern,
+)
+
+__all__ = [
+    "KernelSpec",
+    "KernelRegistry",
+    "KernelRegistryError",
+    "DuplicateKernelError",
+    "UnknownKernelError",
+    "default_registry",
+    "register_kernel",
+    "kernel_spec",
+    "registered_kernels",
+]
+
+
+class KernelRegistryError(ValueError):
+    """Base class of kernel-registry errors."""
+
+
+class DuplicateKernelError(KernelRegistryError):
+    """Raised when a spec is registered under an already-taken name/alias."""
+
+
+class UnknownKernelError(KernelRegistryError):
+    """Raised when no spec is registered under the requested name."""
+
+
+# --------------------------------------------------------------------------- #
+# Default spec hooks
+# --------------------------------------------------------------------------- #
+def _pattern_only_fingerprint(matrix: CSCMatrix, kernel_args: Dict) -> str:
+    """Fingerprint of the matrix pattern alone (factorization kernels)."""
+    return pattern_fingerprint(matrix.indptr, matrix.indices)
+
+
+def _no_normalize_args(matrix: CSCMatrix, kernel_args: Dict) -> Dict:
+    return kernel_args
+
+
+def _trisolve_normalize_args(matrix: CSCMatrix, kernel_args: Dict) -> Dict:
+    """Materialize, de-duplicate, sort and range-check the RHS pattern once.
+
+    Delegates to :func:`normalize_rhs_pattern` (shared with the inspector, so
+    fingerprint and inspection can never disagree).  The result feeds both
+    the cache fingerprint and the inspector, so a one-shot iterable is
+    consumed exactly once and invalid indices fail *before* the cache is
+    consulted (error behaviour must not depend on cache state).
+    """
+    rhs = normalize_rhs_pattern(matrix.n, kernel_args.get("rhs_pattern"))
+    if rhs is not None:
+        kernel_args = dict(kernel_args, rhs_pattern=rhs)
+    return kernel_args
+
+
+def _trisolve_fingerprint(matrix: CSCMatrix, kernel_args: Dict) -> str:
+    """Fingerprint of the ``L`` pattern plus the (normalized) RHS pattern.
+
+    ``kernel_args`` has been through :func:`_trisolve_normalize_args`:
+    ``rhs_pattern`` is ``None`` (dense) or a sorted unique in-range index
+    array; a dense RHS — explicit or implicit — is a constant token.
+    """
+    extra = rhs_fingerprint_extra(matrix.n, kernel_args.get("rhs_pattern"))
+    return pattern_fingerprint(matrix.indptr, matrix.indices, extra=extra)
+
+
+def _no_inspect_kwargs(options: SympilerOptions, kernel_args: Dict) -> Dict:
+    return {}
+
+
+def _trisolve_inspect_kwargs(options: SympilerOptions, kernel_args: Dict) -> Dict:
+    return {"rhs_pattern": kernel_args.get("rhs_pattern")}
+
+
+def _factorization_inspect_kwargs(options: SympilerOptions, kernel_args: Dict) -> Dict:
+    return {"max_supernode_width": options.max_supernode_width}
+
+
+def _no_context_extra(inspection) -> Dict:
+    return {}
+
+
+def _trisolve_context_extra(inspection) -> Dict:
+    return {"rhs_pattern": inspection.rhs_pattern}
+
+
+# --------------------------------------------------------------------------- #
+# KernelSpec
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class KernelSpec:
+    """Declarative description of one compilable kernel.
+
+    Attributes
+    ----------
+    name:
+        Canonical kernel name; also the ``method`` tag carried by the lowered
+        AST and the compilation context.
+    lower:
+        Zero-argument lowering function producing the initial annotated AST.
+    inspector_cls:
+        The :class:`~repro.symbolic.inspector.SymbolicInspector` subclass run
+        at compile time.
+    artifact_cls:
+        The compiled-artifact class the driver instantiates.
+    runtime_signature:
+        Names of the numeric arrays the generated entry point consumes, in
+        order (documentation + sanity checks; the backends own the ABI).
+    transforms:
+        The inspector-guided transformations applicable to this kernel; the
+        pipeline only runs passes that are both enabled in the options and
+        listed here.
+    requires_vi_prune:
+        Whether the kernel cannot be generated without VI-Prune (the numeric
+        left-looking factorizations need the predicted factor pattern — the
+        paper makes the same observation in the caption of Figure 7).
+    kernel_args:
+        Names of per-compile keyword arguments accepted by ``compile`` for
+        this kernel (e.g. ``rhs_pattern``); anything else is a ``TypeError``.
+    aliases:
+        Alternative lookup names.
+    normalize_args / fingerprint / inspect_kwargs / context_extra:
+        Hooks canonicalizing the per-compile arguments (run once, before
+        anything consumes them) and mapping them to the cache fingerprint,
+        the inspector keyword arguments and extra compilation-context fields.
+    description:
+        One-line human-readable summary (shown in docs and error messages).
+    """
+
+    name: str
+    lower: Callable[[], object]
+    inspector_cls: type
+    artifact_cls: type
+    runtime_signature: Tuple[str, ...]
+    transforms: Tuple[str, ...] = ("vs-block", "vi-prune")
+    requires_vi_prune: bool = False
+    kernel_args: Tuple[str, ...] = ()
+    aliases: Tuple[str, ...] = ()
+    normalize_args: Callable[[CSCMatrix, Dict], Dict] = _no_normalize_args
+    fingerprint: Callable[[CSCMatrix, Dict], str] = _pattern_only_fingerprint
+    inspect_kwargs: Callable[[SympilerOptions, Dict], Dict] = _no_inspect_kwargs
+    context_extra: Callable[[object], Dict] = _no_context_extra
+    description: str = ""
+
+    def validate_args(self, kernel_args: Dict) -> None:
+        """Reject keyword arguments this kernel does not accept."""
+        unknown = sorted(set(kernel_args) - set(self.kernel_args))
+        if unknown:
+            raise TypeError(
+                f"kernel {self.name!r} does not accept argument(s) {unknown}; "
+                f"accepted: {sorted(self.kernel_args)}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# KernelRegistry
+# --------------------------------------------------------------------------- #
+class KernelRegistry:
+    """Name → :class:`KernelSpec` mapping with alias resolution."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, KernelSpec] = {}
+        self._lookup: Dict[str, KernelSpec] = {}
+
+    def register(self, spec: KernelSpec) -> KernelSpec:
+        """Register ``spec`` under its name and aliases.
+
+        Raises :class:`DuplicateKernelError` when the name or any alias is
+        already taken (by a different spec object); every key is validated
+        before any is written, so a conflict leaves no partial registration.
+        """
+        register_unique_many(
+            self._lookup,
+            (spec.name, *spec.aliases),
+            spec,
+            kind="kernel",
+            error=DuplicateKernelError,
+        )
+        self._specs[spec.name] = spec
+        return spec
+
+    def resolve(self, name: str) -> KernelSpec:
+        """Return the spec registered under ``name`` (or an alias of it)."""
+        spec = self._lookup.get(name)
+        if spec is None:
+            raise UnknownKernelError(
+                f"no kernel registered under {name!r}; "
+                f"available: {sorted(self._specs)}"
+            )
+        return spec
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical names of every registered kernel."""
+        return tuple(sorted(self._specs))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._lookup
+
+    def __iter__(self) -> Iterator[KernelSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+_DEFAULT_REGISTRY = KernelRegistry()
+
+
+def default_registry() -> KernelRegistry:
+    """The process-wide registry holding the built-in kernels."""
+    return _DEFAULT_REGISTRY
+
+
+def register_kernel(spec: KernelSpec, *, registry: Optional[KernelRegistry] = None) -> KernelSpec:
+    """Register ``spec`` in ``registry`` (the default registry when omitted)."""
+    return (registry or _DEFAULT_REGISTRY).register(spec)
+
+
+def kernel_spec(name: str) -> KernelSpec:
+    """Resolve ``name`` in the default registry."""
+    return _DEFAULT_REGISTRY.resolve(name)
+
+
+def registered_kernels() -> Tuple[str, ...]:
+    """Canonical names of the kernels in the default registry."""
+    return _DEFAULT_REGISTRY.names()
+
+
+# --------------------------------------------------------------------------- #
+# Built-in kernels
+# --------------------------------------------------------------------------- #
+register_kernel(
+    KernelSpec(
+        name="triangular-solve",
+        lower=lower_triangular_solve,
+        inspector_cls=TriangularSolveInspector,
+        artifact_cls=SympiledTriangularSolve,
+        runtime_signature=("Lp", "Li", "Lx", "b"),
+        transforms=("vs-block", "vi-prune"),
+        requires_vi_prune=False,
+        kernel_args=("rhs_pattern",),
+        aliases=("trisolve", "triangular"),
+        normalize_args=_trisolve_normalize_args,
+        fingerprint=_trisolve_fingerprint,
+        inspect_kwargs=_trisolve_inspect_kwargs,
+        context_extra=_trisolve_context_extra,
+        description="sparse lower-triangular solve L x = b (Fig. 1)",
+    )
+)
+
+register_kernel(
+    KernelSpec(
+        name="cholesky",
+        lower=lower_cholesky,
+        inspector_cls=CholeskyInspector,
+        artifact_cls=SympiledCholesky,
+        runtime_signature=("Ap", "Ai", "Ax"),
+        transforms=("vs-block", "vi-prune"),
+        requires_vi_prune=True,
+        inspect_kwargs=_factorization_inspect_kwargs,
+        description="left-looking sparse Cholesky A = L L^T (Fig. 4)",
+    )
+)
+
+register_kernel(
+    KernelSpec(
+        name="ldlt",
+        lower=lower_ldlt,
+        inspector_cls=LDLTInspector,
+        artifact_cls=SympiledLDLT,
+        runtime_signature=("Ap", "Ai", "Ax"),
+        transforms=("vs-block", "vi-prune"),
+        requires_vi_prune=True,
+        aliases=("ldl",),
+        inspect_kwargs=_factorization_inspect_kwargs,
+        description="left-looking sparse LDL^T for symmetric indefinite A",
+    )
+)

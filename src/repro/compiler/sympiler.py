@@ -1,203 +1,194 @@
 """The Sympiler driver: symbolic inspection → transformation → code generation.
 
-:class:`Sympiler` is the user-facing compiler.  Given a numerical method and
-the sparsity pattern of its inputs it produces a *compiled artifact*
-(:class:`SympiledTriangularSolve` or :class:`SympiledCholesky`) that exposes
+:class:`Sympiler` is the user-facing compiler.  It is a *generic* driver: the
+per-kernel knowledge (lowering, inspector, applicable transformations,
+artifact type, cache fingerprint) lives in the kernel registry
+(:mod:`repro.compiler.registry`), and :meth:`Sympiler.compile` walks whatever
+spec the requested kernel name resolves to.  Adding a kernel therefore means
+registering a :class:`~repro.compiler.registry.KernelSpec`; the driver itself
+contains no kernel-specific branches.
 
-* the specialized numeric entry point (``solve`` / ``factorize``) which only
-  touches numeric arrays,
-* the generated source, the applied transformations and the threshold
-  decisions (for inspection, tests and ablation benchmarks), and
-* a breakdown of the compile-time cost (symbolic inspection, transformation,
-  code generation and compilation) — the quantities reported as "Sympiler
-  (symbolic)" in Figures 8 and 9 of the paper.
+Compiled artifacts are cached in a pattern-keyed LRU
+(:mod:`repro.compiler.cache`): a second ``compile`` for an identical pattern,
+kernel and option bundle returns the previously built artifact without
+re-running inspection, transformation or code generation — the amortization
+that makes the factor-once/solve-many scenarios of §1.2 pay off.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.compiler.ast import KernelFunction
+from repro.compiler.artifacts import (
+    CompiledArtifact,
+    CompileTimings,
+    PatternMismatchError,
+    SympiledCholesky,
+    SympiledLDLT,
+    SympiledTriangularSolve,
+)
+from repro.compiler.cache import ArtifactCache, CacheStats, cache_key
 from repro.compiler.codegen.c_backend import CBackend
 from repro.compiler.codegen.python_backend import PythonBackend
-from repro.compiler.codegen.runtime import pattern_fingerprint
-from repro.compiler.lowering import lower_cholesky, lower_triangular_solve
 from repro.compiler.options import SympilerOptions
+from repro.compiler.registry import KernelRegistry, default_registry
 from repro.compiler.transforms.base import CompilationContext
 from repro.compiler.transforms.pipeline import build_pipeline
 from repro.sparse.csc import CSCMatrix
-from repro.symbolic.inspector import (
-    CholeskyInspectionResult,
-    CholeskyInspector,
-    TriangularInspectionResult,
-    TriangularSolveInspector,
-)
 
-__all__ = ["Sympiler", "SympiledTriangularSolve", "SympiledCholesky", "PatternMismatchError"]
+__all__ = [
+    "Sympiler",
+    "SympiledTriangularSolve",
+    "SympiledCholesky",
+    "SympiledLDLT",
+    "PatternMismatchError",
+    "CompileTimings",
+]
 
 
-class PatternMismatchError(ValueError):
-    """Raised when numeric inputs do not match the compile-time pattern."""
+_BACKEND_FACTORIES = {
+    "python": lambda options: PythonBackend(),
+    "c": lambda options: CBackend(compiler=options.c_compiler, flags=options.c_flags),
+}
 
 
 def _backend_for(options: SympilerOptions):
-    if options.backend == "python":
-        return PythonBackend()
-    if options.backend == "c":
-        return CBackend(compiler=options.c_compiler, flags=options.c_flags)
-    raise ValueError(f"unknown backend {options.backend!r}")
+    factory = _BACKEND_FACTORIES.get(options.backend)
+    if factory is None:
+        raise ValueError(f"unknown backend {options.backend!r}")
+    return factory(options)
 
 
-@dataclass
-class CompileTimings:
-    """Breakdown of the compile-time (symbolic) cost in seconds."""
-
-    inspection: float = 0.0
-    transformation: float = 0.0
-    codegen: float = 0.0
-    compile: float = 0.0
-
-    @property
-    def total(self) -> float:
-        """Total symbolic (compile-time) cost."""
-        return self.inspection + self.transformation + self.codegen + self.compile
-
-    def as_dict(self) -> Dict[str, float]:
-        """Plain-dict view used by the benchmark harness."""
-        return {
-            "inspection": self.inspection,
-            "transformation": self.transformation,
-            "codegen": self.codegen,
-            "compile": self.compile,
-            "total": self.total,
-        }
-
-
-@dataclass
-class _CompiledArtifact:
-    """State shared by the two artifact types."""
-
-    kernel: KernelFunction = field(repr=False)
-    module: object = field(repr=False)
-    entry: callable = field(repr=False)
-    options: SympilerOptions
-    applied_transformations: List[str]
-    decisions: Dict[str, object]
-    timings: CompileTimings
-    fingerprint: str
-
-    @property
-    def source(self) -> str:
-        """The generated source code (Python or C depending on the backend)."""
-        return self.module.source
-
-    @property
-    def constants(self) -> Dict[str, np.ndarray]:
-        """The inspection-set constants embedded into the generated code."""
-        return dict(self.kernel.constants)
-
-    @property
-    def symbolic_seconds(self) -> float:
-        """Total compile-time (symbolic + codegen + compilation) cost."""
-        return self.timings.total
-
-
-@dataclass
-class SympiledTriangularSolve(_CompiledArtifact):
-    """A triangular solve specialized to one ``L`` pattern and RHS pattern."""
-
-    inspection: TriangularInspectionResult = None
-
-    def solve(self, L: CSCMatrix, b: np.ndarray, *, check_pattern: bool = False) -> np.ndarray:
-        """Solve ``L x = b`` with the specialized numeric code.
-
-        ``L`` must have the same sparsity pattern (and ``b`` a nonzero pattern
-        covered by the compile-time RHS pattern) as at compile time; set
-        ``check_pattern=True`` to verify this (at the cost of hashing the
-        pattern arrays).
-        """
-        if check_pattern:
-            self.verify_pattern(L)
-        return self.solve_arrays(L.indptr, L.indices, L.data, b)
-
-    def solve_arrays(
-        self, Lp: np.ndarray, Li: np.ndarray, Lx: np.ndarray, b: np.ndarray
-    ) -> np.ndarray:
-        """Raw-array entry point (numeric arrays only)."""
-        return self.entry(Lp, Li, Lx, np.asarray(b, dtype=np.float64))
-
-    def verify_pattern(self, L: CSCMatrix) -> None:
-        """Raise :class:`PatternMismatchError` if ``L`` has a different pattern."""
-        fp = pattern_fingerprint(L.indptr, L.indices, extra=self._rhs_extra())
-        if fp != self.fingerprint:
-            raise PatternMismatchError(
-                "the matrix pattern differs from the pattern this kernel was "
-                "generated for; re-run Sympiler.compile_triangular_solve"
-            )
-
-    def _rhs_extra(self) -> str:
-        return ",".join(str(int(i)) for i in self.inspection.rhs_pattern)
-
-    @property
-    def reach_size(self) -> int:
-        """Number of columns the specialized solve visits."""
-        return self.inspection.reach_size
-
-
-@dataclass
-class SympiledCholesky(_CompiledArtifact):
-    """A Cholesky factorization specialized to one matrix pattern."""
-
-    inspection: CholeskyInspectionResult = None
-
-    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> CSCMatrix:
-        """Factorize ``A`` (same pattern as at compile time) into ``L``."""
-        if check_pattern:
-            self.verify_pattern(A)
-        lx = self.factorize_arrays(A.indptr, A.indices, A.data)
-        return CSCMatrix(
-            self.inspection.n,
-            self.inspection.n,
-            self.inspection.l_indptr,
-            self.inspection.l_indices,
-            lx,
-            check=False,
-        )
-
-    def factorize_arrays(self, Ap: np.ndarray, Ai: np.ndarray, Ax: np.ndarray) -> np.ndarray:
-        """Raw-array entry point: returns the numeric values of ``L``."""
-        return self.entry(Ap, Ai, np.asarray(Ax, dtype=np.float64))
-
-    def verify_pattern(self, A: CSCMatrix) -> None:
-        """Raise :class:`PatternMismatchError` if ``A`` has a different pattern."""
-        fp = pattern_fingerprint(A.indptr, A.indices)
-        if fp != self.fingerprint:
-            raise PatternMismatchError(
-                "the matrix pattern differs from the pattern this kernel was "
-                "generated for; re-run Sympiler.compile_cholesky"
-            )
-
-    @property
-    def factor_nnz(self) -> int:
-        """Number of stored entries of the factor the kernel produces."""
-        return self.inspection.factor_nnz
-
-    @property
-    def l_pattern(self) -> CSCMatrix:
-        """The factor pattern (zero values), available before factorizing."""
-        return self.inspection.l_pattern_matrix()
+#: Process-wide artifact cache shared by every ``Sympiler()`` that does not
+#: bring its own — so independent drivers (solver instances, bench harness
+#: experiments) amortize compiles of the same pattern.
+_SHARED_CACHE = ArtifactCache()
 
 
 class Sympiler:
-    """The symbolic-enabled code generator (the paper's Figure 2 pipeline)."""
+    """The symbolic-enabled code generator (the paper's Figure 2 pipeline).
 
-    def __init__(self, options: Optional[SympilerOptions] = None) -> None:
+    Parameters
+    ----------
+    options:
+        Default code-generation options (overridable per ``compile`` call).
+    registry:
+        Kernel registry to resolve kernel names in; defaults to the global
+        registry with the built-in kernels (triangular solve, Cholesky, LDLᵀ).
+    cache:
+        Artifact cache; defaults to a process-wide shared cache.  Pass a fresh
+        :class:`~repro.compiler.cache.ArtifactCache` to isolate (e.g. tests).
+    """
+
+    def __init__(
+        self,
+        options: Optional[SympilerOptions] = None,
+        *,
+        registry: Optional[KernelRegistry] = None,
+        cache: Optional[ArtifactCache] = None,
+    ) -> None:
         self.options = options or SympilerOptions()
+        self.registry = registry or default_registry()
+        self.cache = cache if cache is not None else _SHARED_CACHE
 
+    # ------------------------------------------------------------------ #
+    def compile(
+        self,
+        kernel: str,
+        matrix: CSCMatrix,
+        options: Optional[SympilerOptions] = None,
+        **kernel_args,
+    ) -> CompiledArtifact:
+        """Compile the named kernel, specialized to ``matrix``'s pattern.
+
+        Parameters
+        ----------
+        kernel:
+            A kernel name (or alias) registered in the registry.
+        matrix:
+            The input pattern — ``L`` for triangular solve, ``A`` for the
+            factorizations.  Only its structure is read here.
+        options:
+            Per-call options overriding the compiler's defaults.
+        kernel_args:
+            Kernel-specific arguments declared by the spec (e.g.
+            ``rhs_pattern`` for the triangular solve).
+
+        Returns the spec's artifact; an identical (pattern, kernel, options)
+        triple returns the cached artifact without recompiling.
+        """
+        spec = self.registry.resolve(kernel)
+        spec.validate_args(kernel_args)
+        # Canonicalize the arguments exactly once: one-shot iterables are
+        # materialized and invalid input fails here, before the cache is
+        # consulted, so error behaviour never depends on cache state.
+        kernel_args = spec.normalize_args(matrix, kernel_args)
+        options = options or self.options
+
+        # The cache key uses the *spec object* (not just the kernel name, so
+        # same-named kernels from different registries never alias in the
+        # shared cache) and the *requested* options (a forced-VI-Prune
+        # compile must not alias a compile that asked for VI-Prune outright,
+        # since their decision records differ even when the code does not).
+        fingerprint = spec.fingerprint(matrix, kernel_args)
+        key = cache_key(spec, fingerprint, options)
+
+        forced_vi_prune = False
+        if spec.requires_vi_prune and not options.enable_vi_prune:
+            options = options.with_updates(enable_vi_prune=True)
+            forced_vi_prune = True
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+
+        inspector = spec.inspector_cls()
+        inspection = inspector.inspect(matrix, **spec.inspect_kwargs(options, kernel_args))
+
+        kernel_fn = spec.lower()
+        context = CompilationContext(
+            method=spec.name,
+            matrix=matrix,
+            inspection=inspection,
+            options=options,
+            **spec.context_extra(inspection),
+        )
+        if forced_vi_prune:
+            context.decisions["vi-prune-forced"] = True
+
+        t0 = time.perf_counter()
+        kernel_fn = build_pipeline(options, transforms=spec.transforms).run(
+            kernel_fn, context
+        )
+        transform_seconds = time.perf_counter() - t0
+
+        backend = _backend_for(options)
+        module = backend.generate(kernel_fn, context)
+        entry = module.compile()
+        timings = CompileTimings(
+            inspection=inspection.symbolic_seconds,
+            transformation=transform_seconds,
+            codegen=module.codegen_seconds,
+            compile=module.compile_seconds,
+        )
+        artifact = spec.artifact_cls(
+            kernel=kernel_fn,
+            module=module,
+            entry=entry,
+            options=options,
+            applied_transformations=list(context.applied),
+            decisions=dict(context.decisions),
+            timings=timings,
+            fingerprint=fingerprint,
+            inspection=inspection,
+        )
+        self.cache.put(key, artifact)
+        return artifact
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers (thin aliases over the generic entry point)
     # ------------------------------------------------------------------ #
     def compile_triangular_solve(
         self,
@@ -207,107 +198,38 @@ class Sympiler:
     ) -> SympiledTriangularSolve:
         """Generate a solver for ``L x = b`` specialized to ``L``'s pattern.
 
-        Parameters
-        ----------
-        L:
-            Lower-triangular matrix (only its pattern is used here).
-        rhs_pattern:
-            Nonzero indices of the right-hand side; ``None`` means dense.
-        options:
-            Per-call options overriding the compiler's defaults.
+        ``rhs_pattern`` holds the nonzero indices of the right-hand side;
+        ``None`` means dense.
         """
-        options = options or self.options
-        inspector = TriangularSolveInspector()
-        inspection = inspector.inspect(L, rhs_pattern=rhs_pattern)
+        return self.compile("triangular-solve", L, options=options, rhs_pattern=rhs_pattern)
 
-        kernel = lower_triangular_solve()
-        context = CompilationContext(
-            method="triangular-solve",
-            matrix=L,
-            inspection=inspection,
-            options=options,
-            rhs_pattern=inspection.rhs_pattern,
-        )
-        t0 = time.perf_counter()
-        kernel = build_pipeline(options).run(kernel, context)
-        transform_seconds = time.perf_counter() - t0
-
-        backend = _backend_for(options)
-        module = backend.generate(kernel, context)
-        entry = module.compile()
-        timings = CompileTimings(
-            inspection=inspection.symbolic_seconds,
-            transformation=transform_seconds,
-            codegen=module.codegen_seconds,
-            compile=module.compile_seconds,
-        )
-        fingerprint = pattern_fingerprint(
-            L.indptr,
-            L.indices,
-            extra=",".join(str(int(i)) for i in inspection.rhs_pattern),
-        )
-        return SympiledTriangularSolve(
-            kernel=kernel,
-            module=module,
-            entry=entry,
-            options=options,
-            applied_transformations=list(context.applied),
-            decisions=dict(context.decisions),
-            timings=timings,
-            fingerprint=fingerprint,
-            inspection=inspection,
-        )
-
-    # ------------------------------------------------------------------ #
     def compile_cholesky(
         self,
         A: CSCMatrix,
         options: Optional[SympilerOptions] = None,
     ) -> SympiledCholesky:
         """Generate a Cholesky factorization specialized to ``A``'s pattern."""
-        options = options or self.options
-        # The numeric Cholesky code cannot exist without the predicted factor
-        # pattern, i.e. VI-Prune is part of the baseline generated code (the
-        # paper makes the same observation in the caption of Figure 7).
-        forced_vi_prune = False
-        if not options.enable_vi_prune:
-            options = options.with_updates(enable_vi_prune=True)
-            forced_vi_prune = True
+        return self.compile("cholesky", A, options=options)
 
-        inspector = CholeskyInspector()
-        inspection = inspector.inspect(A, max_supernode_width=options.max_supernode_width)
+    def compile_ldlt(
+        self,
+        A: CSCMatrix,
+        options: Optional[SympilerOptions] = None,
+    ) -> SympiledLDLT:
+        """Generate an LDLᵀ factorization specialized to ``A``'s pattern.
 
-        kernel = lower_cholesky()
-        context = CompilationContext(
-            method="cholesky",
-            matrix=A,
-            inspection=inspection,
-            options=options,
-        )
-        if forced_vi_prune:
-            context.decisions["vi-prune-forced"] = True
-        t0 = time.perf_counter()
-        kernel = build_pipeline(options).run(kernel, context)
-        transform_seconds = time.perf_counter() - t0
+        Serves symmetric indefinite systems (saddle-point/KKT matrices) that
+        Cholesky rejects.
+        """
+        return self.compile("ldlt", A, options=options)
 
-        backend = _backend_for(options)
-        module = backend.generate(kernel, context)
-        entry = module.compile()
-        timings = CompileTimings(
-            inspection=inspection.symbolic_seconds,
-            transformation=transform_seconds,
-            codegen=module.codegen_seconds,
-            compile=module.compile_seconds,
-        )
-        fingerprint = pattern_fingerprint(A.indptr, A.indices)
-        return SympiledCholesky(
-            kernel=kernel,
-            module=module,
-            entry=entry,
-            options=options,
-            applied_transformations=list(context.applied),
-            decisions=dict(context.decisions),
-            timings=timings,
-            fingerprint=fingerprint,
-            inspection=inspection,
-        )
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the artifact cache this driver uses.
+
+        With the default process-wide shared cache these counters aggregate
+        every driver in the process; construct ``Sympiler(cache=ArtifactCache())``
+        for per-driver counters.
+        """
+        return self.cache.stats

@@ -16,7 +16,12 @@ from repro.symbolic.inspector import (
     TriangularInspectionResult,
 )
 
-__all__ = ["CompilationContext", "Transform", "TransformPipeline"]
+__all__ = [
+    "CompilationContext",
+    "Transform",
+    "MethodDispatchTransform",
+    "TransformPipeline",
+]
 
 InspectionResult = Union[TriangularInspectionResult, CholeskyInspectionResult]
 
@@ -28,7 +33,8 @@ class CompilationContext:
     Attributes
     ----------
     method:
-        ``"triangular-solve"`` or ``"cholesky"``.
+        The kernel method name (``"triangular-solve"``, ``"cholesky"``,
+        ``"ldlt"``, ... — any method registered in the kernel registry).
     matrix:
         The input matrix pattern — ``L`` for triangular solve, ``A`` for
         Cholesky.  Transforms only read its structure, never its values.
@@ -73,6 +79,28 @@ class Transform(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}()"
+
+
+class MethodDispatchTransform(Transform):
+    """A transform whose behaviour is selected per kernel method.
+
+    Subclasses declare a ``handlers`` table mapping a method name to the name
+    of the bound method implementing the pass for it.  New kernels extend a
+    transform by adding a ``handlers`` entry (usually pointing at a shared,
+    parametrized implementation) instead of growing an ``if/elif`` chain.
+    """
+
+    #: method name -> attribute name of the handler implementing the pass.
+    handlers: Dict[str, str] = {}
+
+    def apply(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
+        handler = self.handlers.get(context.method)
+        if handler is None:
+            raise ValueError(
+                f"{self.name} does not support method {context.method!r}; "
+                f"supported: {sorted(self.handlers)}"
+            )
+        return getattr(self, handler)(kernel, context)
 
 
 class TransformPipeline:

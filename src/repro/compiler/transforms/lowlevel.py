@@ -51,7 +51,9 @@ class PeelTransform(Transform):
     name = "peel"
 
     def apply(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
-        if context.method != "triangular-solve":
+        # Structural pass: only kernels containing pruned column-solve loops
+        # (the triangular-solve family) have anything to peel.
+        if not any(isinstance(n, PrunedColumnSolveLoop) for n in walk(kernel.body)):
             return kernel
         options = context.options
         L = context.matrix
@@ -165,8 +167,8 @@ class LoopDistributeTransform(Transform):
     name = "distribute"
 
     def apply(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
-        if context.method != "cholesky":
-            return kernel
+        # Structural pass: acts on any supernodal left-looking loop (LL^T or
+        # LDL^T); kernels without one are left untouched.
         changed = 0
         for node in walk(kernel.body):
             if isinstance(node, SupernodalCholeskyLoop) and not node.distribute_single_columns:
@@ -184,8 +186,6 @@ class SmallKernelTransform(Transform):
     name = "small-kernels"
 
     def apply(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
-        if context.method != "cholesky":
-            return kernel
         inspection = context.inspection
         if not isinstance(inspection, CholeskyInspectionResult):
             return kernel
@@ -194,7 +194,9 @@ class SmallKernelTransform(Transform):
         use_small = avg_colcount < options.blas_switch_avg_colcount
         changed = 0
         for node in walk(kernel.body):
-            if isinstance(node, SupernodalCholeskyLoop):
+            # Unrolled small kernels exist for LL^T diagonal blocks only; the
+            # LDL^T blocks always go through the dense LDL^T micro-kernel.
+            if isinstance(node, SupernodalCholeskyLoop) and node.factor_kind == "llt":
                 node.use_small_kernels = use_small
                 node.small_kernel_max_width = options.small_kernel_max_width
                 changed += 1

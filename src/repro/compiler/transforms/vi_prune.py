@@ -6,11 +6,13 @@ VI-Prune restricts a loop's iteration space to an inspection set:
   the reach-set computed by the DFS inspector; every use of the original loop
   index is replaced by the corresponding reach-set entry (Figure 3a→3b,
   Figure 1d/1e).
-* **Cholesky** — the update loop over all columns ``r < j`` becomes a loop
-  over the row sparsity pattern of row ``j`` of ``L`` (the prune-set of
+* **Cholesky / LDLᵀ** — the update loop over all columns ``r < j`` becomes a
+  loop over the row sparsity pattern of row ``j`` of ``L`` (the prune-set of
   Figure 4); the transformation materializes those per-column sets, together
   with the factor pattern, into flat descriptor arrays so the numeric loop
-  performs no pattern look-ups (and no transpose of ``A``) at run time.
+  performs no pattern look-ups (and no transpose of ``A``) at run time.  Both
+  left-looking factorizations share one implementation, differing only in the
+  ``factor_kind`` of the produced domain loop.
 
 When VS-Block has already been applied the pass operates on the blocked
 structure instead: participating supernode blocks that contain no reached
@@ -35,7 +37,10 @@ from repro.compiler.ast import (
     SupernodeTriangularBlock,
     walk,
 )
-from repro.compiler.transforms.base import CompilationContext, Transform
+from repro.compiler.transforms.base import (
+    CompilationContext,
+    MethodDispatchTransform,
+)
 from repro.compiler.transforms.descriptors import simplicial_descriptors
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
@@ -65,17 +70,15 @@ def _replace_statement(block: Block, old, new_statements: List) -> bool:
     return False
 
 
-class VIPruneTransform(Transform):
+class VIPruneTransform(MethodDispatchTransform):
     """The VI-Prune inspector-guided transformation."""
 
     name = "vi-prune"
-
-    def apply(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
-        if context.method == "triangular-solve":
-            return self._apply_triangular(kernel, context)
-        if context.method == "cholesky":
-            return self._apply_cholesky(kernel, context)
-        raise ValueError(f"VI-Prune does not support method {context.method!r}")
+    handlers = {
+        "triangular-solve": "_apply_triangular",
+        "cholesky": "_apply_cholesky",
+        "ldlt": "_apply_ldlt",
+    }
 
     # ------------------------------------------------------------------ #
     # Triangular solve
@@ -151,14 +154,28 @@ class VIPruneTransform(Transform):
         prune_block(kernel.body)
 
     # ------------------------------------------------------------------ #
-    # Cholesky
+    # Left-looking factorizations (Cholesky and LDL^T)
     # ------------------------------------------------------------------ #
     def _apply_cholesky(
         self, kernel: KernelFunction, context: CompilationContext
     ) -> KernelFunction:
+        return self._apply_left_looking(kernel, context, factor_kind="llt")
+
+    def _apply_ldlt(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        return self._apply_left_looking(kernel, context, factor_kind="ldlt")
+
+    def _apply_left_looking(
+        self,
+        kernel: KernelFunction,
+        context: CompilationContext,
+        *,
+        factor_kind: str,
+    ) -> KernelFunction:
         inspection = context.inspection
         if not isinstance(inspection, CholeskyInspectionResult):
-            raise TypeError("Cholesky VI-Prune needs a Cholesky inspection")
+            raise TypeError("left-looking VI-Prune needs a Cholesky-style inspection")
 
         # If VS-Block already replaced the column loop with a supernodal loop,
         # the prune-sets are already embedded in its descendant descriptors.
@@ -184,6 +201,8 @@ class VIPruneTransform(Transform):
             update_end=desc.update_end,
             a_diag_pos=desc.a_diag_pos,
             a_col_end=desc.a_col_end,
+            update_col=desc.update_col,
+            factor_kind=factor_kind,
             vectorize=True,
             role="simplicial-cholesky",
         )
@@ -195,7 +214,7 @@ class VIPruneTransform(Transform):
             simplicial,
         ])
         if not replaced:
-            raise RuntimeError("failed to replace the Cholesky column loop")
+            raise RuntimeError("failed to replace the left-looking column loop")
         for cname, value in (
             ("l_indptr", inspection.l_indptr),
             ("l_indices", inspection.l_indices),

@@ -35,7 +35,10 @@ from repro.compiler.ast import (
     SupernodeTriangularBlock,
     walk,
 )
-from repro.compiler.transforms.base import CompilationContext, Transform
+from repro.compiler.transforms.base import (
+    CompilationContext,
+    MethodDispatchTransform,
+)
 from repro.compiler.transforms.descriptors import (
     supernodal_descriptors,
     triangular_block_descriptor,
@@ -78,17 +81,15 @@ def vs_block_participates(
     return participates, details
 
 
-class VSBlockTransform(Transform):
+class VSBlockTransform(MethodDispatchTransform):
     """The VS-Block inspector-guided transformation."""
 
     name = "vs-block"
-
-    def apply(self, kernel: KernelFunction, context: CompilationContext) -> KernelFunction:
-        if context.method == "triangular-solve":
-            return self._apply_triangular(kernel, context)
-        if context.method == "cholesky":
-            return self._apply_cholesky(kernel, context)
-        raise ValueError(f"VS-Block does not support method {context.method!r}")
+    handlers = {
+        "triangular-solve": "_apply_triangular",
+        "cholesky": "_apply_cholesky",
+        "ldlt": "_apply_ldlt",
+    }
 
     # ------------------------------------------------------------------ #
     # Triangular solve
@@ -209,14 +210,28 @@ class VSBlockTransform(Transform):
         return segments
 
     # ------------------------------------------------------------------ #
-    # Cholesky
+    # Left-looking factorizations (Cholesky and LDL^T)
     # ------------------------------------------------------------------ #
     def _apply_cholesky(
         self, kernel: KernelFunction, context: CompilationContext
     ) -> KernelFunction:
+        return self._apply_left_looking(kernel, context, factor_kind="llt")
+
+    def _apply_ldlt(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        return self._apply_left_looking(kernel, context, factor_kind="ldlt")
+
+    def _apply_left_looking(
+        self,
+        kernel: KernelFunction,
+        context: CompilationContext,
+        *,
+        factor_kind: str,
+    ) -> KernelFunction:
         inspection = context.inspection
         if not isinstance(inspection, CholeskyInspectionResult):
-            raise TypeError("Cholesky VS-Block needs a Cholesky inspection")
+            raise TypeError("left-looking VS-Block needs a Cholesky-style inspection")
         options = context.options
         partition = inspection.supernodes
         participates, details = vs_block_participates(
@@ -241,6 +256,8 @@ class VSBlockTransform(Transform):
             desc_pos=desc.desc_pos,
             desc_end=desc.desc_end,
             desc_mult_end=desc.desc_mult_end,
+            desc_col=desc.desc_col,
+            factor_kind=factor_kind,
             # Low-level refinements (distribution, small-kernel specialization)
             # are decided by the low-level passes; default to the plain
             # blocked structure here.

@@ -22,12 +22,14 @@ from repro.kernels.cholesky import (
 )
 from repro.kernels.dense import (
     dense_cholesky,
+    dense_ldlt,
     dense_lower_solve,
     dense_solve_transposed_right,
     small_cholesky,
     small_lower_solve,
 )
 from repro.kernels.flops import cholesky_flops, gflops, triangular_solve_flops
+from repro.kernels.ldlt import LDLTFactors, ldlt_left_looking
 from repro.kernels.triangular import (
     trisolve_decoupled,
     trisolve_library,
@@ -48,6 +50,9 @@ __all__ = [
     "cholesky_up_looking",
     "cholesky_left_looking",
     "cholesky_supernodal",
+    "dense_ldlt",
+    "ldlt_left_looking",
+    "LDLTFactors",
     "triangular_solve_flops",
     "cholesky_flops",
     "gflops",

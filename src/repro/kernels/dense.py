@@ -22,11 +22,14 @@ import numpy as np
 
 __all__ = [
     "dense_cholesky",
+    "dense_ldlt",
     "dense_lower_solve",
     "dense_solve_transposed_right",
     "small_cholesky",
     "small_lower_solve",
     "SMALL_KERNEL_LIMIT",
+    "NotPositiveDefiniteError",
+    "SingularMatrixError",
 ]
 
 #: Largest block order for which the hand-unrolled kernels are available.
@@ -35,6 +38,10 @@ SMALL_KERNEL_LIMIT = 3
 
 class NotPositiveDefiniteError(ValueError):
     """Raised when a (block) pivot is not strictly positive."""
+
+
+class SingularMatrixError(ValueError):
+    """Raised when an LDLᵀ pivot is exactly zero (matrix not factorizable)."""
 
 
 def dense_cholesky(A: np.ndarray) -> np.ndarray:
@@ -60,6 +67,32 @@ def dense_cholesky(A: np.ndarray) -> np.ndarray:
             # Symmetric rank-1 update of the trailing submatrix (lower part).
             A[k + 1 :, k + 1 :] -= np.outer(A[k + 1 :, k], A[k + 1 :, k])
     return np.tril(A)
+
+
+def dense_ldlt(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """LDLᵀ factorization of a dense symmetric matrix (no pivoting).
+
+    Returns ``(L, d)`` with ``L`` unit lower triangular and ``d`` the diagonal
+    of ``D``, so ``A = L @ diag(d) @ L.T``.  Pivots may be negative (symmetric
+    indefinite input) but must be nonzero; a zero pivot raises
+    :class:`SingularMatrixError`.
+    """
+    A = np.array(A, dtype=np.float64, copy=True)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("dense_ldlt expects a square matrix")
+    n = A.shape[0]
+    d = np.empty(n, dtype=np.float64)
+    for k in range(n):
+        pivot = A[k, k]
+        if pivot == 0.0:
+            raise SingularMatrixError(f"zero pivot at column {k}")
+        d[k] = pivot
+        A[k, k] = 1.0
+        if k + 1 < n:
+            A[k + 1 :, k] /= pivot
+            # Trailing update: A[i, j] -= l_ik * d_k * l_jk (lower part).
+            A[k + 1 :, k + 1 :] -= np.outer(A[k + 1 :, k], A[k + 1 :, k]) * pivot
+    return np.tril(A), d
 
 
 def dense_lower_solve(L: np.ndarray, B: np.ndarray) -> np.ndarray:

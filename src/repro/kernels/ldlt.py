@@ -1,0 +1,128 @@
+"""Sparse LDLᵀ factorization reference kernels.
+
+``A = L D Lᵀ`` with ``L`` unit lower triangular and ``D`` diagonal handles
+symmetric *indefinite* systems (KKT/saddle-point matrices, shifted operators)
+that Cholesky rejects, without pivoting as long as every leading pivot is
+nonzero — guaranteed for symmetric quasi-definite matrices.  The fill pattern
+of ``L`` is identical to the Cholesky factor pattern, so the same symbolic
+inspection (elimination tree, ``ereach`` row patterns, column counts,
+supernodes) drives both factorizations.
+
+:func:`ldlt_left_looking` is the decoupled left-looking reference used as the
+correctness oracle for the Sympiler-generated LDLᵀ kernels; ``L`` stores an
+explicit unit diagonal so the generated triangular-solve kernels apply to it
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.dense import SingularMatrixError
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.inspector import CholeskyInspectionResult, CholeskyInspector
+
+__all__ = ["LDLTFactors", "ldlt_left_looking", "SingularMatrixError"]
+
+
+@dataclass(frozen=True)
+class LDLTFactors:
+    """The factors of ``A = L D Lᵀ``.
+
+    ``L`` is unit lower triangular (the unit diagonal is stored explicitly so
+    triangular-solve kernels need no special casing) and ``d`` holds the
+    diagonal of ``D``; entries of ``d`` may be negative for indefinite input.
+    """
+
+    L: CSCMatrix
+    d: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Order of the factored matrix."""
+        return self.L.n
+
+    @property
+    def inertia(self) -> tuple[int, int, int]:
+        """``(n_positive, n_negative, n_zero)`` eigenvalue counts (Sylvester)."""
+        return (
+            int(np.sum(self.d > 0.0)),
+            int(np.sum(self.d < 0.0)),
+            int(np.sum(self.d == 0.0)),
+        )
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` by forward, diagonal and backward substitution."""
+        b = np.asarray(b, dtype=np.float64)
+        L = self.L
+        n = L.n
+        y = b.copy()
+        # Forward: L y = b (unit diagonal stored explicitly).
+        for j in range(n):
+            p0, p1 = L.indptr[j], L.indptr[j + 1]
+            y[j] /= L.data[p0]
+            y[L.indices[p0 + 1 : p1]] -= L.data[p0 + 1 : p1] * y[j]
+        z = y / self.d
+        # Backward: L^T x = z, column-at-a-time from the right.
+        x = z.copy()
+        for j in range(n - 1, -1, -1):
+            p0, p1 = L.indptr[j], L.indptr[j + 1]
+            x[j] -= float(L.data[p0 + 1 : p1] @ x[L.indices[p0 + 1 : p1]])
+            x[j] /= L.data[p0]
+        return x
+
+    def reconstruct_dense(self) -> np.ndarray:
+        """Dense ``L @ diag(d) @ L.T`` — the oracle for correctness tests."""
+        Ld = self.L.to_dense()
+        return Ld @ np.diag(self.d) @ Ld.T
+
+
+def ldlt_left_looking(
+    A: CSCMatrix, inspection: Optional[CholeskyInspectionResult] = None
+) -> LDLTFactors:
+    """Left-looking simplicial LDLᵀ with decoupled symbolic analysis.
+
+    Structure mirrors :func:`repro.kernels.cholesky.cholesky_left_looking`;
+    the column factorization divides by the pivot ``d_j`` instead of taking a
+    square root, and every update is scaled by the descendant's pivot.
+    """
+    if not A.is_square():
+        raise ValueError("LDL^T requires a square symmetric matrix")
+    if inspection is None:
+        inspection = CholeskyInspector().inspect(A)
+    n = A.n
+    l_indptr = inspection.l_indptr
+    l_indices = inspection.l_indices
+    l_data = np.zeros(int(l_indptr[-1]), dtype=np.float64)
+    d = np.empty(n, dtype=np.float64)
+    row_patterns = inspection.row_patterns
+
+    f = np.zeros(n, dtype=np.float64)
+    for j in range(n):
+        rows_a = A.col_rows(j)
+        vals_a = A.col_values(j)
+        mask = rows_a >= j
+        f[rows_a[mask]] = vals_a[mask]
+        for k in row_patterns[j]:
+            k = int(k)
+            start, end = l_indptr[k], l_indptr[k + 1]
+            rows_k = l_indices[start:end]
+            pos = start + int(np.searchsorted(rows_k, j))
+            coeff = l_data[pos] * d[k]
+            seg = slice(pos, end)
+            f[l_indices[seg]] -= l_data[seg] * coeff
+        start, end = l_indptr[j], l_indptr[j + 1]
+        rows_j = l_indices[start:end]
+        pivot = f[j]
+        if pivot == 0.0:
+            raise SingularMatrixError(f"zero pivot at column {j}")
+        d[j] = pivot
+        l_data[start] = 1.0
+        if end > start + 1:
+            l_data[start + 1 : end] = f[rows_j[1:]] / pivot
+        f[rows_j] = 0.0
+    L = CSCMatrix(n, n, l_indptr, l_indices, l_data, check=False)
+    return LDLTFactors(L=L, d=d)

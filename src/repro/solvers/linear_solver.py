@@ -1,16 +1,24 @@
-"""Factor-once / solve-many SPD linear solver.
+"""Factor-once / solve-many direct sparse linear solver.
 
 Combines the pieces of the library into the workflow a downstream user wants:
 
 1. choose a fill-reducing ordering,
-2. run the symbolic inspector and generate specialized Cholesky and
-   triangular-solve kernels for the (permuted) pattern,
+2. compile specialized factorization and triangular-solve kernels for the
+   (permuted) pattern through the kernel registry — ``method="cholesky"`` for
+   SPD systems, ``method="ldlt"`` for symmetric indefinite (saddle-point/KKT)
+   systems,
 3. factorize numeric values — repeatedly, as they change — and solve systems
    with forward/backward substitution.
 
+Every kernel compile goes through the Sympiler artifact cache, so repeated
+refactorizations and the backward sweep (``Lᵀ z = y``) reuse the compiled
+kernels whenever the factor pattern is unchanged instead of re-running
+inspection and code generation.
+
 The backward substitution ``Lᵀ z = y`` is performed as a specialized solve on
-the transposed factor pattern, which is itself lower triangular, so the same
-generated-kernel machinery covers both sweeps.
+the transposed factor pattern, which is itself lower triangular after
+reversing the index order, so the same generated-kernel machinery covers both
+sweeps.
 """
 
 from __future__ import annotations
@@ -20,7 +28,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.compiler.artifacts import SympiledFactorization
+from repro.compiler.cache import CacheStats
 from repro.compiler.options import SympilerOptions
+from repro.compiler.registry import UnknownKernelError
 from repro.compiler.sympiler import Sympiler
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ordering import ordering_by_name
@@ -30,12 +41,17 @@ __all__ = ["SparseLinearSolver"]
 
 
 class SparseLinearSolver:
-    """Direct SPD solver: ordering + Sympiler-generated Cholesky.
+    """Direct solver: ordering + Sympiler-generated factorization kernels.
 
     Parameters
     ----------
     A:
-        SPD matrix (full symmetric storage).
+        Symmetric matrix (full symmetric storage): SPD for
+        ``method="cholesky"``, symmetric indefinite allowed for
+        ``method="ldlt"``.
+    method:
+        Factorization kernel to compile — any factorization registered in the
+        kernel registry (``"cholesky"`` or ``"ldlt"``).
     ordering:
         Fill-reducing ordering name (``"natural"``, ``"mindeg"``/``"amd"``,
         ``"rcm"``).
@@ -58,21 +74,38 @@ class SparseLinearSolver:
         self,
         A: CSCMatrix,
         *,
+        method: str = "cholesky",
         ordering: str = "mindeg",
         options: Optional[SympilerOptions] = None,
     ) -> None:
         if not A.is_square():
-            raise ValueError("SparseLinearSolver requires a square SPD matrix")
+            raise ValueError("SparseLinearSolver requires a square symmetric matrix")
         self.A = A
         self.options = options or SympilerOptions()
         self.ordering_name = ordering
+        self._sympiler = Sympiler(self.options)
+        # Any registered factorization whose result follows the L-factor
+        # protocol (a lower-triangular factor, or an object exposing it as
+        # `.L` with an optional diagonal `.d`) works here without solver
+        # changes; kernels with a different solve recipe (e.g. a future LU's
+        # upper sweep) still need an explicit solve path.
+        try:
+            spec = self._sympiler.registry.resolve(method)
+        except UnknownKernelError as exc:
+            raise ValueError(f"unknown factorization method {method!r}: {exc}") from exc
+        if not issubclass(spec.artifact_cls, SympiledFactorization):
+            raise ValueError(
+                f"kernel {spec.name!r} is not a factorization method "
+                "(its artifact does not provide factorize())"
+            )
+        self.method = spec.name
         t0 = time.perf_counter()
         self.permutation: Permutation = ordering_by_name(ordering)(A)
         self.A_permuted = self.permutation.symmetric_permute(A)
-        self._sympiler = Sympiler(self.options)
-        self._cholesky = self._sympiler.compile_cholesky(self.A_permuted)
+        self._factorization = self._sympiler.compile(spec.name, self.A_permuted)
         self.setup_seconds = time.perf_counter() - t0
         self._L: Optional[CSCMatrix] = None
+        self._d: Optional[np.ndarray] = None
         self._forward = None
         self._backward = None
         self._Lt: Optional[CSCMatrix] = None
@@ -81,15 +114,30 @@ class SparseLinearSolver:
     # ------------------------------------------------------------------ #
     @property
     def L(self) -> CSCMatrix:
-        """The current Cholesky factor of the permuted matrix."""
+        """The current lower-triangular factor of the permuted matrix."""
         if self._L is None:
             raise RuntimeError("factorize() has not been run yet")
         return self._L
 
     @property
+    def d(self) -> Optional[np.ndarray]:
+        """The LDLᵀ pivot vector (``None`` for the Cholesky method)."""
+        return self._d
+
+    @property
     def factor_nnz(self) -> int:
         """Stored entries of the factor."""
-        return self._cholesky.factor_nnz
+        return self._factorization.factor_nnz
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Artifact-cache counters of the underlying Sympiler driver.
+
+        The driver uses the *process-wide shared* cache by default, so these
+        counters aggregate every Sympiler in the process — useful for
+        deltas around an operation, not as per-solver totals.
+        """
+        return self._sympiler.cache_stats
 
     def factorize(self, A: Optional[CSCMatrix] = None) -> CSCMatrix:
         """(Re-)factorize; ``A`` may carry new values on the same pattern."""
@@ -101,18 +149,25 @@ class SparseLinearSolver:
                 )
             self.A = A
             self.A_permuted = self.permutation.symmetric_permute(A)
-        self._L = self._cholesky.factorize(self.A_permuted)
-        # The triangular-solve kernels are generated once per factor pattern.
+        result = self._factorization.factorize(self.A_permuted)
+        # Duck-typed factor protocol: composite results (LDL^T, future
+        # pivoted kernels) expose the lower-triangular factor as ``.L`` and
+        # an optional between-sweeps diagonal as ``.d``; a bare factor
+        # matrix (Cholesky) is its own L.
+        self._L = getattr(result, "L", result)
+        self._d = getattr(result, "d", None)
+        # The triangular-solve kernels depend only on the factor *pattern*,
+        # which is fixed per solver instance, so they are compiled once; the
+        # shared artifact cache additionally dedupes them across solver
+        # instances working on the same pattern.
+        self._Lt = self._make_transpose_factor_pattern()
         if self._forward is None:
-            self._forward = self._sympiler.compile_triangular_solve(
-                self._L, rhs_pattern=None, options=self.options
+            self._forward = self._sympiler.compile(
+                "triangular-solve", self._L, options=self.options
             )
-            self._Lt = self._make_transpose_factor_pattern()
-            self._backward = self._sympiler.compile_triangular_solve(
-                self._Lt, rhs_pattern=None, options=self.options
+            self._backward = self._sympiler.compile(
+                "triangular-solve", self._Lt, options=self.options
             )
-        else:
-            self._Lt = self._make_transpose_factor_pattern()
         return self._L
 
     def _make_transpose_factor_pattern(self) -> CSCMatrix:
@@ -136,6 +191,9 @@ class SparseLinearSolver:
             raise ValueError(f"b must have shape ({self.A.n},)")
         pb = self.permutation.apply_vec(b)
         y = self._forward.solve(self._L, pb)
+        if self._d is not None:
+            # LDL^T: diagonal solve between the two triangular sweeps.
+            y = y / self._d
         # Backward substitution via the reversed transposed factor.
         y_rev = y[::-1].copy()
         z_rev = self._backward.solve(self._Lt, y_rev)

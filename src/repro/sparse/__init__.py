@@ -20,6 +20,7 @@ from repro.sparse.generators import (
     laplacian_3d,
     power_grid_spd,
     random_spd,
+    saddle_point_indefinite,
     sparse_rhs,
 )
 from repro.sparse.io import read_matrix_market, write_matrix_market
@@ -58,6 +59,7 @@ __all__ = [
     "random_spd",
     "circuit_like_spd",
     "power_grid_spd",
+    "saddle_point_indefinite",
     "sparse_rhs",
     "lower_triangle",
     "upper_triangle",

@@ -40,6 +40,7 @@ __all__ = [
     "random_spd",
     "circuit_like_spd",
     "power_grid_spd",
+    "saddle_point_indefinite",
     "sparse_rhs",
 ]
 
@@ -382,6 +383,51 @@ def power_grid_spd(n_buses: int, *, neighbours: int = 2, rewire: float = 0.05, s
             add_edge(i, j)
     for j in range(n_buses):
         builder.add(j, j, row_sums[j] + 1.0)
+    return builder.to_csc()
+
+
+# --------------------------------------------------------------------------- #
+# Symmetric indefinite (saddle-point) problems
+# --------------------------------------------------------------------------- #
+def saddle_point_indefinite(
+    n_primal: int,
+    n_dual: int,
+    *,
+    coupling_per_row: int = 3,
+    seed: int = 0,
+) -> CSCMatrix:
+    """Symmetric *indefinite* KKT/saddle-point matrix ``[[H, Bᵀ], [B, -C]]``.
+
+    ``H`` (``n_primal`` × ``n_primal``) and ``C`` (``n_dual`` × ``n_dual``)
+    are SPD (diagonally dominant band / diagonal blocks) and ``B`` is a sparse
+    coupling block with ``coupling_per_row`` entries per dual row.  The result
+    is symmetric quasi-definite, hence strongly factorizable: LDLᵀ succeeds
+    without pivoting for every symmetric permutation, with exactly
+    ``n_primal`` positive and ``n_dual`` negative pivots — the canonical
+    workload for the LDLᵀ kernel, which Cholesky rejects.
+    """
+    if n_primal <= 0 or n_dual <= 0:
+        raise ValueError("block orders must be positive")
+    rng = np.random.default_rng(seed)
+    n = n_primal + n_dual
+    builder = TripletBuilder(n, n)
+    row_sums = np.zeros(n_primal, dtype=np.float64)
+    # H: tridiagonal coupling inside the primal block.
+    for i in range(n_primal - 1):
+        v = rng.uniform(-1.0, -0.2)
+        builder.add_symmetric(i + 1, i, v)
+        row_sums[i] += abs(v)
+        row_sums[i + 1] += abs(v)
+    for i in range(n_primal):
+        builder.add(i, i, row_sums[i] + rng.uniform(1.0, 2.0))
+    # B: sparse coupling between dual rows and primal columns.
+    for i in range(n_dual):
+        cols = rng.choice(n_primal, size=min(coupling_per_row, n_primal), replace=False)
+        for j in cols:
+            builder.add_symmetric(n_primal + i, int(j), rng.uniform(0.2, 1.0))
+    # -C: strictly negative dual diagonal.
+    for i in range(n_dual):
+        builder.add(n_primal + i, n_primal + i, -rng.uniform(1.0, 2.0))
     return builder.to_csc()
 
 

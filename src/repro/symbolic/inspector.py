@@ -30,6 +30,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+# Leaf module with no intra-package imports: safe to pull in from here even
+# though the compiler package itself depends on this module.
+from repro.compiler.registration import register_unique_many
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.colcount import column_counts_of_factor
 from repro.symbolic.etree import elimination_tree, postorder
@@ -46,10 +49,30 @@ __all__ = [
     "SymbolicInspector",
     "TriangularSolveInspector",
     "CholeskyInspector",
+    "LDLTInspector",
     "TriangularInspectionResult",
     "CholeskyInspectionResult",
     "inspector_for_method",
+    "register_inspector",
+    "normalize_rhs_pattern",
 ]
+
+
+def normalize_rhs_pattern(
+    n: int, rhs_pattern: Optional[Sequence[int] | np.ndarray]
+) -> Optional[np.ndarray]:
+    """Canonical RHS pattern: sorted unique in-range indices, or ``None``.
+
+    ``None`` (a dense RHS) passes through.  The single source of truth for
+    RHS normalization — the compile-time cache fingerprint and the symbolic
+    inspection both use it, so they can never disagree.
+    """
+    if rhs_pattern is None:
+        return None
+    rhs = np.unique(np.asarray(list(rhs_pattern), dtype=np.int64))
+    if rhs.size and (rhs[0] < 0 or rhs[-1] >= n):
+        raise IndexError("rhs pattern indices out of range")
+    return rhs
 
 
 @dataclass(frozen=True)
@@ -189,12 +212,9 @@ class TriangularSolveInspector(SymbolicInspector):
             raise ValueError("triangular-solve inspection requires a lower-triangular L")
         start = time.perf_counter()
         n = matrix.n
-        if rhs_pattern is None:
+        rhs = normalize_rhs_pattern(n, rhs_pattern)
+        if rhs is None:
             rhs = np.arange(n, dtype=np.int64)
-        else:
-            rhs = np.unique(np.asarray(list(rhs_pattern), dtype=np.int64))
-            if rhs.size and (rhs.min() < 0 or rhs.max() >= n):
-                raise IndexError("rhs pattern indices out of range")
         reach = reach_set(matrix, rhs)
         reach_sorted = np.sort(reach)
         supernodes = triangular_supernodes(matrix)
@@ -301,12 +321,37 @@ class CholeskyInspector(SymbolicInspector):
         )
 
 
-_INSPECTORS = {
-    TriangularSolveInspector.method: TriangularSolveInspector,
-    "trisolve": TriangularSolveInspector,
-    "triangular": TriangularSolveInspector,
-    CholeskyInspector.method: CholeskyInspector,
-}
+class LDLTInspector(CholeskyInspector):
+    """Symbolic inspector for sparse LDLᵀ factorization ``A = L D Lᵀ``.
+
+    The fill pattern of the unit-diagonal ``L`` is identical to the Cholesky
+    factor pattern (the elimination tree ignores numeric signs), so the whole
+    inspection — etree, ``ereach`` row patterns, column counts, supernodes —
+    is inherited unchanged; only the numeric lowering differs.
+    """
+
+    method = "ldlt"
+
+
+_INSPECTORS: Dict[str, type] = {}
+
+
+def register_inspector(cls: type, *, aliases: Sequence[str] = ()) -> type:
+    """Register a :class:`SymbolicInspector` subclass under its method name.
+
+    Registering a *different* class under an existing name (or alias) raises
+    ``ValueError``; re-registering the same class is a no-op so modules can be
+    safely re-imported.  Every key is validated before any is written, so a
+    conflicting alias never leaves a partial registration behind.  Returns
+    ``cls`` so it can be used as a decorator.
+    """
+    keys = [key.lower() for key in (cls.method, *aliases)]
+    return register_unique_many(_INSPECTORS, keys, cls, kind="symbolic inspector")
+
+
+register_inspector(TriangularSolveInspector, aliases=("trisolve", "triangular"))
+register_inspector(CholeskyInspector)
+register_inspector(LDLTInspector)
 
 
 def inspector_for_method(method: str) -> SymbolicInspector:

@@ -1,0 +1,202 @@
+"""End-to-end tests of the LDLᵀ kernel (reference, both backends, solver)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.cache import ArtifactCache
+from repro.compiler.codegen.c_backend import c_compiler_available
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import Sympiler
+from repro.kernels.dense import SingularMatrixError, dense_ldlt
+from repro.kernels.ldlt import ldlt_left_looking
+from repro.solvers.linear_solver import SparseLinearSolver
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import laplacian_2d, saddle_point_indefinite
+
+needs_cc = pytest.mark.skipif(
+    not (c_compiler_available("cc") or c_compiler_available("gcc")),
+    reason="no C compiler available",
+)
+
+
+def _c_options(**overrides):
+    compiler = "cc" if c_compiler_available("cc") else "gcc"
+    return SympilerOptions(backend="c", c_compiler=compiler, **overrides)
+
+
+def _fresh_sympiler():
+    return Sympiler(cache=ArtifactCache())
+
+
+def _indefinite_matrix(seed=7):
+    return saddle_point_indefinite(30, 12, seed=seed)
+
+
+class TestDenseLDLT:
+    def test_reconstruction_indefinite(self, rng):
+        B = rng.normal(size=(6, 6))
+        A = B + B.T  # symmetric, generically indefinite
+        L, d = dense_ldlt(A)
+        np.testing.assert_allclose(L @ np.diag(d) @ L.T, A, atol=1e-10)
+        np.testing.assert_allclose(np.diag(L), 1.0)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(SingularMatrixError):
+            dense_ldlt(np.zeros((2, 2)))
+
+
+class TestReferenceKernel:
+    def test_matches_dense_on_spd_and_indefinite(self, spd_matrices):
+        for A in (spd_matrices["fem"], _indefinite_matrix()):
+            fac = ldlt_left_looking(A)
+            np.testing.assert_allclose(
+                fac.reconstruct_dense(), A.to_dense(), atol=1e-9
+            )
+
+    def test_inertia_of_saddle_point_system(self):
+        A = saddle_point_indefinite(25, 10, seed=3)
+        fac = ldlt_left_looking(A)
+        assert fac.inertia == (25, 10, 0)
+
+    def test_factors_solve(self, rng):
+        A = _indefinite_matrix()
+        fac = ldlt_left_looking(A)
+        b = rng.normal(size=A.n)
+        x = fac.solve(b)
+        np.testing.assert_allclose(A.to_dense() @ x, b, atol=1e-8)
+
+    def test_unit_diagonal_is_stored(self, spd_matrices):
+        fac = ldlt_left_looking(spd_matrices["banded"])
+        diag_positions = fac.L.indptr[:-1]
+        np.testing.assert_allclose(fac.L.data[diag_positions], 1.0)
+
+
+class TestCompiledLDLTPython:
+    @pytest.mark.parametrize(
+        "options",
+        [SympilerOptions.vi_prune_only(), SympilerOptions()],
+        ids=["simplicial", "supernodal"],
+    )
+    def test_matches_reference(self, spd_matrices, options):
+        sym = _fresh_sympiler()
+        for A in (spd_matrices["fem"], spd_matrices["block"], _indefinite_matrix()):
+            compiled = sym.compile("ldlt", A, options=options)
+            fac = compiled.factorize(A)
+            ref = ldlt_left_looking(A)
+            np.testing.assert_allclose(fac.L.to_dense(), ref.L.to_dense(), atol=1e-9)
+            np.testing.assert_allclose(fac.d, ref.d, atol=1e-9)
+
+    def test_vi_prune_is_forced(self):
+        compiled = _fresh_sympiler().compile(
+            "ldlt", laplacian_2d(6), options=SympilerOptions.baseline()
+        )
+        assert compiled.decisions.get("vi-prune-forced") is True
+        assert "vi-prune" in compiled.applied_transformations
+
+    def test_refactorization_scales_pivots(self):
+        A = _indefinite_matrix()
+        compiled = _fresh_sympiler().compile("ldlt", A)
+        fac1 = compiled.factorize(A)
+        A2 = A.copy()
+        A2.data *= 5.0
+        fac2 = compiled.factorize(A2)
+        # L is scale invariant; the pivots absorb the scaling.
+        np.testing.assert_allclose(fac2.L.to_dense(), fac1.L.to_dense(), atol=1e-9)
+        np.testing.assert_allclose(fac2.d, 5.0 * fac1.d, atol=1e-9)
+
+    def test_singular_matrix_raises(self):
+        # A symmetric matrix with a structurally zero leading pivot.
+        A = CSCMatrix.from_dense(
+            np.array([[0.0, 1.0], [1.0, 0.0]])
+        )
+        compiled = _fresh_sympiler().compile("ldlt", A)
+        with pytest.raises(ValueError, match="pivot"):
+            compiled.factorize(A)
+
+    def test_cholesky_still_rejects_what_ldlt_accepts(self):
+        A = _indefinite_matrix()
+        sym = _fresh_sympiler()
+        chol = sym.compile("cholesky", A)
+        with pytest.raises(ValueError):
+            chol.factorize(A)
+        fac = sym.compile("ldlt", A).factorize(A)
+        assert (fac.d < 0).sum() == 12
+
+
+class TestLDLTSolver:
+    @pytest.mark.parametrize("ordering", ["natural", "mindeg", "rcm"])
+    def test_indefinite_system_residual(self, ordering, rng):
+        A = saddle_point_indefinite(40, 15, seed=11)
+        solver = SparseLinearSolver(A, method="ldlt", ordering=ordering)
+        b = rng.normal(size=A.n)
+        x = solver.solve(b)
+        assert solver.residual(x, b) <= 1e-8
+
+    def test_spd_system_matches_cholesky_solver(self, rng):
+        A = laplacian_2d(9)
+        b = rng.normal(size=A.n)
+        x_ldlt = SparseLinearSolver(A, method="ldlt").solve(b)
+        x_chol = SparseLinearSolver(A, method="cholesky").solve(b)
+        np.testing.assert_allclose(x_ldlt, x_chol, atol=1e-9)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            SparseLinearSolver(laplacian_2d(4), method="lu")
+
+    def test_non_factorization_kernel_rejected(self):
+        with pytest.raises(ValueError, match="not a factorization"):
+            SparseLinearSolver(laplacian_2d(4), method="triangular-solve")
+
+    def test_registry_alias_works(self, rng):
+        # The solver resolves through the registry, so aliases work too.
+        A = saddle_point_indefinite(20, 8, seed=21)
+        solver = SparseLinearSolver(A, method="ldl")
+        assert solver.method == "ldlt"  # canonicalized
+        b = rng.normal(size=A.n)
+        assert solver.residual(solver.solve(b), b) <= 1e-8
+
+    def test_solver_exposes_pivots(self):
+        A = _indefinite_matrix()
+        solver = SparseLinearSolver(A, method="ldlt")
+        assert solver.d is not None and (solver.d < 0).any()
+        spd_solver = SparseLinearSolver(laplacian_2d(5), method="cholesky")
+        assert spd_solver.d is None
+
+
+@needs_cc
+class TestCompiledLDLTC:
+    @pytest.mark.parametrize(
+        "options_kwargs",
+        [dict(enable_vs_block=False, enable_low_level=False), dict()],
+        ids=["simplicial", "supernodal"],
+    )
+    def test_matches_reference(self, spd_matrices, options_kwargs):
+        sym = _fresh_sympiler()
+        options = _c_options(**options_kwargs)
+        for A in (spd_matrices["fem"], spd_matrices["block"], _indefinite_matrix()):
+            compiled = sym.compile("ldlt", A, options=options)
+            fac = compiled.factorize(A)
+            ref = ldlt_left_looking(A)
+            np.testing.assert_allclose(fac.L.to_dense(), ref.L.to_dense(), atol=1e-9)
+            np.testing.assert_allclose(fac.d, ref.d, atol=1e-9)
+
+    def test_indefinite_solver_residual_c_backend(self, rng):
+        A = saddle_point_indefinite(40, 15, seed=13)
+        solver = SparseLinearSolver(A, method="ldlt", options=_c_options())
+        b = rng.normal(size=A.n)
+        x = solver.solve(b)
+        assert solver.residual(x, b) <= 1e-8
+
+    def test_singular_matrix_returns_error(self):
+        A = CSCMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        compiled = _fresh_sympiler().compile("ldlt", A, options=_c_options())
+        with pytest.raises(ValueError, match="pivot"):
+            compiled.factorize(A)
+
+    def test_c_and_python_backends_agree(self):
+        A = _indefinite_matrix()
+        sym = _fresh_sympiler()
+        fac_c = sym.compile("ldlt", A, options=_c_options()).factorize(A)
+        fac_py = sym.compile("ldlt", A, options=SympilerOptions()).factorize(A)
+        np.testing.assert_allclose(fac_c.L.to_dense(), fac_py.L.to_dense(), atol=1e-12)
+        np.testing.assert_allclose(fac_c.d, fac_py.d, atol=1e-12)

@@ -1,0 +1,353 @@
+"""Tests for the kernel registry and the pattern-keyed artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.artifacts import (
+    PatternMismatchError,
+    SympiledCholesky,
+    SympiledLDLT,
+    SympiledTriangularSolve,
+)
+from repro.compiler.cache import ArtifactCache, cache_key, options_fingerprint
+from repro.compiler.lowering import lower_cholesky
+from repro.compiler.options import SympilerOptions
+from repro.compiler.registry import (
+    DuplicateKernelError,
+    KernelRegistry,
+    KernelSpec,
+    UnknownKernelError,
+    default_registry,
+    kernel_spec,
+    registered_kernels,
+)
+from repro.compiler.sympiler import Sympiler
+from repro.sparse.generators import laplacian_2d, saddle_point_indefinite, sparse_rhs
+from repro.symbolic.inspector import CholeskyInspector, register_inspector
+
+
+def fresh_sympiler(options=None):
+    """A Sympiler with an isolated cache (tests must not share hit counters)."""
+    return Sympiler(options, cache=ArtifactCache())
+
+
+class TestRegistry:
+    def test_builtin_kernels_are_registered(self):
+        names = registered_kernels()
+        assert names == ("cholesky", "ldlt", "triangular-solve")
+
+    def test_aliases_resolve_to_the_same_spec(self):
+        assert kernel_spec("trisolve") is kernel_spec("triangular-solve")
+        assert kernel_spec("triangular") is kernel_spec("triangular-solve")
+        assert kernel_spec("ldl") is kernel_spec("ldlt")
+
+    def test_spec_declares_pipeline_ingredients(self):
+        spec = kernel_spec("cholesky")
+        assert spec.runtime_signature == ("Ap", "Ai", "Ax")
+        assert spec.transforms == ("vs-block", "vi-prune")
+        assert spec.requires_vi_prune is True
+        assert spec.artifact_cls is SympiledCholesky
+        tri = kernel_spec("triangular-solve")
+        assert tri.runtime_signature == ("Lp", "Li", "Lx", "b")
+        assert tri.requires_vi_prune is False
+        assert tri.artifact_cls is SympiledTriangularSolve
+        assert kernel_spec("ldlt").artifact_cls is SympiledLDLT
+
+    def test_duplicate_registration_raises(self):
+        registry = KernelRegistry()
+        spec = kernel_spec("cholesky")
+        registry.register(spec)
+        clone = KernelSpec(
+            name="cholesky",
+            lower=lower_cholesky,
+            inspector_cls=CholeskyInspector,
+            artifact_cls=SympiledCholesky,
+            runtime_signature=("Ap", "Ai", "Ax"),
+        )
+        with pytest.raises(DuplicateKernelError):
+            registry.register(clone)
+        # Re-registering the identical spec object is a no-op.
+        registry.register(spec)
+        assert len(registry) == 1
+
+    def test_alias_collision_raises(self):
+        registry = KernelRegistry()
+        registry.register(kernel_spec("triangular-solve"))
+        colliding = KernelSpec(
+            name="other",
+            lower=lower_cholesky,
+            inspector_cls=CholeskyInspector,
+            artifact_cls=SympiledCholesky,
+            runtime_signature=("Ap", "Ai", "Ax"),
+            aliases=("trisolve",),
+        )
+        with pytest.raises(DuplicateKernelError):
+            registry.register(colliding)
+
+    def test_unknown_kernel_error_lists_available(self):
+        with pytest.raises(UnknownKernelError, match="cholesky"):
+            default_registry().resolve("lu")
+
+    def test_compile_rejects_unknown_kernel(self):
+        with pytest.raises(UnknownKernelError):
+            fresh_sympiler().compile("lu", laplacian_2d(4))
+
+    def test_compile_rejects_undeclared_kernel_args(self):
+        sym = fresh_sympiler()
+        with pytest.raises(TypeError, match="rhs_pattern"):
+            sym.compile("cholesky", laplacian_2d(4), rhs_pattern=[0])
+
+    def test_custom_registry_is_honoured(self):
+        registry = KernelRegistry()
+        registry.register(kernel_spec("cholesky"))
+        sym = Sympiler(registry=registry, cache=ArtifactCache())
+        A = laplacian_2d(5)
+        assert sym.compile("cholesky", A).factor_nnz > 0
+        with pytest.raises(UnknownKernelError):
+            sym.compile("triangular-solve", A)
+
+    def test_register_inspector_conflict(self):
+        class Impostor(CholeskyInspector):
+            method = "cholesky"
+
+        with pytest.raises(ValueError):
+            register_inspector(Impostor)
+        # Same class again is fine.
+        register_inspector(CholeskyInspector)
+
+    def test_register_inspector_failed_alias_leaves_no_partial_state(self):
+        from repro.symbolic.inspector import _INSPECTORS, inspector_for_method
+
+        class Newcomer(CholeskyInspector):
+            method = "newcomer"
+
+        with pytest.raises(ValueError):
+            register_inspector(Newcomer, aliases=("cholesky",))
+        assert "newcomer" not in _INSPECTORS
+        with pytest.raises(ValueError):
+            inspector_for_method("newcomer")
+
+    def test_backend_method_registration_is_identity_idempotent(self):
+        from repro.compiler.codegen.python_backend import (
+            _PY_METHOD_SPECS,
+            PythonMethodSpec,
+            register_python_method,
+        )
+
+        # Re-registering the exact same spec object is a no-op...
+        register_python_method("ldlt", _PY_METHOD_SPECS["ldlt"])
+        # ...but an equivalent-looking new object conflicts loudly.
+        clone = PythonMethodSpec(params="Ap, Ai, Ax", result="(Lx, D)")
+        with pytest.raises(ValueError, match="already registered"):
+            register_python_method("ldlt", clone)
+
+
+class TestGenericCompile:
+    def test_generic_compile_matches_wrappers(self, spd_matrices):
+        A = spd_matrices["fem"]
+        sym = fresh_sympiler()
+        via_generic = sym.compile("cholesky", A)
+        via_wrapper = sym.compile_cholesky(A)
+        assert via_wrapper is via_generic  # same pattern+options -> cache hit
+
+    def test_all_three_kernels_compile_through_one_path(self, lower_factors):
+        sym = fresh_sympiler()
+        A = laplacian_2d(6)
+        chol = sym.compile("cholesky", A)
+        ldlt = sym.compile("ldlt", A)
+        tri = sym.compile("triangular-solve", lower_factors["fem"])
+        assert isinstance(chol, SympiledCholesky)
+        assert isinstance(ldlt, SympiledLDLT)
+        assert isinstance(tri, SympiledTriangularSolve)
+
+    def test_pattern_mismatch_for_all_three_kernels(self, spd_matrices, lower_factors):
+        sym = fresh_sympiler()
+        chol = sym.compile("cholesky", spd_matrices["fem"])
+        with pytest.raises(PatternMismatchError):
+            chol.verify_pattern(spd_matrices["banded"])
+        ldlt = sym.compile("ldlt", spd_matrices["fem"])
+        with pytest.raises(PatternMismatchError):
+            ldlt.verify_pattern(spd_matrices["banded"])
+        tri = sym.compile("triangular-solve", lower_factors["fem"])
+        with pytest.raises(PatternMismatchError):
+            tri.verify_pattern(lower_factors["banded"])
+        # The matching pattern passes.
+        chol.verify_pattern(spd_matrices["fem"])
+        ldlt.verify_pattern(spd_matrices["fem"])
+        tri.verify_pattern(lower_factors["fem"])
+
+
+class TestArtifactCache:
+    def test_second_compile_is_a_cache_hit(self):
+        sym = fresh_sympiler()
+        A = laplacian_2d(7)
+        first = sym.compile("cholesky", A)
+        assert sym.cache_stats.misses == 1 and sym.cache_stats.hits == 0
+        second = sym.compile("cholesky", A)
+        assert second is first
+        assert sym.cache_stats.hits == 1 and sym.cache_stats.misses == 1
+        # No inspection/codegen cost re-incurred: the timings object is the
+        # one recorded at first compile, by identity.
+        assert second.timings is first.timings
+
+    def test_cache_hit_on_equal_but_distinct_matrix_object(self):
+        sym = fresh_sympiler()
+        A = saddle_point_indefinite(15, 5, seed=2)
+        first = sym.compile("ldlt", A)
+        B = A.copy()
+        B.data *= 3.0  # same pattern, different values
+        second = sym.compile("ldlt", B)
+        assert second is first
+
+    def test_options_hash_invalidates(self):
+        sym = fresh_sympiler()
+        A = laplacian_2d(7)
+        full = sym.compile("cholesky", A, options=SympilerOptions())
+        ablated = sym.compile("cholesky", A, options=SympilerOptions.vi_prune_only())
+        assert ablated is not full
+        assert sym.cache_stats.misses == 2
+        assert options_fingerprint(SympilerOptions()) != options_fingerprint(
+            SympilerOptions.vi_prune_only()
+        )
+
+    def test_kernel_name_is_part_of_the_key(self):
+        sym = fresh_sympiler()
+        A = laplacian_2d(6)
+        chol = sym.compile("cholesky", A)
+        ldlt = sym.compile("ldlt", A)
+        assert chol is not ldlt
+        assert sym.cache_stats.misses == 2
+
+    def test_one_shot_iterable_rhs_pattern_is_consumed_once(self, lower_factors):
+        # A generator must yield the same kernel (and cache entry) as a list.
+        sym = fresh_sympiler()
+        L = lower_factors["fem"]
+        via_generator = sym.compile(
+            "triangular-solve", L, rhs_pattern=(i for i in [0, 3])
+        )
+        assert via_generator.reach_size == sym.compile(
+            "triangular-solve", L, rhs_pattern=[0, 3]
+        ).reach_size
+        assert via_generator.reach_size > 0
+        assert sym.compile("triangular-solve", L, rhs_pattern=[0, 3]) is via_generator
+
+    def test_out_of_range_rhs_fails_even_on_a_warm_cache(self, lower_factors):
+        sym = fresh_sympiler()
+        L = lower_factors["fem"]
+        sym.compile("triangular-solve", L)  # warm the dense entry
+        bad = list(range(L.n - 1)) + [L.n + 5]  # n unique indices, one invalid
+        with pytest.raises(IndexError):
+            sym.compile("triangular-solve", L, rhs_pattern=bad)
+
+    def test_same_name_in_different_registries_does_not_alias(self):
+        import dataclasses
+
+        A = laplacian_2d(6)
+        shared = ArtifactCache()
+        default_sym = Sympiler(cache=shared)
+        baseline = default_sym.compile("cholesky", A)
+        custom = KernelRegistry()
+        custom.register(
+            dataclasses.replace(kernel_spec("cholesky"), transforms=("vi-prune",))
+        )
+        custom_sym = Sympiler(registry=custom, cache=shared)
+        restricted = custom_sym.compile("cholesky", A)
+        assert restricted is not baseline
+        assert "vs-block" in baseline.applied_transformations
+        assert "vs-block" not in restricted.applied_transformations
+
+    def test_rhs_pattern_is_part_of_the_fingerprint(self, lower_factors):
+        sym = fresh_sympiler()
+        L = lower_factors["fem"]
+        one = sym.compile("triangular-solve", L, rhs_pattern=[0])
+        other = sym.compile("triangular-solve", L, rhs_pattern=[1])
+        dense = sym.compile("triangular-solve", L)
+        assert one is not other and one is not dense
+        # Normalization: duplicated/unsorted indices hit the same entry.
+        again = sym.compile("triangular-solve", L, rhs_pattern=[0, 0])
+        assert again is one
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_cache_clear_and_stats(self):
+        cache = ArtifactCache()
+        key = cache_key("cholesky", "fp", SympilerOptions())
+        cache.put(key, object())
+        assert key in cache and len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        cache.reset_stats()
+        assert cache.stats.lookups == 0 and cache.stats.hit_rate == 0.0
+
+    def test_forced_vi_prune_does_not_alias_explicit_options(self, spd_matrices):
+        # baseline() (VI-Prune forced on) and vi_prune_only() generate the
+        # same code but record different decisions; they must not collide.
+        sym = fresh_sympiler()
+        A = spd_matrices["circuit"]
+        forced = sym.compile("cholesky", A, options=SympilerOptions.baseline())
+        explicit = sym.compile("cholesky", A, options=SympilerOptions.vi_prune_only())
+        assert forced is not explicit
+        assert forced.decisions.get("vi-prune-forced") is True
+        assert "vi-prune-forced" not in explicit.decisions
+
+    def test_solver_reuses_cached_kernels_across_refactorizations(self):
+        from repro.solvers.linear_solver import SparseLinearSolver
+
+        A = laplacian_2d(8)
+        solver = SparseLinearSolver(A, ordering="mindeg")
+        lookups_after_setup = solver.cache_stats.lookups
+        A2 = A.copy()
+        A2.data *= 4.0
+        solver.factorize(A2)
+        # Refactorization on the same pattern triggers no compiles at all —
+        # not even cache lookups (fingerprinting is off the hot path).
+        assert solver.cache_stats.lookups == lookups_after_setup
+        b = np.ones(A.n)
+        x = solver.solve(b)
+        assert solver.residual(x, b) < 1e-8
+
+    def test_second_solver_instance_hits_the_shared_cache(self):
+        from repro.solvers.linear_solver import SparseLinearSolver
+
+        A = laplacian_2d(8)
+        first = SparseLinearSolver(A, ordering="mindeg")
+        hits0, misses0 = first.cache_stats.hits, first.cache_stats.misses
+        second = SparseLinearSolver(A, ordering="mindeg")
+        # Same pattern + options: every compile of the second solver
+        # (factorization, forward and backward sweeps) is a cache hit.
+        assert second.cache_stats.misses == misses0
+        assert second.cache_stats.hits == hits0 + 3
+        b = np.ones(A.n)
+        assert second.residual(second.solve(b), b) < 1e-8
+
+
+class TestNoKernelBranchesInDriver:
+    def test_sympiler_compile_has_no_kernel_specific_branches(self):
+        """The driver must stay generic: adding a kernel = registering a spec."""
+        import inspect
+
+        from repro.compiler import sympiler as driver_module
+
+        source = inspect.getsource(driver_module.Sympiler.compile)
+        for kernel_name in registered_kernels():
+            assert f"'{kernel_name}'" not in source
+            assert f'"{kernel_name}"' not in source
+
+    def test_rhs_normalization_matches_inspector(self, lower_factors):
+        # The spec's fingerprint hook and the artifact's verify_pattern (which
+        # uses the inspector's normalized rhs) must agree.
+        sym = fresh_sympiler()
+        L = lower_factors["banded"]
+        b = sparse_rhs(L.n, nnz=3, seed=5)
+        compiled = sym.compile(
+            "triangular-solve", L, rhs_pattern=np.nonzero(b)[0]
+        )
+        compiled.verify_pattern(L)  # does not raise

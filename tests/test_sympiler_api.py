@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.baselines.scipy_reference import reference_cholesky, reference_trisolve
+from repro.compiler.cache import ArtifactCache
 from repro.compiler.options import SympilerOptions
 from repro.compiler.sympiler import PatternMismatchError, Sympiler
-from repro.sparse.generators import laplacian_2d, sparse_rhs
+from repro.kernels.ldlt import ldlt_left_looking
+from repro.sparse.generators import laplacian_2d, saddle_point_indefinite, sparse_rhs
 from repro.sparse.permutation import Permutation
 
 
@@ -111,6 +113,68 @@ class TestCompileCholesky:
         sym = Sympiler(SympilerOptions(enable_low_level=False))
         compiled = sym.compile_cholesky(spd_matrices["fem"])
         assert compiled.options.enable_low_level is False
+
+
+class TestCompileLDLT:
+    def test_wrapper_matches_reference(self, spd_matrices):
+        A = spd_matrices["fem"]
+        compiled = Sympiler(cache=ArtifactCache()).compile_ldlt(A)
+        fac = compiled.factorize(A)
+        ref = ldlt_left_looking(A)
+        np.testing.assert_allclose(fac.L.to_dense(), ref.L.to_dense(), atol=1e-9)
+        np.testing.assert_allclose(fac.d, ref.d, atol=1e-9)
+
+    def test_indefinite_input_is_accepted(self):
+        A = saddle_point_indefinite(20, 8, seed=1)
+        fac = Sympiler(cache=ArtifactCache()).compile_ldlt(A).factorize(A)
+        np.testing.assert_allclose(fac.reconstruct_dense(), A.to_dense(), atol=1e-9)
+        assert fac.inertia == (20, 8, 0)
+
+    def test_artifact_metadata(self, spd_matrices):
+        compiled = Sympiler(cache=ArtifactCache()).compile_ldlt(spd_matrices["block"])
+        assert "vi-prune" in compiled.applied_transformations
+        assert compiled.timings.total >= 0.0
+        assert isinstance(compiled.source, str) and compiled.source
+        assert compiled.factor_nnz == int(compiled.inspection.l_indptr[-1])
+
+
+class TestArtifactCacheIntegration:
+    """Acceptance: a repeat compile is a cache hit, not a recompile."""
+
+    def test_identical_compile_reuses_artifact_and_timings(self, spd_matrices):
+        sym = Sympiler(cache=ArtifactCache())
+        A = spd_matrices["fem"]
+        first = sym.compile_cholesky(A)
+        assert (sym.cache_stats.hits, sym.cache_stats.misses) == (0, 1)
+        second = sym.compile_cholesky(A)
+        assert second is first
+        assert second.timings is first.timings  # no timings re-incurred
+        assert (sym.cache_stats.hits, sym.cache_stats.misses) == (1, 1)
+
+    def test_every_kernel_is_cached(self, spd_matrices, lower_factors):
+        sym = Sympiler(cache=ArtifactCache())
+        A, L = spd_matrices["fem"], lower_factors["fem"]
+        artifacts = [
+            sym.compile_cholesky(A),
+            sym.compile_ldlt(A),
+            sym.compile_triangular_solve(L),
+        ]
+        again = [
+            sym.compile_cholesky(A),
+            sym.compile_ldlt(A),
+            sym.compile_triangular_solve(L),
+        ]
+        for a, b in zip(artifacts, again):
+            assert a is b
+        assert sym.cache_stats.hits == 3 and sym.cache_stats.misses == 3
+
+    def test_option_change_recompiles(self, spd_matrices):
+        sym = Sympiler(cache=ArtifactCache())
+        A = spd_matrices["fem"]
+        full = sym.compile_cholesky(A, options=SympilerOptions())
+        ablated = sym.compile_cholesky(A, options=SympilerOptions(enable_low_level=False))
+        assert ablated is not full
+        assert sym.cache_stats.misses == 2
 
 
 class TestOrderingIntegration:
