@@ -35,8 +35,10 @@ Quickstart::
 from repro._version import __version__
 from repro.compiler import (
     LDLTFactors,
+    LUFactors,
     SympiledCholesky,
     SympiledLDLT,
+    SympiledLU,
     SympiledTriangularSolve,
     Sympiler,
     SympilerOptions,
@@ -59,6 +61,7 @@ from repro.sparse import (
     random_spd,
     saddle_point_indefinite,
     sparse_rhs,
+    unsymmetric_diag_dominant,
 )
 from repro.solvers import SparseLinearSolver
 
@@ -69,7 +72,9 @@ __all__ = [
     "SympiledCholesky",
     "SympiledTriangularSolve",
     "SympiledLDLT",
+    "SympiledLU",
     "LDLTFactors",
+    "LUFactors",
     "kernel_spec",
     "registered_kernels",
     "SparseLinearSolver",
@@ -87,5 +92,6 @@ __all__ = [
     "circuit_like_spd",
     "power_grid_spd",
     "saddle_point_indefinite",
+    "unsymmetric_diag_dominant",
     "sparse_rhs",
 ]

@@ -10,12 +10,19 @@ Experiments
 ``intro``    — §1.1 speedups over the naive and library triangular solves.
 ``overheads``— §4.3 compile-time cost relative to one numeric execution.
 ``ldlt``     — LDLᵀ vs. Cholesky (the kernel-registry extension).
+``lu``       — LU vs. scipy ``splu`` on unsymmetric diagonally dominant
+               matrices (the unsymmetric registry extension).
 ``all``      — run every experiment in sequence.
+
+``--json [DIR]`` additionally writes each experiment's rows to
+``BENCH_<experiment>.json`` so CI can upload the perf trajectory per PR.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.bench.figures import (
@@ -25,6 +32,7 @@ from repro.bench.figures import (
     fig9_cholesky_accumulated,
     intro_triangular_speedups,
     ldlt_performance,
+    lu_performance,
     overhead_report,
     table2_suite_listing,
 )
@@ -40,7 +48,31 @@ _EXPERIMENTS = {
     "intro": ("Section 1.1: speedups over naive/library triangular solve", intro_triangular_speedups),
     "overheads": ("Section 4.3: compile-time overheads", overhead_report),
     "ldlt": ("LDL^T vs. Cholesky (kernel-registry extension)", ldlt_performance),
+    "lu": ("LU vs. scipy splu (unsymmetric registry extension)", lu_performance),
 }
+
+
+def _json_default(value):
+    """Coerce NumPy scalars (and anything else odd) into JSON-friendly types."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def write_json_report(name: str, title: str, rows, *, directory: str, args_used: dict) -> str:
+    """Write one experiment's rows to ``BENCH_<name>.json`` and return the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    payload = {
+        "experiment": name,
+        "title": title,
+        "args": args_used,
+        "rows": rows,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=_json_default)
+        fh.write("\n")
+    return path
 
 
 def main(argv=None) -> int:
@@ -55,6 +87,14 @@ def main(argv=None) -> int:
         default="python",
         help="code-generation backend for the Sympiler variants",
     )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="also write BENCH_<experiment>.json to DIR (default: current directory)",
+    )
     args = parser.parse_args(argv)
 
     suite = small_suite() if args.small else build_suite()
@@ -68,6 +108,15 @@ def main(argv=None) -> int:
         else:
             sys.stdout.write(render_table(rows, title=title))
         sys.stdout.write("\n")
+        if args.json is not None:
+            path = write_json_report(
+                name,
+                title,
+                rows,
+                directory=args.json,
+                args_used={"small": args.small, "backend": args.backend},
+            )
+            sys.stdout.write(f"[json report written to {path}]\n")
     return 0
 
 

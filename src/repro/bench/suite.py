@@ -17,7 +17,7 @@ for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.generators import (

@@ -18,7 +18,7 @@ code generator that
 
 The user-facing entry point is :class:`repro.compiler.sympiler.Sympiler`, a
 generic driver over the kernel registry (:mod:`repro.compiler.registry`):
-every kernel — triangular solve, Cholesky, LDLᵀ — is declared once as a
+every kernel — triangular solve, Cholesky, LDLᵀ, LU — is declared once as a
 :class:`~repro.compiler.registry.KernelSpec` and compiled through the same
 ``compile(kernel_name, pattern, options)`` path, with compiled artifacts
 cached by pattern fingerprint (:mod:`repro.compiler.cache`).
@@ -27,9 +27,11 @@ cached by pattern fingerprint (:mod:`repro.compiler.cache`).
 from repro.compiler.artifacts import (
     CompileTimings,
     LDLTFactors,
+    LUFactors,
     PatternMismatchError,
     SympiledCholesky,
     SympiledLDLT,
+    SympiledLU,
     SympiledTriangularSolve,
 )
 from repro.compiler.cache import ArtifactCache, CacheStats
@@ -52,7 +54,9 @@ __all__ = [
     "SympiledTriangularSolve",
     "SympiledCholesky",
     "SympiledLDLT",
+    "SympiledLU",
     "LDLTFactors",
+    "LUFactors",
     "PatternMismatchError",
     "CompileTimings",
     "ArtifactCache",

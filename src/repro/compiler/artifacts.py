@@ -26,9 +26,11 @@ from repro.compiler.ast import KernelFunction
 from repro.compiler.codegen.runtime import pattern_fingerprint, rhs_fingerprint_extra
 from repro.compiler.options import SympilerOptions
 from repro.kernels.ldlt import LDLTFactors
+from repro.kernels.lu import LUFactors
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
+    LUInspectionResult,
     TriangularInspectionResult,
 )
 
@@ -40,7 +42,9 @@ __all__ = [
     "SympiledTriangularSolve",
     "SympiledCholesky",
     "SympiledLDLT",
+    "SympiledLU",
     "LDLTFactors",
+    "LUFactors",
 ]
 
 
@@ -200,6 +204,43 @@ class SympiledCholesky(SympiledFactorization):
         if check_pattern:
             self.verify_pattern(A)
         return self._assemble_factor(self.factorize_arrays(A.indptr, A.indices, A.data))
+
+
+@dataclass
+class SympiledLU(SympiledFactorization):
+    """An LU factorization specialized to one (unsymmetric) matrix pattern.
+
+    Serves square diagonally dominant systems — the Newton Jacobians of the
+    paper's circuit/power-grid workloads — without pivoting, which is what
+    makes the factor patterns predictable at compile time.  ``factorize``
+    returns :class:`LUFactors` whose unit lower-triangular ``L`` (explicit
+    unit diagonal) feeds the generated triangular-solve kernels unchanged and
+    whose upper-triangular ``U`` carries the pivots.
+    """
+
+    kernel_name = "lu"
+    inspection: LUInspectionResult = None
+
+    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> LUFactors:
+        """Factorize ``A`` (same pattern as at compile time) into ``L, U``."""
+        if check_pattern:
+            self.verify_pattern(A)
+        lx, ux = self.factorize_arrays(A.indptr, A.indices, A.data)
+        insp = self.inspection
+        U = CSCMatrix(
+            insp.n,
+            insp.n,
+            insp.u_indptr,
+            insp.u_indices,
+            np.asarray(ux, dtype=np.float64),
+            check=False,
+        )
+        return LUFactors(L=self._assemble_factor(lx), U=U)
+
+    @property
+    def u_pattern(self) -> CSCMatrix:
+        """The ``U`` pattern (zero values), available before factorizing."""
+        return self.inspection.u_pattern_matrix()
 
 
 @dataclass

@@ -23,7 +23,7 @@ Two node families therefore coexist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -339,21 +339,28 @@ class SupernodeTriangularBlock(Stmt):
 class SimplicialCholeskyLoop(Stmt):
     """The VI-Pruned (simplicial) left-looking factorization column loop.
 
-    Shared by the LLᵀ (Cholesky) and LDLᵀ kernels, distinguished by
+    Shared by the left-looking factorization kernels, distinguished by
     ``factor_kind``: ``"llt"`` emits the square-root column factorization,
-    ``"ldlt"`` the unit-diagonal/D-scaled one.  All symbolic information is
-    embedded as constant arrays:
+    ``"ldlt"`` the unit-diagonal/D-scaled one and ``"lu"`` the unsymmetric
+    column split into ``U(:, j)`` and the pivot-scaled ``L(:, j)``.  All
+    symbolic information is embedded as constant arrays:
 
     * ``l_indptr`` / ``l_indices`` — the predicted factor pattern,
     * ``prune_ptr`` / ``update_pos`` / ``update_end`` — for every column
       ``j``, the slice ``prune_ptr[j]:prune_ptr[j+1]`` of ``update_pos`` and
       ``update_end`` lists, for each column ``k`` in the prune-set of ``j``,
-      the position of ``L[j, k]`` inside column ``k`` and the end of column
-      ``k`` (so the numeric loop performs no pattern look-ups at all),
+      the position of the first applied entry inside column ``k`` of ``L``
+      (``L[j, k]`` for the symmetric kernels, the first off-diagonal for LU)
+      and the end of column ``k`` (so the numeric loop performs no pattern
+      look-ups at all),
     * ``update_col`` — the prune-set column ``k`` of every update slot (the
-      LDLᵀ update must scale by ``D[k]``),
-    * ``a_diag_pos`` / ``a_col_end`` — where the lower part of each column of
-      ``A`` starts/ends in its CSC arrays.
+      LDLᵀ update must scale by ``D[k]``; the LU update reads its multiplier
+      ``U[k, j]`` from the work vector at ``k``),
+    * ``a_diag_pos`` / ``a_col_end`` — where the gathered part of each column
+      of ``A`` starts/ends in its CSC arrays (the lower part for the
+      symmetric kernels, the full column for LU),
+    * ``u_indptr`` / ``u_indices`` — the predicted ``U`` pattern (rows
+      ascending, diagonal last; LU only).
     """
 
     def __init__(
@@ -368,12 +375,14 @@ class SimplicialCholeskyLoop(Stmt):
         a_col_end: np.ndarray,
         *,
         update_col: Optional[np.ndarray] = None,
+        u_indptr: Optional[np.ndarray] = None,
+        u_indices: Optional[np.ndarray] = None,
         factor_kind: str = "llt",
         vectorize: bool = True,
         **annotations,
     ) -> None:
         super().__init__(annotations)
-        if factor_kind not in ("llt", "ldlt"):
+        if factor_kind not in ("llt", "ldlt", "lu"):
             raise ValueError(f"unknown factor kind {factor_kind!r}")
         self.n = int(n)
         self.l_indptr = np.asarray(l_indptr, dtype=np.int64)
@@ -386,15 +395,26 @@ class SimplicialCholeskyLoop(Stmt):
         self.update_col = (
             None if update_col is None else np.asarray(update_col, dtype=np.int64)
         )
+        self.u_indptr = None if u_indptr is None else np.asarray(u_indptr, dtype=np.int64)
+        self.u_indices = (
+            None if u_indices is None else np.asarray(u_indices, dtype=np.int64)
+        )
         self.factor_kind = factor_kind
         self.vectorize = bool(vectorize)
         if factor_kind == "ldlt" and self.update_col is None:
             raise ValueError("the LDL^T simplicial loop requires update_col")
+        if factor_kind == "lu" and (
+            self.update_col is None or self.u_indptr is None or self.u_indices is None
+        ):
+            raise ValueError("the LU simplicial loop requires update_col and the U pattern")
 
     @property
     def factor_nnz(self) -> int:
-        """Nonzeros of the factor being produced."""
-        return int(self.l_indptr[-1])
+        """Nonzeros of the factor(s) being produced (both factors for LU)."""
+        nnz = int(self.l_indptr[-1])
+        if self.u_indptr is not None:
+            nnz += int(self.u_indptr[-1])
+        return nnz
 
 
 class SupernodalCholeskyLoop(Stmt):

@@ -1,0 +1,132 @@
+"""Deterministic cache probe: prove cold-vs-warm compile behaviour.
+
+``python -m repro.compiler.cache_probe`` compiles a fixed workload — one
+kernel of every registered family on fixed generator matrices — through a
+fresh :class:`~repro.compiler.sympiler.Sympiler` and reports the on-disk
+shared-object cache counters (:func:`~repro.compiler.codegen.c_backend.disk_cache_stats`)
+as JSON.  Because the workload is deterministic, a second run in a *new
+process* against the same ``REPRO_SYMPILER_CACHE`` directory must reuse every
+``.so`` it produced; ``--assert-warm`` turns that expectation into a nonzero
+exit code, which is how CI asserts "warm cache ⇒ zero C recompiles" with
+counters instead of hoping a pytest re-run exercised the path.
+
+Without a C toolchain the probe still runs (the driver falls back to the
+Python backend), reports ``"c_toolchain": false`` and treats ``--assert-warm``
+as vacuously satisfied — there is nothing on disk to recompile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import warnings
+from typing import Dict
+
+import numpy as np
+
+from repro.compiler.cache import ArtifactCache
+from repro.compiler.codegen.c_backend import (
+    c_compiler_available,
+    disk_cache_stats,
+    reset_disk_cache_stats,
+)
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import Sympiler
+from repro.sparse.generators import (
+    fem_stencil_2d,
+    laplacian_2d,
+    saddle_point_indefinite,
+    sparse_rhs,
+    unsymmetric_diag_dominant,
+)
+
+__all__ = ["run_probe", "main"]
+
+
+def run_probe(backend: str | None = None) -> Dict[str, object]:
+    """Compile the fixed probe workload and return the cache counters.
+
+    ``backend`` defaults to ``"c"`` when a C toolchain is available and
+    ``"python"`` otherwise.  The driver uses a fresh in-memory artifact cache
+    so the on-disk counters reflect disk state, not in-process memoization.
+    """
+    options = SympilerOptions()
+    have_cc = c_compiler_available(options.c_compiler)
+    if backend is None:
+        backend = "c" if have_cc else "python"
+    options = options.with_updates(backend=backend)
+    reset_disk_cache_stats()
+    sym = Sympiler(options, cache=ArtifactCache())
+
+    spd = laplacian_2d(12, shift=0.1)
+    fem = fem_stencil_2d(9, shift=0.25)
+    kkt = saddle_point_indefinite(24, 10, seed=5)
+    jac = unsymmetric_diag_dominant(48, seed=5)
+    rhs = sparse_rhs(spd.n, nnz=3, seed=5)
+
+    results = {}
+    chol = sym.compile("cholesky", spd)
+    L = chol.factorize(spd)
+    results["cholesky_ok"] = bool(L.nnz > 0)
+    tri = sym.compile("triangular-solve", L, rhs_pattern=np.nonzero(rhs)[0])
+    results["trisolve_ok"] = bool(np.isfinite(tri.solve(L, rhs)).all())
+    ldlt = sym.compile("ldlt", kkt)
+    results["ldlt_ok"] = bool(np.isfinite(ldlt.factorize(kkt).d).all())
+    chol_fem = sym.compile("cholesky", fem)
+    results["cholesky_fem_ok"] = bool(chol_fem.factorize(fem).nnz > 0)
+    lu = sym.compile("lu", jac)
+    fac = lu.factorize(jac)
+    results["lu_ok"] = bool(
+        np.allclose(fac.reconstruct_dense(), jac.to_dense(), atol=1e-8)
+    )
+
+    disk = disk_cache_stats()
+    return {
+        "backend": backend,
+        "c_toolchain": bool(have_cc),
+        "workload": results,
+        "so_compiles": disk.compiles,
+        "so_reuses": disk.reuses,
+        "artifact_cache": sym.cache_stats.as_dict(),
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compiler.cache_probe", description=__doc__
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["python", "c"],
+        default=None,
+        help="force a backend (default: c when a toolchain exists, else python)",
+    )
+    parser.add_argument(
+        "--assert-warm",
+        action="store_true",
+        help="exit nonzero unless every shared object was reused from disk "
+        "(zero C recompiles)",
+    )
+    args = parser.parse_args(argv)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        report = run_probe(backend=args.backend)
+    report["asserted_warm"] = bool(args.assert_warm)
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    if not all(report["workload"].values()):
+        sys.stderr.write("cache probe workload produced wrong results\n")
+        return 2
+    if args.assert_warm and report["c_toolchain"] and report["so_compiles"] != 0:
+        sys.stderr.write(
+            f"warm-cache assertion failed: {report['so_compiles']} shared "
+            "object(s) were recompiled (expected 0)\n"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

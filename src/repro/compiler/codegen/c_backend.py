@@ -52,7 +52,10 @@ __all__ = [
     "CGeneratedModule",
     "CCompilationError",
     "CMethodSpec",
+    "DiskCacheStats",
     "c_compiler_available",
+    "disk_cache_stats",
+    "reset_disk_cache_stats",
     "register_c_method",
 ]
 
@@ -64,6 +67,38 @@ class CCompilationError(RuntimeError):
 def c_compiler_available(compiler: str = "cc") -> bool:
     """True when the requested C compiler executable is on PATH."""
     return shutil.which(compiler) is not None
+
+
+@dataclass
+class DiskCacheStats:
+    """Counters of the on-disk shared-object cache (process-wide).
+
+    ``compiles`` counts actual C compiler invocations; ``reuses`` counts
+    loads of a pre-existing ``.so`` for the same source fingerprint.  A
+    warm-cache CI run asserts ``compiles == 0`` through these counters — the
+    compile-amortization story made checkable instead of assumed.
+    """
+
+    compiles: int = 0
+    reuses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view used by the cache probe CLI."""
+        return {"compiles": self.compiles, "reuses": self.reuses}
+
+
+_DISK_CACHE_STATS = DiskCacheStats()
+
+
+def disk_cache_stats() -> DiskCacheStats:
+    """The live process-wide on-disk cache counters."""
+    return _DISK_CACHE_STATS
+
+
+def reset_disk_cache_stats() -> None:
+    """Zero the on-disk cache counters (tests and the cache probe)."""
+    _DISK_CACHE_STATS.compiles = 0
+    _DISK_CACHE_STATS.reuses = 0
 
 
 def _tmp_name(path: str) -> str:
@@ -117,6 +152,7 @@ class CGeneratedModule:
     flags: Tuple[str, ...]
     n: int
     factor_nnz: int = 0
+    meta: Dict[str, int] = field(default_factory=dict)
     compile_seconds: float = 0.0
     shared_object: Optional[str] = None
     _callable: Optional[Callable] = field(default=None, repr=False)
@@ -170,6 +206,9 @@ class CGeneratedModule:
             finally:
                 if os.path.exists(tmp_so):
                     os.unlink(tmp_so)
+            _DISK_CACHE_STATS.compiles += 1
+        else:
+            _DISK_CACHE_STATS.reuses += 1
         lib = ctypes.CDLL(so_path)
         fn = getattr(lib, self.entry_name)
         self.shared_object = so_path
@@ -240,21 +279,44 @@ def _ldlt_wrapper(module: "CGeneratedModule", fn) -> Callable:
     return wrapper
 
 
+def _lu_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, _F64P]
+
+    def wrapper(Ap, Ai, Ax):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.meta["l_nnz"], dtype=np.float64)
+        Ux = np.zeros(module.meta["u_nnz"], dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx, Ux)
+        if status != 0:
+            raise ValueError(
+                f"matrix is singular (zero pivot) at column {int(status) - 1}"
+            )
+        return Lx, Ux
+
+    return wrapper
+
+
 @dataclass(frozen=True)
 class CMethodSpec:
     """ABI description of one kernel method for the C backend.
 
     ``signature`` is a format template over ``{name}``; ``body_emitter`` names
     the :class:`CBackend` method emitting the function body;
-    ``wrapper_factory`` builds the NumPy-friendly ctypes wrapper.  The backend
-    dispatches on this table, so registering a new kernel method means adding
-    a spec instead of editing the generator.
+    ``wrapper_factory`` builds the NumPy-friendly ctypes wrapper;
+    ``module_meta`` optionally derives extra integers the wrapper needs (e.g.
+    the per-factor allocation sizes of LU) from the compilation context.  The
+    backend dispatches on this table, so registering a new kernel method means
+    adding a spec instead of editing the generator.
     """
 
     signature: str
     body_emitter: str
     wrapper_factory: Callable
     needs_factor_nnz: bool = False
+    module_meta: Optional[Callable[[object], Dict[str, int]]] = None
 
 
 _C_METHOD_SPECS: Dict[str, CMethodSpec] = {
@@ -283,6 +345,19 @@ _C_METHOD_SPECS: Dict[str, CMethodSpec] = {
         body_emitter="_emit_factorization_body",
         wrapper_factory=_ldlt_wrapper,
         needs_factor_nnz=True,
+    ),
+    "lu": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx, double* Ux)"
+        ),
+        body_emitter="_emit_lu_body",
+        wrapper_factory=_lu_wrapper,
+        needs_factor_nnz=True,
+        module_meta=lambda context: {
+            "l_nnz": int(context.inspection.l_nnz),
+            "u_nnz": int(context.inspection.u_nnz),
+        },
     ),
 }
 
@@ -344,7 +419,11 @@ class CBackend:
 
     name = "c"
 
-    def __init__(self, compiler: str = "cc", flags: Tuple[str, ...] = ("-O3", "-march=native", "-fPIC", "-shared")) -> None:
+    def __init__(
+        self,
+        compiler: str = "cc",
+        flags: Tuple[str, ...] = ("-O3", "-march=native", "-fPIC", "-shared"),
+    ) -> None:
         self.compiler = compiler
         self.flags = tuple(flags)
 
@@ -408,6 +487,7 @@ class CBackend:
             flags=self.flags,
             n=self._n,
             factor_nnz=factor_nnz,
+            meta=dict(method_spec.module_meta(context)) if method_spec.module_meta else {},
         )
 
     # ------------------------------------------------------------------ #
@@ -588,6 +668,57 @@ class CBackend:
             raise CCompilationError(
                 "the C backend requires a VI-Pruned or VS-Block'd factorization kernel"
             )
+
+    def _emit_lu_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        simplicial = [
+            node
+            for node in self._domain_nodes(kernel, SimplicialCholeskyLoop)
+            if node.factor_kind == "lu"
+        ]
+        if not simplicial:
+            raise CCompilationError("the C backend requires a VI-Pruned LU kernel")
+        out.emit("(void)Ap;  /* the A pattern is baked into the generated constants */")
+        self._emit_simplicial_lu_c(out, simplicial[0])
+
+    def _emit_simplicial_lu_c(self, out: _CEmitter, stmt: SimplicialCholeskyLoop) -> None:
+        n = stmt.n
+        lp = self._add_constant("l_indptr", stmt.l_indptr)
+        li = self._add_constant("l_indices", stmt.l_indices)
+        up = self._add_constant("u_indptr", stmt.u_indptr)
+        ui = self._add_constant("u_indices", stmt.u_indices)
+        ad = self._add_constant("a_col_start", stmt.a_diag_pos)
+        ae = self._add_constant("a_col_end", stmt.a_col_end)
+        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
+        upos = self._add_constant("update_pos", stmt.update_pos)
+        uend = self._add_constant("update_end", stmt.update_end)
+        ucol = self._add_constant("update_col", stmt.update_col)
+        nnzl = int(stmt.l_indptr[-1])
+        nnzu = int(stmt.u_indptr[-1])
+        out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
+        out.emit(f"memset(Ux, 0, {nnzu} * sizeof(double));")
+        out.emit(f"memset(repro_f, 0, {n} * sizeof(double));")
+        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
+        out.push()
+        out.emit(f"for (int64_t p = {ad}[j]; p < {ae}[j]; p++) repro_f[Ai[p]] = Ax[p];")
+        out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
+        out.push()
+        out.emit(f"int64_t ps = {upos}[t], pe = {uend}[t];")
+        out.emit(f"double ukj = repro_f[{ucol}[t]];")
+        out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{li}[p]] -= Lx[p] * ukj;")
+        out.pop()
+        out.emit("}")
+        out.emit(f"int64_t u0 = {up}[j], u1 = {up}[j + 1];")
+        out.emit(f"for (int64_t p = u0; p < u1; p++) Ux[p] = repro_f[{ui}[p]];")
+        out.emit("double piv = repro_f[j];")
+        out.emit("if (piv == 0.0) return j + 1;")
+        out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
+        out.emit("Lx[lp0] = 1.0;")
+        out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / piv;")
+        out.emit(f"for (int64_t p = u0; p < u1; p++) repro_f[{ui}[p]] = 0.0;")
+        out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{li}[p]] = 0.0;")
+        out.pop()
+        out.emit("}")
+        out.emit("return 0;")
 
     def _emit_simplicial_cholesky_c(self, out: _CEmitter, stmt: SimplicialCholeskyLoop) -> None:
         n = stmt.n

@@ -83,6 +83,7 @@ _PY_METHOD_SPECS: Dict[str, PythonMethodSpec] = {
     "triangular-solve": PythonMethodSpec(params="Lp, Li, Lx, b", result="x"),
     "cholesky": PythonMethodSpec(params="Ap, Ai, Ax", result="Lx"),
     "ldlt": PythonMethodSpec(params="Ap, Ai, Ax", result="(Lx, D)"),
+    "lu": PythonMethodSpec(params="Ap, Ai, Ax", result="(Lx, Ux)"),
 }
 
 
@@ -408,7 +409,63 @@ class PythonBackend:
             out.emit(f"D = np.empty({n})")
         out.emit(f"f = np.zeros({n})")
 
+    def _emit_simplicial_lu(self, out: _Emitter, stmt: SimplicialCholeskyLoop) -> None:
+        n = stmt.n
+        lp = self._add_constant("l_indptr", stmt.l_indptr)
+        li = self._add_constant("l_indices", stmt.l_indices)
+        up = self._add_constant("u_indptr", stmt.u_indptr)
+        ui = self._add_constant("u_indices", stmt.u_indices)
+        ad = self._add_constant("a_col_start", stmt.a_diag_pos)
+        ae = self._add_constant("a_col_end", stmt.a_col_end)
+        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
+        upos = self._add_constant("update_pos", stmt.update_pos)
+        uend = self._add_constant("update_end", stmt.update_end)
+        ucol = self._add_constant("update_col", stmt.update_col)
+        out.emit(f"Lp = {lp}")
+        out.emit(f"Li = {li}")
+        out.emit(f"Up = {up}")
+        out.emit(f"Ui = {ui}")
+        out.emit(f"_a0 = {ad}")
+        out.emit(f"_a1 = {ae}")
+        out.emit(f"Lx = np.zeros({int(stmt.l_indptr[-1])})")
+        out.emit(f"Ux = np.zeros({int(stmt.u_indptr[-1])})")
+        out.emit(f"f = np.zeros({n})")
+        out.emit("# simplicial left-looking LU; update loop pruned to the symbolic")
+        out.emit("# U pattern (all positions resolved at compile time, no pivoting)")
+        out.emit(f"for j in range({n}):")
+        out.push()
+        out.emit("a0 = _a0[j]; a1 = _a1[j]")
+        out.emit("f[Ai[a0:a1]] = Ax[a0:a1]")
+        out.emit(f"for t in range({pp}[j], {pp}[j + 1]):")
+        out.push()
+        out.emit(f"ps = {upos}[t]; pe = {uend}[t]")
+        out.emit(f"ukj = f[{ucol}[t]]")
+        if stmt.vectorize:
+            out.emit("f[Li[ps:pe]] -= Lx[ps:pe] * ukj")
+        else:
+            out.emit("for p in range(ps, pe):")
+            out.push()
+            out.emit("f[Li[p]] -= Lx[p] * ukj")
+            out.pop()
+        out.pop()
+        out.emit("u0 = Up[j]; u1 = Up[j + 1]")
+        out.emit("Ux[u0:u1] = f[Ui[u0:u1]]")
+        out.emit("piv = f[j]")
+        out.emit("if piv == 0.0:")
+        out.push()
+        out.emit('raise ValueError("matrix is singular (zero pivot) at column %d" % j)')
+        out.pop()
+        out.emit("lp0 = Lp[j]; lp1 = Lp[j + 1]")
+        out.emit("Lx[lp0] = 1.0")
+        out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / piv")
+        out.emit("f[Ui[u0:u1]] = 0.0")
+        out.emit("f[Li[lp0:lp1]] = 0.0")
+        out.pop()
+
     def _emit_simplicial_cholesky(self, out: _Emitter, stmt: SimplicialCholeskyLoop) -> None:
+        if stmt.factor_kind == "lu":
+            self._emit_simplicial_lu(out, stmt)
+            return
         n = stmt.n
         ldlt = stmt.factor_kind == "ldlt"
         self._emit_cholesky_preamble(

@@ -14,7 +14,6 @@ import hashlib
 import os
 import tempfile
 import types
-from typing import Dict
 
 import numpy as np
 

@@ -23,7 +23,7 @@ from repro.compiler.ast import (
     Var,
 )
 
-__all__ = ["lower_triangular_solve", "lower_cholesky", "lower_ldlt"]
+__all__ = ["lower_triangular_solve", "lower_cholesky", "lower_ldlt", "lower_lu"]
 
 
 def lower_triangular_solve() -> KernelFunction:
@@ -227,4 +227,81 @@ def lower_ldlt() -> KernelFunction:
         body=body,
         method="ldlt",
         meta={"algorithm": "left-looking", "figure": "4 (LDL^T variant)"},
+    )
+
+
+def lower_lu() -> KernelFunction:
+    """Initial AST of left-looking sparse LU (``A = L U``, no pivoting).
+
+    The Figure 4 loop nest generalized to an unsymmetric matrix: the gathered
+    column covers both triangles of ``A``, the update loop runs over the
+    columns ``k < j`` with ``U[k, j] != 0`` (the GP reach of ``A(:, j)``) and
+    the column factorization splits the work vector into ``U(:, j)`` and the
+    pivot-scaled unit-diagonal ``L(:, j)``.  The update loop is annotated as
+    VI-Prune-able (it can be restricted to the symbolic ``U`` pattern), the
+    column loop as VS-Block-able (column-etree supernode candidates).
+    """
+    j = Var("j")
+    k = Var("k")
+
+    update_body = Block(
+        [
+            # f(k+1:n) -= L(k+1:n, k) * U(k, j)   [U(k, j) = f(k) at this point]
+            Assign(
+                Var("f"),
+                BinOp(
+                    "*",
+                    Call("L_col_tail", (k, BinOp("+", k, IntConst(1)))),
+                    Call("U_entry", (k, j)),
+                ),
+                op="-=",
+            )
+        ]
+    )
+    update_loop = ForRange(
+        "k",
+        IntConst(0),
+        j,
+        update_body,
+        role="update-loop",
+        prunable=True,
+    )
+    column_body = Block(
+        [
+            Comment("gather the full column j of A into the dense work vector f"),
+            Assign(Var("f"), Call("A_col", (j,))),
+            update_loop,
+            Comment("column factorization: U split-off, then pivot scaling of L"),
+            Assign(Call("U_col", (j,)), Var("f")),
+            Assign(Call("L_entry", (j, j)), IntConst(1)),
+            Assign(
+                Call("L_col_tail", (j, BinOp("+", j, IntConst(1)))),
+                BinOp("/", Var("f"), Call("U_entry", (j, j))),
+                op="=",
+                role="off-diagonal-scale",
+                vectorizable=True,
+            ),
+        ]
+    )
+    column_loop = ForRange(
+        "j",
+        IntConst(0),
+        Var("n"),
+        column_body,
+        role="column-loop",
+        prunable=False,
+        blockable=True,
+    )
+    body = Block(
+        [
+            Comment("left-looking sparse LU: A = L * U (partial-pivoting-free)"),
+            column_loop,
+        ]
+    )
+    return KernelFunction(
+        name="lu",
+        params=["Ap", "Ai", "Ax"],
+        body=body,
+        method="lu",
+        meta={"algorithm": "left-looking", "figure": "4 (GP LU variant)"},
     )

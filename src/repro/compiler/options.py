@@ -18,6 +18,7 @@ The options gather every tunable the paper mentions:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
@@ -25,6 +26,20 @@ __all__ = ["SympilerOptions"]
 
 _VALID_BACKENDS = ("python", "c")
 _VALID_TRANSFORM_NAMES = ("vs-block", "vi-prune")
+
+
+def _default_c_flags() -> Tuple[str, ...]:
+    """Default C flags, overridable through ``REPRO_CFLAGS``.
+
+    The built-in default tunes for the local machine (``-march=native``),
+    which is wrong for caches shared between heterogeneous hosts — CI sets
+    ``REPRO_CFLAGS`` to a portable flag set so restored ``.so`` artifacts
+    run on whichever runner picks up the next job.
+    """
+    env = os.environ.get("REPRO_CFLAGS")
+    if env:
+        return tuple(env.split())
+    return ("-O3", "-march=native", "-fPIC", "-shared")
 
 
 @dataclass(frozen=True)
@@ -76,7 +91,14 @@ class SympilerOptions:
         Inner updates at least this long are annotated for vectorization
         (emitted as NumPy slice operations / contiguous C loops).
     c_compiler, c_flags:
-        Compiler executable and flags for the C backend.
+        Compiler executable and flags for the C backend.  The executable
+        defaults to the ``REPRO_CC`` environment variable (read at option
+        construction time), then ``"cc"``; when the executable cannot be
+        found the driver falls back to the Python backend with a warning
+        instead of erroring.  The flags default to ``REPRO_CFLAGS``
+        (whitespace-split), then ``-O3 -march=native -fPIC -shared`` —
+        override with a portable set when the on-disk ``.so`` cache is
+        shared between machines with different CPUs.
     """
 
     backend: str = "python"
@@ -98,8 +120,8 @@ class SympilerOptions:
     unroll_max_width: int = 4
     vectorize_min_length: int = 4
 
-    c_compiler: str = "cc"
-    c_flags: Tuple[str, ...] = ("-O3", "-march=native", "-fPIC", "-shared")
+    c_compiler: str = field(default_factory=lambda: os.environ.get("REPRO_CC", "cc"))
+    c_flags: Tuple[str, ...] = field(default_factory=_default_c_flags)
 
     def __post_init__(self) -> None:
         if self.backend not in _VALID_BACKENDS:

@@ -16,6 +16,7 @@ name                inspector                      artifact
 ``triangular-solve``  :class:`TriangularSolveInspector`  :class:`SympiledTriangularSolve`
 ``cholesky``          :class:`CholeskyInspector`         :class:`SympiledCholesky`
 ``ldlt``              :class:`LDLTInspector`             :class:`SympiledLDLT`
+``lu``                :class:`LUInspector`               :class:`SympiledLU`
 ==================  =============================  ==========================
 """
 
@@ -27,16 +28,23 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 from repro.compiler.artifacts import (
     SympiledCholesky,
     SympiledLDLT,
+    SympiledLU,
     SympiledTriangularSolve,
 )
 from repro.compiler.codegen.runtime import pattern_fingerprint, rhs_fingerprint_extra
-from repro.compiler.lowering import lower_cholesky, lower_ldlt, lower_triangular_solve
+from repro.compiler.lowering import (
+    lower_cholesky,
+    lower_ldlt,
+    lower_lu,
+    lower_triangular_solve,
+)
 from repro.compiler.options import SympilerOptions
 from repro.compiler.registration import register_unique_many
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.inspector import (
     CholeskyInspector,
     LDLTInspector,
+    LUInspector,
     TriangularSolveInspector,
     normalize_rhs_pattern,
 )
@@ -314,5 +322,23 @@ register_kernel(
         aliases=("ldl",),
         inspect_kwargs=_factorization_inspect_kwargs,
         description="left-looking sparse LDL^T for symmetric indefinite A",
+    )
+)
+
+register_kernel(
+    KernelSpec(
+        name="lu",
+        lower=lower_lu,
+        inspector_cls=LUInspector,
+        artifact_cls=SympiledLU,
+        runtime_signature=("Ap", "Ai", "Ax"),
+        transforms=("vs-block", "vi-prune"),
+        requires_vi_prune=True,
+        aliases=("gp-lu",),
+        inspect_kwargs=_factorization_inspect_kwargs,
+        description=(
+            "left-looking sparse LU A = L U (partial-pivoting-free, for "
+            "diagonally dominant unsymmetric A)"
+        ),
     )
 )

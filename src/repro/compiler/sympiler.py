@@ -18,7 +18,8 @@ that makes the factor-once/solve-many scenarios of §1.2 pay off.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+import warnings
+from typing import Optional, Sequence, Set
 
 import numpy as np
 
@@ -31,7 +32,7 @@ from repro.compiler.artifacts import (
     SympiledTriangularSolve,
 )
 from repro.compiler.cache import ArtifactCache, CacheStats, cache_key
-from repro.compiler.codegen.c_backend import CBackend
+from repro.compiler.codegen.c_backend import CBackend, c_compiler_available
 from repro.compiler.codegen.python_backend import PythonBackend
 from repro.compiler.options import SympilerOptions
 from repro.compiler.registry import KernelRegistry, default_registry
@@ -49,9 +50,36 @@ __all__ = [
 ]
 
 
+#: Compiler executables a fallback warning has already been emitted for, so a
+#: toolchain-free environment sees one warning instead of one per compile.
+_FALLBACK_WARNED: Set[str] = set()
+
+
+def _c_backend_or_fallback(options: SympilerOptions):
+    """The C backend, or the Python backend when no C toolchain exists.
+
+    Environments without a working ``cc`` (minimal containers, bare CI
+    runners) still get a functioning — just slower — compiler pipeline
+    instead of an error; the degradation is announced once per missing
+    compiler.  Set ``REPRO_CC`` (or ``SympilerOptions.c_compiler``) to point
+    at a specific toolchain.
+    """
+    if not c_compiler_available(options.c_compiler):
+        if options.c_compiler not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(options.c_compiler)
+            warnings.warn(
+                f"C compiler {options.c_compiler!r} not found; falling back to "
+                "the python code-generation backend",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        return PythonBackend()
+    return CBackend(compiler=options.c_compiler, flags=options.c_flags)
+
+
 _BACKEND_FACTORIES = {
     "python": lambda options: PythonBackend(),
-    "c": lambda options: CBackend(compiler=options.c_compiler, flags=options.c_flags),
+    "c": _c_backend_or_fallback,
 }
 
 
@@ -77,7 +105,8 @@ class Sympiler:
         Default code-generation options (overridable per ``compile`` call).
     registry:
         Kernel registry to resolve kernel names in; defaults to the global
-        registry with the built-in kernels (triangular solve, Cholesky, LDLᵀ).
+        registry with the built-in kernels (triangular solve, Cholesky, LDLᵀ,
+        LU).
     cache:
         Artifact cache; defaults to a process-wide shared cache.  Pass a fresh
         :class:`~repro.compiler.cache.ArtifactCache` to isolate (e.g. tests).

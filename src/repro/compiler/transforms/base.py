@@ -34,7 +34,8 @@ class CompilationContext:
     ----------
     method:
         The kernel method name (``"triangular-solve"``, ``"cholesky"``,
-        ``"ldlt"``, ... — any method registered in the kernel registry).
+        ``"ldlt"``, ``"lu"``, ... — any method registered in the kernel
+        registry).
     matrix:
         The input matrix pattern — ``L`` for triangular solve, ``A`` for
         Cholesky.  Transforms only read its structure, never its values.

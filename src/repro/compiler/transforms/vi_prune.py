@@ -41,9 +41,13 @@ from repro.compiler.transforms.base import (
     CompilationContext,
     MethodDispatchTransform,
 )
-from repro.compiler.transforms.descriptors import simplicial_descriptors
+from repro.compiler.transforms.descriptors import (
+    lu_simplicial_descriptors,
+    simplicial_descriptors,
+)
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
+    LUInspectionResult,
     TriangularInspectionResult,
 )
 
@@ -78,6 +82,7 @@ class VIPruneTransform(MethodDispatchTransform):
         "triangular-solve": "_apply_triangular",
         "cholesky": "_apply_cholesky",
         "ldlt": "_apply_ldlt",
+        "lu": "_apply_lu",
     }
 
     # ------------------------------------------------------------------ #
@@ -166,6 +171,11 @@ class VIPruneTransform(MethodDispatchTransform):
     ) -> KernelFunction:
         return self._apply_left_looking(kernel, context, factor_kind="ldlt")
 
+    def _apply_lu(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        return self._apply_left_looking(kernel, context, factor_kind="lu")
+
     def _apply_left_looking(
         self,
         kernel: KernelFunction,
@@ -173,12 +183,26 @@ class VIPruneTransform(MethodDispatchTransform):
         *,
         factor_kind: str,
     ) -> KernelFunction:
+        """Shared left-looking lowering for the LLᵀ, LDLᵀ and LU kernels.
+
+        The symmetric kinds prune the update loop to the row sparsity pattern
+        of ``L``; LU prunes it to the symbolic ``U`` pattern of each column
+        (the GP reach-set) and additionally embeds the ``U`` pattern arrays.
+        Everything else — replacing the annotated column loop by the
+        descriptor-carrying domain statement — is identical.
+        """
+        lu = factor_kind == "lu"
         inspection = context.inspection
-        if not isinstance(inspection, CholeskyInspectionResult):
-            raise TypeError("left-looking VI-Prune needs a Cholesky-style inspection")
+        expected_cls = LUInspectionResult if lu else CholeskyInspectionResult
+        if not isinstance(inspection, expected_cls):
+            raise TypeError(
+                f"left-looking VI-Prune for {factor_kind!r} needs a "
+                f"{expected_cls.__name__}"
+            )
 
         # If VS-Block already replaced the column loop with a supernodal loop,
         # the prune-sets are already embedded in its descendant descriptors.
+        # (The LU handler of VS-Block never produces one.)
         if any(isinstance(node, SupernodalCholeskyLoop) for node in walk(kernel.body)):
             context.record(self.name, mode="subsumed-by-vs-block")
             kernel.meta["vi_prune"] = True
@@ -191,7 +215,23 @@ class VIPruneTransform(MethodDispatchTransform):
         if loop is None:
             context.decisions[self.name] = {"skipped": "no column loop found"}
             return kernel
-        desc = simplicial_descriptors(context.matrix, inspection)
+        if lu:
+            desc = lu_simplicial_descriptors(context.matrix, inspection)
+            kind_kwargs = {
+                "u_indptr": inspection.u_indptr,
+                "u_indices": inspection.u_indices,
+                "role": "simplicial-lu",
+            }
+            pruned_to = "the symbolic U pattern"
+            extra_constants = (
+                ("u_indptr", inspection.u_indptr),
+                ("u_indices", inspection.u_indices),
+            )
+        else:
+            desc = simplicial_descriptors(context.matrix, inspection)
+            kind_kwargs = {"role": "simplicial-cholesky"}
+            pruned_to = "the row sparsity pattern of L"
+            extra_constants = ()
         simplicial = SimplicialCholeskyLoop(
             n=inspection.n,
             l_indptr=inspection.l_indptr,
@@ -204,11 +244,11 @@ class VIPruneTransform(MethodDispatchTransform):
             update_col=desc.update_col,
             factor_kind=factor_kind,
             vectorize=True,
-            role="simplicial-cholesky",
+            **kind_kwargs,
         )
         replaced = _replace_statement(kernel.body, loop, [
             Comment(
-                "VI-Prune: update loop restricted to the row sparsity pattern of L "
+                f"VI-Prune: update loop restricted to {pruned_to} "
                 f"({int(desc.prune_ptr[-1])} updates in total)"
             ),
             simplicial,
@@ -218,6 +258,7 @@ class VIPruneTransform(MethodDispatchTransform):
         for cname, value in (
             ("l_indptr", inspection.l_indptr),
             ("l_indices", inspection.l_indices),
+            *extra_constants,
             ("prune_ptr", desc.prune_ptr),
             ("update_pos", desc.update_pos),
             ("update_end", desc.update_end),

@@ -25,9 +25,7 @@ from typing import List
 import numpy as np
 
 from repro.compiler.ast import (
-    Block,
     Comment,
-    ForRange,
     KernelFunction,
     PrunedColumnSolveLoop,
     SimplicialCholeskyLoop,
@@ -46,6 +44,7 @@ from repro.compiler.transforms.descriptors import (
 from repro.compiler.transforms.vi_prune import _find_prunable_loop, _replace_statement
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
+    LUInspectionResult,
     TriangularInspectionResult,
 )
 from repro.symbolic.supernodes import SupernodePartition
@@ -89,6 +88,7 @@ class VSBlockTransform(MethodDispatchTransform):
         "triangular-solve": "_apply_triangular",
         "cholesky": "_apply_cholesky",
         "ldlt": "_apply_ldlt",
+        "lu": "_apply_lu",
     }
 
     # ------------------------------------------------------------------ #
@@ -221,6 +221,34 @@ class VSBlockTransform(MethodDispatchTransform):
         self, kernel: KernelFunction, context: CompilationContext
     ) -> KernelFunction:
         return self._apply_left_looking(kernel, context, factor_kind="ldlt")
+
+    def _apply_lu(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        """VS-Block for the unsymmetric left-looking LU.
+
+        The participation heuristic is evaluated on the column-etree
+        supernode candidates (and recorded for the ablation benches), but the
+        blocked dense sub-kernels of this pass exploit the *symmetric*
+        trapezoidal panel structure — an LU supernode would also have to
+        carry its per-column ``U`` panel (the SuperLU formulation).  Until a
+        pivoted/supernodal LU lands, the pass therefore always defers the
+        lowering to VI-Prune's simplicial LU loop; the recorded decision
+        makes the deferral visible instead of silent.
+        """
+        inspection = context.inspection
+        if not isinstance(inspection, LUInspectionResult):
+            raise TypeError("LU VS-Block needs an LU inspection")
+        options = context.options
+        participates, details = vs_block_participates(
+            inspection.supernodes,
+            min_supernode_width=options.vs_block_min_supernode_width,
+            min_avg_width=options.vs_block_min_avg_width,
+        )
+        details["factor_kind"] = "lu"
+        details["deferred"] = "supernodal LU not generated (unsymmetric panels)"
+        context.decisions[self.name] = details
+        return kernel
 
     def _apply_left_looking(
         self,

@@ -30,6 +30,7 @@ from repro.kernels.dense import (
 )
 from repro.kernels.flops import cholesky_flops, gflops, triangular_solve_flops
 from repro.kernels.ldlt import LDLTFactors, ldlt_left_looking
+from repro.kernels.lu import LUFactors, lu_left_looking
 from repro.kernels.triangular import (
     trisolve_decoupled,
     trisolve_library,
@@ -53,6 +54,8 @@ __all__ = [
     "dense_ldlt",
     "ldlt_left_looking",
     "LDLTFactors",
+    "lu_left_looking",
+    "LUFactors",
     "triangular_solve_flops",
     "cholesky_flops",
     "gflops",

@@ -1,0 +1,122 @@
+"""Sparse LU factorization reference kernels (partial-pivoting-free).
+
+``A = L U`` with ``L`` unit lower triangular and ``U`` upper triangular
+handles general *unsymmetric* systems — the diagonally dominant Jacobians of
+circuit and power-grid simulation (§1.2 of the paper) are the motivating
+workload.  No pivoting is performed: for (column) diagonally dominant
+matrices Gaussian elimination without pivoting is backward stable and every
+pivot is nonzero, which is exactly what makes the factorization specializable
+— the row order is fixed, so the whole symbolic analysis (GP-style reach,
+column elimination tree) runs once at compile time.
+
+:func:`lu_left_looking` is the decoupled left-looking reference used as the
+correctness oracle for the Sympiler-generated LU kernels; ``L`` stores an
+explicit unit diagonal so the generated triangular-solve kernels apply to it
+unchanged, and ``U`` stores its diagonal as the last entry of every column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.dense import SingularMatrixError
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.inspector import LUInspectionResult, LUInspector
+
+__all__ = ["LUFactors", "lu_left_looking", "SingularMatrixError"]
+
+
+@dataclass(frozen=True)
+class LUFactors:
+    """The factors of ``A = L U``.
+
+    ``L`` is unit lower triangular (the unit diagonal is stored explicitly so
+    triangular-solve kernels need no special casing) and ``U`` is upper
+    triangular with the pivots on its diagonal (stored as the last entry of
+    every column, rows ascending).
+    """
+
+    L: CSCMatrix
+    U: CSCMatrix
+
+    @property
+    def n(self) -> int:
+        """Order of the factored matrix."""
+        return self.L.n
+
+    @property
+    def pivots(self) -> np.ndarray:
+        """The diagonal of ``U`` (the elimination pivots)."""
+        return self.U.data[self.U.indptr[1:] - 1].copy()
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` by forward then backward substitution."""
+        b = np.asarray(b, dtype=np.float64)
+        L, U = self.L, self.U
+        n = L.n
+        y = b.copy()
+        # Forward: L y = b (unit diagonal stored explicitly).
+        for j in range(n):
+            p0, p1 = L.indptr[j], L.indptr[j + 1]
+            y[j] /= L.data[p0]
+            y[L.indices[p0 + 1 : p1]] -= L.data[p0 + 1 : p1] * y[j]
+        # Backward: U x = y, column-at-a-time from the right (diagonal last).
+        x = y.copy()
+        for j in range(n - 1, -1, -1):
+            p0, p1 = U.indptr[j], U.indptr[j + 1]
+            xj = x[j] / U.data[p1 - 1]
+            x[j] = xj
+            x[U.indices[p0 : p1 - 1]] -= U.data[p0 : p1 - 1] * xj
+        return x
+
+    def reconstruct_dense(self) -> np.ndarray:
+        """Dense ``L @ U`` — the oracle for correctness tests."""
+        return self.L.to_dense() @ self.U.to_dense()
+
+
+def lu_left_looking(
+    A: CSCMatrix, inspection: Optional[LUInspectionResult] = None
+) -> LUFactors:
+    """Left-looking simplicial LU with decoupled symbolic analysis.
+
+    Structure mirrors :func:`repro.kernels.ldlt.ldlt_left_looking`: column
+    ``j`` gathers ``A(:, j)`` into a dense work vector, applies the updates of
+    every column ``k`` in the above-diagonal ``U`` pattern of ``j`` (in
+    ascending — hence topological — order), then splits the result into
+    ``U(:, j)`` and the pivot-scaled ``L(:, j)``.
+    """
+    if not A.is_square():
+        raise ValueError("LU requires a square matrix")
+    if inspection is None:
+        inspection = LUInspector().inspect(A)
+    n = A.n
+    l_indptr, l_indices = inspection.l_indptr, inspection.l_indices
+    u_indptr, u_indices = inspection.u_indptr, inspection.u_indices
+    l_data = np.zeros(int(l_indptr[-1]), dtype=np.float64)
+    u_data = np.zeros(int(u_indptr[-1]), dtype=np.float64)
+
+    f = np.zeros(n, dtype=np.float64)
+    for j in range(n):
+        f[A.col_rows(j)] = A.col_values(j)
+        # Updates from the columns in the U pattern of column j (k < j).
+        for k in u_indices[u_indptr[j] : u_indptr[j + 1] - 1]:
+            k = int(k)
+            start, end = l_indptr[k], l_indptr[k + 1]
+            ukj = f[k]
+            f[l_indices[start + 1 : end]] -= l_data[start + 1 : end] * ukj
+        u0, u1 = u_indptr[j], u_indptr[j + 1]
+        u_data[u0:u1] = f[u_indices[u0:u1]]
+        pivot = f[j]
+        if pivot == 0.0:
+            raise SingularMatrixError(f"zero pivot at column {j}")
+        start, end = l_indptr[j], l_indptr[j + 1]
+        l_data[start] = 1.0
+        l_data[start + 1 : end] = f[l_indices[start + 1 : end]] / pivot
+        f[u_indices[u0:u1]] = 0.0
+        f[l_indices[start:end]] = 0.0
+    L = CSCMatrix(n, n, l_indptr, l_indices, l_data, check=False)
+    U = CSCMatrix(n, n, u_indptr, u_indices, u_data, check=False)
+    return LUFactors(L=L, U=U)

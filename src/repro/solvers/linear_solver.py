@@ -6,19 +6,20 @@ Combines the pieces of the library into the workflow a downstream user wants:
 2. compile specialized factorization and triangular-solve kernels for the
    (permuted) pattern through the kernel registry — ``method="cholesky"`` for
    SPD systems, ``method="ldlt"`` for symmetric indefinite (saddle-point/KKT)
-   systems,
+   systems, ``method="lu"`` for unsymmetric diagonally dominant systems
+   (Newton Jacobians),
 3. factorize numeric values — repeatedly, as they change — and solve systems
    with forward/backward substitution.
 
 Every kernel compile goes through the Sympiler artifact cache, so repeated
-refactorizations and the backward sweep (``Lᵀ z = y``) reuse the compiled
-kernels whenever the factor pattern is unchanged instead of re-running
-inspection and code generation.
+refactorizations and the backward sweep reuse the compiled kernels whenever
+the factor pattern is unchanged instead of re-running inspection and code
+generation.
 
-The backward substitution ``Lᵀ z = y`` is performed as a specialized solve on
-the transposed factor pattern, which is itself lower triangular after
-reversing the index order, so the same generated-kernel machinery covers both
-sweeps.
+The backward substitution (``Lᵀ z = y``, or ``U z = y`` for LU) is performed
+as a specialized solve on an upper-triangular pattern that becomes lower
+triangular after reversing the index order, so the same generated-kernel
+machinery covers both sweeps.
 """
 
 from __future__ import annotations
@@ -46,15 +47,17 @@ class SparseLinearSolver:
     Parameters
     ----------
     A:
-        Symmetric matrix (full symmetric storage): SPD for
-        ``method="cholesky"``, symmetric indefinite allowed for
-        ``method="ldlt"``.
+        Square matrix (full storage): SPD for ``method="cholesky"``,
+        symmetric indefinite allowed for ``method="ldlt"``, unsymmetric
+        diagonally dominant for ``method="lu"`` (no pivoting is performed).
     method:
         Factorization kernel to compile — any factorization registered in the
-        kernel registry (``"cholesky"`` or ``"ldlt"``).
+        kernel registry (``"cholesky"``, ``"ldlt"`` or ``"lu"``).
     ordering:
         Fill-reducing ordering name (``"natural"``, ``"mindeg"``/``"amd"``,
-        ``"rcm"``).
+        ``"rcm"``); orderings are symmetric permutations computed on the
+        pattern of ``A + Aᵀ``, so the diagonal stays on the diagonal for
+        unsymmetric input.
     options:
         Sympiler code-generation options.
 
@@ -79,7 +82,7 @@ class SparseLinearSolver:
         options: Optional[SympilerOptions] = None,
     ) -> None:
         if not A.is_square():
-            raise ValueError("SparseLinearSolver requires a square symmetric matrix")
+            raise ValueError("SparseLinearSolver requires a square matrix")
         self.A = A
         self.options = options or SympilerOptions()
         self.ordering_name = ordering
@@ -105,6 +108,7 @@ class SparseLinearSolver:
         self._factorization = self._sympiler.compile(spec.name, self.A_permuted)
         self.setup_seconds = time.perf_counter() - t0
         self._L: Optional[CSCMatrix] = None
+        self._U: Optional[CSCMatrix] = None
         self._d: Optional[np.ndarray] = None
         self._forward = None
         self._backward = None
@@ -121,8 +125,13 @@ class SparseLinearSolver:
 
     @property
     def d(self) -> Optional[np.ndarray]:
-        """The LDLᵀ pivot vector (``None`` for the Cholesky method)."""
+        """The LDLᵀ pivot vector (``None`` for the other methods)."""
         return self._d
+
+    @property
+    def U(self) -> Optional[CSCMatrix]:
+        """The upper-triangular LU factor (``None`` for the symmetric methods)."""
+        return self._U
 
     @property
     def factor_nnz(self) -> int:
@@ -150,17 +159,19 @@ class SparseLinearSolver:
             self.A = A
             self.A_permuted = self.permutation.symmetric_permute(A)
         result = self._factorization.factorize(self.A_permuted)
-        # Duck-typed factor protocol: composite results (LDL^T, future
-        # pivoted kernels) expose the lower-triangular factor as ``.L`` and
-        # an optional between-sweeps diagonal as ``.d``; a bare factor
-        # matrix (Cholesky) is its own L.
+        # Duck-typed factor protocol: composite results expose the (unit)
+        # lower-triangular factor as ``.L``, an optional between-sweeps
+        # diagonal as ``.d`` (LDL^T) and an optional explicit upper factor as
+        # ``.U`` (LU, whose backward sweep runs on U instead of L^T); a bare
+        # factor matrix (Cholesky) is its own L.
         self._L = getattr(result, "L", result)
         self._d = getattr(result, "d", None)
+        self._U = getattr(result, "U", None)
         # The triangular-solve kernels depend only on the factor *pattern*,
         # which is fixed per solver instance, so they are compiled once; the
         # shared artifact cache additionally dedupes them across solver
         # instances working on the same pattern.
-        self._Lt = self._make_transpose_factor_pattern()
+        self._Lt = self._make_backward_factor()
         if self._forward is None:
             self._forward = self._sympiler.compile(
                 "triangular-solve", self._L, options=self.options
@@ -170,18 +181,19 @@ class SparseLinearSolver:
             )
         return self._L
 
-    def _make_transpose_factor_pattern(self) -> CSCMatrix:
-        """``Lᵀ`` reordered so it is lower triangular in the reversed index order.
+    def _make_backward_factor(self) -> CSCMatrix:
+        """The backward-sweep operand, lower triangular in reversed index order.
 
-        Solving ``Lᵀ z = y`` is a backward substitution; reversing both the
-        row and column order of ``Lᵀ`` turns it into an ordinary forward
-        substitution on a lower-triangular matrix, which the generated
-        triangular-solve kernel handles directly.
+        The backward substitution solves ``Lᵀ z = y`` (symmetric methods) or
+        ``U z = y`` (LU); either matrix is upper triangular, and reversing
+        both its row and column order turns the sweep into an ordinary
+        forward substitution on a lower-triangular matrix, which the
+        generated triangular-solve kernel handles directly.
         """
-        Lt = self._L.transpose()
-        n = Lt.n
+        upper = self._U if self._U is not None else self._L.transpose()
+        n = upper.n
         reverse = Permutation(np.arange(n - 1, -1, -1, dtype=np.int64))
-        return reverse.symmetric_permute(Lt)
+        return reverse.symmetric_permute(upper)
 
     # ------------------------------------------------------------------ #
     def solve(self, b: np.ndarray) -> np.ndarray:

@@ -48,6 +48,7 @@ def newton_raphson_fixed_pattern(
     damping: float = 1.0,
     options: Optional[SympilerOptions] = None,
     ordering: str = "mindeg",
+    method: str = "cholesky",
 ) -> NewtonResult:
     """Solve ``F(x) = 0`` with Newton's method and a fixed Jacobian pattern.
 
@@ -56,13 +57,17 @@ def newton_raphson_fixed_pattern(
     residual_fn:
         Evaluates ``F(x)``.
     jacobian_fn:
-        Evaluates the (SPD) Jacobian at ``x``.  Every returned matrix must
-        carry the same sparsity pattern; the solver (and the generated code)
-        is built from the first one and reused for all later iterations.
+        Evaluates the Jacobian at ``x``.  Every returned matrix must carry
+        the same sparsity pattern; the solver (and the generated code) is
+        built from the first one and reused for all later iterations.
     x0:
         Initial iterate.
     damping:
         Step-size multiplier (1.0 = full Newton steps).
+    method:
+        Factorization kernel: ``"cholesky"`` for SPD Jacobians, ``"lu"`` for
+        the unsymmetric diagonally dominant Jacobians of circuit/power-flow
+        problems (§1.2 of the paper).
     """
     x = np.array(x0, dtype=np.float64, copy=True)
     residual_norms: List[float] = []
@@ -82,7 +87,7 @@ def newton_raphson_fixed_pattern(
             )
         J = jacobian_fn(x)
         if solver is None:
-            solver = SparseLinearSolver(J, ordering=ordering, options=options)
+            solver = SparseLinearSolver(J, method=method, ordering=ordering, options=options)
         else:
             solver.factorize(J)
         factorizations += 1

@@ -22,6 +22,7 @@ from repro.sparse.generators import (
     random_spd,
     saddle_point_indefinite,
     sparse_rhs,
+    unsymmetric_diag_dominant,
 )
 from repro.sparse.io import read_matrix_market, write_matrix_market
 from repro.sparse.ordering import (
@@ -60,6 +61,7 @@ __all__ = [
     "circuit_like_spd",
     "power_grid_spd",
     "saddle_point_indefinite",
+    "unsymmetric_diag_dominant",
     "sparse_rhs",
     "lower_triangle",
     "upper_triangle",

@@ -41,6 +41,7 @@ __all__ = [
     "circuit_like_spd",
     "power_grid_spd",
     "saddle_point_indefinite",
+    "unsymmetric_diag_dominant",
     "sparse_rhs",
 ]
 
@@ -428,6 +429,72 @@ def saddle_point_indefinite(
     # -C: strictly negative dual diagonal.
     for i in range(n_dual):
         builder.add(n_primal + i, n_primal + i, -rng.uniform(1.0, 2.0))
+    return builder.to_csc()
+
+
+# --------------------------------------------------------------------------- #
+# Unsymmetric (Newton-Jacobian style) problems
+# --------------------------------------------------------------------------- #
+def unsymmetric_diag_dominant(
+    n: int,
+    *,
+    avg_nnz_per_col: float = 4.0,
+    bandwidth: int = 12,
+    long_range_fraction: float = 0.15,
+    seed: int = 0,
+) -> CSCMatrix:
+    """Unsymmetric, strictly diagonally dominant matrix (a Jacobian analogue).
+
+    Mimics the Newton–Raphson Jacobians of circuit/power-flow simulation
+    (§1.2 of the paper): the *pattern* is fixed by the network topology while
+    the values are direction-dependent (``A[i, j] != A[j, i]``, and an entry
+    may exist in one direction only, so the pattern itself is unsymmetric).
+    Entries cluster in a band around the diagonal (local couplings) with a
+    fraction of long-range entries (tie lines); the diagonal strictly
+    dominates both its row and its column, so LU without pivoting is stable
+    and every pivot is nonzero — the regime the ``lu`` kernel targets.
+
+    Parameters
+    ----------
+    avg_nnz_per_col:
+        Expected number of off-diagonal entries per column.
+    bandwidth:
+        Half-width of the band most entries fall into.
+    long_range_fraction:
+        Fraction of entries rewired to a uniformly random row.
+    """
+    if n <= 0:
+        raise ValueError("matrix order must be positive")
+    if avg_nnz_per_col < 0:
+        raise ValueError("avg_nnz_per_col must be non-negative")
+    rng = np.random.default_rng(seed)
+    builder = TripletBuilder(n, n)
+    row_sums = np.zeros(n, dtype=np.float64)
+    col_sums = np.zeros(n, dtype=np.float64)
+    seen = set()
+    target = int(round(avg_nnz_per_col * n))
+    attempts = 0
+    count = 0
+    while count < target and attempts < 20 * max(target, 1):
+        attempts += 1
+        j = int(rng.integers(0, n))
+        if rng.random() < long_range_fraction:
+            i = int(rng.integers(0, n))
+        else:
+            lo = max(0, j - bandwidth)
+            hi = min(n, j + bandwidth + 1)
+            i = int(rng.integers(lo, hi))
+        if i == j or (i, j) in seen:
+            continue
+        seen.add((i, j))
+        v = float(rng.uniform(0.05, 1.0) * rng.choice((-1.0, 1.0)))
+        builder.add(i, j, v)
+        row_sums[i] += abs(v)
+        col_sums[j] += abs(v)
+        count += 1
+    for j in range(n):
+        sign = 1.0 if rng.random() < 0.85 else -1.0
+        builder.add(j, j, sign * (max(row_sums[j], col_sums[j]) + rng.uniform(0.5, 1.5)))
     return builder.to_csc()
 
 

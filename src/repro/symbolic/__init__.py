@@ -17,6 +17,7 @@ from repro.symbolic.colcount import column_counts_of_factor, row_counts_of_facto
 from repro.symbolic.dependency_graph import DependencyGraph
 from repro.symbolic.etree import (
     EliminationTree,
+    column_etree,
     elimination_tree,
     first_children,
     postorder,
@@ -25,12 +26,15 @@ from repro.symbolic.etree import (
 from repro.symbolic.fill_pattern import (
     cholesky_pattern,
     ereach,
+    lu_pattern,
     row_patterns_of_factor,
 )
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
     CholeskyInspector,
     InspectionSet,
+    LUInspectionResult,
+    LUInspector,
     SymbolicInspector,
     TriangularInspectionResult,
     TriangularSolveInspector,
@@ -49,11 +53,13 @@ __all__ = [
     "reach_set_sorted",
     "EliminationTree",
     "elimination_tree",
+    "column_etree",
     "postorder",
     "first_children",
     "tree_depths",
     "ereach",
     "cholesky_pattern",
+    "lu_pattern",
     "row_patterns_of_factor",
     "column_counts_of_factor",
     "row_counts_of_factor",
@@ -63,7 +69,9 @@ __all__ = [
     "SymbolicInspector",
     "TriangularSolveInspector",
     "CholeskyInspector",
+    "LUInspector",
     "TriangularInspectionResult",
+    "LUInspectionResult",
     "CholeskyInspectionResult",
     "InspectionSet",
     "inspector_for_method",

@@ -22,6 +22,7 @@ from repro.sparse.csc import CSCMatrix
 
 __all__ = [
     "elimination_tree",
+    "column_etree",
     "postorder",
     "first_children",
     "child_counts",
@@ -64,6 +65,51 @@ def elimination_tree(A: CSCMatrix) -> np.ndarray:
                 if inext == -1:
                     parent[i] = k
                 i = inext
+    return parent
+
+
+def column_etree(A: CSCMatrix) -> np.ndarray:
+    """Compute the column elimination tree of an unsymmetric matrix.
+
+    The column etree is the elimination tree of ``AᵀA`` — the symbolic
+    structure that governs fill in a partial-pivoting-free LU factorization
+    (the columns of ``L`` nest along it, so it bounds the LU column patterns
+    and drives supernode candidates the same way the etree does for
+    Cholesky).  ``AᵀA`` is never formed: every row of ``A`` couples the
+    columns it touches into a clique, which Liu's algorithm absorbs one
+    column at a time through a per-row "last column seen" marker (the
+    ``ata`` variant of CSparse's ``cs_etree``).
+
+    Parameters
+    ----------
+    A:
+        A square matrix; only its pattern is read.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``parent`` array of length ``n`` with ``-1`` marking roots.
+    """
+    if not A.is_square():
+        raise ValueError("the column elimination tree requires a square matrix")
+    n = A.n
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    prev_col = np.full(A.n_rows, -1, dtype=np.int64)
+    indptr, indices = A.indptr, A.indices
+    for k in range(n):
+        for p in range(indptr[k], indptr[k + 1]):
+            row = indices[p]
+            # The previous column with a nonzero in this row is a neighbour
+            # of k in A^T A; link it toward k with path compression.
+            i = prev_col[row]
+            while i != -1 and i < k:
+                inext = ancestor[i]
+                ancestor[i] = k
+                if inext == -1:
+                    parent[i] = k
+                i = inext
+            prev_col[row] = k
     return parent
 
 

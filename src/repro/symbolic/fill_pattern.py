@@ -31,6 +31,7 @@ __all__ = [
     "row_patterns_of_factor",
     "cholesky_pattern",
     "symbolic_factor_nnz",
+    "lu_pattern",
 ]
 
 
@@ -136,6 +137,79 @@ def symbolic_factor_nnz(A: CSCMatrix, parent: np.ndarray | None = None) -> int:
     """Number of nonzeros of ``L`` (diagonal included), without forming it."""
     indptr, _ = cholesky_pattern(A, parent)
     return int(indptr[-1])
+
+
+def lu_pattern(A: CSCMatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Exact column patterns of ``A = L U`` without pivoting (GP symbolic).
+
+    Left-looking LU computes column ``j`` by solving ``L x = A(:, j)`` with
+    the ``L`` built so far, so the pattern of ``x`` is the *reach* of the
+    pattern of ``A(:, j)`` in the dependence graph of the partial ``L`` — the
+    Gilbert–Peierls symbolic step.  Without pivoting the row order is fixed,
+    which makes the whole symbolic factorization computable up front, one
+    depth-first reach per column; entries above the diagonal land in ``U``
+    and the rest in ``L``.
+
+    Returns
+    -------
+    (l_indptr, l_indices, u_indptr, u_indices):
+        CSC structure arrays of the unit-lower-triangular ``L`` (rows
+        ascending, so the diagonal is the first entry of every column) and of
+        the upper-triangular ``U`` (rows ascending, so the diagonal is the
+        last entry of every column).  Both factors store their diagonal
+        explicitly; structurally missing diagonals are added (a numerically
+        zero pivot is a run-time error of the numeric kernel, not a symbolic
+        one).
+    """
+    if not A.is_square():
+        raise ValueError("the LU pattern requires a square matrix")
+    n = A.n
+    l_cols: List[np.ndarray] = []  # off-diagonal rows (> j) of L column j
+    u_cols: List[np.ndarray] = []  # above-diagonal rows (< j) of U column j
+    marked = np.full(n, -1, dtype=np.int64)  # column currently marking a node
+    stack = np.empty(n, dtype=np.int64)
+    for j in range(n):
+        reached: List[int] = []
+        marked[j] = j  # the diagonal is always structural
+        for i0 in A.col_rows(j):
+            # Depth-first reach in the DAG of the already-built L columns:
+            # a node k < j forwards to the off-diagonal rows of L(:, k).
+            # Nodes are marked when pushed, so each is stacked at most once
+            # per column and the fixed-size stack cannot overflow.
+            i0 = int(i0)
+            if marked[i0] == j:
+                continue
+            marked[i0] = j
+            reached.append(i0)
+            top = 0
+            stack[0] = i0
+            while top >= 0:
+                i = int(stack[top])
+                top -= 1
+                if i < j:
+                    for r in l_cols[i]:
+                        r = int(r)
+                        if marked[r] != j:
+                            marked[r] = j
+                            reached.append(r)
+                            top += 1
+                            stack[top] = r
+        reached_arr = np.asarray(sorted(reached), dtype=np.int64)
+        u_cols.append(reached_arr[reached_arr < j])
+        l_cols.append(reached_arr[reached_arr > j])
+    l_indptr = np.zeros(n + 1, dtype=np.int64)
+    u_indptr = np.zeros(n + 1, dtype=np.int64)
+    for j in range(n):
+        l_indptr[j + 1] = l_indptr[j] + 1 + l_cols[j].size  # + unit diagonal
+        u_indptr[j + 1] = u_indptr[j] + u_cols[j].size + 1  # + pivot
+    l_indices = np.empty(int(l_indptr[-1]), dtype=np.int64)
+    u_indices = np.empty(int(u_indptr[-1]), dtype=np.int64)
+    for j in range(n):
+        l_indices[l_indptr[j]] = j
+        l_indices[l_indptr[j] + 1 : l_indptr[j + 1]] = l_cols[j]
+        u_indices[u_indptr[j] : u_indptr[j + 1] - 1] = u_cols[j]
+        u_indices[u_indptr[j + 1] - 1] = j
+    return l_indptr, l_indices, u_indptr, u_indices
 
 
 def fill_in_count(A: CSCMatrix, parent: np.ndarray | None = None) -> int:

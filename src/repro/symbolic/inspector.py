@@ -34,10 +34,14 @@ import numpy as np
 # though the compiler package itself depends on this module.
 from repro.compiler.registration import register_unique_many
 from repro.sparse.csc import CSCMatrix
-from repro.symbolic.colcount import column_counts_of_factor
-from repro.symbolic.etree import elimination_tree, postorder
-from repro.symbolic.fill_pattern import _upper_pattern, cholesky_pattern, ereach
-from repro.symbolic.reach import reach_set, reach_set_sorted
+from repro.symbolic.etree import column_etree, elimination_tree, postorder
+from repro.symbolic.fill_pattern import (
+    _upper_pattern,
+    cholesky_pattern,
+    ereach,
+    lu_pattern,
+)
+from repro.symbolic.reach import reach_set
 from repro.symbolic.supernodes import (
     SupernodePartition,
     cholesky_supernodes,
@@ -50,8 +54,10 @@ __all__ = [
     "TriangularSolveInspector",
     "CholeskyInspector",
     "LDLTInspector",
+    "LUInspector",
     "TriangularInspectionResult",
     "CholeskyInspectionResult",
+    "LUInspectionResult",
     "inspector_for_method",
     "register_inspector",
     "normalize_rhs_pattern",
@@ -163,6 +169,63 @@ class CholeskyInspectionResult:
     def l_pattern_matrix(self) -> CSCMatrix:
         """The factor pattern as an all-zero CSC matrix, ready to be filled."""
         return CSCMatrix.from_pattern(self.n, self.n, self.l_indptr, self.l_indices)
+
+
+@dataclass(frozen=True)
+class LUInspectionResult:
+    """Everything the compiler needs to specialize a no-pivot sparse LU.
+
+    ``l_indptr``/``l_indices`` describe the unit-lower-triangular ``L`` (rows
+    ascending, diagonal first) and ``u_indptr``/``u_indices`` the
+    upper-triangular ``U`` (rows ascending, diagonal last), both exact — the
+    GP-style reach computes them column by column, which is only possible
+    because the kernel does not pivot.  ``parent`` is the *column* elimination
+    tree (the etree of ``AᵀA``), whose column counts drive the supernode
+    block-set candidates.
+    """
+
+    n: int
+    parent: np.ndarray
+    post: np.ndarray
+    l_indptr: np.ndarray
+    l_indices: np.ndarray
+    u_indptr: np.ndarray
+    u_indices: np.ndarray
+    l_col_counts: np.ndarray
+    supernodes: SupernodePartition
+    symbolic_seconds: float
+    sets: Dict[str, InspectionSet] = field(repr=False)
+
+    @property
+    def l_nnz(self) -> int:
+        """Predicted number of nonzeros of ``L`` (unit diagonal included)."""
+        return int(self.l_indptr[-1])
+
+    @property
+    def u_nnz(self) -> int:
+        """Predicted number of nonzeros of ``U`` (diagonal included)."""
+        return int(self.u_indptr[-1])
+
+    @property
+    def factor_nnz(self) -> int:
+        """Total stored entries of both factors (``nnz(L) + nnz(U)``)."""
+        return self.l_nnz + self.u_nnz
+
+    def prune_set(self) -> InspectionSet:
+        """The VI-Prune inspection set (per-column ``U`` row patterns)."""
+        return self.sets["prune-set"]
+
+    def block_set(self) -> InspectionSet:
+        """The VS-Block inspection set (column-etree supernode candidates)."""
+        return self.sets["block-set"]
+
+    def l_pattern_matrix(self) -> CSCMatrix:
+        """The ``L`` pattern as an all-zero CSC matrix, ready to be filled."""
+        return CSCMatrix.from_pattern(self.n, self.n, self.l_indptr, self.l_indices)
+
+    def u_pattern_matrix(self) -> CSCMatrix:
+        """The ``U`` pattern as an all-zero CSC matrix, ready to be filled."""
+        return CSCMatrix.from_pattern(self.n, self.n, self.u_indptr, self.u_indices)
 
 
 class SymbolicInspector(ABC):
@@ -333,6 +396,78 @@ class LDLTInspector(CholeskyInspector):
     method = "ldlt"
 
 
+class LUInspector(SymbolicInspector):
+    """Symbolic inspector for sparse LU ``A = L U`` without pivoting.
+
+    Inspection graph: the dependence DAG of the partially built ``L`` plus the
+    column elimination tree (the etree of ``AᵀA``).  Strategies: a GP-style
+    depth-first reach per column for the exact ``L``/``U`` patterns (the
+    prune-set of the update loop is the above-diagonal ``U`` pattern of each
+    column), and the column-count merging rule on the column etree for the
+    supernode block-set candidates.  Pivoting-free LU is reliable for the
+    diagonally dominant Jacobians of the paper's §1.2 circuit/power-grid
+    workloads, whose patterns are fixed while values change.
+    """
+
+    method = "lu"
+
+    def inspect(
+        self,
+        matrix: CSCMatrix,
+        *,
+        max_supernode_width: int | None = None,
+        **kwargs,
+    ) -> LUInspectionResult:
+        """Inspect a square (generally unsymmetric) matrix.
+
+        Only the pattern is read; the matrix should be diagonally dominant
+        (or otherwise safely factorizable without pivoting) for the numeric
+        kernel this inspection feeds.
+        """
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        if not matrix.is_square():
+            raise ValueError("LU inspection requires a square matrix")
+        start = time.perf_counter()
+        n = matrix.n
+        parent = column_etree(matrix)
+        post = postorder(parent)
+        l_indptr, l_indices, u_indptr, u_indices = lu_pattern(matrix)
+        l_col_counts = np.diff(l_indptr).astype(np.int64)
+        supernodes = cholesky_supernodes(l_col_counts, parent, max_width=max_supernode_width)
+        upper_patterns = [
+            u_indices[u_indptr[j] : u_indptr[j + 1] - 1] for j in range(n)
+        ]
+        elapsed = time.perf_counter() - start
+        sets = {
+            "prune-set": InspectionSet(
+                name="prune-set",
+                strategy="dfs-reach",
+                graph="DG_L + SP(A(:,j))",
+                payload=upper_patterns,
+            ),
+            "block-set": InspectionSet(
+                name="block-set",
+                strategy="up-traversal",
+                graph="etree(A^T A) + ColCount(L)",
+                payload=supernodes,
+            ),
+        }
+        return LUInspectionResult(
+            n=n,
+            parent=parent,
+            post=post,
+            l_indptr=l_indptr,
+            l_indices=l_indices,
+            u_indptr=u_indptr,
+            u_indices=u_indices,
+            l_col_counts=l_col_counts,
+            supernodes=supernodes,
+            symbolic_seconds=elapsed,
+            sets=sets,
+        )
+
+
 _INSPECTORS: Dict[str, type] = {}
 
 
@@ -352,6 +487,7 @@ def register_inspector(cls: type, *, aliases: Sequence[str] = ()) -> type:
 register_inspector(TriangularSolveInspector, aliases=("trisolve", "triangular"))
 register_inspector(CholeskyInspector)
 register_inspector(LDLTInspector)
+register_inspector(LUInspector)
 
 
 def inspector_for_method(method: str) -> SymbolicInspector:

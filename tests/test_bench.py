@@ -157,3 +157,30 @@ def test_cli_table2_small(capsys):
     assert main(["table2", "--small", "--csv"]) == 0
     out = capsys.readouterr().out
     assert out.startswith("problem_id,")
+
+
+def test_lu_experiment_rows(tmp_path):
+    from repro.bench.figures import lu_performance
+    from repro.bench.suite import small_suite
+
+    rows = lu_performance(small_suite()[:2], repeats=1)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["residual"] <= 1e-8
+        assert row["recompile_cache_hit"] is True
+        assert row["nnz_LU"] > row["nnz_A"] // 2
+
+
+def test_cli_json_report(tmp_path, capsys):
+    import json
+
+    from repro.bench.__main__ import main
+
+    assert main(["table2", "--small", "--json", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    path = tmp_path / "BENCH_table2.json"
+    assert path.exists() and str(path) in out
+    payload = json.loads(path.read_text())
+    assert payload["experiment"] == "table2"
+    assert payload["args"]["small"] is True
+    assert len(payload["rows"]) == 4

@@ -160,3 +160,32 @@ def test_sparse_rhs_validation():
 def test_sparse_rhs_always_has_a_nonzero():
     b = sparse_rhs(50, density=1e-6, seed=2)
     assert np.count_nonzero(b) >= 1
+
+
+def test_unsymmetric_diag_dominant_structure():
+    from repro.sparse.generators import unsymmetric_diag_dominant
+
+    A = unsymmetric_diag_dominant(80, seed=3)
+    assert A.is_square() and A.has_full_diagonal()
+    # Genuinely unsymmetric: the pattern itself differs between triangles.
+    assert not is_symmetric_pattern(A)
+    dense = A.to_dense()
+    diag = np.abs(np.diag(dense))
+    off = np.abs(dense) - np.diag(diag)
+    # Strict diagonal dominance by rows AND columns: no-pivot LU is stable
+    # and every pivot is nonzero.
+    assert np.all(diag > off.sum(axis=1))
+    assert np.all(diag > off.sum(axis=0))
+
+
+def test_unsymmetric_diag_dominant_reproducible_and_validated():
+    from repro.sparse.generators import unsymmetric_diag_dominant
+
+    a = unsymmetric_diag_dominant(50, seed=11)
+    b = unsymmetric_diag_dominant(50, seed=11)
+    assert a.pattern_equal(b)
+    np.testing.assert_allclose(a.data, b.data)
+    with pytest.raises(ValueError):
+        unsymmetric_diag_dominant(0)
+    with pytest.raises(ValueError):
+        unsymmetric_diag_dominant(10, avg_nnz_per_col=-1.0)

@@ -116,5 +116,6 @@ def test_inspector_for_method_registry():
     assert isinstance(inspector_for_method("triangular-solve"), TriangularSolveInspector)
     assert isinstance(inspector_for_method("trisolve"), TriangularSolveInspector)
     assert isinstance(inspector_for_method("cholesky"), CholeskyInspector)
+    assert inspector_for_method("lu").method == "lu"
     with pytest.raises(ValueError):
-        inspector_for_method("lu")
+        inspector_for_method("qr")

@@ -1,0 +1,333 @@
+"""End-to-end tests of the LU kernel (symbolic, reference, backends, solver)."""
+
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg
+
+from repro.compiler.cache import ArtifactCache
+from repro.compiler.codegen.c_backend import CGeneratedModule, c_compiler_available
+from repro.compiler.codegen.python_backend import GeneratedModule
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import Sympiler
+from repro.kernels.dense import SingularMatrixError
+from repro.kernels.lu import lu_left_looking
+from repro.solvers.linear_solver import SparseLinearSolver
+from repro.solvers.newton import newton_raphson_fixed_pattern
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import unsymmetric_diag_dominant
+from repro.sparse.utils import is_symmetric_pattern
+from repro.symbolic.etree import column_etree, elimination_tree
+from repro.symbolic.inspector import LUInspectionResult, LUInspector
+
+needs_cc = pytest.mark.skipif(
+    not (c_compiler_available("cc") or c_compiler_available("gcc")),
+    reason="no C compiler available",
+)
+
+
+def _c_options(**overrides):
+    compiler = "cc" if c_compiler_available("cc") else "gcc"
+    return SympilerOptions(backend="c", c_compiler=compiler, **overrides)
+
+
+def _fresh_sympiler(options=None):
+    return Sympiler(options, cache=ArtifactCache())
+
+
+def _jacobian(n=50, seed=7):
+    return unsymmetric_diag_dominant(n, seed=seed)
+
+
+def _dense_lu_nopivot(dense):
+    """Dense LU without pivoting — the structural/numerical oracle."""
+    n = dense.shape[0]
+    U = dense.astype(np.float64).copy()
+    L = np.eye(n)
+    for k in range(n):
+        L[k + 1 :, k] = U[k + 1 :, k] / U[k, k]
+        U[k + 1 :, :] -= np.outer(L[k + 1 :, k], U[k, :])
+        U[k + 1 :, k] = 0.0
+    return L, np.triu(U)
+
+
+class TestSymbolicLU:
+    def test_column_etree_matches_etree_of_ata(self):
+        A = _jacobian(40, seed=1)
+        S = A.to_scipy()
+        ata = CSCMatrix.from_scipy((S.T @ S).tocsc())
+        np.testing.assert_array_equal(column_etree(A), elimination_tree(ata))
+
+    def test_predicted_patterns_cover_dense_factors(self):
+        A = _jacobian(45, seed=2)
+        insp = LUInspector().inspect(A)
+        L_ref, U_ref = _dense_lu_nopivot(A.to_dense())
+        # Every numeric nonzero of the no-pivot factors lies inside the
+        # predicted pattern (the prediction is exact up to cancellation).
+        lp = insp.l_pattern_matrix()
+        up = insp.u_pattern_matrix()
+        l_pred = np.zeros_like(L_ref, dtype=bool)
+        u_pred = np.zeros_like(U_ref, dtype=bool)
+        for j in range(A.n):
+            l_pred[lp.col_rows(j), j] = True
+            u_pred[up.col_rows(j), j] = True
+        assert np.all(l_pred[np.abs(L_ref) > 1e-12])
+        assert np.all(u_pred[np.abs(U_ref) > 1e-12])
+
+    def test_inspection_shapes_and_sets(self):
+        A = _jacobian(30, seed=3)
+        insp = LUInspector().inspect(A)
+        assert isinstance(insp, LUInspectionResult)
+        assert insp.factor_nnz == insp.l_nnz + insp.u_nnz
+        # Unit diagonal first in L, pivot last in U, for every column.
+        np.testing.assert_array_equal(
+            insp.l_indices[insp.l_indptr[:-1]], np.arange(A.n)
+        )
+        np.testing.assert_array_equal(
+            insp.u_indices[insp.u_indptr[1:] - 1], np.arange(A.n)
+        )
+        assert insp.prune_set().strategy == "dfs-reach"
+        assert insp.block_set().payload.n_columns == A.n
+        assert insp.symbolic_seconds >= 0.0
+
+    def test_rejects_non_square(self):
+        A = CSCMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            LUInspector().inspect(A)
+
+
+class TestReferenceKernel:
+    def test_matches_dense_lu_without_pivoting(self):
+        A = _jacobian(40, seed=4)
+        fac = lu_left_looking(A)
+        L_ref, U_ref = _dense_lu_nopivot(A.to_dense())
+        np.testing.assert_allclose(fac.L.to_dense(), L_ref, atol=1e-9)
+        np.testing.assert_allclose(fac.U.to_dense(), U_ref, atol=1e-9)
+
+    def test_reconstruction_and_unit_diagonal(self):
+        A = _jacobian(55, seed=5)
+        fac = lu_left_looking(A)
+        np.testing.assert_allclose(fac.reconstruct_dense(), A.to_dense(), atol=1e-9)
+        np.testing.assert_allclose(fac.L.data[fac.L.indptr[:-1]], 1.0)
+        assert fac.L.is_lower_triangular()
+        assert fac.U.is_upper_triangular()
+
+    def test_factors_solve_matches_splu(self, rng):
+        A = _jacobian(60, seed=6)
+        fac = lu_left_looking(A)
+        b = rng.normal(size=A.n)
+        x = fac.solve(b)
+        x_ref = scipy.sparse.linalg.splu(A.to_scipy().tocsc()).solve(b)
+        np.testing.assert_allclose(x, x_ref, atol=1e-8)
+
+    def test_pivots_property(self):
+        A = _jacobian(25, seed=8)
+        fac = lu_left_looking(A)
+        np.testing.assert_allclose(fac.pivots, np.diag(fac.U.to_dense()))
+        assert np.all(fac.pivots != 0.0)
+
+    def test_zero_pivot_raises(self):
+        A = CSCMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SingularMatrixError):
+            lu_left_looking(A)
+
+
+class TestCompiledLUPython:
+    def test_matches_reference(self):
+        sym = _fresh_sympiler()
+        for seed in (10, 11):
+            A = _jacobian(48, seed=seed)
+            compiled = sym.compile("lu", A)
+            fac = compiled.factorize(A)
+            ref = lu_left_looking(A)
+            np.testing.assert_allclose(fac.L.to_dense(), ref.L.to_dense(), atol=1e-9)
+            np.testing.assert_allclose(fac.U.to_dense(), ref.U.to_dense(), atol=1e-9)
+
+    def test_reconstruction_against_scipy_splu(self, rng):
+        # Acceptance criterion: residual and ||L U - A|| within 1e-8.
+        A = _jacobian(64, seed=12)
+        compiled = _fresh_sympiler().compile("lu", A)
+        fac = compiled.factorize(A)
+        assert np.abs(fac.reconstruct_dense() - A.to_dense()).max() <= 1e-8
+        b = rng.normal(size=A.n)
+        x_ref = scipy.sparse.linalg.splu(A.to_scipy().tocsc()).solve(b)
+        np.testing.assert_allclose(fac.solve(b), x_ref, atol=1e-8)
+
+    def test_vi_prune_is_forced(self):
+        compiled = _fresh_sympiler().compile(
+            "lu", _jacobian(20, seed=13), options=SympilerOptions.baseline()
+        )
+        assert compiled.decisions.get("vi-prune-forced") is True
+        assert "vi-prune" in compiled.applied_transformations
+
+    def test_vs_block_defers_with_recorded_decision(self):
+        compiled = _fresh_sympiler().compile("lu", _jacobian(30, seed=14))
+        decision = compiled.decisions.get("vs-block")
+        assert decision is not None and decision["factor_kind"] == "lu"
+        assert "deferred" in decision
+        assert "vs-block" not in compiled.applied_transformations
+
+    def test_refactorization_with_new_values(self):
+        A = _jacobian(36, seed=15)
+        compiled = _fresh_sympiler().compile("lu", A)
+        fac1 = compiled.factorize(A)
+        A2 = A.copy()
+        A2.data *= 3.0
+        fac2 = compiled.factorize(A2)
+        # L is scale invariant; U absorbs the scaling.
+        np.testing.assert_allclose(fac2.L.to_dense(), fac1.L.to_dense(), atol=1e-9)
+        np.testing.assert_allclose(fac2.U.to_dense(), 3.0 * fac1.U.to_dense(), atol=1e-9)
+
+    def test_singular_matrix_raises(self):
+        A = CSCMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        compiled = _fresh_sympiler().compile("lu", A)
+        with pytest.raises(ValueError, match="pivot"):
+            compiled.factorize(A)
+
+    def test_generated_source_is_numeric_only(self):
+        compiled = _fresh_sympiler().compile("lu", _jacobian(24, seed=16))
+        assert "Sympiler-generated lu kernel" in compiled.source
+        # The U pattern and every update position are embedded constants.
+        for name in ("u_indptr", "u_indices", "prune_ptr", "update_pos"):
+            assert name in compiled.constants
+
+
+@needs_cc
+class TestCompiledLUC:
+    def test_matches_python_backend(self):
+        A = _jacobian(52, seed=20)
+        sym = _fresh_sympiler()
+        fac_c = sym.compile("lu", A, options=_c_options()).factorize(A)
+        fac_py = sym.compile("lu", A, options=SympilerOptions()).factorize(A)
+        np.testing.assert_allclose(fac_c.L.to_dense(), fac_py.L.to_dense(), atol=1e-12)
+        np.testing.assert_allclose(fac_c.U.to_dense(), fac_py.U.to_dense(), atol=1e-12)
+
+    def test_reconstruction_against_scipy_splu_c_backend(self, rng):
+        # Acceptance criterion on the C backend as well.
+        A = _jacobian(64, seed=21)
+        fac = _fresh_sympiler().compile("lu", A, options=_c_options()).factorize(A)
+        assert np.abs(fac.reconstruct_dense() - A.to_dense()).max() <= 1e-8
+        b = rng.normal(size=A.n)
+        x_ref = scipy.sparse.linalg.splu(A.to_scipy().tocsc()).solve(b)
+        np.testing.assert_allclose(fac.solve(b), x_ref, atol=1e-8)
+
+    def test_singular_matrix_returns_error(self):
+        A = CSCMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        compiled = _fresh_sympiler().compile("lu", A, options=_c_options())
+        with pytest.raises(ValueError, match="pivot"):
+            compiled.factorize(A)
+
+    def test_solver_residual_c_backend(self, rng):
+        A = _jacobian(70, seed=22)
+        solver = SparseLinearSolver(A, method="lu", options=_c_options())
+        b = rng.normal(size=A.n)
+        assert solver.residual(solver.solve(b), b) <= 1e-8
+
+
+class TestLUSolver:
+    @pytest.mark.parametrize("ordering", ["natural", "mindeg", "rcm"])
+    def test_unsymmetric_system_residual(self, ordering, rng):
+        A = _jacobian(75, seed=30)
+        solver = SparseLinearSolver(A, method="lu", ordering=ordering)
+        b = rng.normal(size=A.n)
+        x = solver.solve(b)
+        assert solver.residual(x, b) <= 1e-8
+
+    def test_solution_matches_splu(self, rng):
+        A = _jacobian(66, seed=31)
+        solver = SparseLinearSolver(A, method="lu")
+        b = rng.normal(size=A.n)
+        x_ref = scipy.sparse.linalg.splu(A.to_scipy().tocsc()).solve(b)
+        np.testing.assert_allclose(solver.solve(b), x_ref, atol=1e-8)
+
+    def test_accepts_unsymmetric_pattern(self):
+        A = _jacobian(40, seed=32)
+        assert not is_symmetric_pattern(A)
+        solver = SparseLinearSolver(A, method="lu")
+        assert solver.U is not None and solver.d is None
+        assert solver.L.is_lower_triangular() and solver.U.is_upper_triangular()
+
+    def test_registry_alias_works(self, rng):
+        A = _jacobian(30, seed=33)
+        solver = SparseLinearSolver(A, method="gp-lu")
+        assert solver.method == "lu"  # canonicalized
+        b = rng.normal(size=A.n)
+        assert solver.residual(solver.solve(b), b) <= 1e-8
+
+    def test_refactorization_reuses_kernels(self):
+        A = _jacobian(44, seed=34)
+        solver = SparseLinearSolver(A, method="lu")
+        lookups_after_setup = solver.cache_stats.lookups
+        A2 = A.copy()
+        A2.data *= 2.5
+        solver.factorize(A2)
+        # Refactorization on the same pattern triggers no compiles at all.
+        assert solver.cache_stats.lookups == lookups_after_setup
+        b = np.ones(A.n)
+        assert solver.residual(solver.solve(b), b) <= 1e-8
+
+    def test_solve_many(self, rng):
+        A = _jacobian(28, seed=35)
+        solver = SparseLinearSolver(A, method="lu")
+        B = rng.normal(size=(A.n, 3))
+        X = solver.solve_many(B)
+        for k in range(3):
+            assert solver.residual(X[:, k], B[:, k]) <= 1e-8
+
+    def test_newton_with_lu_jacobian(self):
+        # A mildly nonlinear system whose Jacobian keeps the fixed pattern of
+        # an unsymmetric diagonally dominant base matrix.
+        A = _jacobian(24, seed=36)
+        dense = A.to_dense()
+
+        def residual_fn(x):
+            return dense @ x + 0.01 * x**3 - 1.0
+
+        def jacobian_fn(x):
+            J = A.copy()
+            # The diagonal entries absorb the nonlinear term's derivative.
+            diag_positions = []
+            for j in range(A.n):
+                rows = J.col_rows(j)
+                diag_positions.append(J.indptr[j] + int(np.searchsorted(rows, j)))
+            J.data[diag_positions] += 0.03 * x**2
+            return J
+
+        result = newton_raphson_fixed_pattern(
+            residual_fn, jacobian_fn, np.zeros(A.n), method="lu", tol=1e-10
+        )
+        assert result.converged
+        assert result.factorizations >= 1
+        np.testing.assert_allclose(residual_fn(result.x), 0.0, atol=1e-9)
+
+
+class TestToolchainFallback:
+    def test_missing_cc_falls_back_to_python_with_one_warning(self):
+        A = _jacobian(18, seed=40)
+        options = SympilerOptions(backend="c", c_compiler="/nonexistent/lu-test-cc")
+        sym = _fresh_sympiler()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            compiled = sym.compile("lu", A, options=options)
+        assert isinstance(compiled.module, GeneratedModule)  # python backend
+        assert not isinstance(compiled.module, CGeneratedModule)
+        fac = compiled.factorize(A)
+        np.testing.assert_allclose(fac.reconstruct_dense(), A.to_dense(), atol=1e-9)
+        # The warning fires once per missing compiler, not once per compile.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sym.compile("cholesky", unsymmetric_diag_dominant(1, seed=0), options=options)
+        assert not [w for w in caught if "falling back" in str(w.message)]
+
+    def test_repro_cc_env_controls_default_compiler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", "/nonexistent/env-cc")
+        options = SympilerOptions(backend="c")
+        assert options.c_compiler == "/nonexistent/env-cc"
+        A = _jacobian(12, seed=41)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            compiled = _fresh_sympiler().compile("lu", A, options=options)
+        assert isinstance(compiled.module, GeneratedModule)
+        np.testing.assert_allclose(
+            compiled.factorize(A).reconstruct_dense(), A.to_dense(), atol=1e-9
+        )

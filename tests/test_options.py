@@ -63,3 +63,17 @@ def test_options_are_immutable():
     opts = SympilerOptions()
     with pytest.raises(Exception):
         opts.backend = "c"
+
+
+def test_repro_cflags_env_overrides_default(monkeypatch):
+    monkeypatch.setenv("REPRO_CFLAGS", "-O2 -fPIC -shared")
+    assert SympilerOptions().c_flags == ("-O2", "-fPIC", "-shared")
+    monkeypatch.delenv("REPRO_CFLAGS")
+    assert "-march=native" in SympilerOptions().c_flags
+
+
+def test_repro_cc_env_overrides_default(monkeypatch):
+    monkeypatch.setenv("REPRO_CC", "clang-19")
+    assert SympilerOptions().c_compiler == "clang-19"
+    monkeypatch.delenv("REPRO_CC")
+    assert SympilerOptions().c_compiler == "cc"

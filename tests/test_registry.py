@@ -34,7 +34,7 @@ def fresh_sympiler(options=None):
 class TestRegistry:
     def test_builtin_kernels_are_registered(self):
         names = registered_kernels()
-        assert names == ("cholesky", "ldlt", "triangular-solve")
+        assert names == ("cholesky", "ldlt", "lu", "triangular-solve")
 
     def test_aliases_resolve_to_the_same_spec(self):
         assert kernel_spec("trisolve") is kernel_spec("triangular-solve")
@@ -86,11 +86,11 @@ class TestRegistry:
 
     def test_unknown_kernel_error_lists_available(self):
         with pytest.raises(UnknownKernelError, match="cholesky"):
-            default_registry().resolve("lu")
+            default_registry().resolve("qr")
 
     def test_compile_rejects_unknown_kernel(self):
         with pytest.raises(UnknownKernelError):
-            fresh_sympiler().compile("lu", laplacian_2d(4))
+            fresh_sympiler().compile("qr", laplacian_2d(4))
 
     def test_compile_rejects_undeclared_kernel_args(self):
         sym = fresh_sympiler()
@@ -340,6 +340,48 @@ class TestNoKernelBranchesInDriver:
         for kernel_name in registered_kernels():
             assert f"'{kernel_name}'" not in source
             assert f'"{kernel_name}"' not in source
+
+    def test_lu_registration_left_driver_and_cache_untouched(self):
+        """LU must integrate through the method tables alone (the PR-2 claim).
+
+        ``Sympiler.compile`` and the artifact cache must contain no LU-specific
+        branch: the only integration points are the registry spec, the
+        transform handler tables and the backend method-spec tables.
+        """
+        import inspect
+
+        from repro.compiler import cache as cache_module
+        from repro.compiler import sympiler as driver_module
+        from repro.compiler.codegen.c_backend import _C_METHOD_SPECS
+        from repro.compiler.codegen.python_backend import _PY_METHOD_SPECS
+        from repro.compiler.transforms.vi_prune import VIPruneTransform
+        from repro.compiler.transforms.vs_block import VSBlockTransform
+
+        for module in (driver_module, cache_module):
+            source = inspect.getsource(module)
+            assert '"lu"' not in source and "'lu'" not in source, (
+                f"{module.__name__} must not special-case the lu kernel"
+            )
+        # The declared integration points, and nothing else, know about lu.
+        assert kernel_spec("lu").name == "lu"
+        assert "lu" in _PY_METHOD_SPECS and "lu" in _C_METHOD_SPECS
+        assert "lu" in VIPruneTransform.handlers and "lu" in VSBlockTransform.handlers
+
+    def test_two_lu_solvers_share_one_compiled_artifact(self):
+        from repro.solvers.linear_solver import SparseLinearSolver
+        from repro.sparse.generators import unsymmetric_diag_dominant
+
+        A = unsymmetric_diag_dominant(40, seed=77)
+        first = SparseLinearSolver(A, method="lu", ordering="mindeg")
+        hits0, misses0 = first.cache_stats.hits, first.cache_stats.misses
+        second = SparseLinearSolver(A, method="lu", ordering="mindeg")
+        # Same pattern + options: the factorization and both triangular
+        # sweeps (L-solve and U-solve) of the second solver are cache hits.
+        assert second.cache_stats.misses == misses0
+        assert second.cache_stats.hits == hits0 + 3
+        assert second._factorization is first._factorization
+        b = np.ones(A.n)
+        assert second.residual(second.solve(b), b) < 1e-8
 
     def test_rhs_normalization_matches_inspector(self, lower_factors):
         # The spec's fingerprint hook and the artifact's verify_pattern (which

@@ -135,7 +135,7 @@ def test_vi_prune_is_idempotent_on_cholesky(spd_matrices):
 
 def test_vi_prune_rejects_unknown_method(lower_factors):
     context = _tri_context(lower_factors["fem"])
-    context.method = "lu"
+    context.method = "qr"
     with pytest.raises(ValueError):
         VIPruneTransform().apply(lower_triangular_solve(), context)
 
