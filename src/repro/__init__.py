@@ -15,7 +15,11 @@ full system:
   transformations and code generation (specialized Python and C backends).
 * :mod:`repro.baselines` — Eigen-like and CHOLMOD-like library baselines.
 * :mod:`repro.solvers`  — factor-once/solve-many driver, preconditioned CG
-  and a Newton–Raphson loop with a fixed-sparsity Jacobian.
+  and Newton–Raphson loops (single and ensemble) with a fixed-sparsity
+  Jacobian.
+* :mod:`repro.runtime`  — the batched/parallel numeric runtime: level-set
+  execution schedules, the batch execution engine and the
+  :class:`~repro.runtime.facade.BatchedSolver` facade.
 * :mod:`repro.bench`    — the benchmark harness reproducing every table and
   figure of the paper's evaluation.
 
@@ -63,6 +67,7 @@ from repro.sparse import (
     sparse_rhs,
     unsymmetric_diag_dominant,
 )
+from repro.runtime import BatchedSolver, ExecutionSchedule
 from repro.solvers import SparseLinearSolver
 
 __all__ = [
@@ -78,6 +83,8 @@ __all__ = [
     "kernel_spec",
     "registered_kernels",
     "SparseLinearSolver",
+    "BatchedSolver",
+    "ExecutionSchedule",
     "CSCMatrix",
     "CSRMatrix",
     "COOMatrix",

@@ -12,6 +12,8 @@ Experiments
 ``ldlt``     — LDLᵀ vs. Cholesky (the kernel-registry extension).
 ``lu``       — LU vs. scipy ``splu`` on unsymmetric diagonally dominant
                matrices (the unsymmetric registry extension).
+``batched``  — sequential vs. batched factorization throughput through the
+               batched numeric runtime (``--threads N`` sizes the pool).
 ``all``      — run every experiment in sequence.
 
 ``--json [DIR]`` additionally writes each experiment's rows to
@@ -21,11 +23,13 @@ Experiments
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import os
 import sys
 
 from repro.bench.figures import (
+    batched_throughput,
     fig6_triangular_performance,
     fig7_cholesky_performance,
     fig8_triangular_accumulated,
@@ -49,6 +53,7 @@ _EXPERIMENTS = {
     "overheads": ("Section 4.3: compile-time overheads", overhead_report),
     "ldlt": ("LDL^T vs. Cholesky (kernel-registry extension)", ldlt_performance),
     "lu": ("LU vs. scipy splu (unsymmetric registry extension)", lu_performance),
+    "batched": ("Batched runtime: sequential vs. batched throughput", batched_throughput),
 }
 
 
@@ -88,6 +93,15 @@ def main(argv=None) -> int:
         help="code-generation backend for the Sympiler variants",
     )
     parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="numeric-runtime thread count, threaded through "
+        "SympilerOptions.num_threads (0 = one per CPU; experiments that "
+        "run no batched work ignore it)",
+    )
+    parser.add_argument(
         "--json",
         nargs="?",
         const=".",
@@ -101,7 +115,12 @@ def main(argv=None) -> int:
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         title, fn = _EXPERIMENTS[name]
-        kwargs = {} if name == "table2" else {"backend": args.backend}
+        accepted = inspect.signature(fn).parameters
+        kwargs = {}
+        if "backend" in accepted:
+            kwargs["backend"] = args.backend
+        if "threads" in accepted and args.threads is not None:
+            kwargs["threads"] = args.threads
         rows = fn(suite, **kwargs)
         if args.csv:
             sys.stdout.write(render_csv(rows))
@@ -114,7 +133,11 @@ def main(argv=None) -> int:
                 title,
                 rows,
                 directory=args.json,
-                args_used={"small": args.small, "backend": args.backend},
+                args_used={
+                    "small": args.small,
+                    "backend": args.backend,
+                    "threads": args.threads,
+                },
             )
             sys.stdout.write(f"[json report written to {path}]\n")
     return 0

@@ -49,6 +49,7 @@ __all__ = [
     "overhead_report",
     "ldlt_performance",
     "lu_performance",
+    "batched_throughput",
 ]
 
 #: RHS fill used for the triangular-solve experiments (< 5 %, §4.2).
@@ -500,6 +501,151 @@ def lu_performance(
         )
         rows.append(row)
     return rows
+
+
+# --------------------------------------------------------------------------- #
+# Batched numeric runtime: sequential vs. batched throughput
+# --------------------------------------------------------------------------- #
+def batched_throughput(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    repeats: int = 2,
+    backend: str = "python",
+    threads: Optional[int] = None,
+    batch: int = 16,
+) -> List[Dict[str, object]]:
+    """Sequential vs. batched numeric factorization over shared-pattern batches.
+
+    For each suite entry an SPD matrix of comparable (floored) size is
+    diagonally perturbed into ``batch`` value sets sharing one pattern — the
+    parameter-sweep workload the batched runtime serves.  The sequential
+    baseline loops the compiled artifact's own entry point; the batched run
+    goes through :class:`~repro.runtime.BatchedSolver.factorize_batch` with
+    ``threads`` workers (``None`` → the options default, ``0`` → one per
+    CPU).  Every batched item is checked **bitwise** against its sequential
+    counterpart, and the artifact/disk cache counters are sampled around the
+    batched run — ``batch_recompiles`` must stay 0 (batching reuses the one
+    compiled kernel), which CI asserts on the emitted JSON.
+    """
+    import os
+
+    from repro.compiler.codegen.c_backend import (
+        CGeneratedModule,
+        disk_cache_stats,
+    )
+    from repro.runtime.facade import BatchedSolver
+    from repro.sparse.generators import laplacian_2d
+    from repro.sparse.ordering import ordering_by_name
+
+    rows: List[Dict[str, object]] = []
+    for entry in _entries(suite):
+        A = load_suite_matrix(entry)
+        if A.n < 900:
+            # Thread-pool overhead would dominate the tiny smoke matrices;
+            # stand in a same-class 2-D grid of useful size (deterministic
+            # per entry) so the throughput comparison is meaningful.
+            side = 30 + 2 * (entry.problem_id % 4)
+            grid = laplacian_2d(side, shift=0.1)
+            A = ordering_by_name("mindeg")(grid).symmetric_permute(grid)
+        options = SympilerOptions(backend=backend)
+        if threads is not None:
+            options = options.with_updates(num_threads=threads)
+        if backend == "python":
+            # The stacked batch path mirrors the simplicial kernel; compile
+            # that variant so the python backend exercises its vectorized
+            # strategy (the sequential baseline uses the same artifact, so
+            # the comparison — and the bitwise check — stay apples to apples).
+            options = options.with_updates(enable_vs_block=False)
+        batched = BatchedSolver(A, ordering="natural", options=options)
+        artifact = batched.solver._factorization
+        permuted = batched.solver.A_permuted
+        diag_positions = np.array(
+            [
+                permuted.indptr[j]
+                + int(np.nonzero(permuted.col_rows(j) == j)[0][0])
+                for j in range(permuted.n)
+            ]
+        )
+        value_sets = []
+        for b in range(batch):
+            data = permuted.data.copy()
+            data[diag_positions] *= 1.0 + 0.01 * b  # SPD-preserving sweep
+            value_sets.append(data)
+
+        def run_sequential():
+            return [
+                artifact.factorize_arrays(permuted.indptr, permuted.indices, ax)
+                for ax in value_sets
+            ]
+
+        seq_seconds, seq_outputs = time_callable(run_sequential, repeats=repeats)
+
+        disk_before = dict(disk_cache_stats().as_dict())
+        cache_stats = batched.solver.cache_stats
+        misses_before = cache_stats.misses
+
+        def run_batched():
+            result = batched.executor.factorize_batch(
+                permuted.indptr, permuted.indices, value_sets
+            )
+            result.raise_first()
+            return result
+
+        batch_seconds, batch_result = time_callable(run_batched, repeats=repeats)
+        disk_after = dict(disk_cache_stats().as_dict())
+        recompiles = (
+            (disk_after["compiles"] - disk_before["compiles"])
+            + (disk_after["py_writes"] - disk_before["py_writes"])
+            + (cache_stats.misses - misses_before)
+        )
+
+        bitwise = all(
+            _raw_outputs_equal(seq_outputs[b], batch_result.results[b])
+            for b in range(batch)
+        )
+        if not bitwise:
+            raise AssertionError(
+                f"batched factorization differs from sequential on {entry.name}"
+            )
+        schedule = artifact.schedule
+        rows.append(
+            {
+                "problem_id": entry.problem_id,
+                "name": entry.name,
+                "n": A.n,
+                "nnz_L": artifact.factor_nnz,
+                "backend": backend,
+                "backend_effective": (
+                    "c" if isinstance(artifact.module, CGeneratedModule) else "python"
+                ),
+                "mode": batch_result.mode,
+                "threads": batched.num_threads,
+                "batch": batch,
+                "cpu_count": os.cpu_count() or 1,
+                "seq_seconds": seq_seconds,
+                "batch_seconds": batch_seconds,
+                "seq_items_per_second": batch / max(seq_seconds, 1e-12),
+                "batched_items_per_second": batch / max(batch_seconds, 1e-12),
+                "speedup": seq_seconds / max(batch_seconds, 1e-12),
+                "bitwise_identical": bitwise,
+                "batch_recompiles": int(recompiles),
+                "schedule_levels": schedule.n_levels,
+                "schedule_avg_width": schedule.average_width,
+            }
+        )
+    return rows
+
+
+def _raw_outputs_equal(a, b) -> bool:
+    """Bitwise comparison of raw kernel outputs (arrays or array tuples)."""
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        return (
+            isinstance(a, tuple)
+            and isinstance(b, tuple)
+            and len(a) == len(b)
+            and all(np.array_equal(x, y) for x, y in zip(a, b))
+        )
+    return np.array_equal(a, b)
 
 
 # --------------------------------------------------------------------------- #

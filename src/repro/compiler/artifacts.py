@@ -105,6 +105,15 @@ class CompiledArtifact:
         """Total compile-time (symbolic + codegen + compilation) cost."""
         return self.timings.total
 
+    @property
+    def schedule(self):
+        """The level-set :class:`~repro.runtime.levels.ExecutionSchedule`.
+
+        Computed by the symbolic inspector at compile time, so it is cached
+        under the same pattern fingerprint as the generated code.
+        """
+        return self.inspection.schedule
+
     def _check_fingerprint(self, fp: str, hint: str) -> None:
         if fp != self.fingerprint:
             raise PatternMismatchError(
@@ -182,6 +191,16 @@ class SympiledFactorization(CompiledArtifact):
             check=False,
         )
 
+    def assemble_factors(self, raw):
+        """Shape one raw ``factorize_arrays`` output into the factor object.
+
+        The batch execution engine (:mod:`repro.runtime.engine`) produces raw
+        per-item outputs off the artifact's entry point; this hook gives them
+        the same shape ``factorize`` returns (a factor matrix, an ``(L, d)``
+        pair, ...), so batched and sequential callers see identical types.
+        """
+        raise NotImplementedError
+
     @property
     def factor_nnz(self) -> int:
         """Number of stored entries of the factor the kernel produces."""
@@ -199,11 +218,15 @@ class SympiledCholesky(SympiledFactorization):
 
     kernel_name = "cholesky"
 
+    def assemble_factors(self, raw) -> CSCMatrix:
+        """The Cholesky raw output is the ``Lx`` value array."""
+        return self._assemble_factor(raw)
+
     def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> CSCMatrix:
         """Factorize ``A`` (same pattern as at compile time) into ``L``."""
         if check_pattern:
             self.verify_pattern(A)
-        return self._assemble_factor(self.factorize_arrays(A.indptr, A.indices, A.data))
+        return self.assemble_factors(self.factorize_arrays(A.indptr, A.indices, A.data))
 
 
 @dataclass
@@ -221,11 +244,9 @@ class SympiledLU(SympiledFactorization):
     kernel_name = "lu"
     inspection: LUInspectionResult = None
 
-    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> LUFactors:
-        """Factorize ``A`` (same pattern as at compile time) into ``L, U``."""
-        if check_pattern:
-            self.verify_pattern(A)
-        lx, ux = self.factorize_arrays(A.indptr, A.indices, A.data)
+    def assemble_factors(self, raw) -> LUFactors:
+        """The LU raw output is the ``(Lx, Ux)`` value-array pair."""
+        lx, ux = raw
         insp = self.inspection
         U = CSCMatrix(
             insp.n,
@@ -236,6 +257,12 @@ class SympiledLU(SympiledFactorization):
             check=False,
         )
         return LUFactors(L=self._assemble_factor(lx), U=U)
+
+    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> LUFactors:
+        """Factorize ``A`` (same pattern as at compile time) into ``L, U``."""
+        if check_pattern:
+            self.verify_pattern(A)
+        return self.assemble_factors(self.factorize_arrays(A.indptr, A.indices, A.data))
 
     @property
     def u_pattern(self) -> CSCMatrix:
@@ -255,11 +282,15 @@ class SympiledLDLT(SympiledFactorization):
 
     kernel_name = "ldlt"
 
+    def assemble_factors(self, raw) -> LDLTFactors:
+        """The LDLᵀ raw output is the ``(Lx, D)`` value-array pair."""
+        lx, d = raw
+        return LDLTFactors(
+            L=self._assemble_factor(lx), d=np.asarray(d, dtype=np.float64)
+        )
+
     def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> LDLTFactors:
         """Factorize ``A`` (same pattern as at compile time) into ``L, D``."""
         if check_pattern:
             self.verify_pattern(A)
-        lx, d = self.factorize_arrays(A.indptr, A.indices, A.data)
-        return LDLTFactors(
-            L=self._assemble_factor(lx), d=np.asarray(d, dtype=np.float64)
-        )
+        return self.assemble_factors(self.factorize_arrays(A.indptr, A.indices, A.data))

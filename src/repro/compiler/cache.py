@@ -24,20 +24,39 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.compiler.options import SympilerOptions
 
-__all__ = ["ArtifactCache", "CacheStats", "options_fingerprint", "cache_key"]
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "options_fingerprint",
+    "cache_key",
+    "RUNTIME_ONLY_OPTIONS",
+]
 
 #: Default maximum number of cached artifacts per cache instance.
 DEFAULT_MAXSIZE = 128
+
+#: Options fields that only steer the numeric runtime and never change the
+#: generated code.  Excluded from the fingerprint, so e.g. re-tuning
+#: ``num_threads`` keeps hitting the same cached artifact (in memory and on
+#: disk) instead of fragmenting the warm cache per thread count.
+RUNTIME_ONLY_OPTIONS = ("num_threads",)
 
 
 def options_fingerprint(options: SympilerOptions) -> str:
     """A short stable fingerprint of a :class:`SympilerOptions` bundle.
 
-    Any field change (backend, transformation toggles, thresholds, compiler
-    flags) changes the fingerprint, so cached artifacts are never reused
-    across differing code-generation configurations.
+    Any *code-generation* field change (backend, transformation toggles,
+    thresholds, compiler flags) changes the fingerprint, so cached artifacts
+    are never reused across differing configurations; runtime-only fields
+    (:data:`RUNTIME_ONLY_OPTIONS`) are deliberately ignored.
     """
-    payload = repr(sorted(asdict(options).items()))
+    payload = repr(
+        sorted(
+            (k, v)
+            for k, v in asdict(options).items()
+            if k not in RUNTIME_ONLY_OPTIONS
+        )
+    )
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 

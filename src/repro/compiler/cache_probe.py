@@ -10,9 +10,12 @@ process* against the same ``REPRO_SYMPILER_CACHE`` directory must reuse every
 exit code, which is how CI asserts "warm cache ⇒ zero C recompiles" with
 counters instead of hoping a pytest re-run exercised the path.
 
-Without a C toolchain the probe still runs (the driver falls back to the
-Python backend), reports ``"c_toolchain": false`` and treats ``--assert-warm``
-as vacuously satisfied — there is nothing on disk to recompile.
+The python backend participates in the same protocol: generated Python
+sources (and their constants) are persisted to the cache directory, so a
+warm run must also *regenerate* nothing — ``--assert-warm`` checks
+``py_writes == 0`` alongside ``so_compiles == 0``.  Without a C toolchain
+the probe still runs (the driver falls back to the Python backend) and the
+python counters carry the warm-cache assertion on their own.
 """
 
 from __future__ import annotations
@@ -88,6 +91,8 @@ def run_probe(backend: str | None = None) -> Dict[str, object]:
         "workload": results,
         "so_compiles": disk.compiles,
         "so_reuses": disk.reuses,
+        "py_writes": disk.py_writes,
+        "py_reuses": disk.py_reuses,
         "artifact_cache": sym.cache_stats.as_dict(),
     }
 
@@ -123,6 +128,12 @@ def main(argv=None) -> int:
         sys.stderr.write(
             f"warm-cache assertion failed: {report['so_compiles']} shared "
             "object(s) were recompiled (expected 0)\n"
+        )
+        return 1
+    if args.assert_warm and report["py_writes"] != 0:
+        sys.stderr.write(
+            f"warm-cache assertion failed: {report['py_writes']} generated "
+            "python module(s) were regenerated (expected 0)\n"
         )
         return 1
     return 0

@@ -57,6 +57,8 @@ __all__ = [
     "disk_cache_stats",
     "reset_disk_cache_stats",
     "register_c_method",
+    "atomic_write_text",
+    "tmp_path_for",
 ]
 
 
@@ -71,20 +73,30 @@ def c_compiler_available(compiler: str = "cc") -> bool:
 
 @dataclass
 class DiskCacheStats:
-    """Counters of the on-disk shared-object cache (process-wide).
+    """Counters of the on-disk generated-code caches (process-wide).
 
     ``compiles`` counts actual C compiler invocations; ``reuses`` counts
-    loads of a pre-existing ``.so`` for the same source fingerprint.  A
-    warm-cache CI run asserts ``compiles == 0`` through these counters — the
-    compile-amortization story made checkable instead of assumed.
+    loads of a pre-existing ``.so`` for the same source fingerprint.
+    ``py_writes``/``py_reuses`` are the python backend's analogues: persisted
+    generated-Python modules written versus loaded back from disk (see
+    :mod:`repro.compiler.codegen.python_backend`).  A warm-cache CI run
+    asserts ``compiles == 0`` and ``py_writes == 0`` through these counters —
+    the compile-amortization story made checkable instead of assumed.
     """
 
     compiles: int = 0
     reuses: int = 0
+    py_writes: int = 0
+    py_reuses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view used by the cache probe CLI."""
-        return {"compiles": self.compiles, "reuses": self.reuses}
+        return {
+            "compiles": self.compiles,
+            "reuses": self.reuses,
+            "py_writes": self.py_writes,
+            "py_reuses": self.py_reuses,
+        }
 
 
 _DISK_CACHE_STATS = DiskCacheStats()
@@ -99,9 +111,11 @@ def reset_disk_cache_stats() -> None:
     """Zero the on-disk cache counters (tests and the cache probe)."""
     _DISK_CACHE_STATS.compiles = 0
     _DISK_CACHE_STATS.reuses = 0
+    _DISK_CACHE_STATS.py_writes = 0
+    _DISK_CACHE_STATS.py_reuses = 0
 
 
-def _tmp_name(path: str) -> str:
+def tmp_path_for(path: str) -> str:
     """A collision-free temp name next to ``path``.
 
     The uuid component keeps concurrent *threads* of one process (same pid)
@@ -110,13 +124,15 @@ def _tmp_name(path: str) -> str:
     return f"{path}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
 
 
-def _atomic_write_text(path: str, text: str) -> None:
+def atomic_write_text(path: str, text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + rename).
 
     Parallel workers compiling the same pattern therefore never observe a
-    half-written source file in the shared on-disk cache.
+    half-written source file in the shared on-disk cache.  Shared with the
+    python backend's persisted-source cache, which follows the same
+    protocol.
     """
-    tmp = _tmp_name(path)
+    tmp = tmp_path_for(path)
     try:
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -192,9 +208,9 @@ class CGeneratedModule:
         stem = f"{self.entry_name}_{source_fp}"
         c_path = os.path.join(cache, stem + ".c")
         so_path = os.path.join(cache, stem + ".so")
-        _atomic_write_text(c_path, self.source)
+        atomic_write_text(c_path, self.source)
         if not os.path.exists(so_path):
-            tmp_so = _tmp_name(so_path)
+            tmp_so = tmp_path_for(so_path)
             cmd = [self.compiler, *self.flags, "-o", tmp_so, c_path, "-lm"]
             try:
                 proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -461,13 +477,16 @@ class CBackend:
         )
         if has_factor_loop:
             out.emit(_DENSE_HELPERS)
-            out.emit(f"static double repro_f[{self._n}];")
-            out.emit(f"static int64_t repro_rowmap[{self._n}];")
+            # Work buffers are _Thread_local so one loaded kernel may run
+            # concurrently over many value sets (the batched runtime maps the
+            # entry point over a thread pool; ctypes releases the GIL).
+            out.emit(f"static _Thread_local double repro_f[{self._n}];")
+            out.emit(f"static _Thread_local int64_t repro_rowmap[{self._n}];")
             max_panel = self._max_panel_size(kernel)
             if max_panel:
-                out.emit(f"static double repro_panel[{max_panel}];")
+                out.emit(f"static _Thread_local double repro_panel[{max_panel}];")
                 max_w = self._max_supernode_width(kernel)
-                out.emit(f"static double repro_mult[{max(max_w, 1)}];")
+                out.emit(f"static _Thread_local double repro_mult[{max(max_w, 1)}];")
             out.emit("")
         out.emit(signature + " {")
         out.lines.extend(body_out.lines)

@@ -15,15 +15,33 @@ one sparsity pattern:
 
 The resulting :class:`GeneratedModule` holds the source text, the embedded
 constants and a compiled entry point.
+
+Cross-process artifact sharing: generated sources (``.py``) and their
+embedded constant arrays (``.npz``) are persisted to the shared
+``REPRO_SYMPILER_CACHE`` directory under the same
+``kernel + pattern fingerprint + options fingerprint`` identity that keys
+the in-memory artifact cache — the python analogue of the C backend's
+on-disk ``.so`` cache, using the same temp-file + atomic-rename protocol.
+A later process compiling the same pattern loads source and constants back
+instead of re-walking the AST; hits and writes are counted in
+:func:`~repro.compiler.codegen.c_backend.disk_cache_stats`
+(``py_reuses`` / ``py_writes``), which is how CI asserts the warm-cache
+zero-regeneration invariant for toolchain-free environments too.  The cache
+stem additionally hashes the package version, so an upgraded emitter never
+reuses a stale source.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro._version import __version__
 
 from repro.compiler.ast import (
     ArrayRef,
@@ -46,7 +64,12 @@ from repro.compiler.ast import (
     SupernodeTriangularBlock,
     Var,
 )
-from repro.compiler.codegen.runtime import runtime_namespace
+from repro.compiler.codegen.c_backend import (
+    atomic_write_text,
+    disk_cache_stats,
+    tmp_path_for,
+)
+from repro.compiler.codegen.runtime import generated_code_dir, runtime_namespace
 from repro.compiler.registration import register_unique
 
 __all__ = [
@@ -60,6 +83,12 @@ __all__ = [
 #: Supernode widths above this value are gathered with a small loop instead of
 #: fully enumerated slice assignments, to keep generated sources compact.
 _LARGE_BLOCK_LOOP_WIDTH = 24
+
+#: Revision of the python emitters, hashed into the persisted-source cache
+#: stem alongside the package version.  Bump on ANY change to the generated
+#: source, so a development checkout never reloads sources a previous build
+#: of the emitter persisted (releases are already separated by the version).
+PY_CODEGEN_REVISION = 2
 
 
 class CodegenError(RuntimeError):
@@ -90,6 +119,61 @@ _PY_METHOD_SPECS: Dict[str, PythonMethodSpec] = {
 def register_python_method(method: str, spec: PythonMethodSpec) -> None:
     """Register the entry-point shape of an additional kernel method."""
     register_unique(_PY_METHOD_SPECS, method, spec, kind="python method spec")
+
+
+# --------------------------------------------------------------------------- #
+# On-disk persisted-source cache (cross-process sharing)
+# --------------------------------------------------------------------------- #
+def _disk_cache_paths(cache_token: str, entry_name: str) -> Tuple[str, str]:
+    """``(.py, .npz)`` cache paths for one compile identity.
+
+    The stem hashes the driver's cache token (kernel + pattern fingerprint +
+    options fingerprint) together with the package version, so a changed
+    emitter or option bundle never aliases a previously persisted source.
+    """
+    digest = hashlib.sha256(
+        f"{cache_token}|{__version__}|r{PY_CODEGEN_REVISION}".encode()
+    ).hexdigest()[:16]
+    stem = os.path.join(generated_code_dir(), f"{entry_name}_py_{digest}")
+    return stem + ".py", stem + ".npz"
+
+
+def _load_persisted_module(py_path: str, npz_path: str) -> Optional[Tuple[str, Dict[str, np.ndarray]]]:
+    """Load a persisted (source, constants) pair, or ``None`` when absent.
+
+    A half-present or unreadable entry (e.g. written by an interrupted
+    process before the atomic rename protocol existed) is treated as a miss
+    rather than an error — the caller simply regenerates and overwrites it.
+    """
+    if not (os.path.exists(py_path) and os.path.exists(npz_path)):
+        return None
+    try:
+        with open(py_path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        with np.load(npz_path) as archive:
+            constants = {name: archive[name] for name in archive.files}
+    except Exception:
+        # Any unreadable entry — truncated copy, disk corruption, a bad zip
+        # (np.load raises zipfile.BadZipFile, not ValueError) — is a miss:
+        # the caller regenerates and atomically overwrites it.
+        return None
+    return source, constants
+
+
+def _persist_module(py_path: str, npz_path: str, source: str, constants: Dict[str, np.ndarray]) -> None:
+    """Persist a generated module atomically (source first, then constants).
+
+    The loader requires *both* files, and the ``.npz`` lands last, so a
+    concurrent reader either sees a complete entry or a miss.
+    """
+    atomic_write_text(py_path, source)
+    tmp = tmp_path_for(npz_path) + ".npz"
+    try:
+        np.savez(tmp, **constants)
+        os.replace(tmp, npz_path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 @dataclass
@@ -160,7 +244,30 @@ class PythonBackend:
         for the generic (un-transformed) loops.
         """
         start = time.perf_counter()
-        self._constants: Dict[str, np.ndarray] = {}
+        entry = kernel.name
+        method_spec = _PY_METHOD_SPECS.get(kernel.method)
+        if method_spec is None:
+            raise CodegenError(f"unsupported method {kernel.method!r}")
+        cache_token = getattr(context, "cache_token", None)
+        paths = _disk_cache_paths(cache_token, entry) if cache_token else None
+        if paths is not None:
+            persisted = _load_persisted_module(*paths)
+            if persisted is not None:
+                # Cross-process hit: a sibling process already generated this
+                # exact (kernel, pattern, options) module — skip the AST walk.
+                source, self._constants = persisted
+                disk_cache_stats().py_reuses += 1
+                for name, value in self._constants.items():
+                    if name not in kernel.constants:
+                        kernel.constants[name] = value
+                return GeneratedModule(
+                    source=source,
+                    entry_name=entry,
+                    constants=dict(self._constants),
+                    method=kernel.method,
+                    codegen_seconds=time.perf_counter() - start,
+                )
+        self._constants = {}
         self._const_counter = 0
         self._n = context.inspection.n
         out = _Emitter()
@@ -168,16 +275,15 @@ class PythonBackend:
         out.emit("")
         out.emit("Auto-generated; all symbolic analysis was performed at compile time.")
         out.emit('"""')
-        entry = kernel.name
-        method_spec = _PY_METHOD_SPECS.get(kernel.method)
-        if method_spec is None:
-            raise CodegenError(f"unsupported method {kernel.method!r}")
         out.emit(f"def {entry}({method_spec.params}):")
         out.push()
         self._emit_block(out, kernel.body, kernel)
         out.emit(f"return {method_spec.result}")
         out.pop()
         source = out.source()
+        if paths is not None:
+            _persist_module(*paths, source, dict(self._constants))
+            disk_cache_stats().py_writes += 1
         codegen_seconds = time.perf_counter() - start
         # Also expose the constants on the kernel for introspection.
         for name, value in self._constants.items():
@@ -512,7 +618,7 @@ class PythonBackend:
             out.push()
             out.emit('raise ValueError("matrix is not positive definite at column %d" % j)')
             out.pop()
-            out.emit("ljj = d ** 0.5")
+            out.emit("ljj = np.sqrt(d)")
             out.emit("Lx[lp0] = ljj")
             out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
         out.emit("f[Li[lp0:lp1]] = 0.0")
@@ -568,7 +674,7 @@ class PythonBackend:
                 out.push()
                 out.emit('raise ValueError("matrix is not positive definite at column %d" % c0)')
                 out.pop()
-                out.emit("ljj = d ** 0.5")
+                out.emit("ljj = np.sqrt(d)")
                 out.emit("Lx[lp0] = ljj")
                 out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
             out.emit("f[Li[lp0:lp1]] = 0.0")

@@ -13,7 +13,9 @@ The options gather every tunable the paper mentions:
   generated code uses the hand-specialized small dense kernels, above it the
   library (NumPy/BLAS) routines,
 * low-level transformation thresholds (peeling, unrolling, vectorization),
-* the code-generation backend.
+* the code-generation backend,
+* the numeric-runtime thread count used by the batched execution engine
+  (:mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -90,6 +92,17 @@ class SympilerOptions:
     vectorize_min_length:
         Inner updates at least this long are annotated for vectorization
         (emitted as NumPy slice operations / contiguous C loops).
+    num_threads:
+        Worker-thread count for the batched numeric runtime
+        (:class:`repro.runtime.BatchExecutor`).  ``1`` (the default) runs
+        batch items sequentially; ``N > 1`` maps them over a thread pool when
+        the backend can execute concurrently (the C backend releases the GIL
+        inside the generated shared object, and its work buffers are
+        thread-local); ``0`` means "one thread per available CPU".  Purely a
+        runtime knob — the generated code is identical for every value, and
+        the field is excluded from the cache fingerprints
+        (:data:`repro.compiler.cache.RUNTIME_ONLY_OPTIONS`), so re-tuning it
+        keeps hitting the same cached artifacts.
     c_compiler, c_flags:
         Compiler executable and flags for the C backend.  The executable
         defaults to the ``REPRO_CC`` environment variable (read at option
@@ -120,6 +133,8 @@ class SympilerOptions:
     unroll_max_width: int = 4
     vectorize_min_length: int = 4
 
+    num_threads: int = 1
+
     c_compiler: str = field(default_factory=lambda: os.environ.get("REPRO_CC", "cc"))
     c_flags: Tuple[str, ...] = field(default_factory=_default_c_flags)
 
@@ -148,6 +163,8 @@ class SympilerOptions:
             raise ValueError("unroll_max_width must be at least 1")
         if self.vectorize_min_length < 1:
             raise ValueError("vectorize_min_length must be at least 1")
+        if self.num_threads < 0:
+            raise ValueError("num_threads must be non-negative (0 means one per CPU)")
 
     # ------------------------------------------------------------------ #
     def with_updates(self, **changes) -> "SympilerOptions":

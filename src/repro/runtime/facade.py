@@ -1,0 +1,287 @@
+"""The user facade of the batched runtime: :class:`BatchedSolver`.
+
+Wraps :class:`~repro.solvers.linear_solver.SparseLinearSolver` — one
+ordering, one compiled factorization, one pair of compiled triangular
+solves — and turns it into a multi-scenario engine:
+
+* :meth:`BatchedSolver.factorize_batch` factorizes many value sets sharing
+  the solver's pattern concurrently (parameter sweeps, ensemble solves) and
+  returns one :class:`FactorHandle` per item,
+* :meth:`FactorHandle.solve` solves against any handle's factors with the
+  shared compiled triangular kernels,
+* :meth:`BatchedSolver.solve_many` solves many right-hand sides against the
+  solver's current factorization.
+
+Per-item error isolation carries through: a singular/indefinite scenario
+produces a failed handle (its error preserved verbatim) while the remaining
+scenarios complete, and results always come back in input order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.compiler.options import SympilerOptions
+from repro.runtime.engine import BatchExecutor, BatchResult
+from repro.solvers.linear_solver import SparseLinearSolver, backward_factor
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["BatchedSolver", "FactorHandle"]
+
+
+@dataclass
+class FactorHandle:
+    """One batch item's factorization: either factors or a preserved error.
+
+    Factor assembly (CSC wrapping, the reversed backward operand) is lazy —
+    computed on first :meth:`solve` — so batch throughput measurements see
+    only the numeric kernel cost, and unused handles cost nothing beyond
+    their raw output arrays.
+    """
+
+    index: int
+    _solver: SparseLinearSolver = field(repr=False)
+    _raw: Optional[object] = field(default=None, repr=False)
+    error: Optional[Exception] = None
+    _factors: Optional[object] = field(default=None, repr=False)
+    _Lt: Optional[CSCMatrix] = field(default=None, repr=False)
+    #: Shared per-batch builder of the backward operand (a precomputed
+    #: gather); ``None`` falls back to the full symbolic construction.
+    _backward_builder: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when this item factorized successfully."""
+        return self.error is None
+
+    def _require_ok(self) -> None:
+        if self.error is not None:
+            raise RuntimeError(
+                f"batch item {self.index} failed to factorize"
+            ) from self.error
+
+    @property
+    def factors(self):
+        """The assembled factor object (``L``, ``(L, d)`` or ``(L, U)``)."""
+        self._require_ok()
+        if self._factors is None:
+            self._factors = self._solver._factorization.assemble_factors(self._raw)
+        return self._factors
+
+    @property
+    def L(self) -> CSCMatrix:
+        """The (unit) lower-triangular factor of this item."""
+        factors = self.factors
+        return getattr(factors, "L", factors)
+
+    @property
+    def d(self) -> Optional[np.ndarray]:
+        """The LDLᵀ pivot vector (``None`` for the other methods)."""
+        return getattr(self.factors, "d", None)
+
+    @property
+    def U(self) -> Optional[CSCMatrix]:
+        """The upper-triangular LU factor (``None`` for symmetric methods)."""
+        return getattr(self.factors, "U", None)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve this scenario's system ``A_i x = b``."""
+        self._require_ok()
+        if self._Lt is None:
+            if self._backward_builder is not None:
+                self._Lt = self._backward_builder(self)
+            else:
+                self._Lt = backward_factor(self.L, self.U)
+        return self._solver.solve_with_factors(b, L=self.L, d=self.d, Lt=self._Lt)
+
+
+class BatchedSolver:
+    """Factor-once / solve-many, over many value sets at once.
+
+    Parameters mirror :class:`SparseLinearSolver` (the wrapped solver is
+    exposed as :attr:`solver`); ``num_threads`` additionally sizes the
+    numeric thread pool, defaulting to ``options.num_threads``.
+
+    Examples
+    --------
+    >>> from repro.sparse import laplacian_2d
+    >>> import numpy as np
+    >>> A = laplacian_2d(8)
+    >>> batched = BatchedSolver(A)
+    >>> scenarios = [A.with_values(A.data * s) for s in (1.0, 2.0, 4.0)]
+    >>> handles = batched.factorize_batch(scenarios)
+    >>> xs = [h.solve(np.ones(A.n)) for h in handles]
+    >>> all(np.isfinite(x).all() for x in xs)
+    True
+    """
+
+    def __init__(
+        self,
+        A: CSCMatrix,
+        *,
+        method: str = "cholesky",
+        ordering: str = "mindeg",
+        options: Optional[SympilerOptions] = None,
+        num_threads: Optional[int] = None,
+    ) -> None:
+        self.solver = SparseLinearSolver(
+            A, method=method, ordering=ordering, options=options
+        )
+        if num_threads is None:
+            # Resolve from the *requested* options: a shared-cache hit may
+            # return an artifact compiled under another thread setting
+            # (num_threads is excluded from the cache identity on purpose).
+            num_threads = self.solver.options.num_threads
+        self.executor = BatchExecutor(
+            self.solver._factorization, num_threads=num_threads
+        )
+        # Gather indices mapping input-order values to permuted-pattern order
+        # (computed once by permuting an index-valued probe matrix), so the
+        # per-scenario hot path is a single fancy-indexing gather instead of
+        # a full symbolic symmetric_permute per item.
+        probe = self.solver.A.with_values(
+            np.arange(self.solver.A.nnz, dtype=np.float64)
+        )
+        self._value_permutation = (
+            self.solver.permutation.symmetric_permute(probe).data.astype(np.int64)
+        )
+        #: Lazy (pattern, gather, source) template for per-handle backward
+        #: operands — see :meth:`_handle_backward`.
+        self._backward_template = None
+        self.last_result: Optional[BatchResult] = None
+        self.batch_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def A(self) -> CSCMatrix:
+        """The pattern-defining input matrix."""
+        return self.solver.A
+
+    @property
+    def method(self) -> str:
+        """The factorization kernel name."""
+        return self.solver.method
+
+    @property
+    def num_threads(self) -> int:
+        """Resolved worker-thread count of the numeric engine."""
+        return self.executor.num_threads
+
+    @property
+    def mode(self) -> str:
+        """The batch strategy for this artifact (threads/stacked/serial)."""
+        return self.executor.mode
+
+    @property
+    def schedule(self):
+        """The compile-time level-set schedule of the factorization."""
+        return self.executor.schedule
+
+    # ------------------------------------------------------------------ #
+    def _batch_values(
+        self,
+        scenarios: Union[Sequence[CSCMatrix], np.ndarray],
+        *,
+        permuted_values: bool = False,
+    ) -> List[np.ndarray]:
+        """Per-item value arrays on the solver's *permuted* pattern.
+
+        Accepts same-pattern matrices (permuted internally via the
+        precomputed gather) or — only with an explicit ``permuted_values=True``
+        — a ``(batch, nnz)`` array already in permuted-pattern order.  The
+        flag is mandatory for raw arrays because a shape check cannot tell
+        permuted from unpermuted values, and interpreting unpermuted data in
+        permuted positions would silently factorize a scrambled matrix.
+        """
+        if isinstance(scenarios, np.ndarray):
+            if not permuted_values:
+                raise ValueError(
+                    "raw value arrays are interpreted in the solver's "
+                    "*permuted* pattern order, which cannot be validated from "
+                    "their shape; pass permuted_values=True to confirm, or "
+                    "pass same-pattern CSCMatrix scenarios to let the solver "
+                    "permute them"
+                )
+            values = np.asarray(scenarios, dtype=np.float64)
+            if values.ndim != 2 or values.shape[1] != self.solver.A_permuted.nnz:
+                raise ValueError(
+                    "a value-array batch must have shape (batch, nnz) on the "
+                    "solver's permuted pattern"
+                )
+            return [values[i] for i in range(values.shape[0])]
+        value_list: List[np.ndarray] = []
+        for i, M in enumerate(scenarios):
+            if not M.pattern_equal(self.solver.A):
+                raise ValueError(
+                    f"scenario {i} does not share the solver's sparsity pattern"
+                )
+            value_list.append(M.data[self._value_permutation])
+        return value_list
+
+    def factorize_batch(
+        self,
+        scenarios: Union[Sequence[CSCMatrix], np.ndarray],
+        *,
+        permuted_values: bool = False,
+    ) -> List[FactorHandle]:
+        """Factorize every scenario concurrently; one handle per scenario.
+
+        Each handle's factors are bitwise identical to what a sequential
+        ``solver.factorize(scenario)`` computes with the same compiled
+        kernel.  Failed scenarios yield handles with ``ok == False`` whose
+        ``error`` preserves the kernel's exception; the rest are unaffected.
+        ``permuted_values`` must be set to pass a raw ``(batch, nnz)`` value
+        array instead of matrices (see :meth:`_batch_values`).
+        """
+        value_list = self._batch_values(scenarios, permuted_values=permuted_values)
+        permuted = self.solver.A_permuted
+        start = time.perf_counter()
+        result = self.executor.factorize_batch(
+            permuted.indptr, permuted.indices, value_list
+        )
+        self.batch_seconds = time.perf_counter() - start
+        self.last_result = result
+        error_by_index = {e.index: e.error for e in result.errors}
+        return [
+            FactorHandle(
+                index=i,
+                _solver=self.solver,
+                _raw=raw,
+                error=error_by_index.get(i),
+                _backward_builder=self._handle_backward,
+            )
+            for i, raw in enumerate(result.results)
+        ]
+
+    def _handle_backward(self, handle: FactorHandle) -> CSCMatrix:
+        """The backward operand of one handle, via a precomputed gather.
+
+        The backward *pattern* (the reversed transpose of ``L``, or of ``U``
+        for LU) is fixed per solver, so the symbolic transpose + permutation
+        runs once — on an index-valued probe — and every handle's operand is
+        a single fancy-indexing gather of its own factor values.
+        """
+        if self._backward_template is None:
+            s = self.solver
+            if s.U is not None:
+                probe = backward_factor(
+                    s.L, s.U.with_values(np.arange(s.U.nnz, dtype=np.float64))
+                )
+                source = "U"
+            else:
+                probe = backward_factor(
+                    s.L.with_values(np.arange(s.L.nnz, dtype=np.float64))
+                )
+                source = "L"
+            self._backward_template = (probe, probe.data.astype(np.int64), source)
+        pattern, gather, source = self._backward_template
+        src = handle.U if source == "U" else handle.L
+        return pattern.with_values(src.data[gather])
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """Solve ``A X = B`` (multi-RHS) on the current factorization."""
+        return self.solver.solve_many(B, num_threads=self.executor.num_threads)

@@ -1,0 +1,228 @@
+"""Vectorized stacked-array execution of simplicial factorization kernels.
+
+The python backend's generated simplicial kernels are a fixed sequence of
+elementwise NumPy operations over positions resolved at compile time.  For a
+*batch* of value sets sharing one pattern, the identical sequence can be
+executed once with a leading batch axis — every slice update becomes a
+``(batch, len)`` operation — which amortizes the Python interpreter overhead
+of the column loop over the whole batch.
+
+Because every operation is elementwise along the batch axis and the per-item
+operation order is exactly the sequence the generated sequential code
+performs, each item's result is **bitwise identical** to a sequential
+``factorize_arrays`` call (asserted by the test-suite and the ``batched``
+bench experiment).
+
+Per-item error isolation: a bad pivot does not abort the batch.  The failing
+item is masked (its pivot is replaced by 1.0 so the remaining lanes keep
+computing unchanged), recorded with the same error message the sequential
+kernel raises, and reported per item by the engine; the masked lanes'
+outputs are discarded.
+
+The stacked path mirrors the descriptor arrays embedded in the transformed
+AST (:class:`~repro.compiler.ast.SimplicialCholeskyLoop`), so it applies
+exactly when the artifact was generated from a single simplicial loop (no
+supernodal/VS-Block body); the engine falls back to sequential execution
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.ast import SimplicialCholeskyLoop, SupernodalCholeskyLoop, walk
+
+__all__ = ["stacked_factorize_for", "StackedFailure"]
+
+
+class StackedFailure:
+    """Per-item failure record of a stacked run (index + sequential message)."""
+
+    __slots__ = ("index", "message")
+
+    def __init__(self, index: int, message: str) -> None:
+        self.index = int(index)
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"StackedFailure(index={self.index}, message={self.message!r})"
+
+
+def _simplicial_loop(artifact) -> Optional[SimplicialCholeskyLoop]:
+    """The single simplicial loop of the artifact's kernel, or ``None``.
+
+    ``None`` when the kernel is supernodal (VS-Block participated) or has no
+    factorization loop at all — the engine then uses sequential execution.
+    """
+    nodes = list(walk(artifact.kernel.body))
+    if any(isinstance(node, SupernodalCholeskyLoop) for node in nodes):
+        return None
+    loops = [node for node in nodes if isinstance(node, SimplicialCholeskyLoop)]
+    return loops[0] if len(loops) == 1 else None
+
+
+def stacked_factorize_for(artifact) -> Optional[Callable]:
+    """A stacked batch entry mirroring ``artifact``'s generated kernel.
+
+    Returns ``None`` when the artifact's kernel shape has no stacked
+    implementation.  The returned callable has signature
+    ``(Ap, Ai, AxB) -> (outputs, failures)`` where ``AxB`` is a
+    ``(batch, nnz)`` array of value sets, ``outputs`` is a list with one raw
+    kernel output per item (same shape ``factorize_arrays`` returns) and
+    ``failures`` lists :class:`StackedFailure` records for masked items.
+    """
+    loop = _simplicial_loop(artifact)
+    if loop is None:
+        return None
+    impl = _STACKED_IMPLS.get(loop.factor_kind)
+    if impl is None:  # pragma: no cover - every simplicial kind is covered
+        return None
+
+    def entry(Ap, Ai, AxB):
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        AxB = np.ascontiguousarray(AxB, dtype=np.float64)
+        with np.errstate(all="ignore"):
+            # Masked (failed) lanes keep computing on garbage values; the
+            # errstate guard silences their overflow/invalid warnings without
+            # changing any lane's arithmetic.
+            return impl(loop, Ai, AxB)
+
+    return entry
+
+
+# --------------------------------------------------------------------------- #
+# Stacked kernels (one per simplicial factor kind)
+# --------------------------------------------------------------------------- #
+def _mask_bad_pivots(
+    d: np.ndarray,
+    bad_now: np.ndarray,
+    failed: np.ndarray,
+    fail_col: np.ndarray,
+    j: int,
+) -> None:
+    """Record first-failure columns and neutralize pivots of failed lanes."""
+    new = bad_now & ~failed
+    if new.any():
+        failed |= new
+        fail_col[new] = j
+    if failed.any():
+        d[failed] = 1.0
+
+
+def _failures(
+    failed: np.ndarray, fail_col: np.ndarray, template: str
+) -> List[StackedFailure]:
+    return [
+        StackedFailure(b, template % int(fail_col[b]))
+        for b in np.nonzero(failed)[0]
+    ]
+
+
+def _stacked_llt(
+    loop: SimplicialCholeskyLoop, Ai: np.ndarray, AxB: np.ndarray
+) -> Tuple[list, List[StackedFailure]]:
+    batch = AxB.shape[0]
+    n = loop.n
+    Lp, Li = loop.l_indptr, loop.l_indices
+    pp, up, ue = loop.prune_ptr, loop.update_pos, loop.update_end
+    a0s, a1s = loop.a_diag_pos, loop.a_col_end
+    Lx = np.zeros((batch, int(Lp[-1])))
+    f = np.zeros((batch, n))
+    failed = np.zeros(batch, dtype=bool)
+    fail_col = np.full(batch, -1, dtype=np.int64)
+    for j in range(n):
+        a0, a1 = a0s[j], a1s[j]
+        f[:, Ai[a0:a1]] = AxB[:, a0:a1]
+        for t in range(pp[j], pp[j + 1]):
+            ps, pe = up[t], ue[t]
+            ljk = Lx[:, ps]
+            f[:, Li[ps:pe]] -= Lx[:, ps:pe] * ljk[:, None]
+        lp0, lp1 = Lp[j], Lp[j + 1]
+        d = f[:, j].copy()
+        # Same predicate as the generated python kernel (`if d <= 0.0`).
+        _mask_bad_pivots(d, d <= 0.0, failed, fail_col, j)
+        # np.sqrt, not ** 0.5: the generated kernel uses the same ufunc, whose
+        # scalar and array paths agree bitwise (scalar ** 0.5 would take libm
+        # pow and drift by 1 ULP).
+        ljj = np.sqrt(d)
+        Lx[:, lp0] = ljj
+        Lx[:, lp0 + 1 : lp1] = f[:, Li[lp0 + 1 : lp1]] / ljj[:, None]
+        f[:, Li[lp0:lp1]] = 0.0
+    # Copies, not row views: a retained handle must own only its item's
+    # factor, not (via .base) the whole stacked batch array.
+    outputs = [Lx[b].copy() for b in range(batch)]
+    return outputs, _failures(failed, fail_col, "matrix is not positive definite at column %d")
+
+
+def _stacked_ldlt(
+    loop: SimplicialCholeskyLoop, Ai: np.ndarray, AxB: np.ndarray
+) -> Tuple[list, List[StackedFailure]]:
+    batch = AxB.shape[0]
+    n = loop.n
+    Lp, Li = loop.l_indptr, loop.l_indices
+    pp, up, ue, uc = loop.prune_ptr, loop.update_pos, loop.update_end, loop.update_col
+    a0s, a1s = loop.a_diag_pos, loop.a_col_end
+    Lx = np.zeros((batch, int(Lp[-1])))
+    D = np.empty((batch, n))
+    f = np.zeros((batch, n))
+    failed = np.zeros(batch, dtype=bool)
+    fail_col = np.full(batch, -1, dtype=np.int64)
+    for j in range(n):
+        a0, a1 = a0s[j], a1s[j]
+        f[:, Ai[a0:a1]] = AxB[:, a0:a1]
+        for t in range(pp[j], pp[j + 1]):
+            ps, pe = up[t], ue[t]
+            ljk = Lx[:, ps] * D[:, uc[t]]
+            f[:, Li[ps:pe]] -= Lx[:, ps:pe] * ljk[:, None]
+        lp0, lp1 = Lp[j], Lp[j + 1]
+        d = f[:, j].copy()
+        _mask_bad_pivots(d, d == 0.0, failed, fail_col, j)
+        D[:, j] = d
+        Lx[:, lp0] = 1.0
+        Lx[:, lp0 + 1 : lp1] = f[:, Li[lp0 + 1 : lp1]] / d[:, None]
+        f[:, Li[lp0:lp1]] = 0.0
+    outputs = [(Lx[b].copy(), D[b].copy()) for b in range(batch)]
+    return outputs, _failures(failed, fail_col, "matrix is singular (zero pivot) at column %d")
+
+
+def _stacked_lu(
+    loop: SimplicialCholeskyLoop, Ai: np.ndarray, AxB: np.ndarray
+) -> Tuple[list, List[StackedFailure]]:
+    batch = AxB.shape[0]
+    n = loop.n
+    Lp, Li = loop.l_indptr, loop.l_indices
+    Up, Ui = loop.u_indptr, loop.u_indices
+    pp, up, ue, uc = loop.prune_ptr, loop.update_pos, loop.update_end, loop.update_col
+    a0s, a1s = loop.a_diag_pos, loop.a_col_end
+    Lx = np.zeros((batch, int(Lp[-1])))
+    Ux = np.zeros((batch, int(Up[-1])))
+    f = np.zeros((batch, n))
+    failed = np.zeros(batch, dtype=bool)
+    fail_col = np.full(batch, -1, dtype=np.int64)
+    for j in range(n):
+        a0, a1 = a0s[j], a1s[j]
+        f[:, Ai[a0:a1]] = AxB[:, a0:a1]
+        for t in range(pp[j], pp[j + 1]):
+            ps, pe = up[t], ue[t]
+            ukj = f[:, uc[t]]
+            f[:, Li[ps:pe]] -= Lx[:, ps:pe] * ukj[:, None]
+        u0, u1 = Up[j], Up[j + 1]
+        Ux[:, u0:u1] = f[:, Ui[u0:u1]]
+        piv = f[:, j].copy()
+        _mask_bad_pivots(piv, piv == 0.0, failed, fail_col, j)
+        lp0, lp1 = Lp[j], Lp[j + 1]
+        Lx[:, lp0] = 1.0
+        Lx[:, lp0 + 1 : lp1] = f[:, Li[lp0 + 1 : lp1]] / piv[:, None]
+        f[:, Ui[u0:u1]] = 0.0
+        f[:, Li[lp0:lp1]] = 0.0
+    outputs = [(Lx[b].copy(), Ux[b].copy()) for b in range(batch)]
+    return outputs, _failures(failed, fail_col, "matrix is singular (zero pivot) at column %d")
+
+
+_STACKED_IMPLS = {
+    "llt": _stacked_llt,
+    "ldlt": _stacked_ldlt,
+    "lu": _stacked_lu,
+}

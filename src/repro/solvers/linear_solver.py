@@ -38,7 +38,23 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.ordering import ordering_by_name
 from repro.sparse.permutation import Permutation
 
-__all__ = ["SparseLinearSolver"]
+__all__ = ["SparseLinearSolver", "backward_factor"]
+
+
+def backward_factor(L: CSCMatrix, U: Optional[CSCMatrix] = None) -> CSCMatrix:
+    """The backward-sweep operand, lower triangular in reversed index order.
+
+    The backward substitution solves ``Lᵀ z = y`` (symmetric methods) or
+    ``U z = y`` (LU); either matrix is upper triangular, and reversing both
+    its row and column order turns the sweep into an ordinary forward
+    substitution on a lower-triangular matrix, which the generated
+    triangular-solve kernel handles directly.  Module-level so the batched
+    runtime can build per-item backward operands from batch factors.
+    """
+    upper = U if U is not None else L.transpose()
+    n = upper.n
+    reverse = Permutation(np.arange(n - 1, -1, -1, dtype=np.int64))
+    return reverse.symmetric_permute(upper)
 
 
 class SparseLinearSolver:
@@ -113,6 +129,10 @@ class SparseLinearSolver:
         self._forward = None
         self._backward = None
         self._Lt: Optional[CSCMatrix] = None
+        #: Cached batch executors for solve_many, keyed by thread count (the
+        #: forward artifact is fixed per solver instance, so they never go
+        #: stale).
+        self._solve_executors: dict = {}
         self.factorize()
 
     # ------------------------------------------------------------------ #
@@ -182,42 +202,74 @@ class SparseLinearSolver:
         return self._L
 
     def _make_backward_factor(self) -> CSCMatrix:
-        """The backward-sweep operand, lower triangular in reversed index order.
-
-        The backward substitution solves ``Lᵀ z = y`` (symmetric methods) or
-        ``U z = y`` (LU); either matrix is upper triangular, and reversing
-        both its row and column order turns the sweep into an ordinary
-        forward substitution on a lower-triangular matrix, which the
-        generated triangular-solve kernel handles directly.
-        """
-        upper = self._U if self._U is not None else self._L.transpose()
-        n = upper.n
-        reverse = Permutation(np.arange(n - 1, -1, -1, dtype=np.int64))
-        return reverse.symmetric_permute(upper)
+        """The backward-sweep operand for the current numeric factors."""
+        return backward_factor(self._L, self._U)
 
     # ------------------------------------------------------------------ #
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b``."""
+    def solve_with_factors(
+        self,
+        b: np.ndarray,
+        *,
+        L: CSCMatrix,
+        d: Optional[np.ndarray] = None,
+        Lt: Optional[CSCMatrix] = None,
+        U: Optional[CSCMatrix] = None,
+    ) -> np.ndarray:
+        """Solve ``A x = b`` using explicitly supplied numeric factors.
+
+        ``L``/``d``/``U`` must carry the patterns this solver was compiled
+        for (they normally come from a batched factorization of a same-
+        pattern matrix); ``Lt`` is the precomputed backward operand
+        (:func:`backward_factor`) and is derived from ``L``/``U`` when
+        omitted.  The compiled forward/backward triangular kernels depend
+        only on those fixed patterns, so they are shared by every factor set.
+        """
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.A.n,):
             raise ValueError(f"b must have shape ({self.A.n},)")
+        if Lt is None:
+            Lt = backward_factor(L, U)
         pb = self.permutation.apply_vec(b)
-        y = self._forward.solve(self._L, pb)
-        if self._d is not None:
+        y = self._forward.solve(L, pb)
+        if d is not None:
             # LDL^T: diagonal solve between the two triangular sweeps.
-            y = y / self._d
+            y = y / d
         # Backward substitution via the reversed transposed factor.
         y_rev = y[::-1].copy()
-        z_rev = self._backward.solve(self._Lt, y_rev)
+        z_rev = self._backward.solve(Lt, y_rev)
         z = z_rev[::-1].copy()
         return self.permutation.apply_inverse_vec(z)
 
-    def solve_many(self, B: np.ndarray) -> np.ndarray:
-        """Solve ``A X = B`` column by column (``B`` is ``n × k``)."""
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b``."""
+        if self._L is None:
+            raise RuntimeError("factorize() has not been run yet")
+        return self.solve_with_factors(b, L=self._L, d=self._d, Lt=self._Lt)
+
+    def solve_many(self, B: np.ndarray, *, num_threads: Optional[int] = None) -> np.ndarray:
+        """Solve ``A X = B`` column by column (``B`` is ``n × k``).
+
+        ``num_threads`` overrides the compile options' thread knob for this
+        call; with the C backend and more than one thread the columns are
+        mapped over the batched runtime's thread pool (deterministic column
+        order either way).
+        """
         B = np.asarray(B, dtype=np.float64)
         if B.ndim != 2 or B.shape[0] != self.A.n:
             raise ValueError(f"B must have shape ({self.A.n}, k)")
-        return np.column_stack([self.solve(B[:, k]) for k in range(B.shape[1])])
+        from repro.runtime.engine import BatchExecutor
+
+        if num_threads is None:
+            # The *requested* options, not the cached artifact's: a cache hit
+            # may carry a different (runtime-irrelevant) thread setting.
+            num_threads = self.options.num_threads
+        executor = self._solve_executors.get(num_threads)
+        if executor is None:
+            executor = BatchExecutor(self._forward, num_threads=num_threads)
+            self._solve_executors[num_threads] = executor
+        result = executor.map(self.solve, [B[:, k] for k in range(B.shape[1])])
+        result.raise_first()
+        return np.column_stack(result.results)
 
     def residual(self, x: np.ndarray, b: np.ndarray) -> float:
         """Relative residual of a computed solution."""

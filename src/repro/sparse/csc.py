@@ -8,7 +8,7 @@ which the symbolic-analysis routines rely on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, Tuple
 
 import numpy as np
 
@@ -291,6 +291,20 @@ class CSCMatrix:
             self.indices.copy(),
             self.data.copy(),
             check=False,
+        )
+
+    def with_values(self, data: np.ndarray) -> "CSCMatrix":
+        """A same-pattern matrix carrying new numeric values.
+
+        The pattern arrays are shared (not copied) — the natural constructor
+        for the fixed-pattern/changing-values scenario batches the batched
+        runtime consumes.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != (self.nnz,):
+            raise ValueError(f"data must have shape ({self.nnz},), got {data.shape}")
+        return CSCMatrix(
+            self.n_rows, self.n_cols, self.indptr, self.indices, data, check=False
         )
 
     # ------------------------------------------------------------------ #

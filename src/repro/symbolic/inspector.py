@@ -33,7 +33,17 @@ import numpy as np
 # Leaf module with no intra-package imports: safe to pull in from here even
 # though the compiler package itself depends on this module.
 from repro.compiler.registration import register_unique_many
+
+# levels.py is likewise a leaf of the runtime package (numpy + the dependence
+# graph only); repro/runtime/__init__ lazily re-exports its heavier siblings,
+# so this import never drags the execution engine into the symbolic layer.
+from repro.runtime.levels import (
+    ExecutionSchedule,
+    level_sets_from_column_deps,
+    level_sets_from_dependency_graph,
+)
 from repro.sparse.csc import CSCMatrix
+from repro.symbolic.dependency_graph import DependencyGraph
 from repro.symbolic.etree import column_etree, elimination_tree, postorder
 from repro.symbolic.fill_pattern import (
     _upper_pattern,
@@ -116,6 +126,7 @@ class TriangularInspectionResult:
     reach_sorted: np.ndarray
     supernodes: SupernodePartition
     l_col_counts: np.ndarray
+    schedule: ExecutionSchedule
     symbolic_seconds: float
     sets: Dict[str, InspectionSet] = field(repr=False)
 
@@ -145,6 +156,7 @@ class CholeskyInspectionResult:
     row_patterns: List[np.ndarray]
     l_col_counts: np.ndarray
     supernodes: SupernodePartition
+    schedule: ExecutionSchedule
     symbolic_seconds: float
     sets: Dict[str, InspectionSet] = field(repr=False)
 
@@ -193,6 +205,7 @@ class LUInspectionResult:
     u_indices: np.ndarray
     l_col_counts: np.ndarray
     supernodes: SupernodePartition
+    schedule: ExecutionSchedule
     symbolic_seconds: float
     sets: Dict[str, InspectionSet] = field(repr=False)
 
@@ -282,6 +295,13 @@ class TriangularSolveInspector(SymbolicInspector):
         reach_sorted = np.sort(reach)
         supernodes = triangular_supernodes(matrix)
         col_counts = np.diff(matrix.indptr).astype(np.int64)
+        # Wavefront schedule on DG_L restricted to the reach: pruned columns
+        # never execute, so only in-reach dependencies constrain levels.
+        schedule = level_sets_from_dependency_graph(
+            DependencyGraph.from_lower_triangular(matrix),
+            active=reach_sorted,
+            graph="DG_L + SP(rhs)",
+        )
         elapsed = time.perf_counter() - start
         sets = {
             "prune-set": InspectionSet(
@@ -304,6 +324,7 @@ class TriangularSolveInspector(SymbolicInspector):
             reach_sorted=reach_sorted,
             supernodes=supernodes,
             l_col_counts=col_counts,
+            schedule=schedule,
             symbolic_seconds=elapsed,
             sets=sets,
         )
@@ -355,6 +376,9 @@ class CholeskyInspector(SymbolicInspector):
             l_indices[l_indptr[j] : l_indptr[j + 1]] = col_rows[j]
         col_counts = np.diff(l_indptr).astype(np.int64)
         supernodes = cholesky_supernodes(col_counts, parent, max_width=max_supernode_width)
+        # Exact wavefronts: column j waits for precisely the columns of its L
+        # row pattern (a strictly tighter schedule than etree depth).
+        schedule = level_sets_from_column_deps(row_patterns, graph="SP(L row) / etree")
         elapsed = time.perf_counter() - start
         sets = {
             "prune-set": InspectionSet(
@@ -379,6 +403,7 @@ class CholeskyInspector(SymbolicInspector):
             row_patterns=row_patterns,
             l_col_counts=col_counts,
             supernodes=supernodes,
+            schedule=schedule,
             symbolic_seconds=elapsed,
             sets=sets,
         )
@@ -438,6 +463,9 @@ class LUInspector(SymbolicInspector):
         upper_patterns = [
             u_indices[u_indptr[j] : u_indptr[j + 1] - 1] for j in range(n)
         ]
+        # Exact wavefronts: column j of the LU update loop consumes exactly
+        # the L columns named by its above-diagonal U pattern.
+        schedule = level_sets_from_column_deps(upper_patterns, graph="SP(U col) / etree(A^T A)")
         elapsed = time.perf_counter() - start
         sets = {
             "prune-set": InspectionSet(
@@ -463,6 +491,7 @@ class LUInspector(SymbolicInspector):
             u_indices=u_indices,
             l_col_counts=l_col_counts,
             supernodes=supernodes,
+            schedule=schedule,
             symbolic_seconds=elapsed,
             sets=sets,
         )

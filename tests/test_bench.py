@@ -171,6 +171,36 @@ def test_lu_experiment_rows(tmp_path):
         assert row["nnz_LU"] > row["nnz_A"] // 2
 
 
+def test_batched_experiment_rows():
+    from repro.bench.figures import batched_throughput
+    from repro.bench.suite import small_suite
+
+    rows = batched_throughput(small_suite()[:1], repeats=1, batch=4)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["bitwise_identical"] is True
+    assert row["batch_recompiles"] == 0
+    assert row["mode"] in ("serial", "stacked", "threads")
+    assert row["batched_items_per_second"] > 0
+    assert row["schedule_levels"] >= 1
+    assert row["schedule_avg_width"] >= 1.0
+
+
+def test_cli_batched_accepts_threads(tmp_path, capsys):
+    import json
+
+    from repro.bench.__main__ import main
+
+    assert (
+        main(["batched", "--small", "--threads", "1", "--json", str(tmp_path)]) == 0
+    )
+    capsys.readouterr()
+    payload = json.loads((tmp_path / "BENCH_batched.json").read_text())
+    assert payload["args"]["threads"] == 1
+    assert all(r["batch_recompiles"] == 0 for r in payload["rows"])
+    assert all(r["bitwise_identical"] for r in payload["rows"])
+
+
 def test_cli_json_report(tmp_path, capsys):
     import json
 

@@ -17,8 +17,14 @@ def test_probe_python_backend_reports_workload(monkeypatch, tmp_path):
     report = run_probe(backend="python")
     assert report["backend"] == "python"
     assert all(report["workload"].values())
-    # The python backend compiles in memory: nothing touches the disk cache.
+    # The python backend never invokes the C toolchain...
     assert report["so_compiles"] == 0 and report["so_reuses"] == 0
+    # ...but it persists its generated sources for cross-process sharing.
+    assert report["py_writes"] > 0 and report["py_reuses"] == 0
+    # Second probe in the same cache directory: every module is loaded back.
+    warm = run_probe(backend="python")
+    assert warm["py_writes"] == 0
+    assert warm["py_reuses"] == report["py_writes"]
 
 
 @needs_cc
@@ -47,8 +53,15 @@ def test_probe_cli_assert_warm(monkeypatch, tmp_path, capsys):
 
 def test_probe_cli_python_backend(monkeypatch, tmp_path, capsys):
     monkeypatch.setenv("REPRO_SYMPILER_CACHE", str(tmp_path))
-    # Without a C toolchain the assertion is vacuous but the CLI still works.
-    assert main(["--backend", "python", "--assert-warm"]) == 0
+    # A cold python-backend run regenerates everything, so --assert-warm
+    # must fail — the zero-regeneration invariant is no longer vacuous for
+    # toolchain-free environments.
+    assert main(["--backend", "python", "--assert-warm"]) == 1
     report = json.loads(capsys.readouterr().out)
     assert report["backend"] == "python"
     assert all(report["workload"].values())
+    assert report["py_writes"] > 0
+    # Against the populated cache the warm assertion passes.
+    assert main(["--backend", "python", "--assert-warm"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["py_writes"] == 0 and report["py_reuses"] > 0

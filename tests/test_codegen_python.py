@@ -181,3 +181,124 @@ class TestBackendInfrastructure:
         kernel.method = "qr"
         with pytest.raises(CodegenError):
             PythonBackend().generate(kernel, context)
+
+
+class TestPersistedSourceCache:
+    """Cross-process sharing of generated python sources (disk cache)."""
+
+    def test_persist_and_reload_across_drivers(self, monkeypatch, tmp_path):
+        from repro.compiler.cache import ArtifactCache
+        from repro.compiler.codegen.c_backend import (
+            disk_cache_stats,
+            reset_disk_cache_stats,
+        )
+        from repro.compiler.sympiler import Sympiler
+        from repro.sparse.generators import laplacian_2d
+
+        monkeypatch.setenv("REPRO_SYMPILER_CACHE", str(tmp_path))
+        reset_disk_cache_stats()
+        A = laplacian_2d(6, shift=0.1)
+
+        first = Sympiler(cache=ArtifactCache()).compile("cholesky", A)
+        stats = disk_cache_stats()
+        assert stats.py_writes == 1 and stats.py_reuses == 0
+        assert list(tmp_path.glob("cholesky_py_*.py"))
+        assert list(tmp_path.glob("cholesky_py_*.npz"))
+
+        # A fresh driver + fresh in-memory cache (the same situation as a new
+        # process) loads source and constants back instead of regenerating.
+        second = Sympiler(cache=ArtifactCache()).compile("cholesky", A)
+        stats = disk_cache_stats()
+        assert stats.py_writes == 1 and stats.py_reuses == 1
+        assert second.source == first.source
+        assert set(second.constants) == set(first.constants)
+        L1 = first.factorize(A)
+        L2 = second.factorize(A)
+        assert np.array_equal(L1.data, L2.data)
+
+    def test_different_options_do_not_alias(self, monkeypatch, tmp_path):
+        from repro.compiler.cache import ArtifactCache
+        from repro.compiler.codegen.c_backend import (
+            disk_cache_stats,
+            reset_disk_cache_stats,
+        )
+        from repro.compiler.sympiler import Sympiler
+        from repro.sparse.generators import laplacian_2d
+
+        monkeypatch.setenv("REPRO_SYMPILER_CACHE", str(tmp_path))
+        reset_disk_cache_stats()
+        A = laplacian_2d(6, shift=0.1)
+        sym = Sympiler(cache=ArtifactCache())
+        sym.compile("cholesky", A, options=SympilerOptions())
+        sym.compile("cholesky", A, options=SympilerOptions(enable_vs_block=False))
+        # Two distinct option bundles -> two persisted modules, zero reuses.
+        assert disk_cache_stats().py_writes == 2
+        assert disk_cache_stats().py_reuses == 0
+
+    def test_direct_backend_use_skips_disk(self, monkeypatch, tmp_path, lower_factors):
+        """A context without a cache token (tests, ad-hoc use) stays in memory."""
+        from repro.compiler.codegen.c_backend import (
+            disk_cache_stats,
+            reset_disk_cache_stats,
+        )
+
+        monkeypatch.setenv("REPRO_SYMPILER_CACHE", str(tmp_path))
+        reset_disk_cache_stats()
+        L = lower_factors["fem"]
+        b = sparse_rhs(L.n, nnz=2, seed=6)
+        options = SympilerOptions()
+        inspection = TriangularSolveInspector().inspect(L, rhs_pattern=np.nonzero(b)[0])
+        context = CompilationContext(
+            method="triangular-solve",
+            matrix=L,
+            inspection=inspection,
+            options=options,
+            rhs_pattern=inspection.rhs_pattern,
+        )
+        kernel = build_pipeline(options).run(lower_triangular_solve(), context)
+        PythonBackend().generate(kernel, context)
+        assert disk_cache_stats().py_writes == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_same_named_kernels_from_other_registries_do_not_alias(
+        self, monkeypatch, tmp_path
+    ):
+        """The disk stem carries the spec's lowering identity, not just its name."""
+        from repro.compiler.cache import ArtifactCache
+        from repro.compiler.codegen.c_backend import (
+            disk_cache_stats,
+            reset_disk_cache_stats,
+        )
+        from repro.compiler.lowering import lower_cholesky
+        from repro.compiler.registry import KernelRegistry, KernelSpec
+        from repro.compiler.registry import kernel_spec as default_spec
+        from repro.compiler.sympiler import Sympiler
+        from repro.symbolic.inspector import CholeskyInspector
+        from repro.compiler.artifacts import SympiledCholesky
+        from repro.sparse.generators import laplacian_2d
+
+        monkeypatch.setenv("REPRO_SYMPILER_CACHE", str(tmp_path))
+        reset_disk_cache_stats()
+        A = laplacian_2d(6, shift=0.1)
+        Sympiler(cache=ArtifactCache()).compile("cholesky", A)
+
+        def my_lower_cholesky():
+            return lower_cholesky()
+
+        custom = KernelRegistry()
+        custom.register(
+            KernelSpec(
+                name="cholesky",
+                lower=my_lower_cholesky,
+                inspector_cls=CholeskyInspector,
+                artifact_cls=SympiledCholesky,
+                runtime_signature=("Ap", "Ai", "Ax"),
+                requires_vi_prune=default_spec("cholesky").requires_vi_prune,
+                inspect_kwargs=default_spec("cholesky").inspect_kwargs,
+            )
+        )
+        Sympiler(cache=ArtifactCache(), registry=custom).compile("cholesky", A)
+        # Same kernel name + same pattern + same options, but a different
+        # lowering: a second persisted module, not a (wrong) reuse.
+        assert disk_cache_stats().py_writes == 2
+        assert disk_cache_stats().py_reuses == 0

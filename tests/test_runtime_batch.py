@@ -1,0 +1,396 @@
+"""Tests for the batched numeric runtime (engine, facade, ensemble Newton).
+
+The acceptance bar of the subsystem: ``factorize_batch`` over >= 8 value
+sets is bitwise identical per item to sequential ``factorize`` on every
+execution strategy (serial, stacked, threaded C), with per-item error
+isolation and deterministic result ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen.c_backend import c_compiler_available
+from repro.compiler.options import SympilerOptions
+from repro.runtime.engine import BatchExecutor, resolve_num_threads
+from repro.runtime.facade import BatchedSolver
+from repro.solvers.linear_solver import SparseLinearSolver
+from repro.solvers.newton import newton_raphson_ensemble
+from repro.sparse.generators import (
+    laplacian_2d,
+    saddle_point_indefinite,
+    unsymmetric_diag_dominant,
+)
+
+needs_cc = pytest.mark.skipif(
+    not c_compiler_available("cc"), reason="no C compiler available"
+)
+
+BATCH = 9  # >= 8 per the acceptance criterion
+
+
+def _spd_scenarios(A, batch=BATCH):
+    """Same-pattern SPD value sets (diagonal sweep keeps them SPD)."""
+    out = []
+    for b in range(batch):
+        data = A.data.copy()
+        diag_scale = 1.0 + 0.05 * b
+        for j in range(A.n):
+            sl = A.col_slice(j)
+            rows = A.indices[sl.start : sl.stop]
+            k = int(np.nonzero(rows == j)[0][0])
+            data[sl.start + k] *= diag_scale
+        out.append(A.with_values(data))
+    return out
+
+
+def _assert_bitwise_vs_sequential(batched: BatchedSolver, scenarios):
+    seq = SparseLinearSolver(
+        batched.A,
+        method=batched.method,
+        ordering="natural",
+        options=batched.solver.options,
+    )
+    handles = batched.factorize_batch(scenarios)
+    assert [h.index for h in handles] == list(range(len(scenarios)))
+    for handle, M in zip(handles, scenarios):
+        assert handle.ok
+        seq.factorize(M)
+        assert np.array_equal(handle.L.data, seq.L.data)
+        if seq.d is not None:
+            assert np.array_equal(handle.d, seq.d)
+        if seq.U is not None:
+            assert np.array_equal(handle.U.data, seq.U.data)
+    return handles
+
+
+class TestBitwiseIdentity:
+    def test_python_stacked_cholesky(self):
+        A = laplacian_2d(9, shift=0.1)
+        options = SympilerOptions(backend="python", enable_vs_block=False)
+        batched = BatchedSolver(A, ordering="natural", options=options)
+        assert batched.mode == "stacked"
+        _assert_bitwise_vs_sequential(batched, _spd_scenarios(A))
+        assert batched.last_result.mode == "stacked"
+
+    def test_python_serial_supernodal_cholesky(self):
+        A = laplacian_2d(9, shift=0.1)
+        options = SympilerOptions(backend="python")  # VS-Block may participate
+        batched = BatchedSolver(A, ordering="natural", options=options)
+        _assert_bitwise_vs_sequential(batched, _spd_scenarios(A))
+
+    def test_python_stacked_ldlt(self):
+        K = saddle_point_indefinite(28, 10, seed=5)
+        options = SympilerOptions(backend="python", enable_vs_block=False)
+        batched = BatchedSolver(K, method="ldlt", ordering="natural", options=options)
+        handles = _assert_bitwise_vs_sequential(batched, _spd_scenarios(K))
+        assert batched.last_result.mode == "stacked"
+        assert all(h.d is not None for h in handles)
+
+    def test_python_stacked_lu(self):
+        J = unsymmetric_diag_dominant(50, seed=6)
+        options = SympilerOptions(backend="python", enable_vs_block=False)
+        batched = BatchedSolver(J, method="lu", ordering="natural", options=options)
+        handles = _assert_bitwise_vs_sequential(
+            batched, [J.with_values(J.data * (1.0 + 0.1 * b)) for b in range(BATCH)]
+        )
+        assert batched.last_result.mode == "stacked"
+        assert all(h.U is not None for h in handles)
+
+    @needs_cc
+    def test_c_threaded_cholesky(self):
+        A = laplacian_2d(9, shift=0.1)
+        options = SympilerOptions(backend="c", num_threads=4)
+        batched = BatchedSolver(A, ordering="natural", options=options)
+        assert batched.mode == "threads"
+        _assert_bitwise_vs_sequential(batched, _spd_scenarios(A))
+        assert batched.last_result.mode == "threads"
+        assert batched.last_result.num_threads == 4
+
+    @needs_cc
+    def test_c_threaded_lu(self):
+        J = unsymmetric_diag_dominant(60, seed=8)
+        options = SympilerOptions(backend="c", num_threads=2)
+        batched = BatchedSolver(J, method="lu", ordering="natural", options=options)
+        _assert_bitwise_vs_sequential(
+            batched, [J.with_values(J.data * (1.0 + 0.1 * b)) for b in range(BATCH)]
+        )
+
+    @needs_cc
+    def test_generated_c_work_buffers_are_thread_local(self):
+        """The reentrancy contract the threaded path relies on."""
+        A = laplacian_2d(6, shift=0.1)
+        options = SympilerOptions(backend="c")
+        artifact = BatchedSolver(A, ordering="natural", options=options).solver._factorization
+        assert "_Thread_local" in artifact.source
+
+
+class TestErrorIsolation:
+    @pytest.mark.parametrize("backend", ["python"])
+    def test_singular_item_is_isolated_stacked(self, backend):
+        K = saddle_point_indefinite(24, 8, seed=2)
+        options = SympilerOptions(backend=backend, enable_vs_block=False)
+        batched = BatchedSolver(K, method="ldlt", ordering="natural", options=options)
+        scenarios = _spd_scenarios(K)
+        scenarios[3] = K.with_values(np.zeros(K.nnz))
+        handles = batched.factorize_batch(scenarios)
+        assert [h.ok for h in handles] == [i != 3 for i in range(BATCH)]
+        assert "singular" in str(handles[3].error)
+        # Failed handles refuse to solve but keep their error chained.
+        with pytest.raises(RuntimeError, match="batch item 3"):
+            handles[3].solve(np.ones(K.n))
+        # Healthy neighbours still solve to full accuracy.
+        b = np.ones(K.n)
+        x = handles[2].solve(b)
+        r = scenarios[2].matvec(x) - b
+        assert np.linalg.norm(r) < 1e-7
+
+    @needs_cc
+    def test_singular_item_is_isolated_threads(self):
+        K = saddle_point_indefinite(24, 8, seed=2)
+        options = SympilerOptions(backend="c", num_threads=2)
+        batched = BatchedSolver(K, method="ldlt", ordering="natural", options=options)
+        scenarios = _spd_scenarios(K)
+        scenarios[0] = K.with_values(np.zeros(K.nnz))
+        handles = batched.factorize_batch(scenarios)
+        assert not handles[0].ok and all(h.ok for h in handles[1:])
+        assert batched.last_result.errors[0].index == 0
+
+    def test_batch_result_raise_first(self):
+        A = laplacian_2d(6, shift=0.1)
+        options = SympilerOptions(backend="python", enable_vs_block=False)
+        batched = BatchedSolver(A, ordering="natural", options=options)
+        scenarios = _spd_scenarios(A, batch=3)
+        scenarios[1] = A.with_values(-A.data)
+        result = batched.executor.factorize_batch(
+            batched.solver.A_permuted.indptr,
+            batched.solver.A_permuted.indices,
+            [batched.solver.permutation.symmetric_permute(M).data for M in scenarios],
+        )
+        assert not result.ok and result.n_items == 3
+        with pytest.raises(ValueError, match="not positive definite"):
+            result.raise_first()
+
+
+class TestFacade:
+    def test_rejects_pattern_mismatch(self):
+        A = laplacian_2d(6, shift=0.1)
+        B = laplacian_2d(7, shift=0.1)
+        batched = BatchedSolver(A, options=SympilerOptions())
+        with pytest.raises(ValueError, match="scenario 0"):
+            batched.factorize_batch([B])
+
+    def test_accepts_raw_value_array_batch_with_explicit_flag(self):
+        A = laplacian_2d(6, shift=0.1)
+        options = SympilerOptions(backend="python", enable_vs_block=False)
+        batched = BatchedSolver(A, ordering="natural", options=options)
+        permuted = batched.solver.A_permuted
+        values = np.stack([permuted.data * (1.0 + 0.1 * b) for b in range(4)])
+        # Raw arrays are position-order ambiguous: the flag is mandatory.
+        with pytest.raises(ValueError, match="permuted_values=True"):
+            batched.factorize_batch(values)
+        handles = batched.factorize_batch(values, permuted_values=True)
+        assert all(h.ok for h in handles)
+        with pytest.raises(ValueError, match="permuted pattern"):
+            batched.factorize_batch(values[:, :-1], permuted_values=True)
+
+    def test_value_gather_matches_symmetric_permute(self):
+        """The precomputed gather is exactly symmetric_permute on values."""
+        A = laplacian_2d(7, shift=0.1)
+        batched = BatchedSolver(A, options=SympilerOptions())  # mindeg ordering
+        rng = np.random.default_rng(11)
+        M = A.with_values(A.data + 0.001 * rng.standard_normal(A.nnz))
+        expected = batched.solver.permutation.symmetric_permute(M).data
+        assert np.array_equal(M.data[batched._value_permutation], expected)
+
+    def test_solve_many_matches_column_solves(self):
+        A = laplacian_2d(7, shift=0.1)
+        batched = BatchedSolver(A, options=SympilerOptions())
+        B = np.eye(A.n)[:, :5]
+        X = batched.solve_many(B)
+        for k in range(5):
+            assert np.array_equal(X[:, k], batched.solver.solve(B[:, k]))
+
+    def test_schedule_exposed(self):
+        A = laplacian_2d(6, shift=0.1)
+        batched = BatchedSolver(A, options=SympilerOptions())
+        assert batched.schedule.n_scheduled == A.n
+
+    def test_resolve_num_threads(self):
+        assert resolve_num_threads(None) == 1
+        assert resolve_num_threads(3) == 3
+        assert resolve_num_threads(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_num_threads(-1)
+        with pytest.raises(ValueError):
+            SympilerOptions(num_threads=-2)
+
+    def test_executor_rejects_wrong_value_shape(self):
+        A = laplacian_2d(5, shift=0.1)
+        solver = SparseLinearSolver(A, ordering="natural", options=SympilerOptions())
+        executor = BatchExecutor(solver._factorization)
+        with pytest.raises(ValueError, match="value set 0"):
+            executor.factorize_batch(
+                solver.A_permuted.indptr,
+                solver.A_permuted.indices,
+                [np.ones(3)],
+            )
+
+
+class TestEnsembleNewton:
+    @staticmethod
+    def _make_scenario(A, diag_positions, s):
+        """A mildly nonlinear scenario: F(x) = A x + c tanh(x) - b_s."""
+        rng = np.random.default_rng(100 + s)
+        b = rng.standard_normal(A.n)
+        c = 0.2 + 0.05 * s
+
+        def residual(x):
+            return A.matvec(x) + c * np.tanh(x) - b
+
+        def jacobian(x):
+            data = A.data.copy()
+            data[diag_positions] += c / np.cosh(x) ** 2
+            return A.with_values(data)
+
+        return residual, jacobian
+
+    def _diag_positions(self, A):
+        return np.array(
+            [
+                A.indptr[j] + int(np.nonzero(A.col_rows(j) == j)[0][0])
+                for j in range(A.n)
+            ]
+        )
+
+    def test_ensemble_converges_all_scenarios(self):
+        A = unsymmetric_diag_dominant(40, seed=21)
+        dp = self._diag_positions(A)
+        fns = [self._make_scenario(A, dp, s) for s in range(5)]
+        results = newton_raphson_ensemble(
+            [f for f, _ in fns],
+            [j for _, j in fns],
+            [np.zeros(A.n)] * 5,
+            method="lu",
+            tol=1e-10,
+            max_iterations=30,
+        )
+        assert len(results) == 5
+        for s, res in enumerate(results):
+            assert res.converged, f"scenario {s} did not converge"
+            assert res.factorizations >= 1
+            F, _ = fns[s]
+            assert np.linalg.norm(F(res.x)) <= 1e-10
+
+    def test_ensemble_isolates_singular_scenario(self):
+        A = unsymmetric_diag_dominant(30, seed=22)
+        dp = self._diag_positions(A)
+        good = [self._make_scenario(A, dp, s) for s in range(3)]
+
+        def bad_jacobian(x):
+            return A.with_values(np.zeros(A.nnz))
+
+        residuals = [good[0][0], good[1][0], good[2][0]]
+        jacobians = [good[0][1], bad_jacobian, good[2][1]]
+        results = newton_raphson_ensemble(
+            residuals,
+            jacobians,
+            [np.zeros(A.n)] * 3,
+            method="lu",
+            tol=1e-10,
+            max_iterations=20,
+        )
+        assert results[0].converged and results[2].converged
+        assert not results[1].converged
+        assert results[1].factorizations == 0
+
+    def test_ensemble_validates_lengths_and_empty(self):
+        with pytest.raises(ValueError, match="equal length"):
+            newton_raphson_ensemble([lambda x: x], [], [])
+        assert newton_raphson_ensemble([], [], []) == []
+
+
+class TestRuntimeOnlyOptions:
+    def test_num_threads_does_not_fragment_artifact_cache(self):
+        from repro.compiler.cache import ArtifactCache
+        from repro.compiler.sympiler import Sympiler
+
+        A = laplacian_2d(6, shift=0.1)
+        sym = Sympiler(cache=ArtifactCache())
+        first = sym.compile("cholesky", A, options=SympilerOptions(num_threads=1))
+        second = sym.compile("cholesky", A, options=SympilerOptions(num_threads=4))
+        # num_threads is a runtime-only knob: same artifact, a cache hit.
+        assert second is first
+
+    def test_facade_threads_follow_requested_options_despite_cache_hit(self):
+        from repro.compiler.codegen.c_backend import c_compiler_available
+
+        backend = "c" if c_compiler_available("cc") else "python"
+        A = laplacian_2d(6, shift=0.1)
+        BatchedSolver(A, options=SympilerOptions(backend=backend, num_threads=1))
+        again = BatchedSolver(A, options=SympilerOptions(backend=backend, num_threads=3))
+        # The second construction hits the shared artifact cache (compiled
+        # under num_threads=1); the executor must still honour the request.
+        assert again.num_threads == 3
+
+
+class TestSolveBatch:
+    def test_trisolve_artifact_batches_rhs_bitwise(self):
+        from repro.compiler.cache import ArtifactCache
+        from repro.compiler.sympiler import Sympiler
+
+        A = laplacian_2d(6, shift=0.1)
+        sym = Sympiler(cache=ArtifactCache())
+        L = sym.compile("cholesky", A).factorize(A)
+        tri = sym.compile("triangular-solve", L)
+        executor = BatchExecutor(tri)
+        rng = np.random.default_rng(3)
+        B = rng.standard_normal((5, A.n))
+        result = executor.solve_batch(L.indptr, L.indices, L.data, B)
+        assert result.ok
+        for k in range(5):
+            expected = tri.solve_arrays(L.indptr, L.indices, L.data, B[k])
+            assert np.array_equal(result.results[k], expected)
+
+    def test_factorization_artifact_rejected(self):
+        solver = SparseLinearSolver(
+            laplacian_2d(5, shift=0.1), ordering="natural", options=SympilerOptions()
+        )
+        executor = BatchExecutor(solver._factorization)
+        with pytest.raises(TypeError, match="solve_arrays"):
+            executor.solve_batch(
+                solver.L.indptr, solver.L.indices, solver.L.data, [np.ones(solver.A.n)]
+            )
+
+
+class TestEnsembleFirstScenarioSingular:
+    def test_singular_first_jacobian_is_isolated_not_fatal(self):
+        """Solver construction happens outside batch isolation; guard it."""
+        A = unsymmetric_diag_dominant(30, seed=23)
+        dp = TestEnsembleNewton._diag_positions(TestEnsembleNewton(), A)
+        good = [TestEnsembleNewton._make_scenario(A, dp, s) for s in range(2)]
+
+        def bad_jacobian(x):
+            return A.with_values(np.zeros(A.nnz))
+
+        results = newton_raphson_ensemble(
+            [good[0][0], good[0][0], good[1][0]],
+            [bad_jacobian, good[0][1], good[1][1]],
+            [np.zeros(A.n)] * 3,
+            method="lu",
+            tol=1e-10,
+            max_iterations=20,
+        )
+        assert not results[0].converged
+        assert results[1].converged and results[2].converged
+
+
+def test_stacked_handles_own_their_memory():
+    """A retained handle must not pin the whole stacked batch array."""
+    A = laplacian_2d(7, shift=0.1)
+    options = SympilerOptions(backend="python", enable_vs_block=False)
+    batched = BatchedSolver(A, ordering="natural", options=options)
+    handles = batched.factorize_batch(_spd_scenarios(A, batch=4))
+    assert batched.last_result.mode == "stacked"
+    for h in handles:
+        raw = h._raw if not isinstance(h._raw, tuple) else h._raw[0]
+        assert raw.base is None  # an owning copy, not a view of the batch
