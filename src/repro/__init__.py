@@ -41,6 +41,8 @@ from repro.compiler import (
     LDLTFactors,
     LUFactors,
     SympiledCholesky,
+    SympiledIC0,
+    SympiledILU0,
     SympiledLDLT,
     SympiledLU,
     SympiledTriangularSolve,
@@ -68,7 +70,7 @@ from repro.sparse import (
     unsymmetric_diag_dominant,
 )
 from repro.runtime import BatchedSolver, ExecutionSchedule
-from repro.solvers import SparseLinearSolver
+from repro.solvers import SparseLinearSolver, preconditioned_conjugate_gradient
 
 __all__ = [
     "__version__",
@@ -78,6 +80,9 @@ __all__ = [
     "SympiledTriangularSolve",
     "SympiledLDLT",
     "SympiledLU",
+    "SympiledIC0",
+    "SympiledILU0",
+    "preconditioned_conjugate_gradient",
     "LDLTFactors",
     "LUFactors",
     "kernel_spec",

@@ -14,10 +14,17 @@ Experiments
                matrices (the unsymmetric registry extension).
 ``batched``  — sequential vs. batched factorization throughput through the
                batched numeric runtime (``--threads N`` sizes the pool).
+``pcg``      — IC(0)-preconditioned CG, compiled vs. interpreted
+               preconditioner vs. scipy ``cg`` (the incomplete-kernel
+               registry extension).
 ``all``      — run every experiment in sequence.
 
 ``--json [DIR]`` additionally writes each experiment's rows to
 ``BENCH_<experiment>.json`` so CI can upload the perf trajectory per PR.
+``--compare BASELINE_DIR`` gates the run against committed baseline
+snapshots: machine-portable metrics (booleans, deterministic counters,
+same-run timing ratios — see :mod:`repro.bench.compare`) may not regress
+beyond ``--max-regression`` (default 0.25), or the process exits nonzero.
 """
 
 from __future__ import annotations
@@ -28,6 +35,11 @@ import json
 import os
 import sys
 
+from repro.bench.compare import (
+    compare_rows,
+    format_regressions,
+    load_baseline,
+)
 from repro.bench.figures import (
     batched_throughput,
     fig6_triangular_performance,
@@ -38,6 +50,7 @@ from repro.bench.figures import (
     ldlt_performance,
     lu_performance,
     overhead_report,
+    pcg_performance,
     table2_suite_listing,
 )
 from repro.bench.reporting import render_csv, render_table
@@ -54,6 +67,7 @@ _EXPERIMENTS = {
     "ldlt": ("LDL^T vs. Cholesky (kernel-registry extension)", ldlt_performance),
     "lu": ("LU vs. scipy splu (unsymmetric registry extension)", lu_performance),
     "batched": ("Batched runtime: sequential vs. batched throughput", batched_throughput),
+    "pcg": ("IC(0)-preconditioned CG (incomplete-kernel extension)", pcg_performance),
 }
 
 
@@ -109,10 +123,25 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="also write BENCH_<experiment>.json to DIR (default: current directory)",
     )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE_DIR",
+        help="perf gate: compare against the BENCH_<experiment>.json snapshots "
+        "in this directory and exit nonzero on a gated-metric regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed fractional regression of gated metrics (default: 0.25)",
+    )
     args = parser.parse_args(argv)
 
     suite = small_suite() if args.small else build_suite()
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    regressions = []
     for name in names:
         title, fn = _EXPERIMENTS[name]
         accepted = inspect.signature(fn).parameters
@@ -140,6 +169,27 @@ def main(argv=None) -> int:
                 },
             )
             sys.stdout.write(f"[json report written to {path}]\n")
+        if args.compare is not None:
+            baseline = load_baseline(args.compare, name)
+            if baseline is None:
+                sys.stdout.write(
+                    f"[no baseline for {name!r} in {args.compare}; gate skipped]\n"
+                )
+            else:
+                found = compare_rows(
+                    name,
+                    baseline.get("rows", []),
+                    rows,
+                    max_regression=args.max_regression,
+                )
+                regressions.extend(found)
+                gated = "regressed" if found else "ok"
+                sys.stdout.write(f"[perf gate vs {args.compare}: {gated}]\n")
+    if regressions:
+        sys.stderr.write(
+            format_regressions(regressions, baseline_dir=args.compare) + "\n"
+        )
+        return 3
     return 0
 
 

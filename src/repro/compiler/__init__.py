@@ -18,7 +18,8 @@ code generator that
 
 The user-facing entry point is :class:`repro.compiler.sympiler.Sympiler`, a
 generic driver over the kernel registry (:mod:`repro.compiler.registry`):
-every kernel — triangular solve, Cholesky, LDLᵀ, LU — is declared once as a
+every kernel — triangular solve, Cholesky, LDLᵀ, LU, IC(0), ILU(0) — is
+declared once as a
 :class:`~repro.compiler.registry.KernelSpec` and compiled through the same
 ``compile(kernel_name, pattern, options)`` path, with compiled artifacts
 cached by pattern fingerprint (:mod:`repro.compiler.cache`).
@@ -30,6 +31,8 @@ from repro.compiler.artifacts import (
     LUFactors,
     PatternMismatchError,
     SympiledCholesky,
+    SympiledIC0,
+    SympiledILU0,
     SympiledLDLT,
     SympiledLU,
     SympiledTriangularSolve,
@@ -55,6 +58,8 @@ __all__ = [
     "SympiledCholesky",
     "SympiledLDLT",
     "SympiledLU",
+    "SympiledIC0",
+    "SympiledILU0",
     "LDLTFactors",
     "LUFactors",
     "PatternMismatchError",

@@ -30,6 +30,8 @@ from repro.kernels.lu import LUFactors
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
+    IC0InspectionResult,
+    ILU0InspectionResult,
     LUInspectionResult,
     TriangularInspectionResult,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "SympiledCholesky",
     "SympiledLDLT",
     "SympiledLU",
+    "SympiledIC0",
+    "SympiledILU0",
     "LDLTFactors",
     "LUFactors",
 ]
@@ -170,6 +174,11 @@ class SympiledFactorization(CompiledArtifact):
     inspection: CholeskyInspectionResult = None
     #: Registry name shown in the pattern-mismatch hint.
     kernel_name = "factorization"
+    #: Whether the kernel computes an *incomplete* (preconditioner-grade)
+    #: factorization.  The direct solver refuses incomplete kernels — their
+    #: factors only approximate ``A``, so they belong in an iterative
+    #: method's preconditioner, not in a forward/backward solve.
+    is_incomplete = False
 
     def factorize_arrays(self, Ap: np.ndarray, Ai: np.ndarray, Ax: np.ndarray):
         """Raw-array entry point: returns the backend entry's numeric output."""
@@ -260,6 +269,75 @@ class SympiledLU(SympiledFactorization):
 
     def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> LUFactors:
         """Factorize ``A`` (same pattern as at compile time) into ``L, U``."""
+        if check_pattern:
+            self.verify_pattern(A)
+        return self.assemble_factors(self.factorize_arrays(A.indptr, A.indices, A.data))
+
+    @property
+    def u_pattern(self) -> CSCMatrix:
+        """The ``U`` pattern (zero values), available before factorizing."""
+        return self.inspection.u_pattern_matrix()
+
+
+@dataclass
+class SympiledIC0(SympiledFactorization):
+    """An incomplete Cholesky IC(0) specialized to one SPD pattern.
+
+    The factor pattern is ``tril(A)`` (no fill), so ``factorize`` returns a
+    lower-triangular ``L`` with ``L Lᵀ ≈ A`` — exact on the pattern of
+    ``A``, the defining property of IC(0).  Built as a *preconditioner*
+    kernel: the factor feeds the generated triangular solves of a
+    preconditioned iterative method (see
+    :func:`repro.solvers.cg.preconditioned_conjugate_gradient`), not a
+    direct solve.
+    """
+
+    kernel_name = "ic0"
+    is_incomplete = True
+    inspection: IC0InspectionResult = None
+
+    def assemble_factors(self, raw) -> CSCMatrix:
+        """The IC(0) raw output is the ``Lx`` value array."""
+        return self._assemble_factor(raw)
+
+    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> CSCMatrix:
+        """Compute the incomplete factor of ``A`` (same pattern as compiled)."""
+        if check_pattern:
+            self.verify_pattern(A)
+        return self.assemble_factors(self.factorize_arrays(A.indptr, A.indices, A.data))
+
+
+@dataclass
+class SympiledILU0(SympiledFactorization):
+    """An incomplete LU ILU(0) specialized to one (unsymmetric) pattern.
+
+    No fill, no pivoting: ``L`` is unit lower triangular on the strict lower
+    triangle of ``A`` (explicit unit diagonal, so the generated
+    triangular-solve kernels apply unchanged), ``U`` upper triangular on
+    ``triu(A)``, and ``L U`` matches ``A`` exactly on the pattern of ``A``.
+    A preconditioner kernel for unsymmetric iterative solves.
+    """
+
+    kernel_name = "ilu0"
+    is_incomplete = True
+    inspection: ILU0InspectionResult = None
+
+    def assemble_factors(self, raw) -> LUFactors:
+        """The ILU(0) raw output is the ``(Lx, Ux)`` value-array pair."""
+        lx, ux = raw
+        insp = self.inspection
+        U = CSCMatrix(
+            insp.n,
+            insp.n,
+            insp.u_indptr,
+            insp.u_indices,
+            np.asarray(ux, dtype=np.float64),
+            check=False,
+        )
+        return LUFactors(L=self._assemble_factor(lx), U=U)
+
+    def factorize(self, A: CSCMatrix, *, check_pattern: bool = False) -> LUFactors:
+        """Compute the incomplete factors of ``A`` (same pattern as compiled)."""
         if check_pattern:
             self.verify_pattern(A)
         return self.assemble_factors(self.factorize_arrays(A.indptr, A.indices, A.data))

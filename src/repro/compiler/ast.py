@@ -49,6 +49,7 @@ __all__ = [
     "SupernodeTriangularBlock",
     "SimplicialCholeskyLoop",
     "SupernodalCholeskyLoop",
+    "IncompleteFactorLoop",
     "walk",
     "pretty",
 ]
@@ -417,6 +418,112 @@ class SimplicialCholeskyLoop(Stmt):
         return nnz
 
 
+class IncompleteFactorLoop(Stmt):
+    """The VI-Pruned no-fill incomplete factorization loop (IC(0) / ILU(0)).
+
+    The defining property of the incomplete kernels is that the factor
+    pattern *is* the ``A`` pattern — updates landing outside it are dropped.
+    VI-Prune therefore prunes each update's scatter to the intersection of
+    the source and destination column patterns at compile time, resolving
+    every position into the factor value arrays, so the numeric loop performs
+    neither pattern look-ups nor dropped work at run time (and needs no dense
+    work vector at all — it runs in place on the gathered factor values):
+
+    * ``l_indptr`` / ``l_indices`` — the ``L`` pattern (``tril(A)`` for IC(0);
+      strict lower triangle plus explicit unit diagonal for ILU(0)),
+    * ``u_indptr`` / ``u_indices`` — the ``U`` pattern (``triu(A)``, diagonal
+      last; ILU(0) only),
+    * ``a_lower_pos`` — positions in ``Ax`` gathered into ``Lx`` (IC(0): all
+      of ``tril(A)``; ILU(0): the strict lower triangle, landing at
+      ``l_gather_dst``),
+    * ``a_upper_pos`` — positions in ``Ax`` gathered into ``Ux`` (ILU(0)
+      only),
+    * ``prune_ptr`` — update slice ``prune_ptr[j]:prune_ptr[j+1]`` per
+      column, one update per source column ``k`` in ascending order,
+    * ``mult_pos`` — per update, the position of the multiplier (``L[j, k]``
+      inside ``Lx`` for IC(0), ``U[k, j]`` inside ``Ux`` for ILU(0)),
+    * ``l_scat_ptr`` / ``l_scat_src`` / ``l_scat_dst`` — per update, the
+      pattern-intersected scatter into ``Lx`` (source positions inside column
+      ``k``, destination positions inside column ``j``),
+    * ``u_scat_ptr`` / ``u_scat_src`` / ``u_scat_dst`` — the scatter into
+      ``Ux`` (sources in ``Lx``, destinations in ``Ux``; ILU(0) only).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        l_indptr: np.ndarray,
+        l_indices: np.ndarray,
+        a_lower_pos: np.ndarray,
+        prune_ptr: np.ndarray,
+        mult_pos: np.ndarray,
+        l_scat_ptr: np.ndarray,
+        l_scat_src: np.ndarray,
+        l_scat_dst: np.ndarray,
+        *,
+        u_indptr: Optional[np.ndarray] = None,
+        u_indices: Optional[np.ndarray] = None,
+        a_upper_pos: Optional[np.ndarray] = None,
+        l_gather_dst: Optional[np.ndarray] = None,
+        u_scat_ptr: Optional[np.ndarray] = None,
+        u_scat_src: Optional[np.ndarray] = None,
+        u_scat_dst: Optional[np.ndarray] = None,
+        factor_kind: str = "ic0",
+        vectorize: bool = True,
+        **annotations,
+    ) -> None:
+        super().__init__(annotations)
+        if factor_kind not in ("ic0", "ilu0"):
+            raise ValueError(f"unknown factor kind {factor_kind!r}")
+        self.n = int(n)
+        self.l_indptr = np.asarray(l_indptr, dtype=np.int64)
+        self.l_indices = np.asarray(l_indices, dtype=np.int64)
+        self.a_lower_pos = np.asarray(a_lower_pos, dtype=np.int64)
+        self.prune_ptr = np.asarray(prune_ptr, dtype=np.int64)
+        self.mult_pos = np.asarray(mult_pos, dtype=np.int64)
+        self.l_scat_ptr = np.asarray(l_scat_ptr, dtype=np.int64)
+        self.l_scat_src = np.asarray(l_scat_src, dtype=np.int64)
+        self.l_scat_dst = np.asarray(l_scat_dst, dtype=np.int64)
+        as_i64 = lambda v: None if v is None else np.asarray(v, dtype=np.int64)  # noqa: E731
+        self.u_indptr = as_i64(u_indptr)
+        self.u_indices = as_i64(u_indices)
+        self.a_upper_pos = as_i64(a_upper_pos)
+        self.l_gather_dst = as_i64(l_gather_dst)
+        self.u_scat_ptr = as_i64(u_scat_ptr)
+        self.u_scat_src = as_i64(u_scat_src)
+        self.u_scat_dst = as_i64(u_scat_dst)
+        self.factor_kind = factor_kind
+        self.vectorize = bool(vectorize)
+        if factor_kind == "ilu0" and any(
+            v is None
+            for v in (
+                self.u_indptr,
+                self.u_indices,
+                self.a_upper_pos,
+                self.l_gather_dst,
+                self.u_scat_ptr,
+                self.u_scat_src,
+                self.u_scat_dst,
+            )
+        ):
+            raise ValueError(
+                "the ILU(0) loop requires the U pattern, gather and scatter arrays"
+            )
+
+    @property
+    def factor_nnz(self) -> int:
+        """Nonzeros of the factor(s) being produced (both factors for ILU(0))."""
+        nnz = int(self.l_indptr[-1])
+        if self.u_indptr is not None:
+            nnz += int(self.u_indptr[-1])
+        return nnz
+
+    @property
+    def total_updates(self) -> int:
+        """Number of pattern-restricted column updates."""
+        return int(self.prune_ptr[-1])
+
+
 class SupernodalCholeskyLoop(Stmt):
     """The VS-Block'd supernode factorization loop (LLᵀ or LDLᵀ).
 
@@ -610,6 +717,12 @@ def _stmt_lines(stmt: Stmt, indent: int) -> List[str]:
         return [
             f"{pad}simplicial-cholesky n={stmt.n} nnz(L)={stmt.factor_nnz} "
             f"kind={stmt.factor_kind} vectorize={stmt.vectorize}{_annot_str(stmt)}"
+        ]
+    if isinstance(stmt, IncompleteFactorLoop):
+        return [
+            f"{pad}incomplete-factor n={stmt.n} nnz={stmt.factor_nnz} "
+            f"kind={stmt.factor_kind} updates={stmt.total_updates} "
+            f"vectorize={stmt.vectorize}{_annot_str(stmt)}"
         ]
     if isinstance(stmt, SupernodalCholeskyLoop):
         return [

@@ -83,6 +83,18 @@ def run_probe(backend: str | None = None) -> Dict[str, object]:
     results["lu_ok"] = bool(
         np.allclose(fac.reconstruct_dense(), jac.to_dense(), atol=1e-8)
     )
+    # The incomplete kernels join the warm-cache contract: a second probe run
+    # must reuse their generated code too (zero recompiles, zero py_writes).
+    ic0 = sym.compile("ic0", spd)
+    L_inc = ic0.factorize(spd)
+    results["ic0_ok"] = bool(
+        L_inc.nnz == ic0.factor_nnz and np.isfinite(L_inc.data).all()
+    )
+    ilu0 = sym.compile("ilu0", jac)
+    inc = ilu0.factorize(jac)
+    results["ilu0_ok"] = bool(
+        np.isfinite(inc.L.data).all() and np.isfinite(inc.U.data).all()
+    )
 
     disk = disk_cache_stats()
     return {

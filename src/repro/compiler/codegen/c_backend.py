@@ -35,6 +35,7 @@ from repro.compiler.ast import (
     Call,
     Comment,
     ForRange,
+    IncompleteFactorLoop,
     KernelFunction,
     PeeledColumnSolve,
     PrunedColumnSolveLoop,
@@ -315,6 +316,45 @@ def _lu_wrapper(module: "CGeneratedModule", fn) -> Callable:
     return wrapper
 
 
+def _ic0_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P]
+
+    def wrapper(Ap, Ai, Ax):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.factor_nnz, dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx)
+        if status != 0:
+            raise ValueError(
+                f"IC(0) breakdown: non-positive pivot at column {int(status) - 1}"
+            )
+        return Lx
+
+    return wrapper
+
+
+def _ilu0_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, _F64P]
+
+    def wrapper(Ap, Ai, Ax):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.meta["l_nnz"], dtype=np.float64)
+        Ux = np.zeros(module.meta["u_nnz"], dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx, Ux)
+        if status != 0:
+            raise ValueError(
+                f"ILU(0) breakdown: zero pivot at column {int(status) - 1}"
+            )
+        return Lx, Ux
+
+    return wrapper
+
+
 @dataclass(frozen=True)
 class CMethodSpec:
     """ABI description of one kernel method for the C backend.
@@ -369,6 +409,28 @@ _C_METHOD_SPECS: Dict[str, CMethodSpec] = {
         ),
         body_emitter="_emit_lu_body",
         wrapper_factory=_lu_wrapper,
+        needs_factor_nnz=True,
+        module_meta=lambda context: {
+            "l_nnz": int(context.inspection.l_nnz),
+            "u_nnz": int(context.inspection.u_nnz),
+        },
+    ),
+    "ic0": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx)"
+        ),
+        body_emitter="_emit_ic0_body",
+        wrapper_factory=_ic0_wrapper,
+        needs_factor_nnz=True,
+    ),
+    "ilu0": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx, double* Ux)"
+        ),
+        body_emitter="_emit_ilu0_body",
+        wrapper_factory=_ilu0_wrapper,
         needs_factor_nnz=True,
         module_meta=lambda context: {
             "l_nnz": int(context.inspection.l_nnz),
@@ -698,6 +760,110 @@ class CBackend:
             raise CCompilationError("the C backend requires a VI-Pruned LU kernel")
         out.emit("(void)Ap;  /* the A pattern is baked into the generated constants */")
         self._emit_simplicial_lu_c(out, simplicial[0])
+
+    # ------------------------------------------------------------------ #
+    # No-fill incomplete factorizations (IC(0) and ILU(0))
+    # ------------------------------------------------------------------ #
+    def _emit_ic0_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        loops = [
+            node
+            for node in self._domain_nodes(kernel, IncompleteFactorLoop)
+            if node.factor_kind == "ic0"
+        ]
+        if not loops:
+            raise CCompilationError("the C backend requires a VI-Pruned IC(0) kernel")
+        out.emit("(void)Ap; (void)Ai;  /* the A pattern is baked into the constants */")
+        self._emit_incomplete_ic0_c(out, loops[0])
+
+    def _emit_ilu0_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        loops = [
+            node
+            for node in self._domain_nodes(kernel, IncompleteFactorLoop)
+            if node.factor_kind == "ilu0"
+        ]
+        if not loops:
+            raise CCompilationError("the C backend requires a VI-Pruned ILU(0) kernel")
+        out.emit("(void)Ap; (void)Ai;  /* the A pattern is baked into the constants */")
+        self._emit_incomplete_ilu0_c(out, loops[0])
+
+    def _emit_incomplete_ic0_c(self, out: _CEmitter, stmt: IncompleteFactorLoop) -> None:
+        n = stmt.n
+        lp = self._add_constant("l_indptr", stmt.l_indptr)
+        alp = self._add_constant("a_lower_pos", stmt.a_lower_pos)
+        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
+        mp = self._add_constant("mult_pos", stmt.mult_pos)
+        lsp = self._add_constant("l_scat_ptr", stmt.l_scat_ptr)
+        lss = self._add_constant("l_scat_src", stmt.l_scat_src)
+        lsd = self._add_constant("l_scat_dst", stmt.l_scat_dst)
+        nnzl = int(stmt.l_indptr[-1])
+        out.emit("/* IC(0): in-place no-fill elimination on the tril(A) pattern */")
+        out.emit(f"for (int64_t i = 0; i < {nnzl}; i++) Lx[i] = Ax[{alp}[i]];")
+        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
+        out.push()
+        out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
+        out.push()
+        out.emit(f"double ljk = Lx[{mp}[t]];")
+        out.emit(
+            f"for (int64_t s = {lsp}[t]; s < {lsp}[t + 1]; s++) "
+            f"Lx[{lsd}[s]] -= Lx[{lss}[s]] * ljk;"
+        )
+        out.pop()
+        out.emit("}")
+        out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
+        out.emit("double d = Lx[lp0];")
+        out.emit("if (!(d > 0.0)) return j + 1;")
+        out.emit("double ljj = sqrt(d);")
+        out.emit("Lx[lp0] = ljj;")
+        out.emit("for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] /= ljj;")
+        out.pop()
+        out.emit("}")
+        out.emit("return 0;")
+
+    def _emit_incomplete_ilu0_c(self, out: _CEmitter, stmt: IncompleteFactorLoop) -> None:
+        n = stmt.n
+        lp = self._add_constant("l_indptr", stmt.l_indptr)
+        up = self._add_constant("u_indptr", stmt.u_indptr)
+        alp = self._add_constant("a_lower_pos", stmt.a_lower_pos)
+        aup = self._add_constant("a_upper_pos", stmt.a_upper_pos)
+        lgd = self._add_constant("l_gather_dst", stmt.l_gather_dst)
+        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
+        mp = self._add_constant("mult_pos", stmt.mult_pos)
+        usp = self._add_constant("u_scat_ptr", stmt.u_scat_ptr)
+        uss = self._add_constant("u_scat_src", stmt.u_scat_src)
+        usd = self._add_constant("u_scat_dst", stmt.u_scat_dst)
+        lsp = self._add_constant("l_scat_ptr", stmt.l_scat_ptr)
+        lss = self._add_constant("l_scat_src", stmt.l_scat_src)
+        lsd = self._add_constant("l_scat_dst", stmt.l_scat_dst)
+        nnzl = int(stmt.l_indptr[-1])
+        nnzu = int(stmt.u_indptr[-1])
+        n_below = int(stmt.a_lower_pos.size)
+        out.emit("/* ILU(0): in-place no-fill elimination on the A pattern */")
+        out.emit(f"for (int64_t i = 0; i < {nnzu}; i++) Ux[i] = Ax[{aup}[i]];")
+        out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
+        out.emit(f"for (int64_t i = 0; i < {n_below}; i++) Lx[{lgd}[i]] = Ax[{alp}[i]];")
+        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
+        out.push()
+        out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
+        out.push()
+        out.emit(f"double ukj = Ux[{mp}[t]];")
+        out.emit(
+            f"for (int64_t s = {usp}[t]; s < {usp}[t + 1]; s++) "
+            f"Ux[{usd}[s]] -= Lx[{uss}[s]] * ukj;"
+        )
+        out.emit(
+            f"for (int64_t s = {lsp}[t]; s < {lsp}[t + 1]; s++) "
+            f"Lx[{lsd}[s]] -= Lx[{lss}[s]] * ukj;"
+        )
+        out.pop()
+        out.emit("}")
+        out.emit(f"double piv = Ux[{up}[j + 1] - 1];")
+        out.emit("if (piv == 0.0) return j + 1;")
+        out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
+        out.emit("Lx[lp0] = 1.0;")
+        out.emit("for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] /= piv;")
+        out.pop()
+        out.emit("}")
+        out.emit("return 0;")
 
     def _emit_simplicial_lu_c(self, out: _CEmitter, stmt: SimplicialCholeskyLoop) -> None:
         n = stmt.n

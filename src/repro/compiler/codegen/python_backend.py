@@ -54,6 +54,7 @@ from repro.compiler.ast import (
     FloatConst,
     ForRange,
     If,
+    IncompleteFactorLoop,
     IntConst,
     KernelFunction,
     PeeledColumnSolve,
@@ -113,6 +114,8 @@ _PY_METHOD_SPECS: Dict[str, PythonMethodSpec] = {
     "cholesky": PythonMethodSpec(params="Ap, Ai, Ax", result="Lx"),
     "ldlt": PythonMethodSpec(params="Ap, Ai, Ax", result="(Lx, D)"),
     "lu": PythonMethodSpec(params="Ap, Ai, Ax", result="(Lx, Ux)"),
+    "ic0": PythonMethodSpec(params="Ap, Ai, Ax", result="Lx"),
+    "ilu0": PythonMethodSpec(params="Ap, Ai, Ax", result="(Lx, Ux)"),
 }
 
 
@@ -344,6 +347,8 @@ class PythonBackend:
             self._emit_simplicial_cholesky(out, stmt)
         elif isinstance(stmt, SupernodalCholeskyLoop):
             self._emit_supernodal_cholesky(out, stmt)
+        elif isinstance(stmt, IncompleteFactorLoop):
+            self._emit_incomplete_factor(out, stmt)
         else:
             raise CodegenError(f"python backend cannot emit {type(stmt).__name__}")
 
@@ -622,6 +627,81 @@ class PythonBackend:
             out.emit("Lx[lp0] = ljj")
             out.emit("Lx[lp0 + 1:lp1] = f[Li[lp0 + 1:lp1]] / ljj")
         out.emit("f[Li[lp0:lp1]] = 0.0")
+        out.pop()
+
+    def _emit_incomplete_factor(self, out: _Emitter, stmt: IncompleteFactorLoop) -> None:
+        """Emit the no-fill incomplete factorization loop (IC(0)/ILU(0)).
+
+        The factor pattern is the ``A`` pattern, so the kernel runs *in
+        place* on the gathered factor values — no dense work vector.  Every
+        update scatter was intersected with the destination pattern at
+        compile time; the numeric loop only moves values.  The IC(0)
+        arithmetic (operation per entry, operand order, ufunc choice) matches
+        :func:`repro.solvers.cg.incomplete_cholesky_ic0` exactly, so the
+        generated factor is bitwise identical to the interpreted one.
+        """
+        n = stmt.n
+        lp = self._add_constant("l_indptr", stmt.l_indptr)
+        alp = self._add_constant("a_lower_pos", stmt.a_lower_pos)
+        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
+        mp = self._add_constant("mult_pos", stmt.mult_pos)
+        lsp = self._add_constant("l_scat_ptr", stmt.l_scat_ptr)
+        lss = self._add_constant("l_scat_src", stmt.l_scat_src)
+        lsd = self._add_constant("l_scat_dst", stmt.l_scat_dst)
+        out.emit(f"Lp = {lp}")
+        if stmt.factor_kind == "ilu0":
+            up = self._add_constant("u_indptr", stmt.u_indptr)
+            aup = self._add_constant("a_upper_pos", stmt.a_upper_pos)
+            lgd = self._add_constant("l_gather_dst", stmt.l_gather_dst)
+            usp = self._add_constant("u_scat_ptr", stmt.u_scat_ptr)
+            uss = self._add_constant("u_scat_src", stmt.u_scat_src)
+            usd = self._add_constant("u_scat_dst", stmt.u_scat_dst)
+            out.emit(f"Up = {up}")
+            out.emit(f"Ux = Ax[{aup}]")
+            out.emit(f"Lx = np.zeros({int(stmt.l_indptr[-1])})")
+            out.emit(f"Lx[{lgd}] = Ax[{alp}]")
+            out.emit("# ILU(0): in-place no-fill elimination on the A pattern")
+            out.emit(f"for j in range({n}):")
+            out.push()
+            out.emit(f"for t in range({pp}[j], {pp}[j + 1]):")
+            out.push()
+            out.emit(f"ukj = Ux[{mp}[t]]")
+            out.emit(f"s0 = {usp}[t]; s1 = {usp}[t + 1]")
+            out.emit(f"Ux[{usd}[s0:s1]] -= Lx[{uss}[s0:s1]] * ukj")
+            out.emit(f"s0 = {lsp}[t]; s1 = {lsp}[t + 1]")
+            out.emit(f"Lx[{lsd}[s0:s1]] -= Lx[{lss}[s0:s1]] * ukj")
+            out.pop()
+            out.emit("piv = Ux[Up[j + 1] - 1]")
+            out.emit("if piv == 0.0:")
+            out.push()
+            out.emit('raise ValueError("ILU(0) breakdown: zero pivot at column %d" % j)')
+            out.pop()
+            out.emit("lp0 = Lp[j]; lp1 = Lp[j + 1]")
+            out.emit("Lx[lp0] = 1.0")
+            out.emit("Lx[lp0 + 1:lp1] /= piv")
+            out.pop()
+            return
+        out.emit(f"Lx = Ax[{alp}]")
+        out.emit("# IC(0): in-place no-fill elimination on the tril(A) pattern")
+        out.emit(f"for j in range({n}):")
+        out.push()
+        out.emit(f"for t in range({pp}[j], {pp}[j + 1]):")
+        out.push()
+        out.emit(f"ljk = Lx[{mp}[t]]")
+        out.emit(f"s0 = {lsp}[t]; s1 = {lsp}[t + 1]")
+        out.emit(f"Lx[{lsd}[s0:s1]] -= Lx[{lss}[s0:s1]] * ljk")
+        out.pop()
+        out.emit("lp0 = Lp[j]; lp1 = Lp[j + 1]")
+        out.emit("d = Lx[lp0]")
+        out.emit("if not d > 0.0:")
+        out.push()
+        out.emit(
+            'raise ValueError("IC(0) breakdown: non-positive pivot at column %d" % j)'
+        )
+        out.pop()
+        out.emit("ljj = np.sqrt(d)")
+        out.emit("Lx[lp0] = ljj")
+        out.emit("Lx[lp0 + 1:lp1] /= ljj")
         out.pop()
 
     def _emit_supernodal_cholesky(self, out: _Emitter, stmt: SupernodalCholeskyLoop) -> None:

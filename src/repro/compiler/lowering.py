@@ -23,7 +23,14 @@ from repro.compiler.ast import (
     Var,
 )
 
-__all__ = ["lower_triangular_solve", "lower_cholesky", "lower_ldlt", "lower_lu"]
+__all__ = [
+    "lower_triangular_solve",
+    "lower_cholesky",
+    "lower_ldlt",
+    "lower_lu",
+    "lower_ic0",
+    "lower_ilu0",
+]
 
 
 def lower_triangular_solve() -> KernelFunction:
@@ -304,4 +311,149 @@ def lower_lu() -> KernelFunction:
         body=body,
         method="lu",
         meta={"algorithm": "left-looking", "figure": "4 (GP LU variant)"},
+    )
+
+
+def lower_ic0() -> KernelFunction:
+    """Initial AST of incomplete Cholesky IC(0) (``A ≈ L Lᵀ``, no fill).
+
+    The Figure 4 loop nest with one extra constraint: every update is
+    restricted to the pattern of ``tril(A)`` — updates landing outside it are
+    dropped.  The update loop is annotated as VI-Prune-able (its iteration
+    space *and* its scatter prune to the ``A`` pattern), the column loop as
+    VS-Block-able (etree supernode candidates, recorded like LU).
+    """
+    j = Var("j")
+    r = Var("r")
+
+    update_body = Block(
+        [
+            # f(P(j:n, j)) -= L(P(j:n, j) ∩ P(:, r), r) * L(j, r)
+            Assign(
+                Var("f"),
+                BinOp("*", Call("L_col_tail_on_pattern", (r, j)), Call("L_entry", (j, r))),
+                op="-=",
+            )
+        ]
+    )
+    update_loop = ForRange(
+        "r",
+        IntConst(0),
+        j,
+        update_body,
+        role="update-loop",
+        prunable=True,
+    )
+    column_body = Block(
+        [
+            Comment("gather the lower part of column j of A (the factor pattern)"),
+            Assign(Var("f"), Call("A_col_lower", (j,))),
+            update_loop,
+            Comment("column factorization: diagonal then off-diagonal scaling"),
+            Assign(Call("L_entry", (j, j)), Call("sqrt", (ArrayRef("f", j),))),
+            Assign(
+                Call("L_col_tail", (j, BinOp("+", j, IntConst(1)))),
+                BinOp("/", Var("f"), Call("L_entry", (j, j))),
+                op="=",
+                role="off-diagonal-scale",
+                vectorizable=True,
+            ),
+        ]
+    )
+    column_loop = ForRange(
+        "j",
+        IntConst(0),
+        Var("n"),
+        column_body,
+        role="column-loop",
+        prunable=False,
+        blockable=True,
+    )
+    body = Block(
+        [
+            Comment("incomplete Cholesky IC(0): A ~= L * L^T on the pattern of tril(A)"),
+            column_loop,
+        ]
+    )
+    return KernelFunction(
+        name="ic0",
+        params=["Ap", "Ai", "Ax"],
+        body=body,
+        method="ic0",
+        meta={"algorithm": "left-looking-no-fill", "figure": "4 (IC(0) variant)"},
+    )
+
+
+def lower_ilu0() -> KernelFunction:
+    """Initial AST of incomplete LU ILU(0) (``A ≈ L U``, no fill, no pivoting).
+
+    The left-looking LU loop nest restricted to the ``A`` pattern: the update
+    loop runs over the above-diagonal ``U`` pattern of column ``j`` (read off
+    ``A`` directly — no GP reach) and scatters only into entries of the
+    column's own ``A`` pattern.  Annotations mirror LU: the update loop is
+    VI-Prune-able, the column loop VS-Block-able.
+    """
+    j = Var("j")
+    k = Var("k")
+
+    update_body = Block(
+        [
+            # f(P(:, j) ∩ P(k+1:n, k)) -= L(..., k) * U(k, j)
+            Assign(
+                Var("f"),
+                BinOp(
+                    "*",
+                    Call("L_col_tail_on_pattern", (k, BinOp("+", k, IntConst(1)))),
+                    Call("U_entry", (k, j)),
+                ),
+                op="-=",
+            )
+        ]
+    )
+    update_loop = ForRange(
+        "k",
+        IntConst(0),
+        j,
+        update_body,
+        role="update-loop",
+        prunable=True,
+    )
+    column_body = Block(
+        [
+            Comment("gather the full column j of A (the factor pattern)"),
+            Assign(Var("f"), Call("A_col", (j,))),
+            update_loop,
+            Comment("column factorization: U split-off, then pivot scaling of L"),
+            Assign(Call("U_col", (j,)), Var("f")),
+            Assign(Call("L_entry", (j, j)), IntConst(1)),
+            Assign(
+                Call("L_col_tail", (j, BinOp("+", j, IntConst(1)))),
+                BinOp("/", Var("f"), Call("U_entry", (j, j))),
+                op="=",
+                role="off-diagonal-scale",
+                vectorizable=True,
+            ),
+        ]
+    )
+    column_loop = ForRange(
+        "j",
+        IntConst(0),
+        Var("n"),
+        column_body,
+        role="column-loop",
+        prunable=False,
+        blockable=True,
+    )
+    body = Block(
+        [
+            Comment("incomplete LU ILU(0): A ~= L * U on the pattern of A"),
+            column_loop,
+        ]
+    )
+    return KernelFunction(
+        name="ilu0",
+        params=["Ap", "Ai", "Ax"],
+        body=body,
+        method="ilu0",
+        meta={"algorithm": "left-looking-no-fill", "figure": "4 (ILU(0) variant)"},
     )

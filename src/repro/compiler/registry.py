@@ -17,6 +17,8 @@ name                inspector                      artifact
 ``cholesky``          :class:`CholeskyInspector`         :class:`SympiledCholesky`
 ``ldlt``              :class:`LDLTInspector`             :class:`SympiledLDLT`
 ``lu``                :class:`LUInspector`               :class:`SympiledLU`
+``ic0``               :class:`IC0Inspector`              :class:`SympiledIC0`
+``ilu0``              :class:`ILU0Inspector`             :class:`SympiledILU0`
 ==================  =============================  ==========================
 """
 
@@ -27,6 +29,8 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.compiler.artifacts import (
     SympiledCholesky,
+    SympiledIC0,
+    SympiledILU0,
     SympiledLDLT,
     SympiledLU,
     SympiledTriangularSolve,
@@ -34,6 +38,8 @@ from repro.compiler.artifacts import (
 from repro.compiler.codegen.runtime import pattern_fingerprint, rhs_fingerprint_extra
 from repro.compiler.lowering import (
     lower_cholesky,
+    lower_ic0,
+    lower_ilu0,
     lower_ldlt,
     lower_lu,
     lower_triangular_solve,
@@ -43,6 +49,8 @@ from repro.compiler.registration import register_unique_many
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.inspector import (
     CholeskyInspector,
+    IC0Inspector,
+    ILU0Inspector,
     LDLTInspector,
     LUInspector,
     TriangularSolveInspector,
@@ -339,6 +347,42 @@ register_kernel(
         description=(
             "left-looking sparse LU A = L U (partial-pivoting-free, for "
             "diagonally dominant unsymmetric A)"
+        ),
+    )
+)
+
+register_kernel(
+    KernelSpec(
+        name="ic0",
+        lower=lower_ic0,
+        inspector_cls=IC0Inspector,
+        artifact_cls=SympiledIC0,
+        runtime_signature=("Ap", "Ai", "Ax"),
+        transforms=("vs-block", "vi-prune"),
+        requires_vi_prune=True,
+        aliases=("incomplete-cholesky",),
+        inspect_kwargs=_factorization_inspect_kwargs,
+        description=(
+            "incomplete Cholesky IC(0): A ~= L L^T on the pattern of "
+            "tril(A) (no fill; preconditioner for SPD iterative solves)"
+        ),
+    )
+)
+
+register_kernel(
+    KernelSpec(
+        name="ilu0",
+        lower=lower_ilu0,
+        inspector_cls=ILU0Inspector,
+        artifact_cls=SympiledILU0,
+        runtime_signature=("Ap", "Ai", "Ax"),
+        transforms=("vs-block", "vi-prune"),
+        requires_vi_prune=True,
+        aliases=("incomplete-lu",),
+        inspect_kwargs=_factorization_inspect_kwargs,
+        description=(
+            "incomplete LU ILU(0): A ~= L U on the pattern of A (no fill, "
+            "no pivoting; preconditioner for unsymmetric iterative solves)"
         ),
     )
 )

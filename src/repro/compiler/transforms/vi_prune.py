@@ -30,6 +30,7 @@ from repro.compiler.ast import (
     Block,
     Comment,
     ForRange,
+    IncompleteFactorLoop,
     KernelFunction,
     PrunedColumnSolveLoop,
     SimplicialCholeskyLoop,
@@ -42,11 +43,15 @@ from repro.compiler.transforms.base import (
     MethodDispatchTransform,
 )
 from repro.compiler.transforms.descriptors import (
+    ic0_descriptors,
+    ilu0_descriptors,
     lu_simplicial_descriptors,
     simplicial_descriptors,
 )
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
+    IC0InspectionResult,
+    ILU0InspectionResult,
     LUInspectionResult,
     TriangularInspectionResult,
 )
@@ -83,6 +88,8 @@ class VIPruneTransform(MethodDispatchTransform):
         "cholesky": "_apply_cholesky",
         "ldlt": "_apply_ldlt",
         "lu": "_apply_lu",
+        "ic0": "_apply_ic0",
+        "ilu0": "_apply_ilu0",
     }
 
     # ------------------------------------------------------------------ #
@@ -266,5 +273,107 @@ class VIPruneTransform(MethodDispatchTransform):
             if cname not in kernel.constants:
                 kernel.add_constant(cname, value)
         context.record(self.name, mode="loop", total_updates=int(desc.prune_ptr[-1]))
+        kernel.meta["vi_prune"] = True
+        return kernel
+
+    # ------------------------------------------------------------------ #
+    # No-fill incomplete factorizations (IC(0) and ILU(0))
+    # ------------------------------------------------------------------ #
+    def _apply_ic0(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        return self._apply_incomplete(kernel, context, factor_kind="ic0")
+
+    def _apply_ilu0(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        return self._apply_incomplete(kernel, context, factor_kind="ilu0")
+
+    def _apply_incomplete(
+        self,
+        kernel: KernelFunction,
+        context: CompilationContext,
+        *,
+        factor_kind: str,
+    ) -> KernelFunction:
+        """Shared lowering of the no-fill incomplete kernels.
+
+        Both prune twice: the update loop iterates only the ``A``-pattern
+        sources of each column, and every update's *scatter* is intersected
+        with the destination column's ``A`` pattern at compile time (the
+        dropped updates of IC(0)/ILU(0) never execute).  The factor pattern
+        is the ``A`` pattern, so the loop runs in place on the gathered
+        factor values — no dense work vector, no fill computation.
+        """
+        ilu = factor_kind == "ilu0"
+        inspection = context.inspection
+        expected_cls = ILU0InspectionResult if ilu else IC0InspectionResult
+        if not isinstance(inspection, expected_cls):
+            raise TypeError(
+                f"incomplete VI-Prune for {factor_kind!r} needs a "
+                f"{expected_cls.__name__}"
+            )
+        if any(isinstance(node, IncompleteFactorLoop) for node in walk(kernel.body)):
+            context.record(self.name, mode="already-applied")
+            return kernel
+        loop = _find_prunable_loop(kernel)
+        if loop is None:
+            context.decisions[self.name] = {"skipped": "no column loop found"}
+            return kernel
+        if ilu:
+            desc = ilu0_descriptors(context.matrix, inspection)
+            kind_kwargs = {
+                "u_indptr": inspection.u_indptr,
+                "u_indices": inspection.u_indices,
+                "a_upper_pos": desc.a_upper_pos,
+                "l_gather_dst": desc.l_gather_dst,
+                "u_scat_ptr": desc.u_scat_ptr,
+                "u_scat_src": desc.u_scat_src,
+                "u_scat_dst": desc.u_scat_dst,
+                "role": "incomplete-lu",
+            }
+            extra_constants = (
+                ("u_indptr", inspection.u_indptr),
+                ("u_scat_ptr", desc.u_scat_ptr),
+            )
+        else:
+            desc = ic0_descriptors(context.matrix, inspection)
+            kind_kwargs = {"role": "incomplete-cholesky"}
+            extra_constants = ()
+        incomplete = IncompleteFactorLoop(
+            n=inspection.n,
+            l_indptr=inspection.l_indptr,
+            l_indices=inspection.l_indices,
+            a_lower_pos=desc.a_lower_pos,
+            prune_ptr=desc.prune_ptr,
+            mult_pos=desc.mult_pos,
+            l_scat_ptr=desc.l_scat_ptr,
+            l_scat_src=desc.l_scat_src,
+            l_scat_dst=desc.l_scat_dst,
+            factor_kind=factor_kind,
+            vectorize=True,
+            **kind_kwargs,
+        )
+        dropped = int(desc.prune_ptr[-1])
+        replaced = _replace_statement(kernel.body, loop, [
+            Comment(
+                f"VI-Prune: {factor_kind.upper()} update loop pruned to the A "
+                f"pattern ({dropped} pattern-intersected updates, no fill)"
+            ),
+            incomplete,
+        ])
+        if not replaced:
+            raise RuntimeError("failed to replace the incomplete-factor column loop")
+        for cname, value in (
+            ("l_indptr", inspection.l_indptr),
+            ("a_lower_pos", desc.a_lower_pos),
+            ("prune_ptr", desc.prune_ptr),
+            ("mult_pos", desc.mult_pos),
+            ("l_scat_ptr", desc.l_scat_ptr),
+            *extra_constants,
+        ):
+            if cname not in kernel.constants:
+                kernel.add_constant(cname, value)
+        context.record(self.name, mode="loop", total_updates=dropped)
         kernel.meta["vi_prune"] = True
         return kernel

@@ -44,6 +44,8 @@ from repro.compiler.transforms.descriptors import (
 from repro.compiler.transforms.vi_prune import _find_prunable_loop, _replace_statement
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
+    IC0InspectionResult,
+    ILU0InspectionResult,
     LUInspectionResult,
     TriangularInspectionResult,
 )
@@ -89,6 +91,8 @@ class VSBlockTransform(MethodDispatchTransform):
         "cholesky": "_apply_cholesky",
         "ldlt": "_apply_ldlt",
         "lu": "_apply_lu",
+        "ic0": "_apply_ic0",
+        "ilu0": "_apply_ilu0",
     }
 
     # ------------------------------------------------------------------ #
@@ -247,6 +251,52 @@ class VSBlockTransform(MethodDispatchTransform):
         )
         details["factor_kind"] = "lu"
         details["deferred"] = "supernodal LU not generated (unsymmetric panels)"
+        context.decisions[self.name] = details
+        return kernel
+
+    def _apply_ic0(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        return self._apply_incomplete(kernel, context, factor_kind="ic0")
+
+    def _apply_ilu0(
+        self, kernel: KernelFunction, context: CompilationContext
+    ) -> KernelFunction:
+        return self._apply_incomplete(kernel, context, factor_kind="ilu0")
+
+    def _apply_incomplete(
+        self,
+        kernel: KernelFunction,
+        context: CompilationContext,
+        *,
+        factor_kind: str,
+    ) -> KernelFunction:
+        """VS-Block for the no-fill incomplete factorizations.
+
+        Like LU, the participation heuristic is evaluated (on the
+        elimination-tree supernode candidates of the ``A`` pattern) and
+        recorded for the ablation benches, but the lowering is deferred to
+        VI-Prune's incomplete loop: a dense diagonal-block factorization
+        would *introduce fill inside the block*, which the no-fill contract
+        of IC(0)/ILU(0) forbids — any supernodal incomplete variant needs a
+        block-sparse drop rule first.  The recorded decision makes the
+        deferral visible instead of silent.
+        """
+        expected_cls = ILU0InspectionResult if factor_kind == "ilu0" else IC0InspectionResult
+        inspection = context.inspection
+        if not isinstance(inspection, expected_cls):
+            raise TypeError(
+                f"incomplete VS-Block for {factor_kind!r} needs a "
+                f"{expected_cls.__name__}"
+            )
+        options = context.options
+        participates, details = vs_block_participates(
+            inspection.supernodes,
+            min_supernode_width=options.vs_block_min_supernode_width,
+            min_avg_width=options.vs_block_min_avg_width,
+        )
+        details["factor_kind"] = factor_kind
+        details["deferred"] = "supernodal incomplete factorization would introduce in-block fill"
         context.decisions[self.name] = details
         return kernel
 

@@ -29,6 +29,7 @@ from repro.kernels.dense import (
     small_lower_solve,
 )
 from repro.kernels.flops import cholesky_flops, gflops, triangular_solve_flops
+from repro.kernels.incomplete import ic0_left_looking, ilu0_left_looking
 from repro.kernels.ldlt import LDLTFactors, ldlt_left_looking
 from repro.kernels.lu import LUFactors, lu_left_looking
 from repro.kernels.triangular import (
@@ -56,6 +57,8 @@ __all__ = [
     "LDLTFactors",
     "lu_left_looking",
     "LUFactors",
+    "ic0_left_looking",
+    "ilu0_left_looking",
     "triangular_solve_flops",
     "cholesky_flops",
     "gflops",

@@ -32,7 +32,12 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.compiler.ast import SimplicialCholeskyLoop, SupernodalCholeskyLoop, walk
+from repro.compiler.ast import (
+    IncompleteFactorLoop,
+    SimplicialCholeskyLoop,
+    SupernodalCholeskyLoop,
+    walk,
+)
 
 __all__ = ["stacked_factorize_for", "StackedFailure"]
 
@@ -50,16 +55,23 @@ class StackedFailure:
         return f"StackedFailure(index={self.index}, message={self.message!r})"
 
 
-def _simplicial_loop(artifact) -> Optional[SimplicialCholeskyLoop]:
-    """The single simplicial loop of the artifact's kernel, or ``None``.
+def _simplicial_loop(artifact) -> Optional[SimplicialCholeskyLoop | IncompleteFactorLoop]:
+    """The single column-at-a-time loop of the artifact's kernel, or ``None``.
 
-    ``None`` when the kernel is supernodal (VS-Block participated) or has no
-    factorization loop at all — the engine then uses sequential execution.
+    Covers the simplicial complete factorizations *and* the no-fill
+    incomplete ones (IC(0)/ILU(0)), whose generated code is likewise a fixed
+    sequence of elementwise slice operations.  ``None`` when the kernel is
+    supernodal (VS-Block participated) or has no factorization loop at all —
+    the engine then uses sequential execution.
     """
     nodes = list(walk(artifact.kernel.body))
     if any(isinstance(node, SupernodalCholeskyLoop) for node in nodes):
         return None
-    loops = [node for node in nodes if isinstance(node, SimplicialCholeskyLoop)]
+    loops = [
+        node
+        for node in nodes
+        if isinstance(node, (SimplicialCholeskyLoop, IncompleteFactorLoop))
+    ]
     return loops[0] if len(loops) == 1 else None
 
 
@@ -221,8 +233,71 @@ def _stacked_lu(
     return outputs, _failures(failed, fail_col, "matrix is singular (zero pivot) at column %d")
 
 
+def _stacked_ic0(
+    loop: IncompleteFactorLoop, Ai: np.ndarray, AxB: np.ndarray
+) -> Tuple[list, List[StackedFailure]]:
+    batch = AxB.shape[0]
+    n = loop.n
+    Lp = loop.l_indptr
+    pp, mp = loop.prune_ptr, loop.mult_pos
+    sp, ss, sd = loop.l_scat_ptr, loop.l_scat_src, loop.l_scat_dst
+    Lx = AxB[:, loop.a_lower_pos].copy()
+    failed = np.zeros(batch, dtype=bool)
+    fail_col = np.full(batch, -1, dtype=np.int64)
+    for j in range(n):
+        for t in range(pp[j], pp[j + 1]):
+            ljk = Lx[:, mp[t]]
+            s0, s1 = sp[t], sp[t + 1]
+            Lx[:, sd[s0:s1]] -= Lx[:, ss[s0:s1]] * ljk[:, None]
+        lp0, lp1 = Lp[j], Lp[j + 1]
+        d = Lx[:, lp0].copy()
+        # Same predicate as the generated kernel (`if not d > 0.0`).
+        _mask_bad_pivots(d, ~(d > 0.0), failed, fail_col, j)
+        ljj = np.sqrt(d)
+        Lx[:, lp0] = ljj
+        Lx[:, lp0 + 1 : lp1] /= ljj[:, None]
+    outputs = [Lx[b].copy() for b in range(batch)]
+    return outputs, _failures(
+        failed, fail_col, "IC(0) breakdown: non-positive pivot at column %d"
+    )
+
+
+def _stacked_ilu0(
+    loop: IncompleteFactorLoop, Ai: np.ndarray, AxB: np.ndarray
+) -> Tuple[list, List[StackedFailure]]:
+    batch = AxB.shape[0]
+    n = loop.n
+    Lp, Up = loop.l_indptr, loop.u_indptr
+    pp, mp = loop.prune_ptr, loop.mult_pos
+    usp, uss, usd = loop.u_scat_ptr, loop.u_scat_src, loop.u_scat_dst
+    lsp, lss, lsd = loop.l_scat_ptr, loop.l_scat_src, loop.l_scat_dst
+    Ux = AxB[:, loop.a_upper_pos].copy()
+    Lx = np.zeros((batch, int(Lp[-1])))
+    Lx[:, loop.l_gather_dst] = AxB[:, loop.a_lower_pos]
+    failed = np.zeros(batch, dtype=bool)
+    fail_col = np.full(batch, -1, dtype=np.int64)
+    for j in range(n):
+        for t in range(pp[j], pp[j + 1]):
+            ukj = Ux[:, mp[t]]
+            s0, s1 = usp[t], usp[t + 1]
+            Ux[:, usd[s0:s1]] -= Lx[:, uss[s0:s1]] * ukj[:, None]
+            s0, s1 = lsp[t], lsp[t + 1]
+            Lx[:, lsd[s0:s1]] -= Lx[:, lss[s0:s1]] * ukj[:, None]
+        piv = Ux[:, Up[j + 1] - 1].copy()
+        _mask_bad_pivots(piv, piv == 0.0, failed, fail_col, j)
+        lp0, lp1 = Lp[j], Lp[j + 1]
+        Lx[:, lp0] = 1.0
+        Lx[:, lp0 + 1 : lp1] /= piv[:, None]
+    outputs = [(Lx[b].copy(), Ux[b].copy()) for b in range(batch)]
+    return outputs, _failures(
+        failed, fail_col, "ILU(0) breakdown: zero pivot at column %d"
+    )
+
+
 _STACKED_IMPLS = {
     "llt": _stacked_llt,
     "ldlt": _stacked_ldlt,
     "lu": _stacked_lu,
+    "ic0": _stacked_ic0,
+    "ilu0": _stacked_ilu0,
 }

@@ -13,7 +13,11 @@ numeric values change every step, so the one-time compile cost amortizes:
   Jacobian (the power-system / circuit-simulation scenario).
 """
 
-from repro.solvers.cg import CGResult, preconditioned_conjugate_gradient
+from repro.solvers.cg import (
+    CGResult,
+    incomplete_cholesky_ic0,
+    preconditioned_conjugate_gradient,
+)
 from repro.solvers.linear_solver import SparseLinearSolver, backward_factor
 from repro.solvers.newton import (
     NewtonResult,
@@ -25,6 +29,7 @@ __all__ = [
     "SparseLinearSolver",
     "backward_factor",
     "preconditioned_conjugate_gradient",
+    "incomplete_cholesky_ic0",
     "CGResult",
     "newton_raphson_fixed_pattern",
     "newton_raphson_ensemble",

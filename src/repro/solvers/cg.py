@@ -5,8 +5,19 @@ solvers (§4.3): a triangular system is solved at every iteration, and solvers
 commonly run hundreds or thousands of iterations on a fixed pattern, so a
 one-time symbolic/codegen cost is negligible.  This module provides a CG
 driver whose preconditioner applications use Sympiler-generated triangular
-solves on an incomplete-Cholesky-style factor (IC(0): the factor is restricted
-to the pattern of ``tril(A)``).
+solves on an incomplete-Cholesky factor (IC(0): the factor is restricted to
+the pattern of ``tril(A)``).
+
+Two preconditioner constructions are available:
+
+* ``"compiled"`` (the default) — the IC(0) *factorization itself* is a
+  Sympiler-generated kernel (``Sympiler.compile("ic0", A)`` through the
+  kernel registry), so the whole preconditioner pipeline — numeric factor and
+  both triangular sweeps — runs specialized generated code.
+* ``"interpreted"`` — the original :func:`incomplete_cholesky_ic0` NumPy
+  loop, kept as the fallback and as the correctness oracle: on the python
+  backend the compiled factor is **bitwise identical** to the interpreted
+  one (asserted by the test-suite), so both paths produce the same iterates.
 """
 
 from __future__ import annotations
@@ -23,7 +34,15 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.permutation import Permutation
 from repro.sparse.utils import lower_triangle
 
-__all__ = ["incomplete_cholesky_ic0", "preconditioned_conjugate_gradient", "CGResult"]
+__all__ = [
+    "incomplete_cholesky_ic0",
+    "preconditioned_conjugate_gradient",
+    "CGResult",
+    "PRECONDITIONERS",
+]
+
+#: Valid ``preconditioner`` arguments of the PCG driver.
+PRECONDITIONERS = ("compiled", "interpreted")
 
 
 def incomplete_cholesky_ic0(A: CSCMatrix) -> CSCMatrix:
@@ -31,7 +50,9 @@ def incomplete_cholesky_ic0(A: CSCMatrix) -> CSCMatrix:
 
     No fill-in is allowed; dropped updates make ``L Lᵀ ≈ A``.  The input must
     be SPD (and is assumed H-matrix-like enough for IC(0) to exist; a clear
-    error is raised otherwise).
+    error is raised otherwise).  This is the interpreted reference the
+    compiled ``ic0`` registry kernel is validated against — bitwise, on the
+    python backend.
     """
     if not A.is_square():
         raise ValueError("IC(0) requires a square matrix")
@@ -74,11 +95,27 @@ class CGResult:
     iterations: int
     converged: bool
     residual_norms: List[float]
+    #: Which preconditioner construction ran (``"compiled"``,
+    #: ``"interpreted"`` or ``None`` for plain CG).
+    preconditioner: Optional[str] = None
 
     @property
     def final_residual(self) -> float:
         """Last recorded relative residual."""
         return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+def _ic0_factor(
+    A: CSCMatrix, preconditioner: str, options: SympilerOptions, sym: Sympiler
+) -> CSCMatrix:
+    """The IC(0) factor of ``A`` via the requested construction."""
+    if preconditioner == "compiled":
+        return sym.compile("ic0", A, options=options).factorize(A)
+    if preconditioner == "interpreted":
+        return incomplete_cholesky_ic0(A)
+    raise ValueError(
+        f"unknown preconditioner {preconditioner!r}; expected one of {PRECONDITIONERS}"
+    )
 
 
 def preconditioned_conjugate_gradient(
@@ -88,13 +125,17 @@ def preconditioned_conjugate_gradient(
     tol: float = 1e-8,
     max_iterations: int = 1000,
     use_preconditioner: bool = True,
+    preconditioner: str = "compiled",
     options: Optional[SympilerOptions] = None,
 ) -> CGResult:
     """Solve ``A x = b`` by CG, optionally IC(0)-preconditioned.
 
     Preconditioner applications ``M⁻¹ r = (L Lᵀ)⁻¹ r`` use two
     Sympiler-generated triangular solves that are compiled once before the
-    iteration starts.
+    iteration starts; with ``preconditioner="compiled"`` (the default) the
+    IC(0) numeric factorization is a generated registry kernel as well,
+    ``"interpreted"`` keeps the NumPy reference loop (fallback and oracle —
+    bitwise-identical iterates on the python backend).
     """
     if not A.is_square():
         raise ValueError("CG requires a square matrix")
@@ -104,9 +145,12 @@ def preconditioned_conjugate_gradient(
         raise ValueError(f"b must have shape ({n},)")
 
     apply_preconditioner = None
+    used_preconditioner = None
     if use_preconditioner:
-        L = incomplete_cholesky_ic0(A)
-        sym = Sympiler(options or SympilerOptions())
+        options = options or SympilerOptions()
+        sym = Sympiler(options)
+        L = _ic0_factor(A, preconditioner, options, sym)
+        used_preconditioner = preconditioner
         forward = sym.compile_triangular_solve(L, rhs_pattern=None)
         reverse = Permutation(np.arange(n - 1, -1, -1, dtype=np.int64))
         Lt_rev = reverse.symmetric_permute(L.transpose())
@@ -141,4 +185,10 @@ def preconditioned_conjugate_gradient(
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p
-    return CGResult(x=x, iterations=iterations, converged=converged, residual_norms=residual_norms)
+    return CGResult(
+        x=x,
+        iterations=iterations,
+        converged=converged,
+        residual_norms=residual_norms,
+        preconditioner=used_preconditioner,
+    )

@@ -117,6 +117,13 @@ class SparseLinearSolver:
                 f"kernel {spec.name!r} is not a factorization method "
                 "(its artifact does not provide factorize())"
             )
+        if getattr(spec.artifact_cls, "is_incomplete", False):
+            raise ValueError(
+                f"kernel {spec.name!r} is an incomplete factorization — its "
+                "factors only approximate A and cannot back a direct solve; "
+                "use it as a preconditioner instead (SparseLinearSolver.pcg "
+                "or repro.solvers.preconditioned_conjugate_gradient)"
+            )
         self.method = spec.name
         t0 = time.perf_counter()
         self.permutation: Permutation = ordering_by_name(ordering)(A)
@@ -270,6 +277,42 @@ class SparseLinearSolver:
         result = executor.map(self.solve, [B[:, k] for k in range(B.shape[1])])
         result.raise_first()
         return np.column_stack(result.results)
+
+    def pcg(
+        self,
+        b: np.ndarray,
+        *,
+        tol: float = 1e-8,
+        max_iterations: int = 1000,
+        preconditioner: str = "compiled",
+    ):
+        """Solve ``A x = b`` iteratively by IC(0)-preconditioned CG.
+
+        The iterative companion of :meth:`solve` for SPD systems: instead of
+        the complete factorization this solver was built with, it runs
+        conjugate gradient preconditioned by the compiled ``ic0`` registry
+        kernel (``preconditioner="interpreted"`` selects the NumPy reference
+        instead).  All compiles go through the shared artifact cache, so
+        repeated ``pcg`` calls on this pattern reuse the generated IC(0) and
+        triangular-solve kernels.  Returns a
+        :class:`~repro.solvers.cg.CGResult`.
+
+        Constructing a :class:`SparseLinearSolver` eagerly compiles and runs
+        the *complete* factorization, which ``pcg`` does not use — call
+        :func:`repro.solvers.preconditioned_conjugate_gradient` directly for
+        iterative-only workloads; this method serves callers who already
+        hold a direct solver and want the iterative answer too.
+        """
+        from repro.solvers.cg import preconditioned_conjugate_gradient
+
+        return preconditioned_conjugate_gradient(
+            self.A,
+            b,
+            tol=tol,
+            max_iterations=max_iterations,
+            preconditioner=preconditioner,
+            options=self.options,
+        )
 
     def residual(self, x: np.ndarray, b: np.ndarray) -> float:
         """Relative residual of a computed solution."""

@@ -65,9 +65,13 @@ __all__ = [
     "CholeskyInspector",
     "LDLTInspector",
     "LUInspector",
+    "IC0Inspector",
+    "ILU0Inspector",
     "TriangularInspectionResult",
     "CholeskyInspectionResult",
     "LUInspectionResult",
+    "IC0InspectionResult",
+    "ILU0InspectionResult",
     "inspector_for_method",
     "register_inspector",
     "normalize_rhs_pattern",
@@ -497,6 +501,208 @@ class LUInspector(SymbolicInspector):
         )
 
 
+@dataclass(frozen=True)
+class IC0InspectionResult(CholeskyInspectionResult):
+    """Everything the compiler needs to specialize an IC(0) factorization.
+
+    Structurally a :class:`CholeskyInspectionResult` — the incomplete factor
+    shares all the machinery of the complete one — but the pattern arrays
+    describe ``tril(A)`` itself: IC(0) allows no fill, so no fill computation
+    (no ``ereach`` up-traversals) ever runs.  ``row_patterns[j]`` holds the
+    columns ``k < j`` with ``A[j, k] != 0`` — the update sources of column
+    ``j``, which are also its exact wavefront dependencies.
+    """
+
+
+@dataclass(frozen=True)
+class ILU0InspectionResult(LUInspectionResult):
+    """Everything the compiler needs to specialize an ILU(0) factorization.
+
+    Structurally an :class:`LUInspectionResult`, but with the no-fill
+    property: ``L`` is the strict lower triangle of ``A`` plus an explicit
+    unit diagonal, ``U`` the upper triangle of ``A`` (diagonal stored last
+    per column) — no GP reach runs, the factor pattern *is* the ``A``
+    pattern.
+    """
+
+
+class IC0Inspector(SymbolicInspector):
+    """Symbolic inspector for incomplete Cholesky IC(0), ``A ≈ L Lᵀ``.
+
+    The no-fill property makes inspection trivial compared to complete
+    Cholesky: the factor pattern is ``tril(A)`` verbatim, so the inspector
+    only *reads* the pattern — per-column row patterns (the update sources,
+    which the VI-Prune handler intersects with the ``A`` pattern to build the
+    dropped-update-free descriptors), elimination-tree supernode candidates
+    for the VS-Block participation record, and the exact level-set
+    :class:`ExecutionSchedule` — without any fill computation.
+    """
+
+    method = "ic0"
+
+    def inspect(
+        self,
+        matrix: CSCMatrix,
+        *,
+        max_supernode_width: int | None = None,
+        **kwargs,
+    ) -> IC0InspectionResult:
+        """Inspect a symmetric positive-definite matrix (pattern only).
+
+        ``matrix`` may store the full symmetric pattern or only its lower
+        triangle; every column must hold its diagonal entry (IC(0) pivots on
+        it).
+        """
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        if not matrix.is_square():
+            raise ValueError("IC(0) inspection requires a square matrix")
+        start = time.perf_counter()
+        n = matrix.n
+        parent = elimination_tree(matrix)
+        post = postorder(parent)
+        # The factor pattern is tril(A): no fill, hence no ereach traversals.
+        col_rows: List[List[int]] = []
+        row_lists: List[List[int]] = [[] for _ in range(n)]
+        indptr, indices = matrix.indptr, matrix.indices
+        l_indptr = np.zeros(n + 1, dtype=np.int64)
+        for j in range(n):
+            rows = indices[indptr[j] : indptr[j + 1]]
+            lower = rows[np.searchsorted(rows, j) :]
+            if lower.size == 0 or lower[0] != j:
+                raise ValueError(f"missing diagonal entry in column {j}")
+            col_rows.append([int(r) for r in lower])
+            l_indptr[j + 1] = l_indptr[j] + lower.size
+            for r in lower[1:]:
+                row_lists[int(r)].append(j)
+        l_indices = np.empty(int(l_indptr[-1]), dtype=np.int64)
+        for j in range(n):
+            l_indices[l_indptr[j] : l_indptr[j + 1]] = col_rows[j]
+        row_patterns = [np.asarray(row_lists[j], dtype=np.int64) for j in range(n)]
+        col_counts = np.diff(l_indptr).astype(np.int64)
+        supernodes = cholesky_supernodes(col_counts, parent, max_width=max_supernode_width)
+        # Exact wavefronts: column j waits for precisely its update sources.
+        schedule = level_sets_from_column_deps(row_patterns, graph="SP(tril(A) row)")
+        elapsed = time.perf_counter() - start
+        sets = {
+            "prune-set": InspectionSet(
+                name="prune-set",
+                strategy="pattern-read",
+                graph="SP(tril(A))",
+                payload=row_patterns,
+            ),
+            "block-set": InspectionSet(
+                name="block-set",
+                strategy="up-traversal",
+                graph="etree + ColCount(A)",
+                payload=supernodes,
+            ),
+        }
+        return IC0InspectionResult(
+            n=n,
+            parent=parent,
+            post=post,
+            l_indptr=l_indptr,
+            l_indices=l_indices,
+            row_patterns=row_patterns,
+            l_col_counts=col_counts,
+            supernodes=supernodes,
+            schedule=schedule,
+            symbolic_seconds=elapsed,
+            sets=sets,
+        )
+
+
+class ILU0Inspector(SymbolicInspector):
+    """Symbolic inspector for incomplete LU ILU(0), ``A ≈ L U``.
+
+    No fill, no pivoting: ``L`` is the strict lower triangle of ``A`` with an
+    explicit unit diagonal (rows ascending, diagonal first — the convention
+    the generated triangular-solve kernels expect) and ``U`` is the upper
+    triangle of ``A`` (rows ascending, diagonal last, like the complete LU
+    kernel).  The per-column update sources are the above-diagonal ``U``
+    pattern — read directly off ``A`` instead of computed by a GP reach.
+    """
+
+    method = "ilu0"
+
+    def inspect(
+        self,
+        matrix: CSCMatrix,
+        *,
+        max_supernode_width: int | None = None,
+        **kwargs,
+    ) -> ILU0InspectionResult:
+        """Inspect a square (generally unsymmetric) matrix (pattern only).
+
+        Every column must hold its diagonal entry (the ILU(0) pivot).
+        """
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        if not matrix.is_square():
+            raise ValueError("ILU(0) inspection requires a square matrix")
+        start = time.perf_counter()
+        n = matrix.n
+        parent = column_etree(matrix)
+        post = postorder(parent)
+        indptr, indices = matrix.indptr, matrix.indices
+        l_indptr = np.zeros(n + 1, dtype=np.int64)
+        u_indptr = np.zeros(n + 1, dtype=np.int64)
+        l_rows: List[np.ndarray] = []
+        u_rows: List[np.ndarray] = []
+        for j in range(n):
+            rows = indices[indptr[j] : indptr[j + 1]]
+            split = int(np.searchsorted(rows, j))
+            if split == rows.size or rows[split] != j:
+                raise ValueError(f"missing diagonal entry in column {j}")
+            # U column: above-diagonal rows then the diagonal (stored last).
+            u_rows.append(rows[: split + 1].astype(np.int64))
+            # L column: explicit unit diagonal first, then strict lower rows.
+            l_rows.append(
+                np.concatenate(([j], rows[split + 1 :])).astype(np.int64)
+            )
+            u_indptr[j + 1] = u_indptr[j] + split + 1
+            l_indptr[j + 1] = l_indptr[j] + (rows.size - split)
+        l_indices = np.concatenate(l_rows) if l_rows else np.zeros(0, dtype=np.int64)
+        u_indices = np.concatenate(u_rows) if u_rows else np.zeros(0, dtype=np.int64)
+        l_col_counts = np.diff(l_indptr).astype(np.int64)
+        supernodes = cholesky_supernodes(l_col_counts, parent, max_width=max_supernode_width)
+        upper_patterns = [
+            u_indices[u_indptr[j] : u_indptr[j + 1] - 1] for j in range(n)
+        ]
+        # Exact wavefronts: column j consumes the L columns of its U pattern.
+        schedule = level_sets_from_column_deps(upper_patterns, graph="SP(triu(A) col)")
+        elapsed = time.perf_counter() - start
+        sets = {
+            "prune-set": InspectionSet(
+                name="prune-set",
+                strategy="pattern-read",
+                graph="SP(triu(A))",
+                payload=upper_patterns,
+            ),
+            "block-set": InspectionSet(
+                name="block-set",
+                strategy="up-traversal",
+                graph="etree(A^T A) + ColCount(L)",
+                payload=supernodes,
+            ),
+        }
+        return ILU0InspectionResult(
+            n=n,
+            parent=parent,
+            post=post,
+            l_indptr=l_indptr,
+            l_indices=l_indices,
+            u_indptr=u_indptr,
+            u_indices=u_indices,
+            l_col_counts=l_col_counts,
+            supernodes=supernodes,
+            schedule=schedule,
+            symbolic_seconds=elapsed,
+            sets=sets,
+        )
+
+
 _INSPECTORS: Dict[str, type] = {}
 
 
@@ -517,6 +723,8 @@ register_inspector(TriangularSolveInspector, aliases=("trisolve", "triangular"))
 register_inspector(CholeskyInspector)
 register_inspector(LDLTInspector)
 register_inspector(LUInspector)
+register_inspector(IC0Inspector, aliases=("incomplete-cholesky",))
+register_inspector(ILU0Inspector, aliases=("incomplete-lu",))
 
 
 def inspector_for_method(method: str) -> SymbolicInspector:

@@ -214,3 +214,143 @@ def test_cli_json_report(tmp_path, capsys):
     assert payload["experiment"] == "table2"
     assert payload["args"]["small"] is True
     assert len(payload["rows"]) == 4
+
+
+def test_pcg_experiment_rows():
+    from repro.bench.figures import pcg_performance
+    from repro.bench.suite import small_suite
+
+    rows = pcg_performance(small_suite()[:2], repeats=1)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["converged"] is True
+        assert row["bitwise_identical"] is True
+        assert row["final_residual"] <= 1e-8
+        # The preconditioner must actually help.
+        assert row["iterations"] < row["plain_cg_iterations"]
+        assert row["compiled_seconds"] > 0
+
+
+class TestPerfGateComparator:
+    """The bench-compare step must fail on an injected synthetic regression."""
+
+    @staticmethod
+    def _rows(**overrides):
+        row = {
+            "name": "t_fem",
+            "converged": True,
+            "bitwise_identical": True,
+            "iterations": 10,
+            "final_residual": 1e-9,
+        }
+        row.update(overrides)
+        return [row]
+
+    def test_identical_rows_pass(self):
+        from repro.bench.compare import compare_rows
+
+        base = self._rows()
+        assert compare_rows("pcg", base, self._rows()) == []
+
+    def test_injected_iteration_regression_fails(self):
+        from repro.bench.compare import compare_rows, format_regressions
+
+        base = self._rows()
+        worse = self._rows(iterations=14)  # > 25 % more iterations
+        found = compare_rows("pcg", base, worse, max_regression=0.25)
+        assert len(found) == 1
+        assert found[0].metric == "iterations" and found[0].current == 14
+        report = format_regressions(found)
+        assert "iterations" in report and "benchmarks/baselines" in report
+
+    def test_regression_within_allowance_passes(self):
+        from repro.bench.compare import compare_rows
+
+        base = self._rows()
+        slightly_worse = self._rows(iterations=12)  # 20 % < 25 %
+        assert compare_rows("pcg", base, slightly_worse, max_regression=0.25) == []
+
+    def test_boolean_flip_fails_regardless_of_allowance(self):
+        from repro.bench.compare import compare_rows
+
+        base = self._rows()
+        flipped = self._rows(bitwise_identical=False)
+        found = compare_rows("pcg", base, flipped, max_regression=10.0)
+        assert [r.metric for r in found] == ["bitwise_identical"]
+
+    def test_zero_baseline_counter_tolerates_no_increase(self):
+        from repro.bench.compare import compare_rows
+
+        base = [{"name": "t_grid", "batch_recompiles": 0, "bitwise_identical": True, "schedule_levels": 5}]
+        current = [{"name": "t_grid", "batch_recompiles": 1, "bitwise_identical": True, "schedule_levels": 5}]
+        found = compare_rows("batched", base, current)
+        assert [r.metric for r in found] == ["batch_recompiles"]
+
+    def test_higher_direction_metric(self):
+        from repro.bench.compare import GatedMetric, _metric_regressed
+
+        metric = GatedMetric("speedup", "higher")
+        assert _metric_regressed(metric, 2.0, 1.0, 0.25) is True
+        assert _metric_regressed(metric, 2.0, 1.9, 0.25) is False
+
+    def test_noise_allowance_absorbs_jitter_but_not_real_regressions(self):
+        from repro.bench.compare import GatedMetric, _metric_regressed
+
+        ratio = GatedMetric("ldlt_over_cholesky", "lower", noise=0.5)
+        # Timing jitter around a ~1.1 baseline stays under the gate ...
+        assert _metric_regressed(ratio, 1.0, 1.3, 0.25) is False
+        assert _metric_regressed(ratio, 1.0, 1.74, 0.25) is False
+        # ... a genuine 2x slowdown of the gated kernel does not.
+        assert _metric_regressed(ratio, 1.0, 2.2, 0.25) is True
+
+    def test_unmatched_rows_and_metrics_are_skipped(self):
+        from repro.bench.compare import compare_rows
+
+        base = self._rows()
+        new_matrix = [dict(self._rows()[0], name="brand_new")]
+        assert compare_rows("pcg", base, new_matrix) == []
+        missing_metric = [{"name": "t_fem", "converged": True}]
+        assert compare_rows("pcg", base, missing_metric) == []
+
+    def test_non_numeric_values_never_gate(self):
+        from repro.bench.compare import compare_rows
+
+        base = self._rows(iterations="-")  # geomean-style placeholder
+        current = self._rows(iterations=1000)
+        assert compare_rows("pcg", base, current) == []
+
+    def test_experiment_without_gate_passes(self):
+        from repro.bench.compare import compare_rows
+
+        assert compare_rows("table2", [{"name": "a", "n": 4}], [{"name": "a", "n": 9}]) == []
+
+    def test_missing_baseline_file_skips_gate(self, tmp_path):
+        from repro.bench.compare import load_baseline
+
+        assert load_baseline(str(tmp_path), "pcg") is None
+
+
+def test_cli_compare_gate(tmp_path, capsys):
+    import json
+
+    from repro.bench.__main__ import main
+
+    baseline_dir = tmp_path / "baselines"
+    # First run writes the baseline; a second identical run passes the gate.
+    assert main(["pcg", "--small", "--json", str(baseline_dir)]) == 0
+    capsys.readouterr()
+    assert main(["pcg", "--small", "--compare", str(baseline_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "perf gate" in out and "ok" in out
+    # Injected synthetic regression: corrupt the baseline so the current run
+    # looks 10x worse on a gated counter -> the CLI must exit nonzero.
+    path = baseline_dir / "BENCH_pcg.json"
+    payload = json.loads(path.read_text())
+    for row in payload["rows"]:
+        row["iterations"] = max(1, row["iterations"] // 10)
+    path.write_text(json.dumps(payload))
+    assert main(["pcg", "--small", "--compare", str(baseline_dir)]) == 3
+    captured = capsys.readouterr()
+    assert "regression" in captured.err
+    # A directory without a snapshot skips the gate instead of failing.
+    assert main(["table2", "--small", "--compare", str(baseline_dir)]) == 0

@@ -34,7 +34,7 @@ def fresh_sympiler(options=None):
 class TestRegistry:
     def test_builtin_kernels_are_registered(self):
         names = registered_kernels()
-        assert names == ("cholesky", "ldlt", "lu", "triangular-solve")
+        assert names == ("cholesky", "ic0", "ilu0", "ldlt", "lu", "triangular-solve")
 
     def test_aliases_resolve_to_the_same_spec(self):
         assert kernel_spec("trisolve") is kernel_spec("triangular-solve")
@@ -366,6 +366,49 @@ class TestNoKernelBranchesInDriver:
         assert kernel_spec("lu").name == "lu"
         assert "lu" in _PY_METHOD_SPECS and "lu" in _C_METHOD_SPECS
         assert "lu" in VIPruneTransform.handlers and "lu" in VSBlockTransform.handlers
+
+    def test_ic0_ilu0_registration_left_driver_and_cache_untouched(self):
+        """IC0/ILU0 must integrate through the method tables alone (PR 4).
+
+        ``Sympiler.compile`` and the artifact cache must contain no
+        incomplete-kernel-specific branch: the only integration points are
+        the registry specs, the transform handler tables and the backend
+        method-spec tables — the same invariance PR 2 asserted for LU.
+        """
+        import inspect
+
+        from repro.compiler import cache as cache_module
+        from repro.compiler import sympiler as driver_module
+        from repro.compiler.codegen.c_backend import _C_METHOD_SPECS
+        from repro.compiler.codegen.python_backend import _PY_METHOD_SPECS
+        from repro.compiler.transforms.vi_prune import VIPruneTransform
+        from repro.compiler.transforms.vs_block import VSBlockTransform
+
+        for module in (driver_module, cache_module):
+            source = inspect.getsource(module)
+            for kernel in ("ic0", "ilu0"):
+                assert f'"{kernel}"' not in source and f"'{kernel}'" not in source, (
+                    f"{module.__name__} must not special-case the {kernel} kernel"
+                )
+        # The declared integration points, and nothing else, know about them.
+        for kernel in ("ic0", "ilu0"):
+            assert kernel_spec(kernel).name == kernel
+            assert kernel in _PY_METHOD_SPECS and kernel in _C_METHOD_SPECS
+            assert kernel in VIPruneTransform.handlers
+            assert kernel in VSBlockTransform.handlers
+
+    def test_incomplete_kernels_share_the_artifact_cache(self):
+        from repro.compiler.cache import ArtifactCache
+        from repro.compiler.sympiler import Sympiler
+        from repro.sparse.generators import laplacian_2d
+
+        A = laplacian_2d(7, shift=0.1)
+        sym = Sympiler(cache=ArtifactCache())
+        first = sym.compile("ic0", A)
+        hits0, misses0 = sym.cache_stats.hits, sym.cache_stats.misses
+        assert sym.compile("ic0", A) is first
+        assert sym.cache_stats.hits == hits0 + 1
+        assert sym.cache_stats.misses == misses0
 
     def test_two_lu_solvers_share_one_compiled_artifact(self):
         from repro.solvers.linear_solver import SparseLinearSolver

@@ -131,6 +131,111 @@ class TestConjugateGradient:
             preconditioned_conjugate_gradient(CSCMatrix.from_dense(np.ones((2, 3))), np.ones(3))
 
 
+class TestConjugateGradientEdgeCases:
+    """Breakdown, bad diagonals, history reporting and compiled-vs-interpreted."""
+
+    def test_ic0_breakdown_on_non_spd_input(self):
+        # Indefinite: the second pivot of the (complete = incomplete here)
+        # factorization is negative, so IC(0) must refuse, on both paths.
+        A = CSCMatrix.from_dense(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises(ValueError, match="non-positive pivot"):
+            incomplete_cholesky_ic0(A)
+        b = np.ones(2)
+        for preconditioner in ("interpreted", "compiled"):
+            with pytest.raises(ValueError, match="non-positive pivot"):
+                preconditioned_conjugate_gradient(A, b, preconditioner=preconditioner)
+
+    def test_ic0_zero_diagonal_breaks_down(self):
+        # A stored-but-zero diagonal entry is a non-positive pivot (distinct
+        # from the structurally-missing-diagonal error).
+        A = CSCMatrix.from_dense(np.array([[1e-300, 1.0], [1.0, 2.0]]))
+        A0 = A.with_values(np.array([0.0, 1.0, 1.0, 2.0]))
+        with pytest.raises(ValueError, match="non-positive pivot at column 0"):
+            incomplete_cholesky_ic0(A0)
+
+    def test_ic0_near_zero_diagonal_survives_but_amplifies(self):
+        # A tiny positive pivot is numerically legal for IC(0); the factor
+        # simply carries a huge scaled column instead of erroring.
+        A = CSCMatrix.from_dense(np.array([[1e-12, 1e-6], [1e-6, 2.0]]))
+        L = incomplete_cholesky_ic0(A)
+        assert np.isfinite(L.data).all()
+        assert L.data[L.indptr[0]] == pytest.approx(1e-6)
+
+    def test_ic0_missing_diagonal_raises_on_both_paths(self):
+        from repro.compiler.sympiler import Sympiler
+
+        # Column 1 stores an off-diagonal entry but no diagonal.
+        A = CSCMatrix.from_dense(
+            np.array([[2.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 3.0]])
+        )
+        with pytest.raises(ValueError, match="missing diagonal entry"):
+            incomplete_cholesky_ic0(A)
+        with pytest.raises(ValueError, match="missing diagonal entry"):
+            Sympiler().compile("ic0", A)
+
+    def test_unknown_preconditioner_rejected(self):
+        A = laplacian_2d(4)
+        with pytest.raises(ValueError, match="unknown preconditioner"):
+            preconditioned_conjugate_gradient(A, np.ones(A.n), preconditioner="ilu9")
+
+    def test_convergence_history_reporting(self, rng):
+        A = laplacian_2d(10)
+        b = rng.normal(size=A.n)
+        result = preconditioned_conjugate_gradient(A, b, tol=1e-9)
+        # One entry per evaluated residual: the initial one plus one per
+        # iteration actually run.
+        assert len(result.residual_norms) == result.iterations + 1
+        assert result.residual_norms[0] == pytest.approx(
+            np.linalg.norm(b) / max(np.linalg.norm(b), 1e-300)
+        )
+        assert result.final_residual == result.residual_norms[-1]
+        assert result.final_residual <= 1e-9
+        assert result.preconditioner == "compiled"
+        plain = preconditioned_conjugate_gradient(A, b, use_preconditioner=False)
+        assert plain.preconditioner is None
+
+    def test_interpreted_and_compiled_preconditioners_match_bitwise(self, rng):
+        # Acceptance criterion: on the python backend the compiled IC(0)
+        # factor is bitwise identical to the interpreted one, so the whole
+        # CG trajectory — iterates and residual history — coincides exactly.
+        for A in (laplacian_2d(12), power_grid_spd(80, seed=5)):
+            b = rng.normal(size=A.n)
+            compiled = preconditioned_conjugate_gradient(
+                A, b, tol=1e-10, preconditioner="compiled"
+            )
+            interpreted = preconditioned_conjugate_gradient(
+                A, b, tol=1e-10, preconditioner="interpreted"
+            )
+            assert compiled.iterations == interpreted.iterations
+            assert np.array_equal(compiled.x, interpreted.x)
+            assert compiled.residual_norms == interpreted.residual_norms
+
+    def test_compiled_ic0_factor_matches_interpreted_bitwise(self, spd_matrices):
+        from repro.compiler.sympiler import Sympiler
+
+        for A in spd_matrices.values():
+            L_compiled = Sympiler().compile("ic0", A).factorize(A)
+            L_interpreted = incomplete_cholesky_ic0(A)
+            assert np.array_equal(L_compiled.data, L_interpreted.data)
+
+    def test_solver_pcg_method(self, rng):
+        A = laplacian_2d(12)
+        solver = SparseLinearSolver(A, ordering="mindeg")
+        b = rng.normal(size=A.n)
+        result = solver.pcg(b, tol=1e-10)
+        assert result.converged and result.preconditioner == "compiled"
+        np.testing.assert_allclose(A.matvec(result.x), b, atol=1e-6)
+        # The direct and iterative answers agree.
+        np.testing.assert_allclose(result.x, solver.solve(b), atol=1e-6)
+
+    def test_solver_rejects_incomplete_method(self):
+        A = laplacian_2d(6)
+        with pytest.raises(ValueError, match="incomplete factorization"):
+            SparseLinearSolver(A, method="ic0")
+        with pytest.raises(ValueError, match="incomplete factorization"):
+            SparseLinearSolver(A, method="ilu0")
+
+
 class TestNewtonRaphson:
     def test_solves_small_nonlinear_system(self):
         # F(x) = A x + 0.1 * x^3 - b, with the SPD Jacobian A + 0.3 diag(x^2).
