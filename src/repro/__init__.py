@@ -74,6 +74,9 @@ from repro.solvers import SparseLinearSolver, preconditioned_conjugate_gradient
 
 __all__ = [
     "__version__",
+    "SolverService",
+    "PatternHandle",
+    "ServiceClient",
     "Sympiler",
     "SympilerOptions",
     "SympiledCholesky",
@@ -107,3 +110,23 @@ __all__ = [
     "unsymmetric_diag_dominant",
     "sparse_rhs",
 ]
+
+#: PEP 562 lazy re-export of the serving layer: importing :mod:`repro` must
+#: not drag sockets/servers in, and the service package imports the solver
+#: stack (which this module is still initializing at import time).
+_LAZY_SERVICE = {
+    "SolverService": "repro.service.session",
+    "PatternHandle": "repro.service.session",
+    "ServiceClient": "repro.service.client",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_SERVICE.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value

@@ -17,6 +17,9 @@ Experiments
 ``pcg``      — IC(0)-preconditioned CG, compiled vs. interpreted
                preconditioner vs. scipy ``cg`` (the incomplete-kernel
                registry extension).
+``serving``  — the solver service: coalesced micro-batched dispatch vs.
+               uncoalesced per-request dispatch vs. the naive scipy
+               refactorize-per-request baseline.
 ``all``      — run every experiment in sequence.
 
 ``--json [DIR]`` additionally writes each experiment's rows to
@@ -51,6 +54,7 @@ from repro.bench.figures import (
     lu_performance,
     overhead_report,
     pcg_performance,
+    serving_throughput,
     table2_suite_listing,
 )
 from repro.bench.reporting import render_csv, render_table
@@ -68,6 +72,7 @@ _EXPERIMENTS = {
     "lu": ("LU vs. scipy splu (unsymmetric registry extension)", lu_performance),
     "batched": ("Batched runtime: sequential vs. batched throughput", batched_throughput),
     "pcg": ("IC(0)-preconditioned CG (incomplete-kernel extension)", pcg_performance),
+    "serving": ("Solver service: coalesced vs uncoalesced dispatch", serving_throughput),
 }
 
 

@@ -51,6 +51,7 @@ __all__ = [
     "lu_performance",
     "batched_throughput",
     "pcg_performance",
+    "serving_throughput",
 ]
 
 #: RHS fill used for the triangular-solve experiments (< 5 %, §4.2).
@@ -728,6 +729,193 @@ def batched_throughput(
                 "batch_recompiles": int(recompiles),
                 "schedule_levels": schedule.n_levels,
                 "schedule_avg_width": schedule.average_width,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Serving layer: coalesced vs uncoalesced vs naive per-request baselines
+# --------------------------------------------------------------------------- #
+def serving_throughput(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    backend: str = "python",
+    threads: Optional[int] = None,
+    requests: int = 48,
+    window_seconds: float = 0.05,
+    max_batch: int = 16,
+) -> List[Dict[str, object]]:
+    """Same-pattern request traffic through the solver service.
+
+    For each suite entry, ``requests`` solves (scaled SPD value sets +
+    distinct right-hand sides on one pattern) run four ways:
+
+    * ``naive`` — per-request ``scipy.sparse.linalg.spsolve`` (no
+      amortization at all: the traffic-scale baseline),
+    * ``sequential`` — one :class:`SparseLinearSolver`, factorize + solve
+      per request (in-process amortization, the bitwise oracle),
+    * ``uncoalesced`` — the service with ``coalesce=False``: every request
+      dispatches alone through the full serving path,
+    * ``coalesced`` — the service with micro-batching: in-flight
+      same-pattern requests share batched factorizations (stacked
+      vectorized kernels on the python backend, threaded C kernels).
+
+    The gated metrics are machine-portable: ``coalesced_over_uncoalesced``
+    is a same-run ratio (the coalescing win), ``serving_recompiles`` counts
+    kernels regenerated under sustained load after warm-up (must be 0),
+    ``bitwise_identical`` compares every coalesced solution against the
+    sequential oracle bit for bit (python backend), and
+    ``reregister_warm`` asserts the evict → re-register path reuses
+    generated code from the on-disk cache without recompiling.
+    """
+    import os
+
+    import scipy.sparse.linalg as spla
+
+    from repro.compiler.codegen.c_backend import disk_cache_stats
+    from repro.service.session import SolverService
+    from repro.solvers.linear_solver import SparseLinearSolver
+    from repro.sparse.generators import laplacian_2d
+    from repro.sparse.ordering import ordering_by_name
+
+    rows: List[Dict[str, object]] = []
+    for entry in _entries(suite):
+        A = load_suite_matrix(entry)
+        if A.n < 400:
+            # The tiny smoke matrices would hide the dispatch-vs-kernel cost
+            # split; stand in a same-class 2-D grid (deterministic per entry).
+            side = 22 + 2 * (entry.problem_id % 3)
+            grid = laplacian_2d(side, shift=0.1)
+            A = ordering_by_name("mindeg")(grid).symmetric_permute(grid)
+        options = SympilerOptions(backend=backend)
+        if threads is not None:
+            options = options.with_updates(num_threads=threads)
+        if backend == "python":
+            # Compile the simplicial variant so the coalesced path runs the
+            # vectorized stacked batch kernel (mirrors the batched bench; the
+            # sequential oracle uses the same artifact, keeping the bitwise
+            # comparison apples to apples).
+            options = options.with_updates(enable_vs_block=False)
+
+        scales = 1.0 + 0.01 * np.arange(requests, dtype=np.float64)
+        value_sets = [A.data * s for s in scales]
+        rhs_list = [
+            np.cos(np.arange(A.n, dtype=np.float64) * 0.01 * (k + 1))
+            for k in range(requests)
+        ]
+
+        # Naive traffic baseline: refactorize from scratch per request.
+        S = A.to_scipy().tocsc()
+
+        def run_naive():
+            return [
+                spla.spsolve(S * s, b) for s, b in zip(scales, rhs_list)
+            ]
+
+        naive_seconds, _ = time_callable(run_naive, repeats=1, warmup=0)
+
+        # Sequential oracle: in-process factor/solve amortization.
+        ref = SparseLinearSolver(A, ordering="natural", options=options)
+
+        def run_sequential():
+            xs = []
+            for values, b in zip(value_sets, rhs_list):
+                ref.factorize(A.with_values(values))
+                xs.append(ref.solve(b))
+            return xs
+
+        seq_seconds, seq_xs = time_callable(run_sequential, repeats=1, warmup=1)
+
+        # Uncoalesced service: the full serving path, one request at a time.
+        svc_plain = SolverService(options=options, coalesce=False)
+        handle_plain = svc_plain.register_pattern(A)
+
+        def run_uncoalesced():
+            return [
+                svc_plain.solve(handle_plain, values, b)
+                for values, b in zip(value_sets, rhs_list)
+            ]
+
+        unco_seconds, _ = time_callable(run_uncoalesced, repeats=1, warmup=1)
+        svc_plain.close()
+
+        # Coalesced service: submit everything, let the micro-batcher group.
+        svc = SolverService(
+            options=options,
+            window_seconds=window_seconds,
+            max_batch=max_batch,
+            max_in_flight=max(4 * requests, 64),
+        )
+        handle = svc.register_pattern(A)
+
+        def run_coalesced():
+            futures = [
+                svc.submit(handle, values, b)
+                for values, b in zip(value_sets, rhs_list)
+            ]
+            return [future.result(timeout=120.0) for future in futures]
+
+        run_coalesced()  # warm-up round (also seeds the batch histogram)
+        disk_before = disk_cache_stats().as_dict()
+        misses_before = svc.stats()["artifact_cache"]["misses"]
+        coal_seconds, coal_xs = time_callable(run_coalesced, repeats=1, warmup=0)
+        disk_after = disk_cache_stats().as_dict()
+        stats = svc.stats()
+        recompiles = (
+            (disk_after["compiles"] - disk_before["compiles"])
+            + (disk_after["py_writes"] - disk_before["py_writes"])
+            + (stats["artifact_cache"]["misses"] - misses_before)
+        )
+        pattern_info = stats["patterns"][handle.handle_id]
+
+        bitwise = all(
+            np.array_equal(coal_xs[k], seq_xs[k]) for k in range(requests)
+        )
+        if backend == "python" and not bitwise:
+            raise AssertionError(
+                f"coalesced serving results differ from sequential on {entry.name}"
+            )
+
+        # Evict → re-register must be a warm, zero-recompile path (the
+        # generated code survives on disk; only the pinned artifacts drop).
+        svc.evict(handle)
+        disk_before_rereg = disk_cache_stats().as_dict()
+        handle2 = svc.register_pattern(A)
+        disk_after_rereg = disk_cache_stats().as_dict()
+        reregister_warm = bool(
+            handle2.warm
+            and disk_after_rereg["compiles"] == disk_before_rereg["compiles"]
+            and disk_after_rereg["py_writes"] == disk_before_rereg["py_writes"]
+        )
+        svc.close()
+
+        rows.append(
+            {
+                "problem_id": entry.problem_id,
+                "name": entry.name,
+                "n": A.n,
+                "nnz_L": handle.factor_nnz,
+                "backend": backend,
+                "backend_effective": pattern_info["backend_effective"],
+                "mode": pattern_info["mode"],
+                "requests": requests,
+                "window_seconds": window_seconds,
+                "max_batch": max_batch,
+                "cpu_count": os.cpu_count() or 1,
+                "naive_scipy_seconds": naive_seconds,
+                "sequential_seconds": seq_seconds,
+                "uncoalesced_seconds": unco_seconds,
+                "coalesced_seconds": coal_seconds,
+                "coalesced_over_uncoalesced": unco_seconds / max(coal_seconds, 1e-12),
+                "speedup_vs_scipy": naive_seconds / max(coal_seconds, 1e-12),
+                "requests_per_second": requests / max(coal_seconds, 1e-12),
+                "coalescing_ratio": stats["coalescing_ratio"],
+                "max_batch_observed": stats["max_batch_size"],
+                "p95_latency_seconds": stats["latency"]["p95_seconds"],
+                "serving_recompiles": int(recompiles),
+                "bitwise_identical": bitwise,
+                "reregister_warm": reregister_warm,
             }
         )
     return rows

@@ -20,7 +20,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.compiler.options import SympilerOptions
 
@@ -75,11 +75,19 @@ def cache_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of an :class:`ArtifactCache`."""
+    """Hit/miss/eviction counters of an :class:`ArtifactCache`.
+
+    ``coalesced`` counts compile requests that piggybacked on another
+    thread's in-flight build of the same key (single-flight collapsing);
+    ``removals`` counts explicit :meth:`ArtifactCache.remove` calls (service
+    evictions under a memory budget), as opposed to LRU ``evictions``.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    coalesced: int = 0
+    removals: int = 0
 
     @property
     def lookups(self) -> int:
@@ -97,6 +105,8 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "coalesced": self.coalesced,
+            "removals": self.removals,
             "hit_rate": self.hit_rate,
         }
 
@@ -107,6 +117,14 @@ class ArtifactCache:
     Keys are arbitrary hashables (the driver uses
     ``(kernel, pattern fingerprint, options fingerprint)`` tuples); values are
     the artifact objects themselves, returned by reference on a hit.
+
+    Concurrent builds of the same key collapse to one: :meth:`get_or_build`
+    is single-flight, so two service worker threads racing to compile the
+    same (kernel, pattern, options) run one compile and share the artifact.
+    Keys can be *pinned* (exempt from LRU eviction — the serving layer pins
+    the artifacts of registered patterns) and explicitly removed (the
+    serving layer's compiled-artifact memory budget); eviction listeners
+    observe both LRU evictions and explicit removals.
     """
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
@@ -116,6 +134,13 @@ class ArtifactCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._lock = threading.RLock()
         self._stats = CacheStats()
+        #: Pin *counts* per key: independent holders (two services registering
+        #: the same pattern, two kernels sharing a triangular-solve artifact)
+        #: each take their own pin, and a key stays pinned until every holder
+        #: released it.
+        self._pinned: Dict[Hashable, int] = {}
+        self._building: Dict[Hashable, threading.Event] = {}
+        self._evict_listeners: List[Callable[[Hashable, object, str], None]] = []
 
     def get(self, key: Hashable) -> Optional[object]:
         """Return the cached artifact for ``key`` (marking it recently used)."""
@@ -129,19 +154,170 @@ class ArtifactCache:
             return entry
 
     def put(self, key: Hashable, artifact: object) -> None:
-        """Insert ``artifact`` under ``key``, evicting the LRU entry if full."""
+        """Insert ``artifact`` under ``key``, evicting the LRU entry if full.
+
+        Pinned keys are never LRU-evicted; when every resident entry is
+        pinned the cache temporarily exceeds ``maxsize`` rather than drop a
+        pinned artifact.
+        """
+        victims: List[Tuple[Hashable, object]] = []
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = artifact
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                victim = next(
+                    (
+                        k
+                        for k in self._entries
+                        if k not in self._pinned and k != key
+                    ),
+                    None,
+                )
+                if victim is None:
+                    break
+                victims.append((victim, self._entries.pop(victim)))
                 self._stats.evictions += 1
+        for victim_key, victim_artifact in victims:
+            self._notify_evicted(victim_key, victim_artifact, "lru")
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], object]) -> object:
+        """Return the cached artifact for ``key``, building it once if absent.
+
+        Single-flight: when several threads miss on the same key
+        concurrently, exactly one runs ``builder`` while the others wait and
+        then share the built artifact (counted in ``stats.coalesced``).  If
+        the leading builder raises, one waiter takes over the build (the
+        exception propagates to the leader alone).
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        waited = False
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    if waited:
+                        self._stats.coalesced += 1
+                    return entry
+                event = self._building.get(key)
+                if event is None:
+                    event = self._building[key] = threading.Event()
+                    break  # this thread is the builder
+            waited = True
+            event.wait()
+        try:
+            artifact = builder()
+            self.put(key, artifact)
+            return artifact
+        finally:
+            with self._lock:
+                self._building.pop(key, None)
+            event.set()
+
+    def pin(self, key: Hashable) -> bool:
+        """Take one pin on ``key`` (LRU-exempt); True when the key is resident.
+
+        Pins nest: each :meth:`pin` needs a matching :meth:`unpin` before the
+        key becomes evictable again.
+        """
+        with self._lock:
+            self._pinned[key] = self._pinned.get(key, 0) + 1
+            return key in self._entries
+
+    def unpin(self, key: Hashable) -> int:
+        """Release one pin on ``key``; returns the number of pins remaining."""
+        with self._lock:
+            remaining = self._pinned.get(key, 0) - 1
+            if remaining > 0:
+                self._pinned[key] = remaining
+                return remaining
+            self._pinned.pop(key, None)
+            return 0
+
+    def remove(self, key: Hashable) -> Optional[object]:
+        """Explicitly drop one entry (clearing its pins), returning the artifact."""
+        with self._lock:
+            artifact = self._entries.pop(key, None)
+            self._pinned.pop(key, None)
+            if artifact is not None:
+                self._stats.removals += 1
+        if artifact is not None:
+            self._notify_evicted(key, artifact, "removed")
+        return artifact
+
+    def keys_for(self, artifact: object) -> List[Hashable]:
+        """Every key under which ``artifact`` is cached (identity compare)."""
+        with self._lock:
+            return [k for k, v in self._entries.items() if v is artifact]
+
+    def pin_artifact(self, artifact: object) -> List[Hashable]:
+        """Take one pin on every key holding ``artifact``; returns the keys."""
+        with self._lock:
+            keys = [k for k, v in self._entries.items() if v is artifact]
+            for key in keys:
+                self._pinned[key] = self._pinned.get(key, 0) + 1
+            return keys
+
+    def unpin_artifact(self, artifact: object) -> List[Hashable]:
+        """Release one pin per key holding ``artifact``; returns the keys."""
+        keys = self.keys_for(artifact)
+        for key in keys:
+            self.unpin(key)
+        return keys
+
+    def release_artifact(self, artifact: object) -> List[Hashable]:
+        """Release one pin per key of ``artifact``; drop keys left unpinned.
+
+        The memory-reclaim path of the serving layer: an evicting holder
+        gives up *its own* pins and the entry only leaves the cache when no
+        other holder (another service, a sibling pattern sharing the
+        artifact) still has it pinned.  Returns the keys actually removed.
+        """
+        removed: List[Hashable] = []
+        for key in self.keys_for(artifact):
+            if self.unpin(key) == 0:
+                self.remove(key)
+                removed.append(key)
+        return removed
+
+    def remove_artifact(self, artifact: object) -> List[Hashable]:
+        """Drop every key holding ``artifact`` (pins cleared); returns the keys."""
+        keys = self.keys_for(artifact)
+        for key in keys:
+            self.remove(key)
+        return keys
+
+    def add_eviction_listener(
+        self, listener: Callable[[Hashable, object, str], None]
+    ) -> None:
+        """Register ``listener(key, artifact, reason)`` for evictions/removals.
+
+        ``reason`` is ``"lru"`` or ``"removed"``.  Listeners run outside the
+        cache lock and must not raise.
+        """
+        with self._lock:
+            self._evict_listeners.append(listener)
+
+    def _notify_evicted(self, key: Hashable, artifact: object, reason: str) -> None:
+        with self._lock:
+            listeners = list(self._evict_listeners)
+        for listener in listeners:
+            listener(key, artifact, reason)
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of currently pinned keys."""
+        with self._lock:
+            return len(self._pinned)
 
     def clear(self) -> None:
-        """Drop every cached artifact (counters are kept)."""
+        """Drop every cached artifact and pin (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._pinned.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""

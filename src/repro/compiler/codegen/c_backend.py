@@ -22,6 +22,7 @@ import ctypes
 import os
 import shutil
 import subprocess
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -90,14 +91,34 @@ class DiskCacheStats:
     py_writes: int = 0
     py_reuses: int = 0
 
+    def __post_init__(self) -> None:
+        # Backends increment these counters from service worker threads; a
+        # bare `stats.field += 1` is a read-modify-write that can drop
+        # increments under contention, so all mutation goes through bump().
+        self._lock = threading.Lock()
+
+    def bump(self, field_name: str, n: int = 1) -> None:
+        """Atomically increment one counter."""
+        with self._lock:
+            setattr(self, field_name, getattr(self, field_name) + n)
+
+    def reset(self) -> None:
+        """Zero every counter atomically."""
+        with self._lock:
+            self.compiles = 0
+            self.reuses = 0
+            self.py_writes = 0
+            self.py_reuses = 0
+
     def as_dict(self) -> Dict[str, int]:
-        """Plain-dict view used by the cache probe CLI."""
-        return {
-            "compiles": self.compiles,
-            "reuses": self.reuses,
-            "py_writes": self.py_writes,
-            "py_reuses": self.py_reuses,
-        }
+        """Plain-dict view used by the cache probe CLI (a consistent snapshot)."""
+        with self._lock:
+            return {
+                "compiles": self.compiles,
+                "reuses": self.reuses,
+                "py_writes": self.py_writes,
+                "py_reuses": self.py_reuses,
+            }
 
 
 _DISK_CACHE_STATS = DiskCacheStats()
@@ -110,10 +131,7 @@ def disk_cache_stats() -> DiskCacheStats:
 
 def reset_disk_cache_stats() -> None:
     """Zero the on-disk cache counters (tests and the cache probe)."""
-    _DISK_CACHE_STATS.compiles = 0
-    _DISK_CACHE_STATS.reuses = 0
-    _DISK_CACHE_STATS.py_writes = 0
-    _DISK_CACHE_STATS.py_reuses = 0
+    _DISK_CACHE_STATS.reset()
 
 
 def tmp_path_for(path: str) -> str:
@@ -223,9 +241,9 @@ class CGeneratedModule:
             finally:
                 if os.path.exists(tmp_so):
                     os.unlink(tmp_so)
-            _DISK_CACHE_STATS.compiles += 1
+            _DISK_CACHE_STATS.bump("compiles")
         else:
-            _DISK_CACHE_STATS.reuses += 1
+            _DISK_CACHE_STATS.bump("reuses")
         lib = ctypes.CDLL(so_path)
         fn = getattr(lib, self.entry_name)
         self.shared_object = so_path

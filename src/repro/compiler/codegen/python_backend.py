@@ -259,7 +259,7 @@ class PythonBackend:
                 # Cross-process hit: a sibling process already generated this
                 # exact (kernel, pattern, options) module — skip the AST walk.
                 source, self._constants = persisted
-                disk_cache_stats().py_reuses += 1
+                disk_cache_stats().bump("py_reuses")
                 for name, value in self._constants.items():
                     if name not in kernel.constants:
                         kernel.constants[name] = value
@@ -286,7 +286,7 @@ class PythonBackend:
         source = out.source()
         if paths is not None:
             _persist_module(*paths, source, dict(self._constants))
-            disk_cache_stats().py_writes += 1
+            disk_cache_stats().bump("py_writes")
         codegen_seconds = time.perf_counter() - start
         # Also expose the constants on the kernel for introspection.
         for name, value in self._constants.items():

@@ -174,10 +174,28 @@ class Sympiler:
         if spec.requires_vi_prune and not options.enable_vi_prune:
             options = options.with_updates(enable_vi_prune=True)
             forced_vi_prune = True
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
 
+        # Single-flight through the cache: concurrent compiles of the same
+        # (kernel, pattern, options) — service worker threads registering one
+        # pattern — collapse to one build; the other callers share the
+        # resulting artifact instead of double-compiling.
+        return self.cache.get_or_build(
+            key,
+            lambda: self._build(
+                spec, matrix, options, kernel_args, fingerprint, forced_vi_prune
+            ),
+        )
+
+    def _build(
+        self,
+        spec,
+        matrix: CSCMatrix,
+        options: SympilerOptions,
+        kernel_args: dict,
+        fingerprint: str,
+        forced_vi_prune: bool,
+    ) -> CompiledArtifact:
+        """Run the full inspection → transformation → codegen pipeline once."""
         inspector = spec.inspector_cls()
         inspection = inspector.inspect(matrix, **spec.inspect_kwargs(options, kernel_args))
 
@@ -218,7 +236,7 @@ class Sympiler:
             codegen=module.codegen_seconds,
             compile=module.compile_seconds,
         )
-        artifact = spec.artifact_cls(
+        return spec.artifact_cls(
             kernel=kernel_fn,
             module=module,
             entry=entry,
@@ -229,8 +247,6 @@ class Sympiler:
             fingerprint=fingerprint,
             inspection=inspection,
         )
-        self.cache.put(key, artifact)
-        return artifact
 
     # ------------------------------------------------------------------ #
     # Convenience wrappers (thin aliases over the generic entry point)

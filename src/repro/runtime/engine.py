@@ -29,6 +29,7 @@ and **per-item error isolation** (a singular/indefinite item is reported in
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -131,6 +132,12 @@ class BatchExecutor:
             if not self._is_c_backend and hasattr(artifact, "factorize_arrays")
             else None
         )
+        # Incremental batch assembly (submit/drain): value sets queued by
+        # submit() accumulate here until the next drain() runs them as one
+        # batch.  The serving layer's coalescer feeds requests in as they
+        # arrive instead of materializing all-at-once lists.
+        self._pending: List[np.ndarray] = []
+        self._pending_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -196,6 +203,40 @@ class BatchExecutor:
             num_threads=workers,
             seconds=time.perf_counter() - start,
         )
+
+    # ------------------------------------------------------------------ #
+    # Incremental mode: submit value sets one by one, drain as one batch.
+    # ------------------------------------------------------------------ #
+    def submit(self, values: np.ndarray) -> int:
+        """Queue one value set for the next :meth:`drain`; returns its slot.
+
+        The slot index is the item's position in the drained
+        :class:`BatchResult` — stable because submissions append and drain
+        atomically swaps the whole pending list.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        with self._pending_lock:
+            self._pending.append(values)
+            return len(self._pending) - 1
+
+    @property
+    def pending_count(self) -> int:
+        """Number of value sets queued for the next drain."""
+        with self._pending_lock:
+            return len(self._pending)
+
+    def drain(self, Ap: np.ndarray, Ai: np.ndarray) -> BatchResult:
+        """Run every pending value set as one factorization batch.
+
+        Atomically takes the pending list (submissions racing with the swap
+        land in the *next* batch) and dispatches it through
+        :meth:`factorize_batch`; an empty queue returns an empty result.
+        """
+        with self._pending_lock:
+            pending, self._pending = self._pending, []
+        if not pending:
+            return BatchResult(results=[], mode=self.mode, num_threads=1)
+        return self.factorize_batch(Ap, Ai, pending)
 
     # ------------------------------------------------------------------ #
     def factorize_batch(

@@ -88,15 +88,22 @@ class FactorHandle:
         """The upper-triangular LU factor (``None`` for symmetric methods)."""
         return getattr(self.factors, "U", None)
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve this scenario's system ``A_i x = b``."""
+    def solve(self, b: np.ndarray, *, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Solve this scenario's system ``A_i x = b``.
+
+        ``out`` optionally receives the solution in place (zero-copy dispatch
+        for the serving layer, which solves whole coalesced batches into one
+        preallocated response block).
+        """
         self._require_ok()
         if self._Lt is None:
             if self._backward_builder is not None:
                 self._Lt = self._backward_builder(self)
             else:
                 self._Lt = backward_factor(self.L, self.U)
-        return self._solver.solve_with_factors(b, L=self.L, d=self.d, Lt=self._Lt)
+        return self._solver.solve_with_factors(
+            b, L=self.L, d=self.d, Lt=self._Lt, out=out
+        )
 
 
 class BatchedSolver:
@@ -245,6 +252,10 @@ class BatchedSolver:
         )
         self.batch_seconds = time.perf_counter() - start
         self.last_result = result
+        return self.handles_from_result(result)
+
+    def handles_from_result(self, result: BatchResult) -> List[FactorHandle]:
+        """Wrap a raw :class:`BatchResult` into per-item factor handles."""
         error_by_index = {e.index: e.error for e in result.errors}
         return [
             FactorHandle(
@@ -256,6 +267,44 @@ class BatchedSolver:
             )
             for i, raw in enumerate(result.results)
         ]
+
+    # ------------------------------------------------------------------ #
+    # Incremental mode: the serving layer feeds scenarios in one at a time
+    # (as requests arrive) and drains them as one coalesced batch.
+    # ------------------------------------------------------------------ #
+    def permute_values(self, values: np.ndarray) -> np.ndarray:
+        """Map input-order pattern values into permuted-pattern order.
+
+        One fancy-indexing gather through the precomputed permutation — the
+        per-request hot path of the serving layer.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.solver.A.nnz,):
+            raise ValueError(
+                f"values must have shape ({self.solver.A.nnz},) matching the "
+                "registered pattern's nonzero count"
+            )
+        return values[self._value_permutation]
+
+    def submit_values(self, values: np.ndarray, *, permuted: bool = False) -> int:
+        """Queue one value set for the next :meth:`drain`; returns its slot."""
+        values = np.asarray(values, dtype=np.float64)
+        if not permuted:
+            values = self.permute_values(values)
+        elif values.shape != (self.solver.A_permuted.nnz,):
+            raise ValueError(
+                f"permuted values must have shape ({self.solver.A_permuted.nnz},)"
+            )
+        return self.executor.submit(values)
+
+    def drain(self) -> List[FactorHandle]:
+        """Factorize every submitted value set as one batch; handles per item."""
+        permuted = self.solver.A_permuted
+        start = time.perf_counter()
+        result = self.executor.drain(permuted.indptr, permuted.indices)
+        self.batch_seconds = time.perf_counter() - start
+        self.last_result = result
+        return self.handles_from_result(result)
 
     def _handle_backward(self, handle: FactorHandle) -> CSCMatrix:
         """The backward operand of one handle, via a precomputed gather.

@@ -1,0 +1,48 @@
+"""The serving layer: a long-lived solver service over the compiled-kernel stack.
+
+The paper's inspector/executor amortization pays off when one compile serves
+many numeric executions; this package turns that into a served resource:
+
+* :mod:`repro.service.session` — :class:`SolverService`:
+  ``register_pattern`` (compile + pin → :class:`PatternHandle`), ``submit``
+  (future-based solves), synchronous ``solve``, explicit ``evict``.
+* :mod:`repro.service.coalescer` — micro-batched coalescing of in-flight
+  same-pattern requests into the batched runtime (stacked python kernels /
+  threaded C kernels), with per-request error isolation.
+* :mod:`repro.service.admission` — bounded in-flight work
+  (reject-with-retry-after backpressure) and the per-pattern LRU
+  compiled-artifact budget.
+* :mod:`repro.service.metrics` — cumulative counters, coalesced-batch-size
+  histogram and latency quantiles behind the ``stats`` endpoint.
+* :mod:`repro.service.wire` / :mod:`repro.service.client` — a stdlib-only
+  socket transport (JSON header + raw ndarray frames) and the mirroring
+  :class:`ServiceClient`; ``python -m repro.service`` runs the server.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    PatternEvictedError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service.client import RemoteHandle, RemoteServiceError, ServiceClient
+from repro.service.coalescer import Coalescer
+from repro.service.metrics import ServiceMetrics
+from repro.service.session import PatternHandle, SolverService
+from repro.service.wire import SolverServiceServer, serve_background
+
+__all__ = [
+    "SolverService",
+    "PatternHandle",
+    "ServiceClient",
+    "RemoteHandle",
+    "RemoteServiceError",
+    "SolverServiceServer",
+    "serve_background",
+    "Coalescer",
+    "ServiceMetrics",
+    "AdmissionController",
+    "ServiceOverloadedError",
+    "PatternEvictedError",
+    "ServiceClosedError",
+]

@@ -1,0 +1,217 @@
+"""``python -m repro.service`` — run (or smoke-test) the solver service.
+
+Server mode binds a TCP address (default ``127.0.0.1:8377``; port 0 picks an
+ephemeral port, printed on stdout) and serves until interrupted::
+
+    python -m repro.service --port 8377 --window-ms 2 --max-batch 32
+
+``--smoke`` instead runs the end-to-end self-check CI uses: boot a server on
+an ephemeral port, register several patterns over the wire, drive a mixed
+same-/cross-pattern request load through :class:`ServiceClient` connections
+from worker threads, verify every solution against a local reference solver,
+and assert the amortization invariant — **zero recompiles after warm-up**
+(no C recompiles, no python-module regenerations, no artifact-cache misses
+while serving).  Exits nonzero on any violation and prints the service stats
+JSON either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from typing import List
+
+import numpy as np
+
+from repro.compiler.options import SympilerOptions
+from repro.service.client import ServiceClient
+from repro.service.session import SolverService
+from repro.service.wire import SolverServiceServer, serve_background
+
+__all__ = ["main", "run_smoke"]
+
+
+def _build_service(args) -> SolverService:
+    options = SympilerOptions(backend=args.backend)
+    return SolverService(
+        options=options,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_in_flight=args.max_in_flight,
+        max_patterns=args.max_patterns,
+    )
+
+
+def run_smoke(args) -> int:
+    """The CI smoke: mixed-pattern wire load with the zero-recompile assert."""
+    from repro.compiler.codegen.c_backend import disk_cache_stats
+    from repro.solvers.linear_solver import SparseLinearSolver
+    from repro.sparse.generators import fem_stencil_2d, laplacian_2d
+
+    service = _build_service(args)
+    server, thread = serve_background(service, host="127.0.0.1", port=0)
+    address = server.server_address
+    failures: List[str] = []
+    try:
+        matrices = {
+            "lap_small": laplacian_2d(12, shift=0.1),
+            "fem": fem_stencil_2d(9, shift=0.25),
+            "lap_large": laplacian_2d(15, shift=0.2),
+        }
+        with ServiceClient(address) as control:
+            handles = {
+                name: control.register_pattern(A) for name, A in matrices.items()
+            }
+        # Local reference solvers (same options/ordering → same compiled
+        # kernels via the shared cache) to verify every wire solution.
+        references = {
+            name: SparseLinearSolver(
+                A, ordering="natural", options=service.options
+            )
+            for name, A in matrices.items()
+        }
+
+        # ---- warm-up complete; from here on, nothing may be recompiled ----
+        disk_before = disk_cache_stats().as_dict()
+        cache_stats = next(iter(references.values())).cache_stats
+        misses_before = cache_stats.misses
+
+        names = list(matrices)
+        total = args.requests
+        per_worker = total // args.workers
+        errors: List[str] = []
+
+        def drive(worker: int) -> None:
+            rng = np.random.default_rng(1000 + worker)
+            try:
+                with ServiceClient(address) as client:
+                    for i in range(per_worker):
+                        name = names[(worker + i) % len(names)]
+                        A = matrices[name]
+                        # SPD-preserving perturbation: scale the whole matrix;
+                        # (s·A)x = b has the closed-form reference A⁻¹b / s.
+                        scale = 1.0 + 0.05 * rng.random()
+                        values = A.data * scale
+                        rhs = np.sin(np.arange(A.n, dtype=np.float64) + worker + i)
+                        x = client.solve(handles[name], values, rhs)
+                        expected = references[name].solve(rhs) / scale
+                        if not np.allclose(x, expected, atol=1e-8):
+                            errors.append(f"worker {worker} request {i}: mismatch")
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(f"worker {worker}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=drive, args=(w,)) for w in range(args.workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        disk_after = disk_cache_stats().as_dict()
+        misses_after = cache_stats.misses
+        recompiles = (disk_after["compiles"] - disk_before["compiles"]) + (
+            disk_after["py_writes"] - disk_before["py_writes"]
+        )
+        cache_misses = misses_after - misses_before
+
+        with ServiceClient(address) as control:
+            stats = control.stats()
+        solves = stats["counters"].get("solves_ok", 0)
+
+        failures.extend(errors)
+        if solves < args.workers * per_worker:
+            failures.append(
+                f"only {solves} solves completed "
+                f"(expected {args.workers * per_worker})"
+            )
+        if recompiles != 0:
+            failures.append(
+                f"{recompiles} kernel(s) were regenerated under sustained "
+                "load (expected 0 after warm-up)"
+            )
+        if cache_misses != 0:
+            failures.append(
+                f"{cache_misses} artifact-cache miss(es) while serving "
+                "(expected 0 after warm-up)"
+            )
+        report = {
+            "address": list(address),
+            "requests": solves,
+            "warm_recompiles": recompiles,
+            "warm_cache_misses": cache_misses,
+            "coalescing_ratio": stats.get("coalescing_ratio"),
+            "batch_size_histogram": stats.get("batch_size_histogram"),
+            "latency": stats.get("latency"),
+            "failures": failures,
+        }
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+    if failures:
+        for failure in failures:
+            sys.stderr.write(f"service smoke: {failure}\n")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8377, help="TCP port (0 = ephemeral)")
+    parser.add_argument(
+        "--backend", choices=["python", "c"], default="python",
+        help="code-generation backend for registered patterns",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="micro-batching window in milliseconds",
+    )
+    parser.add_argument("--max-batch", type=int, default=32, help="coalesced batch cap")
+    parser.add_argument(
+        "--max-in-flight", type=int, default=256,
+        help="admitted-but-incomplete request bound (backpressure beyond it)",
+    )
+    parser.add_argument(
+        "--max-patterns", type=int, default=32,
+        help="registered-pattern budget (LRU eviction beyond it)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the CI self-check instead of serving (ephemeral port, "
+        "mixed-pattern load, zero-recompile assertion)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=48,
+        help="[--smoke] total requests to drive",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="[--smoke] concurrent client connections",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args)
+    service = _build_service(args)
+    server = SolverServiceServer((args.host, args.port), service)
+    host, port = server.server_address
+    sys.stdout.write(f"repro solver service listening on {host}:{port}\n")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

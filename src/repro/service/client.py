@@ -1,0 +1,222 @@
+"""The wire client: :class:`ServiceClient` mirrors the in-process service API.
+
+One persistent connection per client (requests on it are serialized by a
+lock; run several clients for concurrency — the server coalesces their
+same-pattern requests into shared micro-batches regardless of which
+connection they arrive on).  Stdlib + numpy only; errors map back to the
+same exception types the in-process API raises, so code can move between
+``SolverService`` and ``ServiceClient`` unchanged:
+
+* ``overloaded`` → :class:`~repro.service.admission.ServiceOverloadedError`
+  (carrying the server's ``retry_after`` hint),
+* ``evicted`` → :class:`~repro.service.admission.PatternEvictedError`,
+* anything else → :class:`RemoteServiceError` with the server-side message.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.compiler.options import SympilerOptions
+from repro.service.admission import PatternEvictedError, ServiceOverloadedError
+from repro.service.wire import ProtocolError, recv_message, send_message
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["ServiceClient", "RemoteHandle", "RemoteServiceError"]
+
+
+class RemoteServiceError(RuntimeError):
+    """The server reported a failure with no more specific local type.
+
+    ``kind`` preserves the server-side classification (usually the remote
+    exception's class name).
+    """
+
+    def __init__(self, message: str, *, kind: str = "error") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class RemoteHandle:
+    """Client-side view of a registered pattern (mirrors ``PatternHandle``)."""
+
+    handle_id: str
+    fingerprint: str
+    kernel: str
+    ordering: str
+    n: int
+    nnz: int
+    factor_nnz: int
+    warm: bool
+    schedule_levels: int
+    schedule_avg_width: float
+
+
+def _raise_remote(response: Dict) -> None:
+    kind = str(response.get("kind", "error"))
+    message = str(response.get("error", "remote error"))
+    if kind == "overloaded":
+        raise ServiceOverloadedError(
+            message, retry_after=float(response.get("retry_after", 0.05))
+        )
+    if kind == "evicted":
+        raise PatternEvictedError(message)
+    raise RemoteServiceError(message, kind=kind)
+
+
+class ServiceClient:
+    """Talk to a running solver service over TCP or a Unix domain socket.
+
+    ``address`` is ``(host, port)`` for TCP or a filesystem path string for
+    a Unix socket.  The client is thread-safe (calls serialize on one
+    connection); it is also a context manager closing the socket on exit.
+    """
+
+    def __init__(
+        self,
+        address: Union[Tuple[str, int], str],
+        *,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        self.address = address
+        if isinstance(address, str):
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+                raise OSError("unix domain sockets are unavailable on this platform")
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address)
+        else:
+            host, port = address
+            self._sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._lock = threading.Lock()
+        self._closed = False
+        self._broken = False
+
+    # ------------------------------------------------------------------ #
+    def _call(
+        self, header: Dict, frames: Sequence[np.ndarray] = ()
+    ) -> Tuple[Dict, List[np.ndarray]]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("client is closed")
+            if self._broken:
+                raise RuntimeError(
+                    "client connection is desynchronized after a previous "
+                    "mid-call failure; open a new ServiceClient"
+                )
+            try:
+                send_message(self._wfile, header, frames)
+                message = recv_message(self._rfile)
+            except BaseException:
+                # A timeout or I/O error mid-call leaves the stale response
+                # in flight: a retry on this socket would read the *previous*
+                # call's answer as its own.  Poison the connection instead.
+                self._broken = True
+                raise
+            if message is None:
+                self._broken = True
+                raise ProtocolError("server closed the connection mid-call")
+        response, out_frames = message
+        if not response.get("ok"):
+            _raise_remote(response)
+        return response, out_frames
+
+    # ------------------------------------------------------------------ #
+    def register_pattern(
+        self,
+        A: CSCMatrix,
+        *,
+        kernel: str = "cholesky",
+        ordering: str = "natural",
+        options: Optional[Union[SympilerOptions, Dict]] = None,
+    ) -> RemoteHandle:
+        """Register ``A``'s pattern on the server; returns a remote handle."""
+        payload: Optional[Dict] = None
+        if isinstance(options, SympilerOptions):
+            payload = asdict(options)
+            payload["c_flags"] = list(payload["c_flags"])
+            payload["transformation_order"] = list(payload["transformation_order"])
+        elif options is not None:
+            payload = dict(options)
+        header = {
+            "op": "register",
+            "n": A.n,
+            "kernel": kernel,
+            "ordering": ordering,
+            "options": payload,
+        }
+        response, _ = self._call(header, [A.indptr, A.indices, A.data])
+        return RemoteHandle(**response["handle"])
+
+    def solve(
+        self,
+        handle: Union[RemoteHandle, str],
+        values: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Solve one system on a registered pattern; returns the solution."""
+        handle_id = handle.handle_id if isinstance(handle, RemoteHandle) else str(handle)
+        header = {"op": "solve", "handle": handle_id, "timeout": timeout}
+        _, frames = self._call(
+            header,
+            [
+                np.ascontiguousarray(values, dtype=np.float64),
+                np.ascontiguousarray(rhs, dtype=np.float64),
+            ],
+        )
+        if len(frames) != 1:
+            raise ProtocolError(f"solve response carried {len(frames)} frames")
+        return np.array(frames[0], dtype=np.float64, copy=True)
+
+    def stats(self) -> Dict:
+        """The server's cumulative metrics snapshot."""
+        response, _ = self._call({"op": "stats"})
+        return response["stats"]
+
+    def evict(self, handle: Union[RemoteHandle, str]) -> bool:
+        """Explicitly evict a registered pattern server-side."""
+        handle_id = handle.handle_id if isinstance(handle, RemoteHandle) else str(handle)
+        response, _ = self._call({"op": "evict", "handle": handle_id})
+        return bool(response.get("evicted"))
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        response, _ = self._call({"op": "ping"})
+        return bool(response.get("pong"))
+
+    def shutdown_server(self) -> None:
+        """Ask the server to shut down (it answers, then stops accepting)."""
+        self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for stream in (self._wfile, self._rfile):
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,116 @@
+"""Cumulative serving-layer metrics: counters, histograms, latency quantiles.
+
+The service's observable surface.  Everything here is cheap to record on the
+hot path (one lock, integer bumps, a bounded reservoir append) and surfaced
+as one JSON-friendly snapshot through the ``stats`` endpoint, which the tests
+and the CI smoke step assert on — the coalescing/amortization story measured,
+not assumed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+#: Latency samples kept for quantile estimation (a sliding reservoir; enough
+#: for stable p95 under the smoke workloads without unbounded growth).
+DEFAULT_LATENCY_SAMPLES = 4096
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``samples`` by linear interpolation.
+
+    Stdlib-only (the wire layer keeps numpy out of metric aggregation so a
+    thin monitoring client could reuse it); empty input returns 0.0.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be within [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class ServiceMetrics:
+    """Thread-safe cumulative counters of one :class:`SolverService`.
+
+    Counters (``incr``/``snapshot`` names):
+
+    * ``registrations`` / ``compile_cold`` / ``compile_warm`` — pattern
+      registrations and whether they generated code or reused cached
+      artifacts (in-memory or on-disk),
+    * ``solves_ok`` / ``solves_failed`` — per-request outcomes,
+    * ``batches`` — coalesced dispatches (the batch-size histogram records
+      their sizes; ``coalescing_ratio`` is requests per dispatch),
+    * ``rejected`` — admission-control backpressure rejections,
+    * ``patterns_evicted`` — LRU/explicit evictions of registered patterns.
+    """
+
+    def __init__(self, *, max_latency_samples: int = DEFAULT_LATENCY_SAMPLES) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._batch_sizes: Dict[int, int] = {}
+        self._latencies: Deque[float] = deque(maxlen=max_latency_samples)
+        self._latency_count = 0
+        self._latency_total = 0.0
+
+    # ------------------------------------------------------------------ #
+    def incr(self, name: str, n: int = 1) -> None:
+        """Bump one named counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def count(self, name: str) -> int:
+        """Current value of one named counter (0 when never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_batch(self, size: int) -> None:
+        """Record one coalesced dispatch of ``size`` requests."""
+        if size <= 0:
+            return
+        with self._lock:
+            self._counters["batches"] = self._counters.get("batches", 0) + 1
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one request's enqueue-to-completion latency."""
+        with self._lock:
+            self._latencies.append(float(seconds))
+            self._latency_count += 1
+            self._latency_total += float(seconds)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """One consistent JSON-friendly view of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            histogram = dict(self._batch_sizes)
+            samples = list(self._latencies)
+            latency_count = self._latency_count
+            latency_total = self._latency_total
+        solves = counters.get("solves_ok", 0) + counters.get("solves_failed", 0)
+        batches = counters.get("batches", 0)
+        dispatched = sum(size * count for size, count in histogram.items())
+        return {
+            "counters": counters,
+            "batch_size_histogram": {str(k): v for k, v in sorted(histogram.items())},
+            "solves": solves,
+            "coalescing_ratio": (dispatched / batches) if batches else 0.0,
+            "max_batch_size": max(histogram) if histogram else 0,
+            "latency": {
+                "count": latency_count,
+                "mean_seconds": (latency_total / latency_count) if latency_count else 0.0,
+                "p50_seconds": percentile(samples, 50.0),
+                "p95_seconds": percentile(samples, 95.0),
+            },
+        }

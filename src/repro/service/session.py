@@ -1,0 +1,539 @@
+"""The long-lived solver service: patterns registered once, solves served many.
+
+:class:`SolverService` is the serving-layer face of the whole stack.  It
+turns the paper's inspector/executor amortization into a served resource:
+
+* :meth:`SolverService.register_pattern` compiles (or warm-loads) the
+  factorization + triangular-solve kernels for one sparsity pattern, pins
+  the artifacts in the shared compiler cache and returns a
+  :class:`PatternHandle` carrying the fingerprint/schedule metadata,
+* :meth:`SolverService.submit` enqueues one numeric solve (new values on the
+  registered pattern, one right-hand side) and returns a
+  :class:`concurrent.futures.Future`; :meth:`SolverService.solve` is the
+  synchronous convenience,
+* in-flight same-pattern requests are coalesced into micro-batches
+  (:mod:`repro.service.coalescer`) and dispatched through the batched
+  runtime's incremental submit/drain mode — stacked vectorized kernels on
+  the python backend, thread-pooled GIL-free C kernels — with per-request
+  error isolation,
+* admission control (:mod:`repro.service.admission`) bounds in-flight work
+  (reject-with-retry-after) and the compiled-artifact memory budget
+  (per-pattern LRU pinning with explicit eviction; evicted patterns
+  re-register warm from the on-disk code cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compiler.cache import options_fingerprint
+from repro.compiler.codegen.c_backend import disk_cache_stats
+from repro.compiler.codegen.runtime import pattern_fingerprint
+from repro.compiler.options import SympilerOptions
+from repro.runtime.facade import BatchedSolver
+from repro.service.admission import (
+    AdmissionController,
+    PatternEvictedError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service.coalescer import Coalescer
+from repro.service.metrics import ServiceMetrics
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["SolverService", "PatternHandle"]
+
+
+@dataclass(frozen=True)
+class PatternHandle:
+    """One registered pattern: identity, compile provenance and metadata.
+
+    Handles are value objects — serializable over the wire by ``handle_id``
+    — and stay valid until the pattern is evicted; solving through an
+    evicted handle raises
+    :class:`~repro.service.admission.PatternEvictedError` (re-register to
+    get a fresh handle; the on-disk cache makes that warm).
+    """
+
+    handle_id: str
+    key: tuple
+    fingerprint: str
+    kernel: str
+    ordering: str
+    n: int
+    nnz: int
+    factor_nnz: int
+    #: True when registration reused previously generated code end to end
+    #: (zero C recompiles and zero python-module regenerations).
+    warm: bool
+    #: Level-set schedule shape, for capacity planning without a round-trip.
+    schedule_levels: int
+    schedule_avg_width: float
+
+
+@dataclass
+class _Request:
+    """One enqueued solve: permuted values, RHS, and the caller's future."""
+
+    values: np.ndarray
+    rhs: np.ndarray
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class _PatternEntry:
+    """Server-side state of one registered pattern."""
+
+    key: tuple
+    handle: PatternHandle
+    batched: BatchedSolver
+    #: The backend that actually generated code ("c" may fall back to
+    #: "python" when no toolchain exists); recorded for the stats endpoint.
+    backend_effective: str = "python"
+    #: Serializes incremental submit/drain rounds on the shared executor so
+    #: concurrent uncoalesced dispatches never interleave their batches.
+    dispatch_lock: threading.Lock = field(default_factory=threading.Lock)
+    solves: int = 0
+    dead: bool = False
+
+
+class SolverService:
+    """A long-lived, thread-safe serving layer over the compiled-kernel stack.
+
+    Parameters
+    ----------
+    options:
+        Default :class:`SympilerOptions` for registrations (per-registration
+        override allowed).
+    window_seconds, max_batch:
+        Micro-batching knobs: a pattern's queue flushes when the oldest
+        request has waited ``window_seconds`` or ``max_batch`` requests are
+        queued, whichever comes first.
+    max_in_flight, retry_after_seconds:
+        Backpressure: beyond ``max_in_flight`` admitted-but-incomplete
+        requests, ``submit`` rejects with a ``retry_after`` hint.
+    max_patterns:
+        Compiled-artifact budget: at most this many patterns stay registered;
+        the least recently used is evicted (artifacts dropped from the
+        compiler cache) when the budget is exceeded.
+    coalesce:
+        ``False`` dispatches each request individually in the calling thread
+        (the uncoalesced baseline the ``serving`` bench measures against).
+    num_threads:
+        Worker threads for C-backend batch dispatch (defaults to the
+        options' ``num_threads``).
+
+    Examples
+    --------
+    >>> from repro.sparse import laplacian_2d
+    >>> import numpy as np
+    >>> service = SolverService()
+    >>> A = laplacian_2d(8)
+    >>> handle = service.register_pattern(A)
+    >>> x = service.solve(handle, A.data, np.ones(A.n))
+    >>> bool(np.isfinite(x).all())
+    True
+    >>> service.close()
+    """
+
+    def __init__(
+        self,
+        *,
+        options: Optional[SympilerOptions] = None,
+        window_seconds: float = 0.002,
+        max_batch: int = 32,
+        max_in_flight: int = 256,
+        max_patterns: int = 32,
+        retry_after_seconds: float = 0.05,
+        coalesce: bool = True,
+        num_threads: Optional[int] = None,
+    ) -> None:
+        self.options = options or SympilerOptions()
+        self.coalesce = bool(coalesce)
+        self.num_threads = num_threads
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(
+            max_in_flight=max_in_flight,
+            max_patterns=max_patterns,
+            retry_after_seconds=retry_after_seconds,
+        )
+        self.coalescer = Coalescer(
+            self._dispatch, window_seconds=window_seconds, max_batch=max_batch
+        )
+        self._lock = threading.Lock()
+        self._entries: Dict[tuple, _PatternEntry] = {}
+        self._by_id: Dict[str, tuple] = {}
+        self._registering: Dict[tuple, threading.Event] = {}
+        self._closed = False
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------ #
+    # Registration / eviction (the control plane)
+    # ------------------------------------------------------------------ #
+    def register_pattern(
+        self,
+        A: CSCMatrix,
+        *,
+        kernel: str = "cholesky",
+        ordering: str = "natural",
+        options: Optional[SympilerOptions] = None,
+    ) -> PatternHandle:
+        """Register one sparsity pattern; compile eagerly, pin, return a handle.
+
+        Registration is idempotent and single-flight: concurrent
+        registrations of the same (pattern, kernel, ordering, options)
+        collapse to one compile — every caller shares the entry and its
+        pinned artifacts.  ``A`` must carry numerically valid values (the
+        eager compile runs one factorization to seed the triangular-solve
+        kernels).
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        options = options or self.options
+        key = (
+            kernel,
+            pattern_fingerprint(A.indptr, A.indices, extra=f"n={A.n}"),
+            ordering,
+            options_fingerprint(options),
+        )
+        waited = False
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self.metrics.incr("registrations")
+                    if waited:
+                        self.metrics.incr("registrations_coalesced")
+                    else:
+                        self.metrics.incr("compile_warm")
+                    self.admission.touch_pattern(key)
+                    return entry.handle
+                event = self._registering.get(key)
+                if event is None:
+                    event = self._registering[key] = threading.Event()
+                    break  # this thread builds the entry
+            waited = True
+            event.wait()
+        try:
+            entry = self._build_entry(A, kernel, ordering, options, key)
+            with self._lock:
+                self._entries[key] = entry
+                self._by_id[entry.handle.handle_id] = key
+            for victim in self.admission.pin_pattern(key):
+                self._drop_entry(victim, reason="lru")
+            return entry.handle
+        finally:
+            with self._lock:
+                self._registering.pop(key, None)
+            event.set()
+
+    def _build_entry(
+        self,
+        A: CSCMatrix,
+        kernel: str,
+        ordering: str,
+        options: SympilerOptions,
+        key: tuple,
+    ) -> _PatternEntry:
+        disk_before = disk_cache_stats().as_dict()
+        batched = BatchedSolver(
+            A,
+            method=kernel,
+            ordering=ordering,
+            options=options,
+            num_threads=self.num_threads,
+        )
+        disk_after = disk_cache_stats().as_dict()
+        generated = (disk_after["compiles"] - disk_before["compiles"]) + (
+            disk_after["py_writes"] - disk_before["py_writes"]
+        )
+        warm = generated == 0
+        solver = batched.solver
+        cache = solver.artifact_cache
+        for artifact in solver.compiled_artifacts:
+            cache.pin_artifact(artifact)
+        schedule = batched.schedule
+        handle = PatternHandle(
+            handle_id=hashlib.sha256(repr(key).encode()).hexdigest()[:16],
+            key=key,
+            fingerprint=key[1],
+            kernel=solver.method,
+            ordering=ordering,
+            n=A.n,
+            nnz=A.nnz,
+            factor_nnz=solver.factor_nnz,
+            warm=warm,
+            schedule_levels=schedule.n_levels if schedule is not None else 0,
+            schedule_avg_width=(
+                float(schedule.average_width) if schedule is not None else 0.0
+            ),
+        )
+        self.metrics.incr("registrations")
+        self.metrics.incr("compile_warm" if warm else "compile_cold")
+        from repro.compiler.codegen.c_backend import CGeneratedModule
+
+        backend_effective = (
+            "c"
+            if isinstance(solver._factorization.module, CGeneratedModule)
+            else "python"
+        )
+        return _PatternEntry(
+            key=key,
+            handle=handle,
+            batched=batched,
+            backend_effective=backend_effective,
+        )
+
+    def _drop_entry(self, key: tuple, *, reason: str) -> bool:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            entry.dead = True
+            self._by_id.pop(entry.handle.handle_id, None)
+        self.admission.drop_pattern(key)
+        # Release the compiled-artifact memory: give up this pattern's pins
+        # and drop from the shared compiler cache whatever no other holder
+        # (another service, a sibling pattern sharing a triangular-solve
+        # artifact) still has pinned.  The on-disk generated code survives,
+        # so re-registration is a warm (zero-recompile) path.
+        solver = entry.batched.solver
+        cache = solver.artifact_cache
+        for artifact in solver.compiled_artifacts:
+            cache.release_artifact(artifact)
+        self.metrics.incr("patterns_evicted")
+        self.metrics.incr(f"patterns_evicted_{reason}")
+        return True
+
+    def evict(self, handle) -> bool:
+        """Explicitly evict one registered pattern (by handle or handle id)."""
+        key = self._resolve_key(handle, missing_ok=True)
+        if key is None:
+            return False
+        return self._drop_entry(key, reason="explicit")
+
+    def handle_for(self, handle_id: str) -> PatternHandle:
+        """Look up a registered handle by its wire id."""
+        with self._lock:
+            key = self._by_id.get(handle_id)
+            entry = self._entries.get(key) if key is not None else None
+        if entry is None:
+            raise PatternEvictedError(
+                f"no registered pattern for handle {handle_id!r} "
+                "(evicted or never registered); re-register the pattern"
+            )
+        return entry.handle
+
+    def _resolve_key(self, handle, *, missing_ok: bool = False):
+        if isinstance(handle, PatternHandle):
+            return handle.key
+        with self._lock:
+            key = self._by_id.get(str(handle))
+        if key is None and not missing_ok:
+            raise PatternEvictedError(f"unknown handle {handle!r}")
+        return key
+
+    def _entry_for(self, handle) -> _PatternEntry:
+        key = self._resolve_key(handle)
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None or entry.dead:
+            raise PatternEvictedError(
+                f"pattern {key[1]} was evicted; re-register it for a fresh "
+                "handle (warm from the on-disk code cache)"
+            )
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # The data plane
+    # ------------------------------------------------------------------ #
+    def submit(self, handle, values: np.ndarray, rhs: np.ndarray) -> Future:
+        """Enqueue one solve; returns a future resolving to the solution.
+
+        ``values`` are the matrix nonzeros in the registered pattern's input
+        order; ``rhs`` the right-hand side.  Shape errors raise immediately
+        (client error); numeric failures (a singular system in a batch)
+        resolve the *future* with the kernel's exception while its
+        batchmates complete normally.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        entry = self._entry_for(handle)
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.shape != (entry.handle.n,):
+            raise ValueError(f"rhs must have shape ({entry.handle.n},)")
+        try:
+            self.admission.acquire()
+        except ServiceOverloadedError:
+            self.metrics.incr("rejected")
+            raise
+        try:
+            permuted = entry.batched.permute_values(values)
+        except BaseException:
+            self.admission.release()
+            raise
+        request = _Request(
+            values=permuted,
+            rhs=rhs,
+            future=Future(),
+            enqueued_at=time.monotonic(),
+        )
+        self.admission.touch_pattern(entry.key)
+        if self.coalesce:
+            try:
+                self.coalescer.offer(entry.key, entry, request)
+            except Exception:
+                self.admission.release()
+                raise
+        else:
+            self._dispatch(entry, [request])
+        return request.future
+
+    def solve(
+        self,
+        handle,
+        values: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Synchronous solve: :meth:`submit` + wait."""
+        return self.submit(handle, values, rhs).result(timeout=timeout)
+
+    def _dispatch(self, entry: _PatternEntry, requests) -> None:
+        """Run one coalesced batch: factorize together, solve per request.
+
+        Per-request error isolation: a singular/indefinite value set resolves
+        its own future with the kernel error; batchmates complete normally.
+        A batch-level failure fails only this batch's futures.
+        """
+        requests = list(requests)
+        n = entry.handle.n
+        # Claim every future up front: set_running_or_notify_cancel() False
+        # means the client cancelled while queued — skip its work entirely —
+        # and True locks out late cancellation, so set_result/set_exception
+        # below can never raise InvalidStateError into the batch handler
+        # (which would fail innocent batchmates).
+        live = [r for r in requests if r.future.set_running_or_notify_cancel()]
+        cancelled = len(requests) - len(live)
+        if cancelled:
+            self.metrics.incr("solves_cancelled", cancelled)
+        try:
+            with entry.dispatch_lock:
+                for request in live:
+                    entry.batched.submit_values(request.values, permuted=True)
+                handles = entry.batched.drain()
+            # One preallocated response block for the whole batch: each
+            # request's solution lands in its own row, zero-copy, and the
+            # future resolves to that row view.
+            out = np.empty((len(live), n), dtype=np.float64)
+            for i, (request, factor_handle) in enumerate(zip(live, handles)):
+                if not factor_handle.ok:
+                    self.metrics.incr("solves_failed")
+                    request.future.set_exception(factor_handle.error)
+                    continue
+                try:
+                    x = factor_handle.solve(request.rhs, out=out[i])
+                except Exception as exc:
+                    self.metrics.incr("solves_failed")
+                    request.future.set_exception(exc)
+                else:
+                    self.metrics.incr("solves_ok")
+                    entry.solves += 1
+                    request.future.set_result(x)
+        except Exception as exc:
+            for request in live:
+                if not request.future.done():
+                    self.metrics.incr("solves_failed")
+                    request.future.set_exception(exc)
+        finally:
+            now = time.monotonic()
+            self.metrics.observe_batch(len(requests))
+            for request in requests:
+                self.admission.release()
+                self.metrics.observe_latency(now - request.enqueued_at)
+
+    # ------------------------------------------------------------------ #
+    # Observability / lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every queued request has been dispatched."""
+        return self.coalescer.flush(timeout=timeout)
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-friendly snapshot of the whole service."""
+        with self._lock:
+            entries = list(self._entries.values())
+        cache = entries[0].batched.solver.artifact_cache if entries else None
+        patterns = {}
+        for entry in entries:
+            handle = entry.handle
+            patterns[handle.handle_id] = {
+                "kernel": handle.kernel,
+                "ordering": handle.ordering,
+                "fingerprint": handle.fingerprint,
+                "n": handle.n,
+                "nnz": handle.nnz,
+                "factor_nnz": handle.factor_nnz,
+                "warm_registration": handle.warm,
+                "solves": entry.solves,
+                "schedule_levels": handle.schedule_levels,
+                "mode": entry.batched.mode,
+                "backend_effective": entry.backend_effective,
+            }
+        snapshot = self.metrics.snapshot()
+        snapshot.update(
+            {
+                "patterns": patterns,
+                "registered_patterns": len(patterns),
+                "queue_depth": self.coalescer.depth(),
+                "in_flight": self.admission.in_flight,
+                "coalesce": self.coalesce,
+                "window_seconds": self.coalescer.window_seconds,
+                "max_batch": self.coalescer.max_batch,
+                "max_in_flight": self.admission.max_in_flight,
+                "max_patterns": self.admission.max_patterns,
+                "uptime_seconds": time.time() - self.started_at,
+                "disk_cache": disk_cache_stats().as_dict(),
+            }
+        )
+        if cache is not None:
+            snapshot["artifact_cache"] = dict(cache.stats.as_dict())
+            snapshot["artifact_cache"]["pinned"] = cache.pinned_count
+        return snapshot
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain queued work, stop the dispatcher and reject further calls.
+
+        Registered patterns' pins are released (artifacts stay resident for
+        warm reuse by other in-process users, but become LRU-evictable again)
+        so short-lived services never leak pins into the process-wide cache.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.coalescer.close(timeout=timeout)
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._by_id.clear()
+        for entry in entries:
+            entry.dead = True
+            solver = entry.batched.solver
+            cache = solver.artifact_cache
+            for artifact in solver.compiled_artifacts:
+                cache.unpin_artifact(artifact)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,343 @@
+"""Stdlib-only wire transport: JSON headers + raw ndarray frames over sockets.
+
+The protocol is deliberately tiny — one framing rule in both directions::
+
+    b"RSRV" | version:u8 | header_len:u32 (big-endian)
+    <header_len bytes of JSON>
+    <frame 0 bytes> <frame 1 bytes> ...
+
+The JSON header carries the operation and its scalar arguments plus a
+``frames`` manifest (``[{"dtype": "float64", "shape": [n]}, ...]``); the
+frames follow as raw C-order bytes, so a megabyte of matrix values crosses
+the socket without base64 or pickle (and without trusting the peer with
+arbitrary object deserialization).  Works identically over TCP
+(:class:`socketserver.ThreadingTCPServer`) and Unix domain sockets.
+
+Operations: ``register`` (pattern + values + kernel/options → handle
+metadata), ``solve`` (handle id + values + rhs → solution frame), ``stats``,
+``evict``, ``ping`` and ``shutdown``.  Error responses carry ``ok: false``,
+a ``kind`` (``"overloaded"`` includes ``retry_after`` for client backoff,
+``"evicted"`` means re-register) and the server-side message.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socketserver
+import struct
+import threading
+from dataclasses import fields as dataclass_fields
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.options import SympilerOptions
+from repro.service.admission import PatternEvictedError, ServiceOverloadedError
+from repro.service.session import SolverService
+from repro.sparse.csc import CSCMatrix
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "handle_request",
+    "SolverServiceServer",
+    "serve_background",
+]
+
+MAGIC = b"RSRV"
+WIRE_VERSION = 1
+_HEAD = struct.Struct(">4sBI")
+
+#: Hard ceilings so a corrupt or malicious peer fails loudly instead of
+#: driving the server into a giant allocation.
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+MAX_FRAME_BYTES = 1 << 31
+
+#: Frame dtypes the server will materialize.  Object/str dtypes are refused
+#: outright; everything numeric round-trips bit-exactly.
+_ALLOWED_DTYPES = frozenset(
+    ["float64", "float32", "int64", "int32", "int16", "uint8", "bool"]
+)
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or oversized wire data."""
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+def send_message(
+    stream: BinaryIO, header: Dict, frames: Sequence[np.ndarray] = ()
+) -> None:
+    """Write one framed message (header JSON + raw ndarray frames)."""
+    arrays = []
+    for frame in frames:
+        a = np.asarray(frame)
+        if not a.flags["C_CONTIGUOUS"]:
+            # ascontiguousarray would also promote 0-d to 1-d, corrupting the
+            # shape manifest; only copy when the layout actually requires it.
+            a = np.ascontiguousarray(a)
+        arrays.append(a)
+    header = dict(header)
+    header["frames"] = [
+        {"dtype": str(a.dtype), "shape": list(a.shape)} for a in arrays
+    ]
+    payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header of {len(payload)} bytes exceeds the limit")
+    stream.write(_HEAD.pack(MAGIC, WIRE_VERSION, len(payload)))
+    stream.write(payload)
+    for a in arrays:
+        if a.ndim == 0:
+            stream.write(a.tobytes())  # 0-d buffers cannot be byte-cast
+        elif a.size:  # zero-size views cannot be byte-cast (and carry no bytes)
+            stream.write(memoryview(a).cast("B"))
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, nbytes: int) -> bytes:
+    chunks = []
+    remaining = nbytes
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-message ({remaining} of {nbytes} "
+                "bytes missing)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(
+    stream: BinaryIO,
+) -> Optional[Tuple[Dict, List[np.ndarray]]]:
+    """Read one framed message; ``None`` on clean EOF before a new message."""
+    head = stream.read(_HEAD.size)
+    if not head:
+        return None
+    if len(head) < _HEAD.size:
+        raise ProtocolError("truncated message head")
+    magic, version, header_len = _HEAD.unpack(head)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise ProtocolError(f"unsupported wire version {version}")
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header of {header_len} bytes exceeds the limit")
+    try:
+        header = json.loads(_read_exact(stream, header_len).decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable header: {exc}") from exc
+    frames: List[np.ndarray] = []
+    for spec in header.get("frames", []):
+        dtype_name = str(spec.get("dtype"))
+        if dtype_name not in _ALLOWED_DTYPES:
+            raise ProtocolError(f"refusing frame dtype {dtype_name!r}")
+        dtype = np.dtype(dtype_name)
+        shape = tuple(int(s) for s in spec.get("shape", []))
+        if any(s < 0 for s in shape):
+            raise ProtocolError(f"negative frame dimension in {shape}")
+        # math.prod on Python ints is overflow-free: a malicious shape like
+        # [2**33, 2**33] must trip the size ceiling, not wrap around it.
+        nbytes = math.prod(shape) * dtype.itemsize
+        if nbytes > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {nbytes} bytes exceeds the limit")
+        raw = _read_exact(stream, nbytes)
+        frames.append(np.frombuffer(raw, dtype=dtype).reshape(shape))
+    return header, frames
+
+
+# --------------------------------------------------------------------------- #
+# Server-side operation dispatch
+# --------------------------------------------------------------------------- #
+_OPTION_FIELDS = {f.name for f in dataclass_fields(SympilerOptions)}
+
+
+def _options_from_wire(payload: Optional[Dict]) -> Optional[SympilerOptions]:
+    """Rebuild a :class:`SympilerOptions` from a wire dict (unknown keys refused)."""
+    if not payload:
+        return None
+    unknown = set(payload) - _OPTION_FIELDS
+    if unknown:
+        raise ProtocolError(f"unknown option field(s): {sorted(unknown)}")
+    clean = dict(payload)
+    if "c_flags" in clean and clean["c_flags"] is not None:
+        clean["c_flags"] = tuple(clean["c_flags"])
+    if "transformation_order" in clean and clean["transformation_order"] is not None:
+        clean["transformation_order"] = tuple(clean["transformation_order"])
+    return SympilerOptions().with_updates(**clean)
+
+
+def _handle_payload(handle) -> Dict:
+    return {
+        "handle_id": handle.handle_id,
+        "fingerprint": handle.fingerprint,
+        "kernel": handle.kernel,
+        "ordering": handle.ordering,
+        "n": handle.n,
+        "nnz": handle.nnz,
+        "factor_nnz": handle.factor_nnz,
+        "warm": handle.warm,
+        "schedule_levels": handle.schedule_levels,
+        "schedule_avg_width": handle.schedule_avg_width,
+    }
+
+
+def handle_request(
+    service: SolverService, header: Dict, frames: List[np.ndarray]
+) -> Tuple[Dict, List[np.ndarray]]:
+    """Execute one wire operation against ``service``.
+
+    Returns ``(response_header, response_frames)``; raises for error paths
+    (the connection handler maps exceptions to ``ok: false`` responses so
+    one bad request never kills the connection, let alone the server).
+    """
+    op = header.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}, []
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}, []
+    if op == "register":
+        if len(frames) != 3:
+            raise ProtocolError(
+                "register expects 3 frames (indptr, indices, data), "
+                f"got {len(frames)}"
+            )
+        indptr, indices, data = frames
+        n = int(header.get("n", len(indptr) - 1))
+        A = CSCMatrix(
+            n,
+            n,
+            np.asarray(indptr, dtype=np.int64),
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(data, dtype=np.float64),
+        )
+        handle = service.register_pattern(
+            A,
+            kernel=str(header.get("kernel", "cholesky")),
+            ordering=str(header.get("ordering", "natural")),
+            options=_options_from_wire(header.get("options")),
+        )
+        return {"ok": True, "handle": _handle_payload(handle)}, []
+    if op == "solve":
+        if len(frames) != 2:
+            raise ProtocolError(
+                f"solve expects 2 frames (values, rhs), got {len(frames)}"
+            )
+        values, rhs = frames
+        x = service.solve(
+            str(header.get("handle", "")),
+            np.asarray(values, dtype=np.float64).reshape(-1),
+            np.asarray(rhs, dtype=np.float64).reshape(-1),
+            timeout=header.get("timeout"),
+        )
+        return {"ok": True}, [x]
+    if op == "evict":
+        evicted = service.evict(str(header.get("handle", "")))
+        return {"ok": True, "evicted": bool(evicted)}, []
+    if op == "shutdown":
+        return {"ok": True, "shutting_down": True}, []
+    raise ProtocolError(f"unknown operation {op!r}")
+
+
+def _error_response(exc: Exception) -> Dict:
+    if isinstance(exc, ServiceOverloadedError):
+        return {
+            "ok": False,
+            "kind": "overloaded",
+            "error": str(exc),
+            "retry_after": exc.retry_after,
+        }
+    if isinstance(exc, PatternEvictedError):
+        # KeyError str() wraps the message in quotes; unwrap for the client.
+        message = exc.args[0] if exc.args else str(exc)
+        return {"ok": False, "kind": "evicted", "error": str(message)}
+    if isinstance(exc, ProtocolError):
+        return {"ok": False, "kind": "protocol", "error": str(exc)}
+    return {"ok": False, "kind": type(exc).__name__, "error": str(exc)}
+
+
+class _ServiceConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of framed request/response exchanges."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            try:
+                message = recv_message(self.rfile)
+            except ProtocolError as exc:
+                # The stream is unsynchronized after a framing error; report
+                # and drop the connection (the service itself is unaffected).
+                try:
+                    send_message(self.wfile, _error_response(exc))
+                except OSError:
+                    pass
+                return
+            if message is None:
+                return
+            header, frames = message
+            try:
+                response, out_frames = handle_request(
+                    self.server.service, header, frames
+                )
+            except Exception as exc:
+                response, out_frames = _error_response(exc), []
+            try:
+                send_message(self.wfile, response, out_frames)
+            except OSError:
+                return
+            if header.get("op") == "shutdown" and response.get("ok"):
+                self.server.request_shutdown()
+                return
+
+
+class SolverServiceServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server exposing one :class:`SolverService`.
+
+    ``server_address`` follows the stdlib convention (``(host, port)``; port
+    0 binds an ephemeral port, reported via ``server_address`` after
+    construction).  Each connection runs in its own thread; the coalescer
+    underneath groups their concurrent same-pattern solves into shared
+    batches — threads are the transport, micro-batches the execution.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, server_address, service: SolverService) -> None:
+        super().__init__(server_address, _ServiceConnectionHandler)
+        self.service = service
+        self._shutdown_thread: Optional[threading.Thread] = None
+
+    def request_shutdown(self) -> None:
+        """Shut the server down from a handler thread (non-blocking)."""
+        if self._shutdown_thread is None:
+            self._shutdown_thread = threading.Thread(
+                target=self.shutdown, daemon=True
+            )
+            self._shutdown_thread.start()
+
+    def server_close(self) -> None:  # pragma: no cover - trivial override
+        super().server_close()
+        self.service.close()
+
+
+def serve_background(
+    service: SolverService, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[SolverServiceServer, threading.Thread]:
+    """Start a server thread for ``service``; returns (server, thread).
+
+    The caller owns shutdown: ``server.shutdown(); server.server_close()``.
+    """
+    server = SolverServiceServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-server", daemon=True
+    )
+    thread.start()
+    return server, thread

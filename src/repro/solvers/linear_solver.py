@@ -166,6 +166,24 @@ class SparseLinearSolver:
         return self._factorization.factor_nnz
 
     @property
+    def artifact_cache(self):
+        """The artifact cache the underlying Sympiler driver compiles through."""
+        return self._sympiler.cache
+
+    @property
+    def compiled_artifacts(self) -> tuple:
+        """The compiled artifacts this solver holds (factorization + sweeps).
+
+        The forward/backward triangular-solve artifacts exist only after the
+        first :meth:`factorize` (the constructor runs one, so they are
+        normally present).  The serving layer pins these in the shared
+        artifact cache while the pattern is registered.
+        """
+        return tuple(
+            a for a in (self._factorization, self._forward, self._backward) if a is not None
+        )
+
+    @property
     def cache_stats(self) -> CacheStats:
         """Artifact-cache counters of the underlying Sympiler driver.
 
@@ -221,6 +239,7 @@ class SparseLinearSolver:
         d: Optional[np.ndarray] = None,
         Lt: Optional[CSCMatrix] = None,
         U: Optional[CSCMatrix] = None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Solve ``A x = b`` using explicitly supplied numeric factors.
 
@@ -230,6 +249,9 @@ class SparseLinearSolver:
         (:func:`backward_factor`) and is derived from ``L``/``U`` when
         omitted.  The compiled forward/backward triangular kernels depend
         only on those fixed patterns, so they are shared by every factor set.
+        ``out`` optionally receives the solution in place (the serving layer
+        dispatches whole coalesced batches into one preallocated response
+        block; the final un-permutation gathers directly into it).
         """
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.A.n,):
@@ -244,6 +266,14 @@ class SparseLinearSolver:
         # Backward substitution via the reversed transposed factor.
         y_rev = y[::-1].copy()
         z_rev = self._backward.solve(Lt, y_rev)
+        if out is not None:
+            if out.shape != (self.A.n,) or out.dtype != np.float64:
+                raise ValueError(
+                    f"out must be a float64 array of shape ({self.A.n},)"
+                )
+            # Un-reverse and un-permute in one gather straight into out.
+            np.take(z_rev[::-1], self.permutation.inv, out=out)
+            return out
         z = z_rev[::-1].copy()
         return self.permutation.apply_inverse_vec(z)
 

@@ -216,6 +216,56 @@ def test_cli_json_report(tmp_path, capsys):
     assert len(payload["rows"]) == 4
 
 
+def test_serving_experiment_rows():
+    from repro.bench.figures import serving_throughput
+    from repro.bench.suite import small_suite
+
+    rows = serving_throughput(small_suite()[:1], requests=8, max_batch=4)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["bitwise_identical"] is True
+    assert row["serving_recompiles"] == 0
+    assert row["reregister_warm"] is True
+    assert row["mode"] in ("serial", "stacked", "threads")
+    assert row["requests"] == 8
+    # Submit-all-then-wait traffic must actually coalesce.
+    assert row["coalescing_ratio"] > 1.0
+    assert row["max_batch_observed"] <= 4
+    assert row["requests_per_second"] > 0
+
+
+def test_serving_gated_metrics_catch_regressions():
+    from repro.bench.compare import compare_rows
+
+    baseline = [
+        {
+            "name": "m",
+            "bitwise_identical": True,
+            "reregister_warm": True,
+            "serving_recompiles": 0,
+            "coalesced_over_uncoalesced": 4.0,
+            "coalescing_ratio": 16.0,
+        }
+    ]
+    ok = [dict(baseline[0])]
+    assert compare_rows("serving", baseline, ok) == []
+    broken = dict(
+        baseline[0],
+        bitwise_identical=False,
+        serving_recompiles=3,
+        coalesced_over_uncoalesced=0.9,
+        coalescing_ratio=1.0,
+    )
+    found = compare_rows("serving", baseline, [broken])
+    metrics = {r.metric for r in found}
+    assert metrics == {
+        "bitwise_identical",
+        "serving_recompiles",
+        "coalesced_over_uncoalesced",
+        "coalescing_ratio",
+    }
+
+
 def test_pcg_experiment_rows():
     from repro.bench.figures import pcg_performance
     from repro.bench.suite import small_suite

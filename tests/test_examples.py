@@ -30,6 +30,7 @@ def _run(script: str) -> subprocess.CompletedProcess:
         ("preconditioned_cg.py", "IC(0)-preconditioned"),
         ("fem_refactorization.py", "per-step numeric speedup"),
         ("inspect_codegen.py", "Generated Python kernel"),
+        ("solver_service.py", "service stopped cleanly"),
     ],
 )
 def test_example_runs(script, expected):

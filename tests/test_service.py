@@ -1,0 +1,504 @@
+"""Serving-layer tests: registration, coalescing, admission, eviction, metrics."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen.c_backend import disk_cache_stats
+from repro.compiler.options import SympilerOptions
+from repro.service import (
+    PatternEvictedError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolverService,
+)
+from repro.service.coalescer import Coalescer
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.solvers.linear_solver import SparseLinearSolver
+from repro.sparse.generators import fem_stencil_2d, laplacian_2d
+
+
+def _service(**kwargs):
+    kwargs.setdefault("options", SympilerOptions(enable_vs_block=False))
+    return SolverService(**kwargs)
+
+
+class TestRegistration:
+    def test_register_returns_metadata(self):
+        A = laplacian_2d(8, shift=0.1)
+        with _service() as svc:
+            handle = svc.register_pattern(A)
+            assert handle.kernel == "cholesky"
+            assert handle.n == A.n and handle.nnz == A.nnz
+            assert handle.factor_nnz > 0
+            assert handle.schedule_levels > 0
+            assert len(handle.fingerprint) == 16
+            assert len(handle.handle_id) == 16
+
+    def test_repeat_registration_shares_the_entry(self):
+        A = laplacian_2d(8, shift=0.1)
+        with _service() as svc:
+            first = svc.register_pattern(A)
+            second = svc.register_pattern(A)
+            assert first.handle_id == second.handle_id
+            assert svc.metrics.count("registrations") == 2
+            assert svc.metrics.count("compile_warm") >= 1
+
+    def test_distinct_options_register_distinct_entries(self):
+        A = laplacian_2d(8, shift=0.1)
+        with _service() as svc:
+            first = svc.register_pattern(A)
+            second = svc.register_pattern(
+                A, options=SympilerOptions(enable_vs_block=False, enable_vi_prune=False)
+            )
+            assert first.handle_id != second.handle_id
+
+    def test_concurrent_registration_collapses_to_one_compile(self):
+        """Racing registrations of one pattern share one entry and artifacts."""
+        A = fem_stencil_2d(8, shift=0.3)
+        with _service() as svc:
+            barrier = threading.Barrier(4)
+            handles = [None] * 4
+            errors = []
+
+            def register(i):
+                try:
+                    barrier.wait(timeout=10)
+                    handles[i] = svc.register_pattern(A)
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=register, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            assert all(h is not None for h in handles)
+            assert len({h.handle_id for h in handles}) == 1
+            # One build: exactly one cold registration, the rest warm/coalesced.
+            assert svc.metrics.count("compile_cold") <= 1
+            assert svc.metrics.count("registrations") == 4
+
+    def test_closed_service_rejects_registration(self):
+        svc = _service()
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.register_pattern(laplacian_2d(6, shift=0.1))
+
+
+class TestSolve:
+    def test_solve_matches_direct_solver(self):
+        A = laplacian_2d(9, shift=0.1)
+        with _service(coalesce=False) as svc:
+            handle = svc.register_pattern(A)
+            rhs = np.linspace(1.0, 2.0, A.n)
+            x = svc.solve(handle, A.data, rhs)
+            ref = SparseLinearSolver(
+                A, ordering="natural", options=SympilerOptions(enable_vs_block=False)
+            )
+            assert np.array_equal(x, ref.solve(rhs))
+
+    def test_coalesced_batch_is_bitwise_identical_to_sequential(self):
+        """The acceptance invariant: micro-batched results == sequential bits."""
+        A = laplacian_2d(9, shift=0.1)
+        scales = 1.0 + 0.05 * np.arange(10)
+        rhs_list = [np.sin(np.arange(A.n) * 0.1 * (k + 1)) for k in range(10)]
+        ref = SparseLinearSolver(
+            A, ordering="natural", options=SympilerOptions(enable_vs_block=False)
+        )
+        expected = []
+        for s, b in zip(scales, rhs_list):
+            ref.factorize(A.with_values(A.data * s))
+            expected.append(ref.solve(b))
+        with _service(window_seconds=0.05, max_batch=4) as svc:
+            handle = svc.register_pattern(A)
+            futures = [
+                svc.submit(handle, A.data * s, b) for s, b in zip(scales, rhs_list)
+            ]
+            results = [f.result(timeout=30) for f in futures]
+        for k in range(10):
+            assert np.array_equal(results[k], expected[k])
+        # The dispatcher actually coalesced (some batch larger than one ran).
+        assert svc.metrics.snapshot()["max_batch_size"] > 1
+
+    def test_per_request_error_isolation(self):
+        """A singular batch item fails alone; batchmates complete."""
+        A = laplacian_2d(7, shift=0.1)
+        bad = A.data.copy()
+        bad[:] = 0.0  # zero matrix: the Cholesky kernel must reject it
+        with _service(window_seconds=0.05, max_batch=8) as svc:
+            handle = svc.register_pattern(A)
+            rhs = np.ones(A.n)
+            futures = [
+                svc.submit(handle, A.data, rhs),
+                svc.submit(handle, bad, rhs),
+                svc.submit(handle, A.data * 2.0, rhs),
+            ]
+            good0 = futures[0].result(timeout=30)
+            good2 = futures[2].result(timeout=30)
+            with pytest.raises(Exception):
+                futures[1].result(timeout=30)
+        assert np.isfinite(good0).all() and np.isfinite(good2).all()
+        assert np.allclose(good0, good2 * 2.0, atol=1e-8)
+        assert svc.metrics.count("solves_failed") == 1
+        assert svc.metrics.count("solves_ok") == 2
+
+    def test_shape_validation_raises_synchronously(self):
+        A = laplacian_2d(6, shift=0.1)
+        with _service() as svc:
+            handle = svc.register_pattern(A)
+            with pytest.raises(ValueError):
+                svc.submit(handle, A.data[:-1], np.ones(A.n))
+            with pytest.raises(ValueError):
+                svc.submit(handle, A.data, np.ones(A.n - 1))
+            # Failed validation must not leak admission slots.
+            assert svc.admission.in_flight == 0
+
+    def test_zero_copy_out_row_is_the_result(self):
+        """solve_with_factors(out=...) writes the solution into the buffer."""
+        A = laplacian_2d(6, shift=0.1)
+        ref = SparseLinearSolver(A, ordering="natural")
+        rhs = np.ones(A.n)
+        out = np.empty(A.n)
+        x = ref.solve_with_factors(rhs, L=ref.L, d=ref.d, out=out)
+        assert x is out
+        assert np.array_equal(out, ref.solve(rhs))
+
+
+class TestAdmission:
+    def test_backpressure_rejects_with_retry_after(self):
+        A = laplacian_2d(6, shift=0.1)
+        with _service(
+            window_seconds=60.0, max_batch=64, max_in_flight=2,
+            retry_after_seconds=0.25,
+        ) as svc:
+            handle = svc.register_pattern(A)
+            svc.submit(handle, A.data, np.ones(A.n))
+            svc.submit(handle, A.data, np.ones(A.n))
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                svc.submit(handle, A.data, np.ones(A.n))
+            assert excinfo.value.retry_after == 0.25
+            assert svc.admission.in_flight == 2
+
+    def test_slots_release_after_completion(self):
+        A = laplacian_2d(6, shift=0.1)
+        with _service(max_in_flight=4, window_seconds=0.0) as svc:
+            handle = svc.register_pattern(A)
+            futures = [svc.submit(handle, A.data, np.ones(A.n)) for _ in range(4)]
+            for f in futures:
+                f.result(timeout=30)
+            svc.flush(timeout=10)
+            assert svc.admission.in_flight == 0
+
+
+class TestEviction:
+    def test_explicit_eviction_invalidates_handles(self):
+        A = laplacian_2d(7, shift=0.1)
+        with _service() as svc:
+            handle = svc.register_pattern(A)
+            assert svc.evict(handle)
+            assert not svc.evict(handle)  # idempotent
+            with pytest.raises(PatternEvictedError):
+                svc.solve(handle, A.data, np.ones(A.n))
+
+    def test_eviction_then_reregistration_is_warm(self, monkeypatch, tmp_path):
+        """The disk cache makes evict → re-register a zero-recompile path."""
+        monkeypatch.setenv("REPRO_SYMPILER_CACHE", str(tmp_path))
+        # A (pattern, options) pair no other test compiles: the first
+        # registration must actually generate code (the in-memory artifact
+        # cache is process-wide) for the cold/warm contrast to be real.
+        A = laplacian_2d(11, shift=0.3)
+        with _service() as svc:
+            handle = svc.register_pattern(A)
+            assert not handle.warm  # fresh cache dir: the compile generated code
+            assert svc.evict(handle)
+            before = disk_cache_stats().as_dict()
+            handle2 = svc.register_pattern(A)
+            after = disk_cache_stats().as_dict()
+            assert handle2.warm
+            assert after["py_writes"] == before["py_writes"]
+            assert after["compiles"] == before["compiles"]
+            # The python backend reloaded its persisted modules from disk.
+            assert after["py_reuses"] > before["py_reuses"]
+            # And the fresh handle solves correctly.
+            x = svc.solve(handle2, A.data, np.ones(A.n))
+            assert np.isfinite(x).all()
+
+    def test_lru_budget_evicts_oldest_pattern(self):
+        with _service(max_patterns=2) as svc:
+            h1 = svc.register_pattern(laplacian_2d(6, shift=0.1))
+            h2 = svc.register_pattern(laplacian_2d(7, shift=0.1))
+            h3 = svc.register_pattern(laplacian_2d(8, shift=0.1))
+            assert svc.metrics.count("patterns_evicted") == 1
+            with pytest.raises(PatternEvictedError):
+                A = laplacian_2d(6, shift=0.1)
+                svc.solve(h1, A.data, np.ones(A.n))
+            for h, side in ((h2, 7), (h3, 8)):
+                A = laplacian_2d(side, shift=0.1)
+                assert np.isfinite(svc.solve(h, A.data, np.ones(A.n))).all()
+
+    def test_solving_touches_the_lru_order(self):
+        with _service(max_patterns=2, coalesce=False) as svc:
+            h1 = svc.register_pattern(laplacian_2d(6, shift=0.1))
+            svc.register_pattern(laplacian_2d(7, shift=0.1))
+            A1 = laplacian_2d(6, shift=0.1)
+            svc.solve(h1, A1.data, np.ones(A1.n))  # h1 becomes most recent
+            svc.register_pattern(laplacian_2d(8, shift=0.1))
+            # h2 (least recently used) fell out; h1 survived.
+            assert np.isfinite(svc.solve(h1, A1.data, np.ones(A1.n))).all()
+
+
+class TestMetricsAndStats:
+    def test_stats_snapshot_shape(self):
+        A = laplacian_2d(7, shift=0.1)
+        with _service(window_seconds=0.02, max_batch=8) as svc:
+            handle = svc.register_pattern(A)
+            futures = [
+                svc.submit(handle, A.data * (1 + 0.1 * i), np.ones(A.n))
+                for i in range(6)
+            ]
+            for f in futures:
+                f.result(timeout=30)
+            svc.flush(timeout=10)
+            stats = svc.stats()
+        assert stats["registered_patterns"] == 1
+        assert stats["solves"] == 6
+        assert stats["counters"]["solves_ok"] == 6
+        assert stats["coalescing_ratio"] >= 1.0
+        assert sum(
+            int(k) * v for k, v in stats["batch_size_histogram"].items()
+        ) == 6
+        latency = stats["latency"]
+        assert latency["count"] == 6
+        assert latency["p50_seconds"] <= latency["p95_seconds"]
+        assert stats["artifact_cache"]["pinned"] > 0
+        assert handle.handle_id in stats["patterns"]
+
+    def test_rejections_are_counted(self):
+        A = laplacian_2d(6, shift=0.1)
+        with _service(window_seconds=60.0, max_batch=64, max_in_flight=1) as svc:
+            handle = svc.register_pattern(A)
+            svc.submit(handle, A.data, np.ones(A.n))
+            with pytest.raises(ServiceOverloadedError):
+                svc.submit(handle, A.data, np.ones(A.n))
+            assert svc.metrics.count("rejected") == 1
+
+    def test_percentile_helper(self):
+        assert percentile([], 95.0) == 0.0
+        assert percentile([3.0], 50.0) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 200.0)
+
+    def test_metrics_thread_safety(self):
+        metrics = ServiceMetrics()
+
+        def bump():
+            for _ in range(500):
+                metrics.incr("solves_ok")
+                metrics.observe_latency(0.001)
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.count("solves_ok") == 4000
+        assert metrics.snapshot()["latency"]["count"] == 4000
+
+
+class TestCoalescerUnit:
+    def test_window_flush_without_reaching_max_batch(self):
+        dispatched = []
+        done = threading.Event()
+
+        def dispatch(entry, batch):
+            dispatched.append((entry, list(batch)))
+            done.set()
+
+        coalescer = Coalescer(dispatch, window_seconds=0.01, max_batch=100)
+        coalescer.offer("k", "entry", "r1")
+        coalescer.offer("k", "entry", "r2")
+        assert done.wait(timeout=5)
+        coalescer.close()
+        assert dispatched == [("entry", ["r1", "r2"])]
+
+    def test_max_batch_flushes_immediately(self):
+        batches = []
+        hit = threading.Event()
+
+        def dispatch(entry, batch):
+            batches.append(len(batch))
+            if len(batches) >= 2:
+                hit.set()
+
+        coalescer = Coalescer(dispatch, window_seconds=30.0, max_batch=3)
+        for i in range(6):
+            coalescer.offer("k", "entry", f"r{i}")
+        assert hit.wait(timeout=5)
+        coalescer.close()
+        assert batches == [3, 3]
+
+    def test_dispatch_exception_fails_only_that_batch(self):
+        from concurrent.futures import Future
+
+        class Request:
+            def __init__(self):
+                self.future = Future()
+
+        calls = []
+
+        def dispatch(entry, batch):
+            calls.append(len(batch))
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            for r in batch:
+                r.future.set_result("ok")
+
+        coalescer = Coalescer(dispatch, window_seconds=0.0, max_batch=1)
+        first, second = Request(), Request()
+        coalescer.offer("k", "entry", first)
+        with pytest.raises(RuntimeError, match="boom"):
+            first.future.result(timeout=5)
+        coalescer.offer("k", "entry", second)
+        assert second.future.result(timeout=5) == "ok"
+        coalescer.close()
+
+    def test_close_drains_pending_requests(self):
+        dispatched = []
+        coalescer = Coalescer(
+            lambda entry, batch: dispatched.extend(batch),
+            window_seconds=60.0,
+            max_batch=100,
+        )
+        for i in range(5):
+            coalescer.offer("k", "entry", i)
+        coalescer.close()
+        assert sorted(dispatched) == [0, 1, 2, 3, 4]
+        with pytest.raises(RuntimeError):
+            coalescer.offer("k", "entry", 99)
+
+
+class TestConcurrentTraffic:
+    def test_many_threads_same_pattern_all_solve_correctly(self):
+        A = fem_stencil_2d(7, shift=0.3)
+        ref = SparseLinearSolver(
+            A, ordering="natural", options=SympilerOptions(enable_vs_block=False)
+        )
+        base = ref.solve(np.ones(A.n))
+        results = {}
+        errors = []
+        with _service(window_seconds=0.005, max_batch=8, max_in_flight=128) as svc:
+            handle = svc.register_pattern(A)
+
+            def drive(worker):
+                try:
+                    scale = 1.0 + 0.01 * worker
+                    x = svc.solve(handle, A.data * scale, np.ones(A.n), timeout=30)
+                    results[worker] = x * scale
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=drive, args=(w,)) for w in range(16)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors
+        assert len(results) == 16
+        for x in results.values():
+            assert np.allclose(x, base, atol=1e-8)
+
+    def test_sustained_load_recompiles_nothing(self):
+        """The amortization invariant the serving layer exists for."""
+        A = laplacian_2d(8, shift=0.1)
+        with _service(window_seconds=0.002, max_batch=8) as svc:
+            handle = svc.register_pattern(A)
+            svc.solve(handle, A.data, np.ones(A.n))  # warm-up
+            disk_before = disk_cache_stats().as_dict()
+            cache = svc.stats()["artifact_cache"]
+            misses_before = cache["misses"]
+            futures = [
+                svc.submit(handle, A.data * (1 + 0.01 * i), np.ones(A.n))
+                for i in range(20)
+            ]
+            for f in futures:
+                f.result(timeout=30)
+            disk_after = disk_cache_stats().as_dict()
+            cache_after = svc.stats()["artifact_cache"]
+        assert disk_after["compiles"] == disk_before["compiles"]
+        assert disk_after["py_writes"] == disk_before["py_writes"]
+        assert cache_after["misses"] == misses_before
+
+
+class TestCancellation:
+    def test_cancelled_future_does_not_poison_its_batchmates(self):
+        A = laplacian_2d(7, shift=0.1)
+        with _service(window_seconds=0.1, max_batch=8) as svc:
+            handle = svc.register_pattern(A)
+            doomed = svc.submit(handle, A.data, np.ones(A.n))
+            survivor = svc.submit(handle, A.data * 2.0, np.ones(A.n))
+            assert doomed.cancel()  # still queued: cancellation must succeed
+            x = survivor.result(timeout=30)
+            assert np.isfinite(x).all()
+            assert doomed.cancelled()
+            svc.flush(timeout=10)
+            assert svc.metrics.count("solves_cancelled") == 1
+            assert svc.metrics.count("solves_ok") == 1
+            # The cancelled request's admission slot was still released.
+            assert svc.admission.in_flight == 0
+
+
+class TestPinHygiene:
+    def test_close_releases_pins_from_the_shared_cache(self):
+        """Short-lived services must not leak pins into the shared cache."""
+        A = laplacian_2d(10, shift=0.4)
+        svc = _service()
+        handle = svc.register_pattern(A)
+        cache = svc._entries[handle.key].batched.solver.artifact_cache
+        pinned_before_close = cache.pinned_count
+        assert pinned_before_close >= 3  # factorization + two trisolves
+        svc.close()
+        assert cache.pinned_count <= pinned_before_close - 3
+
+    def test_shared_artifacts_survive_sibling_service_eviction(self):
+        """Refcounted pins: service B keeps its artifacts when A evicts."""
+        A = laplacian_2d(10, shift=0.5)
+        svc_a = _service()
+        svc_b = _service()
+        try:
+            handle_a = svc_a.register_pattern(A)
+            handle_b = svc_b.register_pattern(A)  # same artifacts, own pins
+            cache = svc_b._entries[handle_b.key].batched.solver.artifact_cache
+            artifacts = svc_b._entries[handle_b.key].batched.solver.compiled_artifacts
+            svc_a.evict(handle_a)
+            # B's artifacts are still resident and still pinned.
+            for artifact in artifacts:
+                assert cache.keys_for(artifact), "artifact dropped while pinned"
+            x = svc_b.solve(handle_b, A.data, np.ones(A.n), timeout=30)
+            assert np.isfinite(x).all()
+        finally:
+            svc_a.close()
+            svc_b.close()
+
+
+class TestServiceLifecycle:
+    def test_close_is_idempotent_and_rejects_new_work(self):
+        A = laplacian_2d(6, shift=0.1)
+        svc = _service()
+        handle = svc.register_pattern(A)
+        svc.close()
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit(handle, A.data, np.ones(A.n))
+
+    def test_context_manager_closes(self):
+        with _service() as svc:
+            pass
+        with pytest.raises(ServiceClosedError):
+            svc.register_pattern(laplacian_2d(6, shift=0.1))
