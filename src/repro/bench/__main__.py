@@ -20,6 +20,10 @@ Experiments
 ``serving``  — the solver service: coalesced micro-batched dispatch vs.
                uncoalesced per-request dispatch vs. the naive scipy
                refactorize-per-request baseline.
+``wavefront``— within-kernel level-set parallelism: wavefront-compiled
+               single solves vs the serial compiled kernel (bitwise
+               identity, 2-thread speedup, warm-reload recompile count,
+               deep-etree serial fallback).
 ``all``      — run every experiment in sequence.
 
 ``--json [DIR]`` additionally writes each experiment's rows to
@@ -56,6 +60,7 @@ from repro.bench.figures import (
     pcg_performance,
     serving_throughput,
     table2_suite_listing,
+    wavefront_execution,
 )
 from repro.bench.reporting import render_csv, render_table
 from repro.bench.suite import build_suite, small_suite
@@ -73,6 +78,7 @@ _EXPERIMENTS = {
     "batched": ("Batched runtime: sequential vs. batched throughput", batched_throughput),
     "pcg": ("IC(0)-preconditioned CG (incomplete-kernel extension)", pcg_performance),
     "serving": ("Solver service: coalesced vs uncoalesced dispatch", serving_throughput),
+    "wavefront": ("Wavefront (H-Level) execution: single-solve parallelism", wavefront_execution),
 }
 
 

@@ -110,6 +110,21 @@ GATED_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
         # trailing batches, not a collapse to singleton dispatch.
         GatedMetric("coalescing_ratio", "higher", noise=4.0),
     ),
+    "wavefront": (
+        GatedMetric("bitwise_identical", "bool"),
+        GatedMetric("zero_recompiles", "bool"),
+        # True on the deep-etree row (the backend must keep declining
+        # wavefront codegen there); False baselines on the wide rows never
+        # gate, by the bool rule.
+        GatedMetric("serial_fallback", "bool"),
+        # Same-run serial/wavefront ratio at a pinned 2 threads — portable
+        # as a ratio, but its magnitude tracks the runner's core count; the
+        # noise floor keeps a 1-core baseline from failing multi-core
+        # runners (and vice versa) while still catching a collapse.  The
+        # absolute > 1.2 speedup assertion lives in the CI wavefront smoke
+        # step, which runs on a known multi-core runner.
+        GatedMetric("speedup_2threads", "higher", noise=0.5),
+    ),
 }
 
 

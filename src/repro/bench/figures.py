@@ -52,6 +52,7 @@ __all__ = [
     "batched_throughput",
     "pcg_performance",
     "serving_throughput",
+    "wavefront_execution",
 ]
 
 #: RHS fill used for the triangular-solve experiments (< 5 %, §4.2).
@@ -931,6 +932,136 @@ def _raw_outputs_equal(a, b) -> bool:
             and all(np.array_equal(x, y) for x, y in zip(a, b))
         )
     return np.array_equal(a, b)
+
+
+# --------------------------------------------------------------------------- #
+# Wavefront (H-Level) execution: single-solve parallelism inside one kernel
+# --------------------------------------------------------------------------- #
+def wavefront_execution(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    backend: str = "c",
+    threads: Optional[int] = None,
+    repeats: int = 5,
+) -> List[Dict[str, object]]:
+    """Wavefront-compiled single solves vs the serial compiled kernel.
+
+    For each suite entry a wide-level SPD pattern of useful size stands in
+    (the smoke matrices are too small for within-kernel parallelism to mean
+    anything), the Cholesky + forward-trisolve kernels compile twice — serial
+    and ``parallel="wavefront"`` — and one factorize + solve runs both ways:
+
+    * ``bitwise_identical`` — the wavefront outputs equal the serial ones
+      bit for bit (levels are antichains; the pull-form trisolve replays the
+      serial accumulation order), asserted here and gated in CI,
+    * ``speedup_2threads`` — serial seconds over wavefront seconds at a
+      pinned 2 threads (machine-dependent magnitude; the committed baseline
+      carries this machine's value and the CI smoke step asserts > 1.2 on a
+      multi-core runner),
+    * ``zero_recompiles`` — a fresh driver re-compiling both variants against
+      the warm on-disk cache generates nothing (serial and wavefront
+      artifacts key separately and both reload),
+    * the final row is a deep-etree chain (tridiagonal) pattern whose
+      schedule has no parallelism to mine — ``serial_fallback`` must be True
+      (the backend declined wavefront codegen and emitted the serial body).
+    """
+    import os
+    import time as _time
+
+    from repro.compiler.cache import ArtifactCache
+    from repro.compiler.codegen.c_backend import disk_cache_stats
+    from repro.sparse.generators import laplacian_2d
+    from repro.sparse.ordering import ordering_by_name
+
+    serial_options = SympilerOptions(backend=backend, enable_vs_block=False)
+    if threads is not None:
+        serial_options = serial_options.with_updates(num_threads=threads)
+    wavefront_options = serial_options.with_updates(parallel="wavefront")
+
+    def best_of(fn) -> float:
+        fn()  # warm-up: page in the shared object, fault in the buffers
+        times = []
+        for _ in range(repeats):
+            t0 = _time.perf_counter()
+            fn()
+            times.append(_time.perf_counter() - t0)
+        return min(times)
+
+    def measure(problem_id: int, name: str, A, *, expect_fallback: bool):
+        sym_s = Sympiler(serial_options, cache=ArtifactCache())
+        sym_w = Sympiler(wavefront_options, cache=ArtifactCache())
+        fact_s = sym_s.compile("cholesky", A)
+        fact_w = sym_w.compile("cholesky", A)
+        Ap, Ai, Ax = A.indptr, A.indices, A.data
+        raw_s = fact_s.factorize_arrays(Ap, Ai, Ax)
+        raw_w = fact_w.factorize_arrays(Ap, Ai, Ax, num_threads=2)
+        bitwise = _raw_outputs_equal(raw_s, raw_w)
+        L = fact_s.assemble_factors(raw_s)
+        tri_s = sym_s.compile("triangular-solve", L)
+        tri_w = sym_w.compile("triangular-solve", L)
+        b = np.cos(np.arange(A.n, dtype=np.float64))  # deterministic RHS
+        x_s = tri_s.solve_arrays(L.indptr, L.indices, L.data, b)
+        x_w = tri_w.solve_arrays(L.indptr, L.indices, L.data, b, num_threads=2)
+        bitwise = bitwise and np.array_equal(x_s, x_w)
+        if not bitwise:
+            raise AssertionError(
+                f"wavefront execution differs from serial on {name}"
+            )
+        serial_seconds = best_of(lambda: fact_s.factorize_arrays(Ap, Ai, Ax))
+        wf2_seconds = best_of(
+            lambda: fact_w.factorize_arrays(Ap, Ai, Ax, num_threads=2)
+        )
+        # Warm-reload check through fresh drivers (fresh in-memory artifact
+        # caches, shared on-disk cache): both variants must key separately
+        # on disk and come back with zero recompiles.
+        disk_before = dict(disk_cache_stats().as_dict())
+        Sympiler(serial_options, cache=ArtifactCache()).compile("cholesky", A)
+        Sympiler(wavefront_options, cache=ArtifactCache()).compile("cholesky", A)
+        disk_after = dict(disk_cache_stats().as_dict())
+        recompiles = (disk_after["compiles"] - disk_before["compiles"]) + (
+            disk_after["py_writes"] - disk_before["py_writes"]
+        )
+        schedule = fact_w.schedule
+        fallback = fact_w.parallel_mode == "serial-fallback"
+        if expect_fallback and backend == "c" and not fallback:
+            raise AssertionError(
+                f"{name}: expected the deep-etree serial fallback, got "
+                f"parallel_mode={fact_w.parallel_mode!r}"
+            )
+        return {
+            "problem_id": problem_id,
+            "name": name,
+            "n": A.n,
+            "nnz_L": fact_s.factor_nnz,
+            "backend": backend,
+            "parallel_mode": fact_w.parallel_mode,
+            "cpu_count": os.cpu_count() or 1,
+            "schedule_levels": schedule.n_levels if schedule is not None else 0,
+            "schedule_avg_width": (
+                float(schedule.average_width) if schedule is not None else 0.0
+            ),
+            "serial_seconds": serial_seconds,
+            "wavefront2_seconds": wf2_seconds,
+            "speedup_2threads": serial_seconds / max(wf2_seconds, 1e-12),
+            "bitwise_identical": bitwise,
+            "zero_recompiles": recompiles == 0,
+            "serial_fallback": fallback,
+        }
+
+    rows: List[Dict[str, object]] = []
+    for entry in _entries(suite):
+        # Wide-level stand-in per entry: a mindeg-ordered 2-D grid large
+        # enough that level widths dwarf the per-level barrier (the smoke
+        # matrices would measure barrier overhead, not wavefront execution).
+        side = 40 + 4 * (entry.problem_id % 3)
+        grid = laplacian_2d(side, shift=0.1)
+        A = ordering_by_name("mindeg")(grid).symmetric_permute(grid)
+        rows.append(measure(entry.problem_id, entry.name, A, expect_fallback=False))
+    # Deep-etree pattern: a 1-D chain's elimination tree is a path, every
+    # level has one column, and the backend must decline wavefront codegen.
+    chain = laplacian_2d(400, 1, shift=0.1)
+    rows.append(measure(-1, "deep_chain_400", chain, expect_fallback=True))
+    return rows
 
 
 # --------------------------------------------------------------------------- #

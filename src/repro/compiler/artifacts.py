@@ -118,6 +118,47 @@ class CompiledArtifact:
         """
         return self.inspection.schedule
 
+    @property
+    def parallel_mode(self) -> str:
+        """Within-kernel execution mode the module was compiled in.
+
+        ``"none"`` — serial ABI (the default); ``"wavefront"`` — level-
+        parallel entry point taking a runtime thread count; ``"serial-
+        fallback"`` — wavefront ABI around the serial body (requested
+        wavefront, but the schedule was too deep or the kernel supernodal;
+        the reason is recorded under ``decisions["wavefront"]``).
+        """
+        return getattr(self.module, "parallel", "none")
+
+    @property
+    def accepts_num_threads(self) -> bool:
+        """True when the entry point takes a per-call thread count."""
+        return self.parallel_mode != "none"
+
+    @property
+    def schedule_stats(self) -> Dict[str, object]:
+        """Level-structure summary of the cached schedule (empty if none)."""
+        schedule = self.schedule
+        if schedule is None:
+            return {}
+        return {
+            "n_levels": schedule.n_levels,
+            "n_scheduled": schedule.n_scheduled,
+            "max_width": schedule.max_width,
+            "average_width": schedule.average_width,
+        }
+
+    def _entry_kwargs(self, num_threads) -> Dict[str, int]:
+        """Entry keyword arguments for a requested thread count.
+
+        Serial entry points do not take a thread count, so a request is
+        silently meaningful only on wavefront-ABI artifacts — callers may
+        pass ``num_threads`` unconditionally and let the artifact route it.
+        """
+        if num_threads is not None and self.accepts_num_threads:
+            return {"num_threads": num_threads}
+        return {}
+
     def _check_fingerprint(self, fp: str, hint: str) -> None:
         if fp != self.fingerprint:
             raise PatternMismatchError(
@@ -145,10 +186,23 @@ class SympiledTriangularSolve(CompiledArtifact):
         return self.solve_arrays(L.indptr, L.indices, L.data, b)
 
     def solve_arrays(
-        self, Lp: np.ndarray, Li: np.ndarray, Lx: np.ndarray, b: np.ndarray
+        self,
+        Lp: np.ndarray,
+        Li: np.ndarray,
+        Lx: np.ndarray,
+        b: np.ndarray,
+        *,
+        num_threads=None,
     ) -> np.ndarray:
-        """Raw-array entry point (numeric arrays only)."""
-        return self.entry(Lp, Li, Lx, np.asarray(b, dtype=np.float64))
+        """Raw-array entry point (numeric arrays only).
+
+        ``num_threads`` applies only to wavefront-compiled artifacts (the
+        level-parallel entry takes a per-call thread count); it is ignored by
+        serial artifacts, so callers need not branch on the compiled mode.
+        """
+        return self.entry(
+            Lp, Li, Lx, np.asarray(b, dtype=np.float64), **self._entry_kwargs(num_threads)
+        )
 
     def verify_pattern(self, L: CSCMatrix) -> None:
         """Raise :class:`PatternMismatchError` if ``L`` has a different pattern."""
@@ -180,9 +234,18 @@ class SympiledFactorization(CompiledArtifact):
     #: method's preconditioner, not in a forward/backward solve.
     is_incomplete = False
 
-    def factorize_arrays(self, Ap: np.ndarray, Ai: np.ndarray, Ax: np.ndarray):
-        """Raw-array entry point: returns the backend entry's numeric output."""
-        return self.entry(Ap, Ai, np.asarray(Ax, dtype=np.float64))
+    def factorize_arrays(
+        self, Ap: np.ndarray, Ai: np.ndarray, Ax: np.ndarray, *, num_threads=None
+    ):
+        """Raw-array entry point: returns the backend entry's numeric output.
+
+        ``num_threads`` applies only to wavefront-compiled artifacts (the
+        level-parallel entry takes a per-call thread count); it is ignored by
+        serial artifacts, so callers need not branch on the compiled mode.
+        """
+        return self.entry(
+            Ap, Ai, np.asarray(Ax, dtype=np.float64), **self._entry_kwargs(num_threads)
+        )
 
     def verify_pattern(self, A: CSCMatrix) -> None:
         """Raise :class:`PatternMismatchError` if ``A`` has a different pattern."""

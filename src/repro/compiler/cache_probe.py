@@ -95,6 +95,18 @@ def run_probe(backend: str | None = None) -> Dict[str, object]:
     results["ilu0_ok"] = bool(
         np.isfinite(inc.L.data).all() and np.isfinite(inc.U.data).all()
     )
+    # A wavefront-compiled kernel joins the warm-cache contract too: the
+    # parallel mode is part of the options fingerprint, so this artifact
+    # keys (and persists) separately from the serial cholesky above — a
+    # warm probe run must reload *both* with zero recompiles.
+    sym_wf = Sympiler(options.with_updates(parallel="wavefront"), cache=ArtifactCache())
+    chol_wf = sym_wf.compile("cholesky", spd)
+    L_wf = chol_wf.factorize(spd)
+    results["cholesky_wavefront_ok"] = bool(
+        L_wf.nnz > 0
+        and np.array_equal(L_wf.data, L.data)
+        and chol_wf.parallel_mode in ("wavefront", "serial-fallback", "none")
+    )
 
     disk = disk_cache_stats()
     return {

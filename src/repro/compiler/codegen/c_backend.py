@@ -14,6 +14,16 @@ Entry points generated:
 * Cholesky — ``int64_t <name>(const int64_t* Ap, const int64_t* Ai,
   const double* Ax, double* Lx)`` returning 0 on success or ``j + 1`` when a
   non-positive pivot is met at column ``j``.
+
+Under ``SympilerOptions(parallel="wavefront")`` every entry point gains a
+trailing ``int64_t n_threads`` argument and executes the columns of each
+level of the inspector's cached :class:`~repro.runtime.levels.ExecutionSchedule`
+across a persistent pthread worker pool, with a barrier between levels (the
+paper's H-Level parallelism, applied *within* one numeric call).  Levels are
+antichains of the column dependency DAG, so per-column writes are disjoint
+and the result is bitwise identical to the serial kernel; when the schedule
+has no parallelism to mine (or the kernel is supernodal) the serial body is
+emitted behind the same ABI and the fallback is recorded on the artifact.
 """
 
 from __future__ import annotations
@@ -187,6 +197,11 @@ class CGeneratedModule:
     flags: Tuple[str, ...]
     n: int
     factor_nnz: int = 0
+    # Within-kernel execution mode of the generated entry point: "none"
+    # (serial ABI), "wavefront" (level-parallel, trailing n_threads arg) or
+    # "serial-fallback" (wavefront ABI around the serial body — emitted when
+    # the schedule is too deep or the kernel supernodal).
+    parallel: str = "none"
     meta: Dict[str, int] = field(default_factory=dict)
     compile_seconds: float = 0.0
     shared_object: Optional[str] = None
@@ -217,12 +232,25 @@ class CGeneratedModule:
             raise CCompilationError(f"unsupported method {self.method!r}")
         start = time.perf_counter()
         cache = generated_code_dir()
+        extra_flags = []
+        if not any(f.startswith("-ffp-contract") for f in self.flags):
+            # Uniform rounding across every generated kernel: the default
+            # -ffp-contract=fast fuses multiply-subtract differently for
+            # different loop shapes, which would break the bitwise identity
+            # between the serial (push) and wavefront (pull) triangular
+            # solves.  An explicit -ffp-contract in the flags wins.
+            extra_flags.append("-ffp-contract=off")
+        if "#include <pthread.h>" in self.source:
+            # REPRO_CFLAGS cannot be asked to carry -pthread (serial kernels
+            # must keep compiling without it), so it is derived from the
+            # source itself: wavefront kernels embed the pthread runtime.
+            extra_flags.append("-pthread")
         # The stem covers source AND toolchain: the same generated source
         # built with different flags (an -O0 vs -O3 ablation, say) must not
         # reuse the other's shared object.
         source_fp = pattern_fingerprint(
             np.frombuffer(self.source.encode(), dtype=np.uint8),
-            extra=f"{self.compiler} {' '.join(self.flags)}",
+            extra=f"{self.compiler} {' '.join((*self.flags, *extra_flags))}",
         )
         stem = f"{self.entry_name}_{source_fp}"
         c_path = os.path.join(cache, stem + ".c")
@@ -230,7 +258,7 @@ class CGeneratedModule:
         atomic_write_text(c_path, self.source)
         if not os.path.exists(so_path):
             tmp_so = tmp_path_for(so_path)
-            cmd = [self.compiler, *self.flags, "-o", tmp_so, c_path, "-lm"]
+            cmd = [self.compiler, *self.flags, *extra_flags, "-o", tmp_so, c_path, "-lm"]
             try:
                 proc = subprocess.run(cmd, capture_output=True, text=True)
                 if proc.returncode != 0:
@@ -373,6 +401,144 @@ def _ilu0_wrapper(module: "CGeneratedModule", fn) -> Callable:
     return wrapper
 
 
+def _wavefront_threads(num_threads: Optional[int]) -> int:
+    """Resolve the thread count of one wavefront entry call.
+
+    Precedence: explicit argument > ``REPRO_NUM_THREADS`` environment
+    override > one thread per available CPU (``0`` means "one per CPU" at
+    any level).  Mirrors :func:`repro.runtime.engine.resolve_num_threads`
+    except for the last step — a wavefront kernel called without any request
+    should saturate the machine, that being its purpose — and lives here
+    rather than in the runtime because the runtime imports this module.
+    """
+    if num_threads is None:
+        env = os.environ.get("REPRO_NUM_THREADS", "").strip()
+        num_threads = int(env) if env else 0
+    num_threads = int(num_threads)
+    if num_threads < 0:
+        raise ValueError("num_threads must be non-negative (0 means one per CPU)")
+    if num_threads == 0:
+        return os.cpu_count() or 1
+    return num_threads
+
+
+# Wavefront variants of the wrappers: same array handling, but the entry
+# takes a trailing n_threads and the wrapper a num_threads=None keyword
+# (resolved per call — the thread count is a runtime knob, never baked in).
+def _trisolve_wf_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = None
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, _F64P, ctypes.c_int64]
+
+    def wrapper(Lp, Li, Lx, b, num_threads=None):
+        Lp = np.ascontiguousarray(Lp, dtype=np.int64)
+        Li = np.ascontiguousarray(Li, dtype=np.int64)
+        Lx = np.ascontiguousarray(Lx, dtype=np.float64)
+        b = np.ascontiguousarray(b, dtype=np.float64)
+        x = np.empty(module.n, dtype=np.float64)
+        fn(Lp, Li, Lx, b, x, _wavefront_threads(num_threads))
+        return x
+
+    return wrapper
+
+
+def _cholesky_wf_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, ctypes.c_int64]
+
+    def wrapper(Ap, Ai, Ax, num_threads=None):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.factor_nnz, dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx, _wavefront_threads(num_threads))
+        if status != 0:
+            raise ValueError(
+                f"matrix is not positive definite at column {int(status) - 1}"
+            )
+        return Lx
+
+    return wrapper
+
+
+def _ldlt_wf_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, _F64P, ctypes.c_int64]
+
+    def wrapper(Ap, Ai, Ax, num_threads=None):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.factor_nnz, dtype=np.float64)
+        D = np.zeros(module.n, dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx, D, _wavefront_threads(num_threads))
+        if status != 0:
+            raise ValueError(
+                f"matrix is singular (zero pivot) at column {int(status) - 1}"
+            )
+        return Lx, D
+
+    return wrapper
+
+
+def _lu_wf_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, _F64P, ctypes.c_int64]
+
+    def wrapper(Ap, Ai, Ax, num_threads=None):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.meta["l_nnz"], dtype=np.float64)
+        Ux = np.zeros(module.meta["u_nnz"], dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx, Ux, _wavefront_threads(num_threads))
+        if status != 0:
+            raise ValueError(
+                f"matrix is singular (zero pivot) at column {int(status) - 1}"
+            )
+        return Lx, Ux
+
+    return wrapper
+
+
+def _ic0_wf_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, ctypes.c_int64]
+
+    def wrapper(Ap, Ai, Ax, num_threads=None):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.factor_nnz, dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx, _wavefront_threads(num_threads))
+        if status != 0:
+            raise ValueError(
+                f"IC(0) breakdown: non-positive pivot at column {int(status) - 1}"
+            )
+        return Lx
+
+    return wrapper
+
+
+def _ilu0_wf_wrapper(module: "CGeneratedModule", fn) -> Callable:
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_I64P, _I64P, _F64P, _F64P, _F64P, ctypes.c_int64]
+
+    def wrapper(Ap, Ai, Ax, num_threads=None):
+        Ap = np.ascontiguousarray(Ap, dtype=np.int64)
+        Ai = np.ascontiguousarray(Ai, dtype=np.int64)
+        Ax = np.ascontiguousarray(Ax, dtype=np.float64)
+        Lx = np.zeros(module.meta["l_nnz"], dtype=np.float64)
+        Ux = np.zeros(module.meta["u_nnz"], dtype=np.float64)
+        status = fn(Ap, Ai, Ax, Lx, Ux, _wavefront_threads(num_threads))
+        if status != 0:
+            raise ValueError(
+                f"ILU(0) breakdown: zero pivot at column {int(status) - 1}"
+            )
+        return Lx, Ux
+
+    return wrapper
+
+
 @dataclass(frozen=True)
 class CMethodSpec:
     """ABI description of one kernel method for the C backend.
@@ -455,6 +621,71 @@ _C_METHOD_SPECS: Dict[str, CMethodSpec] = {
             "u_nnz": int(context.inspection.u_nnz),
         },
     ),
+    # Level-parallel (wavefront) variants: same kernels behind an ABI with a
+    # trailing runtime thread count.  Selected by options.parallel, which is
+    # part of the options fingerprint, so serial and wavefront artifacts of
+    # one pattern cache independently in memory and on disk.
+    "triangular-solve@wavefront": CMethodSpec(
+        signature=(
+            "void {name}(const int64_t* Lp, const int64_t* Li, "
+            "const double* Lx, const double* b, double* x, int64_t n_threads)"
+        ),
+        body_emitter="_emit_wf_trisolve_body",
+        wrapper_factory=_trisolve_wf_wrapper,
+    ),
+    "cholesky@wavefront": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx, int64_t n_threads)"
+        ),
+        body_emitter="_emit_wf_factorization_body",
+        wrapper_factory=_cholesky_wf_wrapper,
+        needs_factor_nnz=True,
+    ),
+    "ldlt@wavefront": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx, double* D, int64_t n_threads)"
+        ),
+        body_emitter="_emit_wf_factorization_body",
+        wrapper_factory=_ldlt_wf_wrapper,
+        needs_factor_nnz=True,
+    ),
+    "lu@wavefront": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx, double* Ux, int64_t n_threads)"
+        ),
+        body_emitter="_emit_wf_lu_body",
+        wrapper_factory=_lu_wf_wrapper,
+        needs_factor_nnz=True,
+        module_meta=lambda context: {
+            "l_nnz": int(context.inspection.l_nnz),
+            "u_nnz": int(context.inspection.u_nnz),
+        },
+    ),
+    "ic0@wavefront": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx, int64_t n_threads)"
+        ),
+        body_emitter="_emit_wf_ic0_body",
+        wrapper_factory=_ic0_wf_wrapper,
+        needs_factor_nnz=True,
+    ),
+    "ilu0@wavefront": CMethodSpec(
+        signature=(
+            "int64_t {name}(const int64_t* Ap, const int64_t* Ai, "
+            "const double* Ax, double* Lx, double* Ux, int64_t n_threads)"
+        ),
+        body_emitter="_emit_wf_ilu0_body",
+        wrapper_factory=_ilu0_wf_wrapper,
+        needs_factor_nnz=True,
+        module_meta=lambda context: {
+            "l_nnz": int(context.inspection.l_nnz),
+            "u_nnz": int(context.inspection.u_nnz),
+        },
+    ),
 }
 
 
@@ -510,6 +741,116 @@ static void repro_dense_trsm_rt(const double* Ld, int64_t w, double* B, int64_t 
 """
 
 
+_WF_RUNTIME = r"""
+/* --------------------------------------------------------------------- */
+/* Wavefront (H-Level) runtime: a persistent detached worker pool plus a */
+/* sense-reversing barrier.  One loaded kernel runs one wavefront job at */
+/* a time (pool and barrier are module state); concurrent callers        */
+/* serialize on the job mutex — the batched runtime threads across items */
+/* instead of stacking within-item pools.                                */
+/* --------------------------------------------------------------------- */
+typedef struct {
+    void (*run)(int64_t tid, int64_t nt, void* job);
+    void* job;
+    int64_t active;
+} repro_wf_task_t;
+
+static pthread_mutex_t repro_wf_job_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_mutex_t repro_wf_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t repro_wf_cv = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t repro_wf_done_cv = PTHREAD_COND_INITIALIZER;
+static repro_wf_task_t repro_wf_cur;
+static int64_t repro_wf_gen = 0;
+static int64_t repro_wf_outstanding = 0;
+static int64_t repro_wf_nworkers = 0;
+
+static _Atomic int64_t repro_wf_bar_count;
+static _Atomic int64_t repro_wf_bar_sense;
+static _Atomic int64_t repro_wf_status;
+
+static void repro_wf_barrier(int64_t nparts, int64_t* sense) {
+    int64_t s = 1 - *sense;
+    *sense = s;
+    if (atomic_fetch_add_explicit(&repro_wf_bar_count, 1, memory_order_acq_rel)
+        == nparts - 1) {
+        atomic_store_explicit(&repro_wf_bar_count, 0, memory_order_relaxed);
+        atomic_store_explicit(&repro_wf_bar_sense, s, memory_order_release);
+    } else {
+        while (atomic_load_explicit(&repro_wf_bar_sense, memory_order_acquire) != s)
+            sched_yield();
+    }
+}
+
+static int64_t repro_wf_ok(void) {
+    return atomic_load_explicit(&repro_wf_status, memory_order_relaxed) == INT64_MAX;
+}
+
+static void repro_wf_fail(int64_t status) {
+    /* CAS-min: the smallest failing column wins, whatever thread found it,
+       so the reported status matches the serial kernel's first failure. */
+    int64_t seen = atomic_load_explicit(&repro_wf_status, memory_order_relaxed);
+    while (status < seen &&
+           !atomic_compare_exchange_weak_explicit(
+               &repro_wf_status, &seen, status,
+               memory_order_acq_rel, memory_order_relaxed)) {}
+}
+
+static void* repro_wf_worker(void* arg) {
+    int64_t tid = (int64_t)(intptr_t)arg;
+    int64_t seen = 0;
+    for (;;) {
+        pthread_mutex_lock(&repro_wf_mu);
+        while (repro_wf_gen == seen) pthread_cond_wait(&repro_wf_cv, &repro_wf_mu);
+        seen = repro_wf_gen;
+        repro_wf_task_t task = repro_wf_cur;
+        pthread_mutex_unlock(&repro_wf_mu);
+        if (tid < task.active) {
+            task.run(tid, task.active, task.job);
+            pthread_mutex_lock(&repro_wf_mu);
+            if (--repro_wf_outstanding == 0)
+                pthread_cond_signal(&repro_wf_done_cv);
+            pthread_mutex_unlock(&repro_wf_mu);
+        }
+    }
+    return 0;
+}
+
+static int64_t repro_wf_launch(void (*run)(int64_t, int64_t, void*),
+                               void* job, int64_t n_threads) {
+    pthread_mutex_lock(&repro_wf_job_mu);
+    atomic_store_explicit(&repro_wf_status, INT64_MAX, memory_order_relaxed);
+    atomic_store_explicit(&repro_wf_bar_count, 0, memory_order_relaxed);
+    atomic_store_explicit(&repro_wf_bar_sense, 0, memory_order_relaxed);
+    pthread_mutex_lock(&repro_wf_mu);
+    while (repro_wf_nworkers < n_threads - 1) {
+        pthread_t th;
+        if (pthread_create(&th, 0, repro_wf_worker,
+                           (void*)(intptr_t)(repro_wf_nworkers + 1)) != 0)
+            break;  /* degraded: run with the workers that did start */
+        pthread_detach(th);
+        repro_wf_nworkers++;
+    }
+    int64_t active =
+        n_threads < repro_wf_nworkers + 1 ? n_threads : repro_wf_nworkers + 1;
+    repro_wf_cur.run = run;
+    repro_wf_cur.job = job;
+    repro_wf_cur.active = active;
+    repro_wf_outstanding = active - 1;
+    repro_wf_gen++;
+    pthread_cond_broadcast(&repro_wf_cv);
+    pthread_mutex_unlock(&repro_wf_mu);
+    run(0, active, job);
+    pthread_mutex_lock(&repro_wf_mu);
+    while (repro_wf_outstanding != 0)
+        pthread_cond_wait(&repro_wf_done_cv, &repro_wf_mu);
+    pthread_mutex_unlock(&repro_wf_mu);
+    int64_t status = atomic_load_explicit(&repro_wf_status, memory_order_acquire);
+    pthread_mutex_unlock(&repro_wf_job_mu);
+    return status == INT64_MAX ? 0 : status;
+}
+"""
+
+
 class CBackend:
     """Generate and compile specialized C code from a transformed kernel."""
 
@@ -530,13 +871,18 @@ class CBackend:
         self._constants: Dict[str, np.ndarray] = {}
         self._const_counter = 0
         self._n = context.inspection.n
-        out = _CEmitter()
-        out.emit("/* Sympiler-generated kernel (C backend). */")
-        out.emit("#include <stdint.h>")
-        out.emit("#include <math.h>")
-        out.emit("#include <string.h>")
-        out.emit("")
-        method_spec = _C_METHOD_SPECS.get(kernel.method)
+        # Wavefront state, filled in by the wavefront body emitters: helper
+        # functions to place before the entry point, whether the pthread
+        # runtime is needed, and the mode the artifact reports.
+        self._prelude: List[str] = []
+        self._needs_wf_runtime = False
+        self._parallel_mode = "none"
+        method_key = kernel.method
+        if getattr(context.options, "parallel", "none") == "wavefront":
+            wf_key = f"{kernel.method}@wavefront"
+            if wf_key in _C_METHOD_SPECS:
+                method_key = wf_key
+        method_spec = _C_METHOD_SPECS.get(method_key)
         if method_spec is None:
             raise CCompilationError(f"unsupported method {kernel.method!r}")
         body_out = _CEmitter()
@@ -547,6 +893,16 @@ class CBackend:
         getattr(self, method_spec.body_emitter)(body_out, kernel, context)
         signature = method_spec.signature.format(name=kernel.name)
 
+        out = _CEmitter()
+        out.emit("/* Sympiler-generated kernel (C backend). */")
+        out.emit("#include <stdint.h>")
+        out.emit("#include <math.h>")
+        out.emit("#include <string.h>")
+        if self._needs_wf_runtime:
+            out.emit("#include <pthread.h>")
+            out.emit("#include <stdatomic.h>")
+            out.emit("#include <sched.h>")
+        out.emit("")
         for name, value in sorted(self._constants.items()):
             out.emit(_format_c_array(name, value, "int64_t"))
         out.emit("")
@@ -568,6 +924,10 @@ class CBackend:
                 max_w = self._max_supernode_width(kernel)
                 out.emit(f"static _Thread_local double repro_mult[{max(max_w, 1)}];")
             out.emit("")
+        if self._needs_wf_runtime:
+            out.emit(_WF_RUNTIME)
+            out.lines.extend(self._prelude)
+            out.emit("")
         out.emit(signature + " {")
         out.lines.extend(body_out.lines)
         out.emit("}")
@@ -580,12 +940,13 @@ class CBackend:
             source=source,
             entry_name=kernel.name,
             constants=dict(self._constants),
-            method=kernel.method,
+            method=method_key,
             codegen_seconds=codegen_seconds,
             compiler=self.compiler,
             flags=self.flags,
             n=self._n,
             factor_nnz=factor_nnz,
+            parallel=self._parallel_mode,
             meta=dict(method_spec.module_meta(context)) if method_spec.module_meta else {},
         )
 
@@ -804,165 +1165,212 @@ class CBackend:
         out.emit("(void)Ap; (void)Ai;  /* the A pattern is baked into the constants */")
         self._emit_incomplete_ilu0_c(out, loops[0])
 
-    def _emit_incomplete_ic0_c(self, out: _CEmitter, stmt: IncompleteFactorLoop) -> None:
-        n = stmt.n
-        lp = self._add_constant("l_indptr", stmt.l_indptr)
-        alp = self._add_constant("a_lower_pos", stmt.a_lower_pos)
-        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
-        mp = self._add_constant("mult_pos", stmt.mult_pos)
-        lsp = self._add_constant("l_scat_ptr", stmt.l_scat_ptr)
-        lss = self._add_constant("l_scat_src", stmt.l_scat_src)
-        lsd = self._add_constant("l_scat_dst", stmt.l_scat_dst)
-        nnzl = int(stmt.l_indptr[-1])
-        out.emit("/* IC(0): in-place no-fill elimination on the tril(A) pattern */")
-        out.emit(f"for (int64_t i = 0; i < {nnzl}; i++) Lx[i] = Ax[{alp}[i]];")
-        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
+    def _incomplete_ic0_names(self, stmt: IncompleteFactorLoop) -> Dict[str, str]:
+        return {
+            "lp": self._add_constant("l_indptr", stmt.l_indptr),
+            "alp": self._add_constant("a_lower_pos", stmt.a_lower_pos),
+            "pp": self._add_constant("prune_ptr", stmt.prune_ptr),
+            "mp": self._add_constant("mult_pos", stmt.mult_pos),
+            "lsp": self._add_constant("l_scat_ptr", stmt.l_scat_ptr),
+            "lss": self._add_constant("l_scat_src", stmt.l_scat_src),
+            "lsd": self._add_constant("l_scat_dst", stmt.l_scat_dst),
+        }
+
+    def _emit_ic0_column(self, out: _CEmitter, c: Dict[str, str]) -> None:
+        # The body of one elimination step j.  Writes land only in column j
+        # of Lx (the scatter destinations are column-j positions), which is
+        # what lets the wavefront variant run a whole level of steps at once.
+        out.emit(f"for (int64_t t = {c['pp']}[j]; t < {c['pp']}[j + 1]; t++) {{")
         out.push()
-        out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
-        out.push()
-        out.emit(f"double ljk = Lx[{mp}[t]];")
+        out.emit(f"double ljk = Lx[{c['mp']}[t]];")
         out.emit(
-            f"for (int64_t s = {lsp}[t]; s < {lsp}[t + 1]; s++) "
-            f"Lx[{lsd}[s]] -= Lx[{lss}[s]] * ljk;"
+            f"for (int64_t s = {c['lsp']}[t]; s < {c['lsp']}[t + 1]; s++) "
+            f"Lx[{c['lsd']}[s]] -= Lx[{c['lss']}[s]] * ljk;"
         )
         out.pop()
         out.emit("}")
-        out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
+        out.emit(f"int64_t lp0 = {c['lp']}[j], lp1 = {c['lp']}[j + 1];")
         out.emit("double d = Lx[lp0];")
         out.emit("if (!(d > 0.0)) return j + 1;")
         out.emit("double ljj = sqrt(d);")
         out.emit("Lx[lp0] = ljj;")
         out.emit("for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] /= ljj;")
+
+    def _emit_incomplete_ic0_c(self, out: _CEmitter, stmt: IncompleteFactorLoop) -> None:
+        c = self._incomplete_ic0_names(stmt)
+        nnzl = int(stmt.l_indptr[-1])
+        out.emit("/* IC(0): in-place no-fill elimination on the tril(A) pattern */")
+        out.emit(f"for (int64_t i = 0; i < {nnzl}; i++) Lx[i] = Ax[{c['alp']}[i]];")
+        out.emit(f"for (int64_t j = 0; j < {stmt.n}; j++) {{")
+        out.push()
+        self._emit_ic0_column(out, c)
         out.pop()
         out.emit("}")
         out.emit("return 0;")
 
-    def _emit_incomplete_ilu0_c(self, out: _CEmitter, stmt: IncompleteFactorLoop) -> None:
-        n = stmt.n
-        lp = self._add_constant("l_indptr", stmt.l_indptr)
-        up = self._add_constant("u_indptr", stmt.u_indptr)
-        alp = self._add_constant("a_lower_pos", stmt.a_lower_pos)
-        aup = self._add_constant("a_upper_pos", stmt.a_upper_pos)
-        lgd = self._add_constant("l_gather_dst", stmt.l_gather_dst)
-        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
-        mp = self._add_constant("mult_pos", stmt.mult_pos)
-        usp = self._add_constant("u_scat_ptr", stmt.u_scat_ptr)
-        uss = self._add_constant("u_scat_src", stmt.u_scat_src)
-        usd = self._add_constant("u_scat_dst", stmt.u_scat_dst)
-        lsp = self._add_constant("l_scat_ptr", stmt.l_scat_ptr)
-        lss = self._add_constant("l_scat_src", stmt.l_scat_src)
-        lsd = self._add_constant("l_scat_dst", stmt.l_scat_dst)
+    def _incomplete_ilu0_names(self, stmt: IncompleteFactorLoop) -> Dict[str, str]:
+        return {
+            "lp": self._add_constant("l_indptr", stmt.l_indptr),
+            "up": self._add_constant("u_indptr", stmt.u_indptr),
+            "alp": self._add_constant("a_lower_pos", stmt.a_lower_pos),
+            "aup": self._add_constant("a_upper_pos", stmt.a_upper_pos),
+            "lgd": self._add_constant("l_gather_dst", stmt.l_gather_dst),
+            "pp": self._add_constant("prune_ptr", stmt.prune_ptr),
+            "mp": self._add_constant("mult_pos", stmt.mult_pos),
+            "usp": self._add_constant("u_scat_ptr", stmt.u_scat_ptr),
+            "uss": self._add_constant("u_scat_src", stmt.u_scat_src),
+            "usd": self._add_constant("u_scat_dst", stmt.u_scat_dst),
+            "lsp": self._add_constant("l_scat_ptr", stmt.l_scat_ptr),
+            "lss": self._add_constant("l_scat_src", stmt.l_scat_src),
+            "lsd": self._add_constant("l_scat_dst", stmt.l_scat_dst),
+        }
+
+    def _emit_ilu0_column(self, out: _CEmitter, c: Dict[str, str]) -> None:
+        # One elimination step j: all writes land in column j of Ux and Lx,
+        # all reads come from columns k < j (strictly earlier wavefronts).
+        out.emit(f"for (int64_t t = {c['pp']}[j]; t < {c['pp']}[j + 1]; t++) {{")
+        out.push()
+        out.emit(f"double ukj = Ux[{c['mp']}[t]];")
+        out.emit(
+            f"for (int64_t s = {c['usp']}[t]; s < {c['usp']}[t + 1]; s++) "
+            f"Ux[{c['usd']}[s]] -= Lx[{c['uss']}[s]] * ukj;"
+        )
+        out.emit(
+            f"for (int64_t s = {c['lsp']}[t]; s < {c['lsp']}[t + 1]; s++) "
+            f"Lx[{c['lsd']}[s]] -= Lx[{c['lss']}[s]] * ukj;"
+        )
+        out.pop()
+        out.emit("}")
+        out.emit(f"double piv = Ux[{c['up']}[j + 1] - 1];")
+        out.emit("if (piv == 0.0) return j + 1;")
+        out.emit(f"int64_t lp0 = {c['lp']}[j], lp1 = {c['lp']}[j + 1];")
+        out.emit("Lx[lp0] = 1.0;")
+        out.emit("for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] /= piv;")
+
+    def _emit_ilu0_preamble(self, out: _CEmitter, stmt: IncompleteFactorLoop, c: Dict[str, str]) -> None:
         nnzl = int(stmt.l_indptr[-1])
         nnzu = int(stmt.u_indptr[-1])
         n_below = int(stmt.a_lower_pos.size)
-        out.emit("/* ILU(0): in-place no-fill elimination on the A pattern */")
-        out.emit(f"for (int64_t i = 0; i < {nnzu}; i++) Ux[i] = Ax[{aup}[i]];")
+        out.emit(f"for (int64_t i = 0; i < {nnzu}; i++) Ux[i] = Ax[{c['aup']}[i]];")
         out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
-        out.emit(f"for (int64_t i = 0; i < {n_below}; i++) Lx[{lgd}[i]] = Ax[{alp}[i]];")
-        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
-        out.push()
-        out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
-        out.push()
-        out.emit(f"double ukj = Ux[{mp}[t]];")
         out.emit(
-            f"for (int64_t s = {usp}[t]; s < {usp}[t + 1]; s++) "
-            f"Ux[{usd}[s]] -= Lx[{uss}[s]] * ukj;"
+            f"for (int64_t i = 0; i < {n_below}; i++) Lx[{c['lgd']}[i]] = Ax[{c['alp']}[i]];"
         )
-        out.emit(
-            f"for (int64_t s = {lsp}[t]; s < {lsp}[t + 1]; s++) "
-            f"Lx[{lsd}[s]] -= Lx[{lss}[s]] * ukj;"
-        )
-        out.pop()
-        out.emit("}")
-        out.emit(f"double piv = Ux[{up}[j + 1] - 1];")
-        out.emit("if (piv == 0.0) return j + 1;")
-        out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
-        out.emit("Lx[lp0] = 1.0;")
-        out.emit("for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] /= piv;")
+
+    def _emit_incomplete_ilu0_c(self, out: _CEmitter, stmt: IncompleteFactorLoop) -> None:
+        c = self._incomplete_ilu0_names(stmt)
+        out.emit("/* ILU(0): in-place no-fill elimination on the A pattern */")
+        self._emit_ilu0_preamble(out, stmt, c)
+        out.emit(f"for (int64_t j = 0; j < {stmt.n}; j++) {{")
+        out.push()
+        self._emit_ilu0_column(out, c)
         out.pop()
         out.emit("}")
         out.emit("return 0;")
 
+    def _simplicial_lu_names(self, stmt: SimplicialCholeskyLoop) -> Dict[str, str]:
+        return {
+            "lp": self._add_constant("l_indptr", stmt.l_indptr),
+            "li": self._add_constant("l_indices", stmt.l_indices),
+            "up": self._add_constant("u_indptr", stmt.u_indptr),
+            "ui": self._add_constant("u_indices", stmt.u_indices),
+            "ad": self._add_constant("a_col_start", stmt.a_diag_pos),
+            "ae": self._add_constant("a_col_end", stmt.a_col_end),
+            "pp": self._add_constant("prune_ptr", stmt.prune_ptr),
+            "upos": self._add_constant("update_pos", stmt.update_pos),
+            "uend": self._add_constant("update_end", stmt.update_end),
+            "ucol": self._add_constant("update_col", stmt.update_col),
+        }
+
+    def _emit_simplicial_lu_column(self, out: _CEmitter, c: Dict[str, str]) -> None:
+        # One left-looking LU step: scatter A(:, j) into the thread-local
+        # work vector, apply the update columns, store column j of U and L,
+        # restore the work vector to zero.  Writes outside the work vector
+        # land only in columns j of Lx/Ux.
+        out.emit(f"for (int64_t p = {c['ad']}[j]; p < {c['ae']}[j]; p++) repro_f[Ai[p]] = Ax[p];")
+        out.emit(f"for (int64_t t = {c['pp']}[j]; t < {c['pp']}[j + 1]; t++) {{")
+        out.push()
+        out.emit(f"int64_t ps = {c['upos']}[t], pe = {c['uend']}[t];")
+        out.emit(f"double ukj = repro_f[{c['ucol']}[t]];")
+        out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{c['li']}[p]] -= Lx[p] * ukj;")
+        out.pop()
+        out.emit("}")
+        out.emit(f"int64_t u0 = {c['up']}[j], u1 = {c['up']}[j + 1];")
+        out.emit(f"for (int64_t p = u0; p < u1; p++) Ux[p] = repro_f[{c['ui']}[p]];")
+        out.emit("double piv = repro_f[j];")
+        out.emit("if (piv == 0.0) return j + 1;")
+        out.emit(f"int64_t lp0 = {c['lp']}[j], lp1 = {c['lp']}[j + 1];")
+        out.emit("Lx[lp0] = 1.0;")
+        out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{c['li']}[p]] / piv;")
+        out.emit(f"for (int64_t p = u0; p < u1; p++) repro_f[{c['ui']}[p]] = 0.0;")
+        out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{c['li']}[p]] = 0.0;")
+
     def _emit_simplicial_lu_c(self, out: _CEmitter, stmt: SimplicialCholeskyLoop) -> None:
-        n = stmt.n
-        lp = self._add_constant("l_indptr", stmt.l_indptr)
-        li = self._add_constant("l_indices", stmt.l_indices)
-        up = self._add_constant("u_indptr", stmt.u_indptr)
-        ui = self._add_constant("u_indices", stmt.u_indices)
-        ad = self._add_constant("a_col_start", stmt.a_diag_pos)
-        ae = self._add_constant("a_col_end", stmt.a_col_end)
-        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
-        upos = self._add_constant("update_pos", stmt.update_pos)
-        uend = self._add_constant("update_end", stmt.update_end)
-        ucol = self._add_constant("update_col", stmt.update_col)
+        c = self._simplicial_lu_names(stmt)
         nnzl = int(stmt.l_indptr[-1])
         nnzu = int(stmt.u_indptr[-1])
         out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
         out.emit(f"memset(Ux, 0, {nnzu} * sizeof(double));")
-        out.emit(f"memset(repro_f, 0, {n} * sizeof(double));")
-        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
+        out.emit(f"memset(repro_f, 0, {stmt.n} * sizeof(double));")
+        out.emit(f"for (int64_t j = 0; j < {stmt.n}; j++) {{")
         out.push()
-        out.emit(f"for (int64_t p = {ad}[j]; p < {ae}[j]; p++) repro_f[Ai[p]] = Ax[p];")
-        out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
-        out.push()
-        out.emit(f"int64_t ps = {upos}[t], pe = {uend}[t];")
-        out.emit(f"double ukj = repro_f[{ucol}[t]];")
-        out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{li}[p]] -= Lx[p] * ukj;")
-        out.pop()
-        out.emit("}")
-        out.emit(f"int64_t u0 = {up}[j], u1 = {up}[j + 1];")
-        out.emit(f"for (int64_t p = u0; p < u1; p++) Ux[p] = repro_f[{ui}[p]];")
-        out.emit("double piv = repro_f[j];")
-        out.emit("if (piv == 0.0) return j + 1;")
-        out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
-        out.emit("Lx[lp0] = 1.0;")
-        out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / piv;")
-        out.emit(f"for (int64_t p = u0; p < u1; p++) repro_f[{ui}[p]] = 0.0;")
-        out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{li}[p]] = 0.0;")
+        self._emit_simplicial_lu_column(out, c)
         out.pop()
         out.emit("}")
         out.emit("return 0;")
 
-    def _emit_simplicial_cholesky_c(self, out: _CEmitter, stmt: SimplicialCholeskyLoop) -> None:
-        n = stmt.n
+    def _simplicial_chol_names(self, stmt: SimplicialCholeskyLoop) -> Dict[str, str]:
         ldlt = stmt.factor_kind == "ldlt"
-        lp = self._add_constant("l_indptr", stmt.l_indptr)
-        li = self._add_constant("l_indices", stmt.l_indices)
-        ad = self._add_constant("a_diag_pos", stmt.a_diag_pos)
-        ae = self._add_constant("a_col_end", stmt.a_col_end)
-        pp = self._add_constant("prune_ptr", stmt.prune_ptr)
-        up = self._add_constant("update_pos", stmt.update_pos)
-        ue = self._add_constant("update_end", stmt.update_end)
-        uc = self._add_constant("update_col", stmt.update_col) if ldlt else None
-        nnzl = int(stmt.l_indptr[-1])
-        out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
-        out.emit(f"memset(repro_f, 0, {n} * sizeof(double));")
-        out.emit(f"for (int64_t j = 0; j < {n}; j++) {{")
+        return {
+            "lp": self._add_constant("l_indptr", stmt.l_indptr),
+            "li": self._add_constant("l_indices", stmt.l_indices),
+            "ad": self._add_constant("a_diag_pos", stmt.a_diag_pos),
+            "ae": self._add_constant("a_col_end", stmt.a_col_end),
+            "pp": self._add_constant("prune_ptr", stmt.prune_ptr),
+            "up": self._add_constant("update_pos", stmt.update_pos),
+            "ue": self._add_constant("update_end", stmt.update_end),
+            "uc": self._add_constant("update_col", stmt.update_col) if ldlt else None,
+        }
+
+    def _emit_simplicial_chol_column(
+        self, out: _CEmitter, stmt: SimplicialCholeskyLoop, c: Dict[str, str]
+    ) -> None:
+        # One left-looking Cholesky/LDL^T step over the thread-local work
+        # vector; the only shared-array writes are column j of Lx (and D[j]).
+        ldlt = stmt.factor_kind == "ldlt"
+        out.emit(f"for (int64_t p = {c['ad']}[j]; p < {c['ae']}[j]; p++) repro_f[Ai[p]] = Ax[p];")
+        out.emit(f"for (int64_t t = {c['pp']}[j]; t < {c['pp']}[j + 1]; t++) {{")
         out.push()
-        out.emit(f"for (int64_t p = {ad}[j]; p < {ae}[j]; p++) repro_f[Ai[p]] = Ax[p];")
-        out.emit(f"for (int64_t t = {pp}[j]; t < {pp}[j + 1]; t++) {{")
-        out.push()
-        out.emit(f"int64_t ps = {up}[t], pe = {ue}[t];")
+        out.emit(f"int64_t ps = {c['up']}[t], pe = {c['ue']}[t];")
         if ldlt:
-            out.emit(f"double ljk = Lx[ps] * D[{uc}[t]];")
+            out.emit(f"double ljk = Lx[ps] * D[{c['uc']}[t]];")
         else:
             out.emit("double ljk = Lx[ps];")
-        out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{li}[p]] -= Lx[p] * ljk;")
+        out.emit(f"for (int64_t p = ps; p < pe; p++) repro_f[{c['li']}[p]] -= Lx[p] * ljk;")
         out.pop()
         out.emit("}")
-        out.emit(f"int64_t lp0 = {lp}[j], lp1 = {lp}[j + 1];")
+        out.emit(f"int64_t lp0 = {c['lp']}[j], lp1 = {c['lp']}[j + 1];")
         out.emit("double d = repro_f[j];")
         if ldlt:
             out.emit("if (d == 0.0) return j + 1;")
             out.emit("D[j] = d;")
             out.emit("Lx[lp0] = 1.0;")
-            out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / d;")
+            out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{c['li']}[p]] / d;")
         else:
             out.emit("if (!(d > 0.0)) return j + 1;")
             out.emit("double ljj = sqrt(d);")
             out.emit("Lx[lp0] = ljj;")
-            out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{li}[p]] / ljj;")
-        out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{li}[p]] = 0.0;")
+            out.emit(f"for (int64_t p = lp0 + 1; p < lp1; p++) Lx[p] = repro_f[{c['li']}[p]] / ljj;")
+        out.emit(f"for (int64_t p = lp0; p < lp1; p++) repro_f[{c['li']}[p]] = 0.0;")
+
+    def _emit_simplicial_cholesky_c(self, out: _CEmitter, stmt: SimplicialCholeskyLoop) -> None:
+        c = self._simplicial_chol_names(stmt)
+        nnzl = int(stmt.l_indptr[-1])
+        out.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
+        out.emit(f"memset(repro_f, 0, {stmt.n} * sizeof(double));")
+        out.emit(f"for (int64_t j = 0; j < {stmt.n}; j++) {{")
+        out.push()
+        self._emit_simplicial_chol_column(out, stmt, c)
         out.pop()
         out.emit("}")
         out.emit("return 0;")
@@ -1107,3 +1515,400 @@ class CBackend:
         out.pop()
         out.emit("}")
         out.emit("return 0;")
+
+    # ------------------------------------------------------------------ #
+    # Wavefront (level-parallel) kernel variants
+    # ------------------------------------------------------------------ #
+    def _wf_fallback_reason(self, context, *, supernodal: bool = False) -> Optional[str]:
+        """Why a wavefront body cannot (usefully) be emitted, or ``None``.
+
+        The wavefront ABI is kept either way — on fallback the serial body is
+        emitted behind it — so artifact callers never need to care which body
+        the compile chose.
+        """
+        schedule = getattr(context.inspection, "schedule", None)
+        if schedule is None:
+            return "no-schedule"
+        if supernodal:
+            # VS-Block panels update ancestor supernodes in place; scheduling
+            # them by column levels would break the disjoint-write argument.
+            # Tracked as follow-up in ROADMAP.md.
+            return "supernodal"
+        if schedule.n_scheduled == 0:
+            return "empty-schedule"
+        min_avg = getattr(context.options, "wavefront_min_avg_width", 1.5)
+        if schedule.average_width < min_avg:
+            # n_levels close to n: a deep elimination tree, where per-level
+            # barriers cost more than the parallelism they unlock.
+            return "deep-etree"
+        return None
+
+    def _record_wf_decision(self, context, fallback: Optional[str]) -> None:
+        schedule = getattr(context.inspection, "schedule", None)
+        mode = "wavefront" if fallback is None else "serial-fallback"
+        info: Dict[str, object] = {"mode": mode}
+        if fallback is not None:
+            info["fallback_reason"] = fallback
+        if schedule is not None:
+            info["n_levels"] = schedule.n_levels
+            info["max_width"] = schedule.max_width
+            info["average_width"] = round(schedule.average_width, 3)
+        context.decisions["wavefront"] = info
+        self._parallel_mode = mode
+
+    def _emit_wavefront_scaffold(
+        self,
+        out: _CEmitter,
+        kernel: KernelFunction,
+        context,
+        *,
+        params: List[Tuple[str, str]],
+        emit_column: Callable[[_CEmitter], None],
+        emit_parallel_preamble: Optional[Callable[[_CEmitter], None]],
+        emit_serial: Callable[[_CEmitter], None],
+        returns_status: bool,
+        participant_clears_f: bool,
+    ) -> None:
+        """Emit the level-parallel entry body plus its prelude functions.
+
+        ``{entry}_wf_col`` holds the per-column body shared verbatim with the
+        serial emitters (``return j + 1`` failure lines become its status);
+        ``{entry}_wf_run`` is the per-participant loop over levels with a
+        barrier after each; the entry body itself dispatches: serial body for
+        ``n_threads <= 1``, preamble + pool launch otherwise.
+        """
+        schedule = context.inspection.schedule
+        entry = kernel.name
+        worder = self._add_constant("wf_order", schedule.order)
+        wlp = self._add_constant("wf_level_ptr", schedule.level_ptr)
+        self._needs_wf_runtime = True
+
+        p = _CEmitter()
+        arg_decls = "".join(f", {decl} {name}" for decl, name in params)
+        p.emit(f"static int64_t {entry}_wf_col(int64_t t{arg_decls}) {{")
+        p.push()
+        p.emit(f"int64_t j = {worder}[t];")
+        emit_column(p)
+        p.emit("return 0;")
+        p.pop()
+        p.emit("}")
+        p.emit("")
+        fields = " ".join(f"{decl} {name};" for decl, name in params)
+        p.emit(f"typedef struct {{ {fields} }} {entry}_wf_job_t;")
+        p.emit("")
+        p.emit(f"static void {entry}_wf_run(int64_t tid, int64_t nt, void* jobv) {{")
+        p.push()
+        p.emit(f"{entry}_wf_job_t* job = ({entry}_wf_job_t*)jobv;")
+        p.emit("int64_t wf_sense = 0;")
+        if participant_clears_f:
+            # A failed earlier call may have bailed out of a column body with
+            # the thread-local work vector still scattered; restore the
+            # all-zeros invariant the column bodies rely on.
+            p.emit(f"memset(repro_f, 0, {self._n} * sizeof(double));")
+        p.emit(f"for (int64_t l = 0; l < {schedule.n_levels}; l++) {{")
+        p.push()
+        p.emit(f"int64_t lo = {wlp}[l], hi = {wlp}[l + 1];")
+        p.emit("int64_t chunk = (hi - lo + nt - 1) / nt;")
+        p.emit("int64_t s = lo + tid * chunk;")
+        p.emit("int64_t e = s + chunk < hi ? s + chunk : hi;")
+        p.emit("if (repro_wf_ok()) {")
+        p.push()
+        p.emit("for (int64_t t = s; t < e; t++) {")
+        p.push()
+        call_args = "".join(f", job->{name}" for _, name in params)
+        p.emit(f"int64_t st = {entry}_wf_col(t{call_args});")
+        p.emit("if (st != 0) { repro_wf_fail(st); break; }")
+        p.pop()
+        p.emit("}")
+        p.pop()
+        p.emit("}")
+        p.emit("repro_wf_barrier(nt, &wf_sense);")
+        p.pop()
+        p.emit("}")
+        p.pop()
+        p.emit("}")
+        self._prelude.extend(p.lines)
+
+        out.emit(f"if (n_threads > {schedule.max_width}) n_threads = {schedule.max_width};")
+        out.emit("if (n_threads <= 1) {")
+        out.push()
+        emit_serial(out)
+        out.pop()
+        out.emit("}")
+        if emit_parallel_preamble is not None:
+            emit_parallel_preamble(out)
+        init = ", ".join(name for _, name in params)
+        out.emit(f"{entry}_wf_job_t wf_job = {{ {init} }};")
+        if returns_status:
+            out.emit(f"return repro_wf_launch({entry}_wf_run, &wf_job, n_threads);")
+        else:
+            out.emit(f"repro_wf_launch({entry}_wf_run, &wf_job, n_threads);")
+
+    def _trisolve_serial_order(self, kernel: KernelFunction) -> List[int]:
+        """Columns in the order the *serial* body processes them.
+
+        The serial trisolve does not visit columns in ascending index order:
+        VI-Prune emits the reach set in the inspector's topological order,
+        peeling hoists columns out of the pruned loops, and VS-Block walks
+        supernode panels.  The pull-form wavefront body must subtract each
+        row's updates in this exact order to stay bitwise identical, so the
+        order is recovered by walking the lowered IR the same way the serial
+        emitter does.
+        """
+        cols: List[int] = []
+
+        def walk(block: Block) -> None:
+            for stmt in block.statements:
+                if isinstance(stmt, Block):
+                    walk(stmt)
+                elif isinstance(stmt, ForRange):
+                    if stmt.annotations.get("role") == "column-loop":
+                        cols.extend(range(self._n))
+                elif isinstance(stmt, PrunedColumnSolveLoop):
+                    cols.extend(int(c) for c in stmt.columns)
+                elif isinstance(stmt, PeeledColumnSolve):
+                    cols.append(int(stmt.column))
+                elif isinstance(stmt, SupernodeTriangularBlock):
+                    cols.extend(range(int(stmt.c0), int(stmt.c0) + int(stmt.width)))
+
+        walk(kernel.body)
+        return cols
+
+    def _trisolve_pull_structure(
+        self, context, schedule, serial_order: List[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Row-oriented (pull) view of the scheduled triangular solve.
+
+        The serial kernels push column updates ``x[Li[p]] -= Lx[p] * xj`` as
+        each source column executes; two same-level columns may push into the
+        same ``x[i]``, so the push form cannot run a level concurrently.  The
+        pull form makes column ``j`` gather its own updates instead — and
+        because it subtracts them in the serial body's own column-execution
+        order (``serial_order``), the float operation sequence per entry is
+        identical and the result bitwise equal to the serial kernel.
+        """
+        Lp = np.asarray(context.matrix.indptr, dtype=np.int64)
+        Li = np.asarray(context.matrix.indices, dtype=np.int64)
+        order = np.asarray(schedule.order, dtype=np.int64)
+        rows: Dict[int, List[Tuple[int, int]]] = {int(j): [] for j in order}
+        if sorted(serial_order) != sorted(int(j) for j in order):
+            raise CCompilationError(
+                "the serial trisolve body and the level-set schedule cover "
+                "different column sets"
+            )
+        for c in serial_order:
+            for p in range(int(Lp[c]) + 1, int(Lp[c + 1])):
+                i = int(Li[p])
+                if i not in rows:
+                    # Reach sets are closed under L-edges, so every update
+                    # target of a scheduled column is itself scheduled.
+                    raise CCompilationError(
+                        f"trisolve schedule is not closed: column {c} updates "
+                        f"unscheduled row {i}"
+                    )
+                rows[i].append((p, c))
+        row_ptr = [0]
+        row_pos: List[int] = []
+        row_col: List[int] = []
+        diag_pos: List[int] = []
+        for j in order:
+            for p, c in rows[int(j)]:
+                row_pos.append(p)
+                row_col.append(c)
+            row_ptr.append(len(row_pos))
+            diag_pos.append(int(Lp[int(j)]))
+        return (
+            np.asarray(row_ptr, dtype=np.int64),
+            np.asarray(row_pos, dtype=np.int64),
+            np.asarray(row_col, dtype=np.int64),
+            np.asarray(diag_pos, dtype=np.int64),
+        )
+
+    def _emit_wf_trisolve_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        fallback = self._wf_fallback_reason(context)
+        self._record_wf_decision(context, fallback)
+        if fallback is not None:
+            out.emit(f"(void)n_threads;  /* serial fallback: {fallback} */")
+            self._emit_trisolve_body(out, kernel, context)
+            return
+        schedule = context.inspection.schedule
+        wrp, wpos, wcol, wdiag = self._trisolve_pull_structure(
+            context, schedule, self._trisolve_serial_order(kernel)
+        )
+        rp = self._add_constant("wf_row_ptr", wrp)
+        rpos = self._add_constant("wf_row_pos", wpos)
+        rcol = self._add_constant("wf_row_col", wcol)
+        dg = self._add_constant("wf_diag_pos", wdiag)
+        n = self._n
+
+        def emit_column(p: _CEmitter) -> None:
+            p.emit("double acc = b[j];")
+            p.emit(
+                f"for (int64_t s = {rp}[t]; s < {rp}[t + 1]; s++) "
+                f"acc -= Lx[{rpos}[s]] * x[{rcol}[s]];"
+            )
+            p.emit(f"x[j] = acc / Lx[{dg}[t]];")
+
+        def emit_parallel_preamble(p: _CEmitter) -> None:
+            p.emit(f"for (int64_t i = 0; i < {n}; i++) x[i] = b[i];")
+
+        def emit_serial(p: _CEmitter) -> None:
+            self._emit_trisolve_body(p, kernel, context)
+            p.emit("return;")
+
+        self._emit_wavefront_scaffold(
+            out,
+            kernel,
+            context,
+            params=[("const double*", "Lx"), ("const double*", "b"), ("double*", "x")],
+            emit_column=emit_column,
+            emit_parallel_preamble=emit_parallel_preamble,
+            emit_serial=emit_serial,
+            returns_status=False,
+            participant_clears_f=False,
+        )
+
+    def _emit_wf_factorization_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        simplicial = self._domain_nodes(kernel, SimplicialCholeskyLoop)
+        supernodal = self._domain_nodes(kernel, SupernodalCholeskyLoop)
+        out.emit("(void)Ap;  /* the A pattern is baked into the generated constants */")
+        fallback = self._wf_fallback_reason(context, supernodal=bool(supernodal))
+        self._record_wf_decision(context, fallback)
+        if fallback is not None:
+            out.emit(f"(void)n_threads;  /* serial fallback: {fallback} */")
+            if supernodal:
+                self._emit_supernodal_cholesky_c(out, supernodal[0])
+            elif simplicial:
+                self._emit_simplicial_cholesky_c(out, simplicial[0])
+            else:
+                raise CCompilationError(
+                    "the C backend requires a VI-Pruned or VS-Block'd factorization kernel"
+                )
+            return
+        if not simplicial:
+            raise CCompilationError(
+                "the C backend requires a VI-Pruned or VS-Block'd factorization kernel"
+            )
+        stmt = simplicial[0]
+        names = self._simplicial_chol_names(stmt)
+        nnzl = int(stmt.l_indptr[-1])
+        params = [("const int64_t*", "Ai"), ("const double*", "Ax"), ("double*", "Lx")]
+        if stmt.factor_kind == "ldlt":
+            params.append(("double*", "D"))
+
+        self._emit_wavefront_scaffold(
+            out,
+            kernel,
+            context,
+            params=params,
+            emit_column=lambda p: self._emit_simplicial_chol_column(p, stmt, names),
+            emit_parallel_preamble=lambda p: p.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));"),
+            emit_serial=lambda p: self._emit_simplicial_cholesky_c(p, stmt),
+            returns_status=True,
+            participant_clears_f=True,
+        )
+
+    def _emit_wf_lu_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        simplicial = [
+            node
+            for node in self._domain_nodes(kernel, SimplicialCholeskyLoop)
+            if node.factor_kind == "lu"
+        ]
+        if not simplicial:
+            raise CCompilationError("the C backend requires a VI-Pruned LU kernel")
+        out.emit("(void)Ap;  /* the A pattern is baked into the generated constants */")
+        stmt = simplicial[0]
+        fallback = self._wf_fallback_reason(context)
+        self._record_wf_decision(context, fallback)
+        if fallback is not None:
+            out.emit(f"(void)n_threads;  /* serial fallback: {fallback} */")
+            self._emit_simplicial_lu_c(out, stmt)
+            return
+        names = self._simplicial_lu_names(stmt)
+        nnzl = int(stmt.l_indptr[-1])
+        nnzu = int(stmt.u_indptr[-1])
+
+        def emit_parallel_preamble(p: _CEmitter) -> None:
+            p.emit(f"memset(Lx, 0, {nnzl} * sizeof(double));")
+            p.emit(f"memset(Ux, 0, {nnzu} * sizeof(double));")
+
+        self._emit_wavefront_scaffold(
+            out,
+            kernel,
+            context,
+            params=[
+                ("const int64_t*", "Ai"),
+                ("const double*", "Ax"),
+                ("double*", "Lx"),
+                ("double*", "Ux"),
+            ],
+            emit_column=lambda p: self._emit_simplicial_lu_column(p, names),
+            emit_parallel_preamble=emit_parallel_preamble,
+            emit_serial=lambda p: self._emit_simplicial_lu_c(p, stmt),
+            returns_status=True,
+            participant_clears_f=True,
+        )
+
+    def _emit_wf_ic0_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        loops = [
+            node
+            for node in self._domain_nodes(kernel, IncompleteFactorLoop)
+            if node.factor_kind == "ic0"
+        ]
+        if not loops:
+            raise CCompilationError("the C backend requires a VI-Pruned IC(0) kernel")
+        out.emit("(void)Ap; (void)Ai;  /* the A pattern is baked into the constants */")
+        stmt = loops[0]
+        fallback = self._wf_fallback_reason(context)
+        self._record_wf_decision(context, fallback)
+        if fallback is not None:
+            out.emit(f"(void)n_threads;  /* serial fallback: {fallback} */")
+            self._emit_incomplete_ic0_c(out, stmt)
+            return
+        names = self._incomplete_ic0_names(stmt)
+        nnzl = int(stmt.l_indptr[-1])
+
+        def emit_parallel_preamble(p: _CEmitter) -> None:
+            p.emit(f"for (int64_t i = 0; i < {nnzl}; i++) Lx[i] = Ax[{names['alp']}[i]];")
+
+        self._emit_wavefront_scaffold(
+            out,
+            kernel,
+            context,
+            params=[("double*", "Lx")],
+            emit_column=lambda p: self._emit_ic0_column(p, names),
+            emit_parallel_preamble=emit_parallel_preamble,
+            emit_serial=lambda p: self._emit_incomplete_ic0_c(p, stmt),
+            returns_status=True,
+            participant_clears_f=False,
+        )
+
+    def _emit_wf_ilu0_body(self, out: _CEmitter, kernel: KernelFunction, context) -> None:
+        loops = [
+            node
+            for node in self._domain_nodes(kernel, IncompleteFactorLoop)
+            if node.factor_kind == "ilu0"
+        ]
+        if not loops:
+            raise CCompilationError("the C backend requires a VI-Pruned ILU(0) kernel")
+        out.emit("(void)Ap; (void)Ai;  /* the A pattern is baked into the constants */")
+        stmt = loops[0]
+        fallback = self._wf_fallback_reason(context)
+        self._record_wf_decision(context, fallback)
+        if fallback is not None:
+            out.emit(f"(void)n_threads;  /* serial fallback: {fallback} */")
+            self._emit_incomplete_ilu0_c(out, stmt)
+            return
+        names = self._incomplete_ilu0_names(stmt)
+
+        self._emit_wavefront_scaffold(
+            out,
+            kernel,
+            context,
+            params=[("double*", "Lx"), ("double*", "Ux")],
+            emit_column=lambda p: self._emit_ilu0_column(p, names),
+            emit_parallel_preamble=lambda p: self._emit_ilu0_preamble(p, stmt, names),
+            emit_serial=lambda p: self._emit_incomplete_ilu0_c(p, stmt),
+            returns_status=True,
+            participant_clears_f=False,
+        )

@@ -28,6 +28,7 @@ __all__ = ["SympilerOptions"]
 
 _VALID_BACKENDS = ("python", "c")
 _VALID_TRANSFORM_NAMES = ("vs-block", "vi-prune")
+_VALID_PARALLEL_MODES = ("none", "wavefront")
 
 
 def _default_c_flags() -> Tuple[str, ...]:
@@ -92,6 +93,29 @@ class SympilerOptions:
     vectorize_min_length:
         Inner updates at least this long are annotated for vectorization
         (emitted as NumPy slice operations / contiguous C loops).
+    parallel:
+        Within-kernel execution mode of the *generated code*.  ``"none"``
+        (the default) emits the sequential kernels; ``"wavefront"`` makes
+        the C backend emit a level-parallel variant whose entry point walks
+        the inspector's cached level-set schedule and dispatches the columns
+        of each wavefront across a persistent worker pool (per-level
+        barriers between wavefronts).  Results are bitwise identical to the
+        serial kernel — levels are antichains of the column dependency DAG,
+        so per-column writes are disjoint and every read crosses a barrier.
+        Unlike ``num_threads`` this changes the generated code, so it *is*
+        part of the cache fingerprints: serial and wavefront artifacts of
+        one pattern cache (in memory and on disk) independently.  The
+        backend automatically falls back to the serial body when the
+        schedule has no parallelism to mine (see
+        ``wavefront_min_avg_width``) or when the kernel is supernodal
+        (VS-Block interaction — tracked as follow-up in ROADMAP.md); the
+        python backend ignores the mode (it has no in-kernel threading).
+    wavefront_min_avg_width:
+        Serial-fallback threshold for ``parallel="wavefront"``: when the
+        schedule's average level width is below this value (``n_levels``
+        close to ``n`` — a deep elimination tree, e.g. a chain/tridiagonal
+        pattern), the barrier overhead cannot pay off and the backend emits
+        the serial body instead, recording the decision on the artifact.
     num_threads:
         Worker-thread count for the batched numeric runtime
         (:class:`repro.runtime.BatchExecutor`).  ``1`` (the default) runs
@@ -133,6 +157,9 @@ class SympilerOptions:
     unroll_max_width: int = 4
     vectorize_min_length: int = 4
 
+    parallel: str = "none"
+    wavefront_min_avg_width: float = 1.5
+
     num_threads: int = 1
 
     c_compiler: str = field(default_factory=lambda: os.environ.get("REPRO_CC", "cc"))
@@ -163,6 +190,13 @@ class SympilerOptions:
             raise ValueError("unroll_max_width must be at least 1")
         if self.vectorize_min_length < 1:
             raise ValueError("vectorize_min_length must be at least 1")
+        if self.parallel not in _VALID_PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {self.parallel!r}; expected one of "
+                f"{_VALID_PARALLEL_MODES}"
+            )
+        if self.wavefront_min_avg_width < 1.0:
+            raise ValueError("wavefront_min_avg_width must be at least 1.0")
         if self.num_threads < 0:
             raise ValueError("num_threads must be non-negative (0 means one per CPU)")
 

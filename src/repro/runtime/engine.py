@@ -11,6 +11,13 @@ exploits that along three strategies, chosen per artifact:
     buffers are ``_Thread_local``, so a pool of ``num_threads`` workers runs
     items truly concurrently.  Items are dealt to workers in contiguous
     chunks so pool overhead amortizes over the batch.
+``wavefront``
+    Wavefront-compiled C artifacts (``parallel="wavefront"`` options) on a
+    batch *smaller* than the worker count: items run sequentially but each
+    call spreads one kernel's level-set columns across the generated
+    worker pool (within-kernel H-Level parallelism).  The items-vs-levels
+    heuristic in :meth:`BatchExecutor.plan_batch` picks between this and
+    ``threads``.
 ``stacked``
     Python-backend artifacts generated from a single simplicial loop: the
     whole batch executes as one vectorized stacked-array kernel
@@ -33,7 +40,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,9 +51,23 @@ __all__ = ["BatchExecutor", "BatchResult", "BatchItemError", "resolve_num_thread
 
 
 def resolve_num_threads(num_threads: Optional[int]) -> int:
-    """Normalize a thread-count knob: ``None``/1 → 1, ``0`` → one per CPU."""
+    """Normalize a thread-count knob to a concrete worker count.
+
+    Precedence: an explicit argument wins; when ``None``, the
+    ``REPRO_NUM_THREADS`` environment variable applies (CI runners and the
+    service container pin the count there without touching call sites); with
+    neither, the default is 1.  At any level, ``0`` means one per CPU.
+    """
     if num_threads is None:
-        return 1
+        env = os.environ.get("REPRO_NUM_THREADS")
+        if env is None:
+            return 1
+        try:
+            num_threads = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_NUM_THREADS must be an integer, got {env!r}"
+            ) from None
     num_threads = int(num_threads)
     if num_threads < 0:
         raise ValueError("num_threads must be non-negative (0 means one per CPU)")
@@ -113,15 +134,16 @@ class BatchExecutor:
         Any compiled artifact (factorization or triangular solve).
     num_threads:
         Worker threads for the C-backend path, ``0`` meaning one per CPU.
-        Defaults to the artifact's compile options — callers holding the
-        *requested* options should pass their value explicitly, since a
-        cache hit may return an artifact compiled under a different
+        Precedence: this argument, then the ``REPRO_NUM_THREADS``
+        environment variable, then the artifact's compile options.  Callers
+        holding the *requested* options should pass their value explicitly,
+        since a cache hit may return an artifact compiled under a different
         (runtime-irrelevant) thread setting.
     """
 
     def __init__(self, artifact, *, num_threads: Optional[int] = None) -> None:
         self.artifact = artifact
-        if num_threads is None:
+        if num_threads is None and os.environ.get("REPRO_NUM_THREADS") is None:
             num_threads = getattr(artifact.options, "num_threads", 1)
         self.num_threads = resolve_num_threads(num_threads)
         self._is_c_backend = isinstance(artifact.module, CGeneratedModule)
@@ -147,21 +169,60 @@ class BatchExecutor:
 
     @property
     def mode(self) -> str:
-        """The strategy batch calls will use for this artifact."""
+        """The strategy batch calls will use for this artifact.
+
+        For wavefront-capable artifacts this is the *large-batch* strategy
+        (``"threads"``); a batch smaller than the worker count switches to
+        within-kernel parallelism per :meth:`plan_batch`, and the strategy
+        that actually ran is recorded in :attr:`BatchResult.mode`.
+        """
         if self._is_c_backend and self.num_threads > 1:
             return "threads"
         if self._stacked is not None:
             return "stacked"
         return "serial"
 
+    @property
+    def wavefront_capable(self) -> bool:
+        """Whether the artifact's entry takes a per-call thread count."""
+        return bool(getattr(self.artifact, "accepts_num_threads", False))
+
+    def plan_batch(self, n_items: int) -> Tuple[str, int]:
+        """Choose a strategy and per-call thread count for one batch.
+
+        The items-vs-levels heuristic: a batch with at least as many items
+        as workers saturates the pool by threading *across* items — zero
+        barrier overhead, so within-kernel threading is switched off for
+        the calls (per-call thread count 1).  A smaller batch of
+        wavefront-capable kernels would leave workers idle, so the threads
+        go *inside* each kernel instead: items run sequentially and each
+        call fans its level sets across ``num_threads`` workers.
+        """
+        if self._is_c_backend and self.num_threads > 1 and n_items > 0:
+            if n_items >= self.num_threads or not self.wavefront_capable:
+                return "threads", 1
+            return "wavefront", self.num_threads
+        if self._stacked is not None:
+            return "stacked", 1
+        return "serial", 1
+
     # ------------------------------------------------------------------ #
-    def map(self, fn: Callable[[object], object], items: Sequence[object]) -> BatchResult:
+    def map(
+        self,
+        fn: Callable[[object], object],
+        items: Sequence[object],
+        *,
+        strategy: Optional[str] = None,
+    ) -> BatchResult:
         """Apply ``fn`` to every item with isolation and stable ordering.
 
         Uses the thread pool in ``threads`` mode (``fn`` must release the GIL
         to benefit — the C-backend entry points do) and a sequential loop
         otherwise; the ``stacked`` strategy only applies to the structured
-        ``factorize_batch`` entry, not to arbitrary callables.
+        ``factorize_batch`` entry, not to arbitrary callables.  ``strategy``
+        overrides the artifact default — the structured batch entries pass
+        the :meth:`plan_batch` choice through it (``"wavefront"`` runs items
+        sequentially, the parallelism living inside each call).
         """
         items = list(items)
         start = time.perf_counter()
@@ -177,11 +238,14 @@ class BatchExecutor:
                     local.append(BatchItemError(index=i, error=exc))
             return local
 
-        # No small-batch special case: the recorded mode always matches the
-        # strategy self.mode advertises for this artifact.
-        threaded = self._is_c_backend and self.num_threads > 1 and len(items) > 0
+        if strategy is None:
+            strategy = (
+                "threads"
+                if self._is_c_backend and self.num_threads > 1 and len(items) > 0
+                else "serial"
+            )
         workers = 1
-        if threaded:
+        if strategy == "threads":
             workers = min(self.num_threads, len(items))
             bounds = np.linspace(0, len(items), workers + 1).astype(int)
             with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -195,7 +259,11 @@ class BatchExecutor:
             mode = "threads"
         else:
             errors.extend(run_range(0, len(items)))
-            mode = "serial"
+            # Wavefront batches loop over items sequentially; the recorded
+            # worker count is the *within-kernel* pool width.
+            if strategy == "wavefront":
+                workers = self.num_threads
+            mode = strategy
         return BatchResult(
             results=results,
             errors=errors,
@@ -258,10 +326,15 @@ class BatchExecutor:
                     f"value set {i} has shape {v.shape}, expected ({nnz},) "
                     "matching the compile-time pattern"
                 )
-        if self.mode == "stacked" and value_list:
+        strategy, per_call_threads = self.plan_batch(len(value_list))
+        if strategy == "stacked" and value_list:
             return self._factorize_stacked(Ap, Ai, value_list)
         entry = self.artifact.factorize_arrays
-        return self.map(lambda ax: entry(Ap, Ai, ax), value_list)
+        return self.map(
+            lambda ax: entry(Ap, Ai, ax, num_threads=per_call_threads),
+            value_list,
+            strategy=strategy if value_list else None,
+        )
 
     def _factorize_stacked(
         self, Ap: np.ndarray, Ai: np.ndarray, value_list: List[np.ndarray]
@@ -305,4 +378,13 @@ class BatchExecutor:
                 f"solve_arrays); got {type(self.artifact).__name__}"
             )
         rhs_list = [np.asarray(b, dtype=np.float64) for b in B]
-        return self.map(lambda b: entry(Lp, Li, Lx, b), rhs_list)
+        strategy, per_call_threads = self.plan_batch(len(rhs_list))
+        if strategy == "stacked":
+            # Stacked execution only exists for factorizations; RHS batches
+            # on python-backend artifacts run the plain sequential loop.
+            strategy, per_call_threads = "serial", 1
+        return self.map(
+            lambda b: entry(Lp, Li, Lx, b, num_threads=per_call_threads),
+            rhs_list,
+            strategy=strategy if rhs_list else None,
+        )

@@ -88,12 +88,20 @@ class FactorHandle:
         """The upper-triangular LU factor (``None`` for symmetric methods)."""
         return getattr(self.factors, "U", None)
 
-    def solve(self, b: np.ndarray, *, out: Optional[np.ndarray] = None) -> np.ndarray:
+    def solve(
+        self,
+        b: np.ndarray,
+        *,
+        out: Optional[np.ndarray] = None,
+        num_threads: Optional[int] = None,
+    ) -> np.ndarray:
         """Solve this scenario's system ``A_i x = b``.
 
         ``out`` optionally receives the solution in place (zero-copy dispatch
         for the serving layer, which solves whole coalesced batches into one
-        preallocated response block).
+        preallocated response block).  ``num_threads`` fans each triangular
+        sweep's level sets across workers when the solver's trisolves were
+        compiled in wavefront mode (serial kernels ignore it).
         """
         self._require_ok()
         if self._Lt is None:
@@ -102,7 +110,7 @@ class FactorHandle:
             else:
                 self._Lt = backward_factor(self.L, self.U)
         return self._solver.solve_with_factors(
-            b, L=self.L, d=self.d, Lt=self._Lt, out=out
+            b, L=self.L, d=self.d, Lt=self._Lt, out=out, num_threads=num_threads
         )
 
 
@@ -180,8 +188,24 @@ class BatchedSolver:
 
     @property
     def mode(self) -> str:
-        """The batch strategy for this artifact (threads/stacked/serial)."""
+        """The large-batch strategy for this artifact (threads/stacked/serial).
+
+        Wavefront-capable artifacts switch to within-kernel parallelism on
+        batches smaller than the pool — see ``executor.plan_batch``; the
+        strategy that actually ran is in ``last_result.mode``.
+        """
         return self.executor.mode
+
+    @property
+    def parallel_mode(self) -> str:
+        """Within-kernel mode the factorization was compiled in.
+
+        ``"wavefront"`` when the compiled entry fans each level set across a
+        worker pool, ``"serial-fallback"`` when wavefront codegen was
+        requested but declined (deep etree, supernodal kernel), ``"none"``
+        for plain serial artifacts.
+        """
+        return self.executor.artifact.parallel_mode
 
     @property
     def schedule(self):

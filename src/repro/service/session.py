@@ -76,6 +76,14 @@ class PatternHandle:
     #: Level-set schedule shape, for capacity planning without a round-trip.
     schedule_levels: int
     schedule_avg_width: float
+    #: Within-kernel mode the factorization was compiled in ("wavefront",
+    #: "serial-fallback" or "none").
+    parallel_mode: str = "none"
+    #: Per-pattern dispatch choice: ``"wavefront"`` requests bypass the
+    #: micro-batch coalescer and run one at a time with within-kernel
+    #: level parallelism (big patterns, wide schedules); ``"coalesce"``
+    #: requests micro-batch across the pool (ensembles of small patterns).
+    execution_strategy: str = "coalesce"
 
 
 @dataclass
@@ -261,6 +269,19 @@ class SolverService:
         for artifact in solver.compiled_artifacts:
             cache.pin_artifact(artifact)
         schedule = batched.schedule
+        # Per-pattern dispatch choice: a wavefront-compiled kernel whose
+        # schedule is wide enough to occupy the whole pool on every level
+        # serves each request alone at full width (cuts single-request tail
+        # latency); anything else micro-batches across requests, where the
+        # pool parallelizes *between* small solves instead.
+        strategy = "coalesce"
+        if (
+            batched.parallel_mode == "wavefront"
+            and batched.num_threads > 1
+            and schedule is not None
+            and float(schedule.average_width) >= batched.num_threads
+        ):
+            strategy = "wavefront"
         handle = PatternHandle(
             handle_id=hashlib.sha256(repr(key).encode()).hexdigest()[:16],
             key=key,
@@ -275,9 +296,12 @@ class SolverService:
             schedule_avg_width=(
                 float(schedule.average_width) if schedule is not None else 0.0
             ),
+            parallel_mode=batched.parallel_mode,
+            execution_strategy=strategy,
         )
         self.metrics.incr("registrations")
         self.metrics.incr("compile_warm" if warm else "compile_cold")
+        self.metrics.incr(f"strategy_{strategy}")
         from repro.compiler.codegen.c_backend import CGeneratedModule
 
         backend_effective = (
@@ -387,13 +411,18 @@ class SolverService:
             enqueued_at=time.monotonic(),
         )
         self.admission.touch_pattern(entry.key)
-        if self.coalesce:
+        if self.coalesce and entry.handle.execution_strategy != "wavefront":
             try:
                 self.coalescer.offer(entry.key, entry, request)
             except Exception:
                 self.admission.release()
                 raise
         else:
+            # Wavefront-strategy patterns skip the coalescing window: each
+            # request runs alone, its kernel spreading every level set over
+            # the whole pool, so queueing for batchmates only adds latency.
+            if entry.handle.execution_strategy == "wavefront":
+                self.metrics.incr("dispatch_wavefront")
             self._dispatch(entry, [request])
         return request.future
 
@@ -435,13 +464,24 @@ class SolverService:
             # request's solution lands in its own row, zero-copy, and the
             # future resolves to that row view.
             out = np.empty((len(live), n), dtype=np.float64)
+            # Wavefront-strategy patterns solve at full pool width (the
+            # trisolves fan level sets across workers); coalesced batches
+            # keep each solve single-threaded — the pool's parallelism is
+            # already spent *across* batchmates.
+            solve_threads = (
+                entry.batched.num_threads
+                if entry.handle.execution_strategy == "wavefront"
+                else 1
+            )
             for i, (request, factor_handle) in enumerate(zip(live, handles)):
                 if not factor_handle.ok:
                     self.metrics.incr("solves_failed")
                     request.future.set_exception(factor_handle.error)
                     continue
                 try:
-                    x = factor_handle.solve(request.rhs, out=out[i])
+                    x = factor_handle.solve(
+                        request.rhs, out=out[i], num_threads=solve_threads
+                    )
                 except Exception as exc:
                     self.metrics.incr("solves_failed")
                     request.future.set_exception(exc)
@@ -486,7 +526,10 @@ class SolverService:
                 "warm_registration": handle.warm,
                 "solves": entry.solves,
                 "schedule_levels": handle.schedule_levels,
+                "schedule_avg_width": handle.schedule_avg_width,
                 "mode": entry.batched.mode,
+                "parallel_mode": handle.parallel_mode,
+                "execution_strategy": handle.execution_strategy,
                 "backend_effective": entry.backend_effective,
             }
         snapshot = self.metrics.snapshot()

@@ -240,6 +240,7 @@ class SparseLinearSolver:
         Lt: Optional[CSCMatrix] = None,
         U: Optional[CSCMatrix] = None,
         out: Optional[np.ndarray] = None,
+        num_threads: Optional[int] = None,
     ) -> np.ndarray:
         """Solve ``A x = b`` using explicitly supplied numeric factors.
 
@@ -252,6 +253,11 @@ class SparseLinearSolver:
         ``out`` optionally receives the solution in place (the serving layer
         dispatches whole coalesced batches into one preallocated response
         block; the final un-permutation gathers directly into it).
+        ``num_threads`` applies when the trisolves were compiled with
+        ``parallel="wavefront"``: both sweeps fan each level set across that
+        many workers (``None`` defers to ``REPRO_NUM_THREADS``, then one per
+        CPU; serial kernels ignore it), bitwise identical to serial either
+        way.
         """
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.A.n,):
@@ -259,13 +265,17 @@ class SparseLinearSolver:
         if Lt is None:
             Lt = backward_factor(L, U)
         pb = self.permutation.apply_vec(b)
-        y = self._forward.solve(L, pb)
+        y = self._forward.solve_arrays(
+            L.indptr, L.indices, L.data, pb, num_threads=num_threads
+        )
         if d is not None:
             # LDL^T: diagonal solve between the two triangular sweeps.
             y = y / d
         # Backward substitution via the reversed transposed factor.
         y_rev = y[::-1].copy()
-        z_rev = self._backward.solve(Lt, y_rev)
+        z_rev = self._backward.solve_arrays(
+            Lt.indptr, Lt.indices, Lt.data, y_rev, num_threads=num_threads
+        )
         if out is not None:
             if out.shape != (self.A.n,) or out.dtype != np.float64:
                 raise ValueError(
@@ -277,11 +287,13 @@ class SparseLinearSolver:
         z = z_rev[::-1].copy()
         return self.permutation.apply_inverse_vec(z)
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b``."""
+    def solve(self, b: np.ndarray, *, num_threads: Optional[int] = None) -> np.ndarray:
+        """Solve ``A x = b`` (``num_threads`` as in :meth:`solve_with_factors`)."""
         if self._L is None:
             raise RuntimeError("factorize() has not been run yet")
-        return self.solve_with_factors(b, L=self._L, d=self._d, Lt=self._Lt)
+        return self.solve_with_factors(
+            b, L=self._L, d=self._d, Lt=self._Lt, num_threads=num_threads
+        )
 
     def solve_many(self, B: np.ndarray, *, num_threads: Optional[int] = None) -> np.ndarray:
         """Solve ``A X = B`` column by column (``B`` is ``n × k``).
