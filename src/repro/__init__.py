@@ -22,18 +22,20 @@ full system:
   :class:`~repro.runtime.facade.BatchedSolver` facade.
 * :mod:`repro.bench`    — the benchmark harness reproducing every table and
   figure of the paper's evaluation.
+* :mod:`repro.frontend` — the lazy-specializing, scipy-native front end:
+  ``repro.solve(A, b)`` with kernel auto-selection and a per-structure
+  specialization cache, plus the ``@sympiled`` decorator.
 
 Quickstart::
 
-    from repro import Sympiler, laplacian_2d, sparse_rhs
+    import numpy as np
+    import scipy.sparse as sp
+    import repro
 
-    A = laplacian_2d(30)                    # an SPD model problem
-    sym = Sympiler()
-    chol = sym.compile_cholesky(A)          # symbolic analysis + codegen
-    L = chol.factorize(A)                   # numeric-only specialized code
-    b = sparse_rhs(A.n, density=0.02)
-    tri = sym.compile_triangular_solve(L, rhs_pattern=b.nonzero()[0])
-    x = tri.solve(L, b)
+    A = sp.random_array((500, 500), density=0.01)
+    A = (A @ A.T + 500 * sp.eye_array(500)).tocsc()   # any scipy SPD matrix
+    x = repro.solve(A, np.ones(500))    # probe + specialize + solve
+    x = repro.solve(A, np.arange(500))  # same structure: numeric-only
 """
 
 from repro._version import __version__
@@ -74,6 +76,9 @@ from repro.solvers import SparseLinearSolver, preconditioned_conjugate_gradient
 
 __all__ = [
     "__version__",
+    "solve",
+    "sympiled",
+    "SpecializedSolver",
     "SolverService",
     "PatternHandle",
     "ServiceClient",
@@ -111,13 +116,18 @@ __all__ = [
     "sparse_rhs",
 ]
 
-#: PEP 562 lazy re-export of the serving layer: importing :mod:`repro` must
+#: PEP 562 lazy re-exports.  The serving layer: importing :mod:`repro` must
 #: not drag sockets/servers in, and the service package imports the solver
-#: stack (which this module is still initializing at import time).
+#: stack (which this module is still initializing at import time).  The
+#: front end: ``repro.solve(A, b)`` is the public entry point of the whole
+#: stack, resolved on first use for the same initialization-order reason.
 _LAZY_SERVICE = {
     "SolverService": "repro.service.session",
     "PatternHandle": "repro.service.session",
     "ServiceClient": "repro.service.client",
+    "solve": "repro.frontend.specialized",
+    "sympiled": "repro.frontend.specialized",
+    "SpecializedSolver": "repro.frontend.specialized",
 }
 
 

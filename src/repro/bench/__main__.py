@@ -53,6 +53,7 @@ from repro.bench.figures import (
     fig7_cholesky_performance,
     fig8_triangular_accumulated,
     fig9_cholesky_accumulated,
+    frontend_specialization,
     intro_triangular_speedups,
     ldlt_performance,
     lu_performance,
@@ -79,6 +80,7 @@ _EXPERIMENTS = {
     "pcg": ("IC(0)-preconditioned CG (incomplete-kernel extension)", pcg_performance),
     "serving": ("Solver service: coalesced vs uncoalesced dispatch", serving_throughput),
     "wavefront": ("Wavefront (H-Level) execution: single-solve parallelism", wavefront_execution),
+    "frontend": ("Front end: lazy specialization, cold vs warm repro.solve", frontend_specialization),
 }
 
 

@@ -125,6 +125,20 @@ GATED_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
         # step, which runs on a known multi-core runner.
         GatedMetric("speedup_2threads", "higher", noise=0.5),
     ),
+    "frontend": (
+        GatedMetric("bitwise_identical", "bool"),
+        GatedMetric("zero_recompiles", "bool"),
+        # Deterministic: warm calls must never re-specialize; the zero
+        # baseline tolerates no increase.
+        GatedMetric("warm_specializations", "lower"),
+        # Same-run ratio of the warm front-end solve over scipy's spsolve on
+        # the identical system.  Its magnitude is backend-bound (python
+        # kernels vs scipy's C), so it gates only against its own baseline,
+        # with a wide noise floor for sub-ms smoke-size jitter; a genuine
+        # warm-path regression (accidental re-probe/re-inspect) shifts it by
+        # integer factors.
+        GatedMetric("warm_over_spsolve", "lower", noise=2.0),
+    ),
 }
 
 

@@ -53,6 +53,7 @@ __all__ = [
     "pcg_performance",
     "serving_throughput",
     "wavefront_execution",
+    "frontend_specialization",
 ]
 
 #: RHS fill used for the triangular-solve experiments (< 5 %, §4.2).
@@ -1061,6 +1062,131 @@ def wavefront_execution(
     # level has one column, and the backend must decline wavefront codegen.
     chain = laplacian_2d(400, 1, shift=0.1)
     rows.append(measure(-1, "deep_chain_400", chain, expect_fallback=True))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Front end: first-call specialization cost vs warm-call numeric execution
+# --------------------------------------------------------------------------- #
+def frontend_specialization(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    backend: str = "python",
+    repeats: int = 5,
+) -> List[Dict[str, object]]:
+    """``repro.solve``: specialize once, then numeric-only warm calls.
+
+    One row per auto-selected route (``cholesky`` / ``ldlt`` / ``lu`` /
+    ``pcg``), each on a generated matrix whose structure forces that route —
+    the suite argument is accepted for harness uniformity but unused, since
+    route membership is fixed by construction, not by suite size.  Per row:
+
+    * ``bitwise_identical`` — the front-end answer equals the explicit API
+      (``SparseLinearSolver`` / ``preconditioned_conjugate_gradient``) bit
+      for bit, asserted here and gated,
+    * ``zero_recompiles`` — warm calls generate nothing: zero shared-cache
+      misses (no symbolic inspection) and zero disk-cache compiles/writes,
+    * ``warm_specializations`` — specialization-counter delta across the
+      warm calls (deterministically 0),
+    * ``specialize_over_warm`` — first-call cost over warm-call cost (the
+      lazy-specialization amortization the SEJITS pattern promises),
+    * ``warm_over_spsolve`` — warm front-end solve over
+      ``scipy.sparse.linalg.spsolve`` on the same system, same run
+      (informational scale for the python backend; gated only against its
+      own baseline with a wide noise floor).
+    """
+    import time as _time
+
+    from scipy.sparse.linalg import spsolve as scipy_spsolve
+
+    from repro.compiler.codegen.c_backend import disk_cache_stats
+    from repro.compiler.sympiler import _SHARED_CACHE
+    from repro.frontend.probes import DEFAULT_ITERATIVE_THRESHOLD
+    from repro.frontend.specialized import SpecializedSolver
+    from repro.solvers.cg import preconditioned_conjugate_gradient
+    from repro.solvers.linear_solver import SparseLinearSolver
+    from repro.sparse.generators import (
+        laplacian_2d,
+        random_spd,
+        saddle_point_indefinite,
+    )
+
+    options = SympilerOptions(backend=backend)
+
+    def best_of(fn) -> float:
+        times = []
+        for _ in range(repeats):
+            t0 = _time.perf_counter()
+            fn()
+            times.append(_time.perf_counter() - t0)
+        return min(times)
+
+    cases = [
+        ("route_cholesky", random_spd(120, 0.03, seed=31), "cholesky", None),
+        ("route_ldlt", saddle_point_indefinite(80, 30, seed=32), "ldlt", None),
+        ("route_lu", unsymmetric_diag_dominant(140, seed=33), "lu", None),
+        # n = 196 over a threshold of 100 routes the probe to iterative.
+        ("route_pcg", laplacian_2d(14), "pcg", 100),
+    ]
+    rows: List[Dict[str, object]] = []
+    for name, A, expected, threshold in cases:
+        S = A.to_scipy().tocsc()
+        b = np.cos(np.arange(A.n, dtype=np.float64))  # deterministic RHS
+        front = SpecializedSolver(
+            options=options,
+            iterative_threshold=(
+                threshold if threshold is not None else DEFAULT_ITERATIVE_THRESHOLD
+            ),
+        )
+        t0 = _time.perf_counter()
+        x = front.solve(S, b)
+        cold_seconds = _time.perf_counter() - t0
+        if front.stats.methods != {expected: 1}:
+            raise AssertionError(
+                f"{name}: probe selected {front.stats.methods}, expected {expected!r}"
+            )
+        if expected == "pcg":
+            x_ref = preconditioned_conjugate_gradient(A, b, options=options).x
+        else:
+            x_ref = SparseLinearSolver(
+                A, method=expected, ordering="mindeg", options=options
+            ).solve(b)
+        bitwise = bool(np.array_equal(x, x_ref))
+        if not bitwise:
+            raise AssertionError(f"{name}: front end differs from the explicit API")
+
+        # Warm calls: same structure, same values — pure numeric execution.
+        specializations_before = front.stats.specializations
+        misses_before = _SHARED_CACHE.stats.misses
+        disk_before = dict(disk_cache_stats().as_dict())
+        warm_seconds = best_of(lambda: front.solve(S, b))
+        misses_delta = _SHARED_CACHE.stats.misses - misses_before
+        disk_after = dict(disk_cache_stats().as_dict())
+        recompiles = (
+            misses_delta
+            + (disk_after["compiles"] - disk_before["compiles"])
+            + (disk_after["py_writes"] - disk_before["py_writes"])
+        )
+        warm_specializations = front.stats.specializations - specializations_before
+
+        spsolve_seconds = best_of(lambda: scipy_spsolve(S, b))
+        rows.append(
+            {
+                "name": name,
+                "n": A.n,
+                "nnz": A.nnz,
+                "method": front.cache_info()["entries"][0]["method"],
+                "backend": backend,
+                "bitwise_identical": bitwise,
+                "zero_recompiles": recompiles == 0,
+                "warm_specializations": int(warm_specializations),
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "specialize_over_warm": cold_seconds / max(warm_seconds, 1e-12),
+                "spsolve_seconds": spsolve_seconds,
+                "warm_over_spsolve": warm_seconds / max(spsolve_seconds, 1e-12),
+            }
+        )
     return rows
 
 

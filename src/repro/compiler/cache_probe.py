@@ -107,6 +107,31 @@ def run_probe(backend: str | None = None) -> Dict[str, object]:
         and np.array_equal(L_wf.data, L.data)
         and chol_wf.parallel_mode in ("wavefront", "serial-fallback", "none")
     )
+    # The front end joins the warm-cache contract: repro.solve's mindeg-
+    # ordered compiles (a pattern distinct from the natural-order compiles
+    # above) must persist to disk and reload on the warm run, and its second
+    # same-structure call must be served from the specialization cache.  The
+    # front end compiles through the process-wide shared artifact cache,
+    # which would make a second in-process probe run skip the disk — swap in
+    # a fresh one for the probe's duration so the counters stay
+    # deterministic, exactly like the fresh ArtifactCache drivers above.
+    import repro.compiler.sympiler as _sympiler_module
+    from repro.frontend.specialized import SpecializedSolver
+
+    shared_before = _sympiler_module._SHARED_CACHE
+    _sympiler_module._SHARED_CACHE = ArtifactCache()
+    try:
+        front = SpecializedSolver(options=options)
+        x1 = front.solve(spd, np.cos(np.arange(spd.n, dtype=np.float64)))
+        x2 = front.solve(spd, np.ones(spd.n, dtype=np.float64))
+    finally:
+        _sympiler_module._SHARED_CACHE = shared_before
+    results["frontend_ok"] = bool(
+        np.isfinite(x1).all()
+        and np.isfinite(x2).all()
+        and front.stats.specializations == 1
+        and front.stats.structure_hits == 1
+    )
 
     disk = disk_cache_stats()
     return {

@@ -1,0 +1,494 @@
+"""The lazy-specializing front end: ``repro.solve(A, b)`` over the stack.
+
+This is the SEJITS ``LazySpecializedFunction`` pattern applied to the whole
+compiled-kernel pipeline: the **first** call with a given argument
+configuration — sparsity structure, source dtype, options, requested method,
+ordering — runs the expensive path (structural probes, kernel auto-selection,
+ordering, symbolic inspection, code generation), and every later call with
+the same configuration is pure numeric execution:
+
+* same structure *and* same values → the cached factors solve immediately
+  (two compiled triangular sweeps, nothing else),
+* same structure, new values → one numeric re-factorization through the
+  already-compiled kernel (``CSCMatrix.with_values`` semantics — zero
+  inspection, zero codegen),
+* new structure → a fresh specialization, cached alongside the others.
+
+:class:`SpecializedSolver` is the object form (own cache, own counters);
+:func:`solve` is the module-level convenience over one process-wide default
+instance; :func:`sympiled` decorates a *system-producing* function
+(returning ``(A, b)`` in any ingestible form) into a solve returning ``x``,
+with a private specialization cache per decorated function.
+
+Every route is bitwise identical to the corresponding explicit API —
+``SparseLinearSolver(A, method=...)`` for the direct routes,
+:func:`~repro.solvers.cg.preconditioned_conjugate_gradient` for ``pcg`` —
+because it *is* that API underneath, reached through the same shared
+artifact cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.compiler.cache import options_fingerprint
+from repro.compiler.options import SympilerOptions
+from repro.frontend.ingest import IngestedMatrix, ingest, structure_fingerprint
+from repro.frontend.probes import (
+    AUTO_METHODS,
+    DEFAULT_ITERATIVE_THRESHOLD,
+    ProbeReport,
+    probe_structure,
+)
+from repro.solvers.linear_solver import SparseLinearSolver
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["SpecializedSolver", "FrontendStats", "solve", "sympiled", "default_frontend"]
+
+
+@dataclass
+class FrontendStats:
+    """Counters of one :class:`SpecializedSolver` (mutated under its lock).
+
+    ``specializations`` counts full first-call pipelines (probe + compile);
+    ``structure_hits`` counts calls served from the specialization cache
+    (no probe, no inspection, no codegen); ``refactorizations`` counts
+    numeric-only re-factorizations (same structure, new values);
+    ``value_hits`` counts solves that reused the cached factors outright;
+    ``cholesky_escapes`` counts SPD-heuristic misdetections caught by the
+    try-Cholesky-fall-back-to-LDLᵀ escape.
+    """
+
+    specializations: int = 0
+    structure_hits: int = 0
+    refactorizations: int = 0
+    value_hits: int = 0
+    cholesky_escapes: int = 0
+    methods: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot."""
+        return {
+            "specializations": self.specializations,
+            "structure_hits": self.structure_hits,
+            "refactorizations": self.refactorizations,
+            "value_hits": self.value_hits,
+            "cholesky_escapes": self.cholesky_escapes,
+            "methods": dict(self.methods),
+        }
+
+
+@dataclass
+class _Specialization:
+    """One cached argument configuration and its compiled state."""
+
+    key: tuple
+    method: str
+    probe: Optional[ProbeReport]
+    #: The direct solver (``None`` for the ``pcg`` route, which owns no
+    #: complete factorization — its compiled IC(0)/trisolve artifacts live
+    #: in the shared artifact cache keyed by the same pattern).
+    solver: Optional[SparseLinearSolver]
+    #: Pattern-carrying CSC of the specialization (pcg route re-binds values
+    #: onto it with ``with_values``).
+    pattern: CSCMatrix
+    #: Values the current factors were computed from.
+    current_values: Optional[np.ndarray]
+    #: True when the SPD heuristic chose Cholesky but numeric factorization
+    #: broke down and the specialization fell back to LDLᵀ.
+    escaped_to_ldlt: bool = False
+
+
+def _factorization_is_finite(solver: SparseLinearSolver) -> bool:
+    """True when the solver's current factors contain no NaN/Inf.
+
+    The no-pivot kernels do not raise on breakdown — an indefinite matrix
+    fed to Cholesky surfaces as NaNs in ``L`` — so the escape hatch checks
+    the factor bits instead of catching exceptions alone.
+    """
+    if not np.isfinite(solver.L.data).all():
+        return False
+    d = solver.d
+    if d is not None and not np.isfinite(d).all():
+        return False
+    U = solver.U
+    if U is not None and not np.isfinite(U.data).all():
+        return False
+    return True
+
+
+class SpecializedSolver:
+    """A lazily specializing ``solve(A, b)`` with a per-structure cache.
+
+    Parameters
+    ----------
+    method:
+        Fix the kernel route for every call (``"cholesky"``, ``"ldlt"``,
+        ``"lu"``, ``"pcg"``); ``None`` (default) auto-selects per structure
+        via the probes.  A per-call ``method=`` overrides both.
+    ordering:
+        Fill-reducing ordering for the direct routes (as in
+        :class:`SparseLinearSolver`).
+    options:
+        :class:`SympilerOptions` for every compile (part of the cache key).
+    iterative_threshold:
+        SPD order cutoff routing to ``pcg``
+        (:data:`~repro.frontend.probes.DEFAULT_ITERATIVE_THRESHOLD`).
+    max_specializations:
+        Bound on cached structures; the least recently used specialization
+        is dropped beyond it (its artifacts stay in the shared compiler
+        cache, so re-specializing the structure later is warm).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.frontend import SpecializedSolver
+    >>> from repro.sparse import laplacian_2d
+    >>> front = SpecializedSolver()
+    >>> A = laplacian_2d(8).to_scipy()          # any scipy.sparse matrix
+    >>> x = front.solve(A, np.ones(A.shape[0])) # first call: specialize
+    >>> x2 = front.solve(A, np.ones(A.shape[0]))  # second: numeric only
+    >>> front.stats.specializations, front.stats.structure_hits
+    (1, 1)
+    """
+
+    def __init__(
+        self,
+        *,
+        method: Optional[str] = None,
+        ordering: str = "mindeg",
+        options: Optional[SympilerOptions] = None,
+        iterative_threshold: int = DEFAULT_ITERATIVE_THRESHOLD,
+        max_specializations: int = 64,
+    ) -> None:
+        if method is not None and method not in AUTO_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {AUTO_METHODS} or None"
+            )
+        if max_specializations < 1:
+            raise ValueError("max_specializations must be at least 1")
+        self.method = method
+        self.ordering = ordering
+        self.options = options or SympilerOptions()
+        self.iterative_threshold = int(iterative_threshold)
+        self.max_specializations = int(max_specializations)
+        self.stats = FrontendStats()
+        self.last_cg_result = None
+        self._options_fp = options_fingerprint(self.options)
+        self._lock = threading.Lock()
+        #: Insertion-ordered specialization cache (dict ordering is the LRU).
+        self._cache: Dict[tuple, _Specialization] = {}
+
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> Dict[str, object]:
+        """Snapshot: cached specializations (``entries``) plus the counters."""
+        with self._lock:
+            entries = [
+                {
+                    "fingerprint": key[0],
+                    "dtype": key[1],
+                    "method": spec.method,
+                    "escaped_to_ldlt": spec.escaped_to_ldlt,
+                    "n": spec.pattern.n,
+                    "nnz": spec.pattern.nnz,
+                }
+                for key, spec in self._cache.items()
+            ]
+        info = {"entries": entries, "size": len(entries)}
+        info.update(self.stats.as_dict())
+        return info
+
+    def clear(self) -> None:
+        """Drop every cached specialization (shared artifacts stay cached)."""
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    def _key(self, ingested: IngestedMatrix, method: Optional[str]) -> tuple:
+        return (
+            structure_fingerprint(ingested.csc),
+            ingested.dtype,
+            self._options_fp,
+            method or "auto",
+            self.ordering,
+        )
+
+    def _specialize(
+        self, ingested: IngestedMatrix, method: Optional[str], key: tuple
+    ) -> _Specialization:
+        """First call on a configuration: probe, select, compile, cache."""
+        A = ingested.csc
+        probe = None
+        escaped = False
+        if method is None:
+            probe = probe_structure(A, iterative_threshold=self.iterative_threshold)
+            method = probe.method
+        if method == "pcg":
+            # The pcg route owns no complete factorization; its compiled
+            # IC(0)/trisolve artifacts land in the shared artifact cache on
+            # the first numeric run (still inside this first call) and every
+            # later call hits them.
+            solver = None
+            current_values = None
+        else:
+            solver = self._build_direct(A, method)
+            if solver.method != method:
+                escaped = True
+                method = solver.method
+            current_values = A.data
+        spec = _Specialization(
+            key=key,
+            method=method,
+            probe=probe,
+            solver=solver,
+            pattern=A,
+            current_values=current_values,
+            escaped_to_ldlt=escaped,
+        )
+        return spec
+
+    def _build_direct(self, A: CSCMatrix, method: str) -> SparseLinearSolver:
+        """Build a direct solver; Cholesky breakdown escapes to LDLᵀ.
+
+        The escape only arms the *auto-selected* heuristic path — the probes
+        ran, chose ``cholesky``, and the numeric factorization disagreed
+        (symmetric, positive diagonal, yet indefinite).  An explicit
+        ``method="cholesky"`` goes through :class:`SparseLinearSolver`
+        directly, exactly like the explicit API (no silent substitution).
+        """
+        with warnings.catch_warnings():
+            # Indefinite input reaches sqrt(<0) inside the generated kernel,
+            # which warns before the finiteness check below catches it.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            try:
+                solver = SparseLinearSolver(
+                    A, method=method, ordering=self.ordering, options=self.options
+                )
+                if method == "cholesky" and not _factorization_is_finite(solver):
+                    raise FloatingPointError("Cholesky breakdown (non-SPD values)")
+            except (FloatingPointError, ValueError, ZeroDivisionError):
+                if method != "cholesky":
+                    raise
+                return SparseLinearSolver(
+                    A, method="ldlt", ordering=self.ordering, options=self.options
+                )
+        return solver
+
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        A,
+        b: np.ndarray,
+        *,
+        method: Optional[str] = None,
+        num_threads: Optional[int] = None,
+        tol: float = 1e-8,
+        max_iterations: int = 1000,
+    ) -> np.ndarray:
+        """Solve ``A x = b``; ``A`` in any ingestible form.
+
+        ``method`` overrides the instance default and the structural probes
+        (the misdetection escape hatch).  ``num_threads`` follows the
+        process-wide precedence documented on
+        :func:`repro.runtime.engine.resolve_num_threads`.  ``tol`` /
+        ``max_iterations`` apply to the ``pcg`` route only.
+        """
+        if method is not None and method not in AUTO_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {AUTO_METHODS}"
+            )
+        requested = method if method is not None else self.method
+        ingested = ingest(A)
+        b = np.asarray(b, dtype=np.float64)
+        key = self._key(ingested, requested)
+        with self._lock:
+            spec = self._cache.get(key)
+            if spec is not None:
+                # Refresh LRU recency.
+                self._cache.pop(key)
+                self._cache[key] = spec
+        if spec is None:
+            spec = self._specialize(ingested, requested, key)
+            with self._lock:
+                raced = self._cache.get(key)
+                if raced is not None:
+                    spec = raced
+                    self.stats.structure_hits += 1
+                else:
+                    self._cache[key] = spec
+                    self.stats.specializations += 1
+                    self.stats.methods[spec.method] = (
+                        self.stats.methods.get(spec.method, 0) + 1
+                    )
+                    if spec.escaped_to_ldlt:
+                        self.stats.cholesky_escapes += 1
+                    while len(self._cache) > self.max_specializations:
+                        self._cache.pop(next(iter(self._cache)))
+        else:
+            with self._lock:
+                self.stats.structure_hits += 1
+        return self._execute(
+            spec,
+            ingested.csc,
+            b,
+            num_threads=num_threads,
+            tol=tol,
+            max_iterations=max_iterations,
+        )
+
+    __call__ = solve
+
+    def _execute(
+        self,
+        spec: _Specialization,
+        A: CSCMatrix,
+        b: np.ndarray,
+        *,
+        num_threads: Optional[int],
+        tol: float,
+        max_iterations: int,
+    ) -> np.ndarray:
+        if spec.method == "pcg":
+            from repro.solvers.cg import preconditioned_conjugate_gradient
+
+            # Re-bind the call's values onto the specialized pattern: the
+            # IC(0)/trisolve compiles behind this call are shared-cache hits.
+            system = spec.pattern.with_values(A.data) if A is not spec.pattern else A
+            result = preconditioned_conjugate_gradient(
+                system,
+                b,
+                tol=tol,
+                max_iterations=max_iterations,
+                options=self.options,
+                num_threads=num_threads,
+            )
+            self.last_cg_result = result
+            return result.x
+        solver = spec.solver
+        with self._lock:
+            values_match = spec.current_values is not None and np.array_equal(
+                spec.current_values, A.data
+            )
+        if values_match:
+            with self._lock:
+                self.stats.value_hits += 1
+        else:
+            # Same structure, new values: numeric-only refactorization
+            # through the already-compiled kernel (the with_values path).
+            solver.factorize(spec.pattern.with_values(A.data))
+            with self._lock:
+                spec.current_values = A.data
+                self.stats.refactorizations += 1
+        return solver.solve(b, num_threads=num_threads)
+
+
+# --------------------------------------------------------------------------- #
+# Module-level front end and the @sympiled decorator
+# --------------------------------------------------------------------------- #
+_default_frontend: Optional[SpecializedSolver] = None
+_default_lock = threading.Lock()
+
+
+def default_frontend() -> SpecializedSolver:
+    """The process-wide :class:`SpecializedSolver` behind :func:`solve`."""
+    global _default_frontend
+    with _default_lock:
+        if _default_frontend is None:
+            _default_frontend = SpecializedSolver()
+        return _default_frontend
+
+
+def solve(
+    A,
+    b: np.ndarray,
+    *,
+    method: Optional[str] = None,
+    num_threads: Optional[int] = None,
+    tol: float = 1e-8,
+    max_iterations: int = 1000,
+) -> np.ndarray:
+    """Solve ``A x = b`` for any ingestible ``A`` — the whole API.
+
+    ``repro.solve`` is the lazy-specializing front end over the compiled
+    kernel stack: the first call on a structure probes it, auto-selects the
+    kernel (SPD → Cholesky, symmetric indefinite → LDLᵀ, unsymmetric → LU,
+    large SPD → IC(0)-preconditioned CG), orders, inspects and compiles;
+    repeat calls on the same structure are pure numeric execution.  Results
+    are bitwise identical to the explicit
+    :class:`~repro.solvers.linear_solver.SparseLinearSolver` /
+    :func:`~repro.solvers.cg.preconditioned_conjugate_gradient` APIs.
+
+    State lives in the process-wide :func:`default_frontend` instance;
+    construct a :class:`SpecializedSolver` for isolated caches, a fixed
+    method, non-default options or orderings.
+    """
+    return default_frontend().solve(
+        A,
+        b,
+        method=method,
+        num_threads=num_threads,
+        tol=tol,
+        max_iterations=max_iterations,
+    )
+
+
+def sympiled(
+    fn: Optional[Callable] = None,
+    *,
+    method: Optional[str] = None,
+    ordering: str = "mindeg",
+    options: Optional[SympilerOptions] = None,
+    iterative_threshold: int = DEFAULT_ITERATIVE_THRESHOLD,
+):
+    """Decorate a system-producing function into a lazily specialized solve.
+
+    The decorated function must return ``(A, b)`` (``A`` in any ingestible
+    form); calling the wrapper returns ``x``.  Each wrapper owns a private
+    :class:`SpecializedSolver` (exposed as ``wrapper.solver``), so the first
+    call with a new structure specializes and every later same-structure
+    call — the fixed-pattern/changing-values loop the paper amortizes — runs
+    numeric-only code.  ``wrapper.cache_info()`` reports the counters.
+
+    Usable bare or with arguments::
+
+        @sympiled
+        def step(t):
+            return assemble(mesh, t), load_vector(mesh, t)
+
+        x = step(0.1)   # specializes on the mesh pattern
+        x = step(0.2)   # numeric-only: refactorize + solve
+    """
+
+    def decorate(func: Callable):
+        import functools
+
+        solver = SpecializedSolver(
+            method=method,
+            ordering=ordering,
+            options=options,
+            iterative_threshold=iterative_threshold,
+        )
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            system = func(*args, **kwargs)
+            if not (isinstance(system, tuple) and len(system) == 2):
+                raise TypeError(
+                    f"@sympiled function {func.__name__!r} must return (A, b), "
+                    f"got {type(system).__name__}"
+                )
+            A, b = system
+            return solver.solve(A, b)
+
+        wrapper.solver = solver
+        wrapper.cache_info = solver.cache_info
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate

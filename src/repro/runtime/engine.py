@@ -53,10 +53,22 @@ __all__ = ["BatchExecutor", "BatchResult", "BatchItemError", "resolve_num_thread
 def resolve_num_threads(num_threads: Optional[int]) -> int:
     """Normalize a thread-count knob to a concrete worker count.
 
-    Precedence: an explicit argument wins; when ``None``, the
-    ``REPRO_NUM_THREADS`` environment variable applies (CI runners and the
-    service container pin the count there without touching call sites); with
-    neither, the default is 1.  At any level, ``0`` means one per CPU.
+    **This is the canonical thread-count precedence for every entry point**
+    — ``repro.solve``, ``SparseLinearSolver.solve`` /
+    ``solve_with_factors`` / ``solve_many`` / ``pcg``,
+    ``FactorHandle.solve``, ``preconditioned_conjugate_gradient``, the
+    batched runtime and the wavefront C entry (which mirrors this logic in
+    generated code):
+
+    1. an explicit ``num_threads=`` argument wins,
+    2. when ``None``, the ``REPRO_NUM_THREADS`` environment variable applies
+       (CI runners and the service container pin the count there without
+       touching call sites),
+    3. with neither, the caller's ``SympilerOptions.num_threads`` — or 1
+       here, where no options are in scope.
+
+    At any level, ``0`` means one per CPU.  The knob is runtime-only: it is
+    excluded from cache fingerprints, so re-tuning it never recompiles.
     """
     if num_threads is None:
         env = os.environ.get("REPRO_NUM_THREADS")

@@ -227,6 +227,11 @@ class BatchedSolver:
         flag is mandatory for raw arrays because a shape check cannot tell
         permuted from unpermuted values, and interpreting unpermuted data in
         permuted positions would silently factorize a scrambled matrix.
+
+        Scenario items may be anything the front-end ingest layer accepts
+        (``scipy.sparse`` matrices, COO triplet tuples, dense arrays);
+        :class:`CSCMatrix` items pass through untouched — same objects, same
+        bits as before the ingest layer existed.
         """
         if isinstance(scenarios, np.ndarray):
             if not permuted_values:
@@ -246,6 +251,10 @@ class BatchedSolver:
             return [values[i] for i in range(values.shape[0])]
         value_list: List[np.ndarray] = []
         for i, M in enumerate(scenarios):
+            if not isinstance(M, CSCMatrix):
+                from repro.frontend.ingest import as_csc
+
+                M = as_csc(M)
             if not M.pattern_equal(self.solver.A):
                 raise ValueError(
                     f"scenario {i} does not share the solver's sparsity pattern"

@@ -132,13 +132,22 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     def register_pattern(
         self,
-        A: CSCMatrix,
+        A,
         *,
         kernel: str = "cholesky",
         ordering: str = "natural",
         options: Optional[Union[SympilerOptions, Dict]] = None,
     ) -> RemoteHandle:
-        """Register ``A``'s pattern on the server; returns a remote handle."""
+        """Register ``A``'s pattern on the server; returns a remote handle.
+
+        ``A`` may be anything the front-end ingest layer accepts
+        (:class:`CSCMatrix`, ``scipy.sparse``, COO triplets, dense) — it is
+        converted before the wire frames are built.
+        """
+        if not isinstance(A, CSCMatrix):
+            from repro.frontend.ingest import as_csc
+
+            A = as_csc(A)
         payload: Optional[Dict] = None
         if isinstance(options, SympilerOptions):
             payload = asdict(options)

@@ -188,7 +188,7 @@ class SolverService:
     # ------------------------------------------------------------------ #
     def register_pattern(
         self,
-        A: CSCMatrix,
+        A,
         *,
         kernel: str = "cholesky",
         ordering: str = "natural",
@@ -199,12 +199,17 @@ class SolverService:
         Registration is idempotent and single-flight: concurrent
         registrations of the same (pattern, kernel, ordering, options)
         collapse to one compile — every caller shares the entry and its
-        pinned artifacts.  ``A`` must carry numerically valid values (the
-        eager compile runs one factorization to seed the triangular-solve
-        kernels).
+        pinned artifacts.  ``A`` may be anything the front-end ingest layer
+        accepts (:class:`CSCMatrix`, ``scipy.sparse``, COO triplets, dense)
+        and must carry numerically valid values (the eager compile runs one
+        factorization to seed the triangular-solve kernels).
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
+        if not isinstance(A, CSCMatrix):
+            from repro.frontend.ingest import as_csc
+
+            A = as_csc(A)
         options = options or self.options
         key = (
             kernel,

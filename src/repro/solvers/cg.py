@@ -127,6 +127,7 @@ def preconditioned_conjugate_gradient(
     use_preconditioner: bool = True,
     preconditioner: str = "compiled",
     options: Optional[SympilerOptions] = None,
+    num_threads: Optional[int] = None,
 ) -> CGResult:
     """Solve ``A x = b`` by CG, optionally IC(0)-preconditioned.
 
@@ -136,6 +137,15 @@ def preconditioned_conjugate_gradient(
     IC(0) numeric factorization is a generated registry kernel as well,
     ``"interpreted"`` keeps the NumPy reference loop (fallback and oracle —
     bitwise-identical iterates on the python backend).
+
+    ``num_threads`` fans each preconditioner triangular sweep's level sets
+    across workers when the trisolves were compiled with
+    ``parallel="wavefront"`` (serial kernels ignore it, bitwise identical
+    either way) — the same knob, with the same precedence, as every other
+    solve entry point: see
+    :func:`repro.runtime.engine.resolve_num_threads`, the canonical
+    precedence documentation (explicit argument > ``REPRO_NUM_THREADS`` >
+    ``options.num_threads``).
     """
     if not A.is_square():
         raise ValueError("CG requires a square matrix")
@@ -157,8 +167,16 @@ def preconditioned_conjugate_gradient(
         backward = sym.compile_triangular_solve(Lt_rev, rhs_pattern=None)
 
         def apply_preconditioner(r: np.ndarray) -> np.ndarray:
-            y = forward.solve(L, r)
-            z_rev = backward.solve(Lt_rev, y[::-1].copy())
+            y = forward.solve_arrays(
+                L.indptr, L.indices, L.data, r, num_threads=num_threads
+            )
+            z_rev = backward.solve_arrays(
+                Lt_rev.indptr,
+                Lt_rev.indices,
+                Lt_rev.data,
+                y[::-1].copy(),
+                num_threads=num_threads,
+            )
             return z_rev[::-1].copy()
 
     x = np.zeros(n, dtype=np.float64)

@@ -66,6 +66,10 @@ class SparseLinearSolver:
         Square matrix (full storage): SPD for ``method="cholesky"``,
         symmetric indefinite allowed for ``method="ldlt"``, unsymmetric
         diagonally dominant for ``method="lu"`` (no pivoting is performed).
+        Accepts anything the front-end ingest layer understands — a
+        :class:`~repro.sparse.csc.CSCMatrix` (used as-is, no copy), a
+        ``scipy.sparse`` matrix, a COO triplet tuple, or a dense 2-D array
+        (see :func:`repro.frontend.ingest.ingest`).
     method:
         Factorization kernel to compile — any factorization registered in the
         kernel registry (``"cholesky"``, ``"ldlt"`` or ``"lu"``).
@@ -91,12 +95,20 @@ class SparseLinearSolver:
 
     def __init__(
         self,
-        A: CSCMatrix,
+        A,
         *,
         method: str = "cholesky",
         ordering: str = "mindeg",
         options: Optional[SympilerOptions] = None,
     ) -> None:
+        if not isinstance(A, CSCMatrix):
+            # Lazy: the front-end ingest layer is import-light, but keeping
+            # the CSCMatrix fast path free of it preserves the historical
+            # import graph (and the ingest of a CSCMatrix is the identity
+            # anyway — same object, no copy).
+            from repro.frontend.ingest import as_csc
+
+            A = as_csc(A)
         if not A.is_square():
             raise ValueError("SparseLinearSolver requires a square matrix")
         self.A = A
@@ -193,9 +205,18 @@ class SparseLinearSolver:
         """
         return self._sympiler.cache_stats
 
-    def factorize(self, A: Optional[CSCMatrix] = None) -> CSCMatrix:
-        """(Re-)factorize; ``A`` may carry new values on the same pattern."""
+    def factorize(self, A=None) -> CSCMatrix:
+        """(Re-)factorize; ``A`` may carry new values on the same pattern.
+
+        Like the constructor, ``A`` may be anything the ingest layer accepts
+        (``scipy.sparse``, triplets, dense) — it is converted first and then
+        pattern-checked against the solver's matrix.
+        """
         if A is not None:
+            if not isinstance(A, CSCMatrix):
+                from repro.frontend.ingest import as_csc
+
+                A = as_csc(A)
             if not A.pattern_equal(self.A):
                 raise ValueError(
                     "the new matrix must have the same sparsity pattern; "
@@ -327,6 +348,7 @@ class SparseLinearSolver:
         tol: float = 1e-8,
         max_iterations: int = 1000,
         preconditioner: str = "compiled",
+        num_threads: Optional[int] = None,
     ):
         """Solve ``A x = b`` iteratively by IC(0)-preconditioned CG.
 
@@ -336,8 +358,10 @@ class SparseLinearSolver:
         kernel (``preconditioner="interpreted"`` selects the NumPy reference
         instead).  All compiles go through the shared artifact cache, so
         repeated ``pcg`` calls on this pattern reuse the generated IC(0) and
-        triangular-solve kernels.  Returns a
-        :class:`~repro.solvers.cg.CGResult`.
+        triangular-solve kernels.  ``num_threads`` behaves exactly as in
+        :meth:`solve` — the single precedence rule for every entry point is
+        documented on :func:`repro.runtime.engine.resolve_num_threads`.
+        Returns a :class:`~repro.solvers.cg.CGResult`.
 
         Constructing a :class:`SparseLinearSolver` eagerly compiles and runs
         the *complete* factorization, which ``pcg`` does not use — call
@@ -354,6 +378,7 @@ class SparseLinearSolver:
             max_iterations=max_iterations,
             preconditioner=preconditioner,
             options=self.options,
+            num_threads=num_threads,
         )
 
     def residual(self, x: np.ndarray, b: np.ndarray) -> float:

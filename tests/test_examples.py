@@ -31,6 +31,7 @@ def _run(script: str) -> subprocess.CompletedProcess:
         ("fem_refactorization.py", "per-step numeric speedup"),
         ("inspect_codegen.py", "Generated Python kernel"),
         ("solver_service.py", "service stopped cleanly"),
+        ("scipy_drop_in.py", "scipy drop-in front end OK"),
     ],
 )
 def test_example_runs(script, expected):

@@ -1,0 +1,493 @@
+"""Tests for the lazy-specializing front end (`repro.solve` and friends)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro
+from repro.compiler.codegen.c_backend import disk_cache_stats
+from repro.compiler.options import SympilerOptions
+from repro.compiler.sympiler import Sympiler
+from repro.frontend import (
+    AUTO_METHODS,
+    IngestedMatrix,
+    SpecializedSolver,
+    as_csc,
+    ingest,
+    probe_structure,
+    select_method,
+    structure_fingerprint,
+    sympiled,
+)
+from repro.runtime.facade import BatchedSolver
+from repro.service.session import SolverService
+from repro.solvers.cg import preconditioned_conjugate_gradient
+from repro.solvers.linear_solver import SparseLinearSolver
+from repro.sparse.coo import TripletBuilder
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import (
+    laplacian_2d,
+    random_spd,
+    saddle_point_indefinite,
+    unsymmetric_diag_dominant,
+)
+
+
+def _shared_misses() -> int:
+    from repro.compiler.sympiler import _SHARED_CACHE
+
+    return _SHARED_CACHE.stats.misses
+
+
+# --------------------------------------------------------------------------- #
+# Ingest layer
+# --------------------------------------------------------------------------- #
+class TestIngest:
+    def test_csc_passthrough_is_identity(self):
+        A = laplacian_2d(6)
+        ing = ingest(A)
+        assert ing.csc is A  # same object, no copy
+        assert ing.source_format == "csc"
+        assert as_csc(A) is A
+
+    def test_scipy_formats(self):
+        A = laplacian_2d(6)
+        S = A.to_scipy()
+        for form, tag in ((S.tocsc(), "scipy"), (S.tocsr(), "scipy"), (S.tocoo(), "scipy")):
+            ing = ingest(form)
+            assert ing.source_format == tag
+            assert ing.csc.pattern_equal(A)
+            np.testing.assert_array_equal(ing.csc.data, A.data)
+
+    def test_coo_matrix(self):
+        builder = TripletBuilder(3, 3)
+        for i, j, v in [(0, 0, 4.0), (1, 1, 5.0), (2, 2, 6.0), (1, 0, 1.0)]:
+            builder.add(i, j, v)
+        coo = builder.to_coo()
+        ing = ingest(coo)
+        assert ing.source_format == "coo"
+        np.testing.assert_array_equal(ing.csc.to_dense(), coo.to_csc().to_dense())
+
+    def test_triplet_tuples(self):
+        rows = np.array([0, 1, 1])
+        cols = np.array([0, 0, 1])
+        vals = np.array([4.0, 1.0, 3.0])
+        a = as_csc((rows, cols, vals))
+        b = as_csc((rows, cols, vals, (2, 2)))
+        c = as_csc((vals, (rows, cols)))  # scipy-style
+        ref = np.array([[4.0, 0.0], [1.0, 3.0]])
+        for M in (a, b, c):
+            np.testing.assert_array_equal(M.to_dense(), ref)
+
+    def test_dense_array(self):
+        D = np.array([[4.0, 1.0], [1.0, 3.0]])
+        ing = ingest(D)
+        assert ing.source_format == "dense"
+        np.testing.assert_array_equal(ing.csc.to_dense(), D)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ingest("not a matrix")
+        with pytest.raises(TypeError):
+            ingest(np.ones(5))  # 1-D
+
+    def test_fingerprint_is_structural(self):
+        A = laplacian_2d(6)
+        B = A.with_values(A.data * 3.0)
+        C = laplacian_2d(7)
+        assert structure_fingerprint(A) == structure_fingerprint(B)
+        assert structure_fingerprint(A) != structure_fingerprint(C)
+
+    def test_dtype_recorded_before_coercion(self):
+        D = np.array([[4, 1], [1, 3]], dtype=np.float32)
+        ing = ingest(D)
+        assert ing.dtype == "float32"
+        assert ing.csc.data.dtype == np.float64
+        assert isinstance(ing, IngestedMatrix)
+
+
+# --------------------------------------------------------------------------- #
+# Structural probes and auto-selection
+# --------------------------------------------------------------------------- #
+class TestProbes:
+    def test_spd_routes_to_cholesky(self):
+        assert select_method(laplacian_2d(8)) == "cholesky"
+        assert select_method(random_spd(40, 0.05, seed=1)) == "cholesky"
+
+    def test_symmetric_indefinite_routes_to_ldlt(self):
+        assert select_method(saddle_point_indefinite(30, 10)) == "ldlt"
+
+    def test_unsymmetric_routes_to_lu(self):
+        assert select_method(unsymmetric_diag_dominant(40)) == "lu"
+
+    def test_large_spd_routes_to_pcg(self):
+        A = laplacian_2d(10)
+        assert select_method(A, iterative_threshold=50) == "pcg"
+        assert select_method(A, iterative_threshold=10_000) == "cholesky"
+
+    def test_large_unsymmetric_stays_lu(self):
+        # CG requires SPD; size alone must not route unsymmetric input to it.
+        A = unsymmetric_diag_dominant(80)
+        assert select_method(A, iterative_threshold=50) == "lu"
+
+    def test_probe_report_fields(self):
+        report = probe_structure(laplacian_2d(6))
+        assert report.square and report.symmetric_pattern and report.symmetric_values
+        assert report.positive_diagonal
+        assert report.n == 36
+        assert report.method in AUTO_METHODS
+        assert report.reason
+
+    def test_rejects_non_square(self):
+        rect = CSCMatrix.from_dense(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            probe_structure(rect)
+
+
+# --------------------------------------------------------------------------- #
+# Auto-selection is bitwise-identical to the explicit APIs, per route
+# --------------------------------------------------------------------------- #
+class TestAutoSelectionBitwise:
+    def test_cholesky_route(self, rng):
+        A = random_spd(48, 0.06, seed=7)
+        b = rng.normal(size=A.n)
+        front = SpecializedSolver()
+        x = front.solve(A.to_scipy(), b)
+        x_ref = SparseLinearSolver(A, method="cholesky", ordering="mindeg").solve(b)
+        assert front.stats.methods == {"cholesky": 1}
+        np.testing.assert_array_equal(x, x_ref)
+
+    def test_ldlt_route(self, rng):
+        K = saddle_point_indefinite(24, 8, seed=2)
+        b = rng.normal(size=K.n)
+        front = SpecializedSolver()
+        x = front.solve(K.to_scipy(), b)
+        x_ref = SparseLinearSolver(K, method="ldlt", ordering="mindeg").solve(b)
+        assert front.stats.methods == {"ldlt": 1}
+        np.testing.assert_array_equal(x, x_ref)
+
+    def test_lu_route(self, rng):
+        J = unsymmetric_diag_dominant(40, seed=3)
+        b = rng.normal(size=J.n)
+        front = SpecializedSolver()
+        x = front.solve(J.to_scipy(), b)
+        x_ref = SparseLinearSolver(J, method="lu", ordering="mindeg").solve(b)
+        assert front.stats.methods == {"lu": 1}
+        np.testing.assert_array_equal(x, x_ref)
+
+    def test_pcg_route(self):
+        A = laplacian_2d(9)
+        b = np.ones(A.n)
+        front = SpecializedSolver(iterative_threshold=50)
+        x = front.solve(A.to_scipy(), b)
+        ref = preconditioned_conjugate_gradient(A, b)
+        assert front.stats.methods == {"pcg": 1}
+        assert front.last_cg_result.converged
+        np.testing.assert_array_equal(x, ref.x)
+
+    def test_explicit_method_override_wins(self, rng):
+        # Probes would choose cholesky for this SPD matrix; method= pins ldlt.
+        A = random_spd(30, 0.08, seed=5)
+        b = rng.normal(size=A.n)
+        front = SpecializedSolver()
+        x = front.solve(A, b, method="ldlt")
+        x_ref = SparseLinearSolver(A, method="ldlt", ordering="mindeg").solve(b)
+        assert front.stats.methods == {"ldlt": 1}
+        np.testing.assert_array_equal(x, x_ref)
+
+    def test_instance_method_pins_route(self, rng):
+        A = random_spd(30, 0.08, seed=6)
+        b = rng.normal(size=A.n)
+        front = SpecializedSolver(method="lu")
+        x = front.solve(A, b)
+        x_ref = SparseLinearSolver(A, method="lu", ordering="mindeg").solve(b)
+        np.testing.assert_array_equal(x, x_ref)
+
+    def test_unknown_method_rejected(self):
+        front = SpecializedSolver()
+        with pytest.raises(ValueError):
+            front.solve(laplacian_2d(4), np.ones(16), method="qr")
+        with pytest.raises(ValueError):
+            SpecializedSolver(method="qr")
+
+
+class TestCholeskyEscape:
+    def test_heuristic_misdetection_falls_back_to_ldlt(self):
+        # Symmetric with a positive diagonal — the cheap SPD heuristic says
+        # cholesky — but indefinite (eigenvalues 3, -1).
+        D = np.array([[1.0, 2.0], [2.0, 1.0]])
+        front = SpecializedSolver()
+        x = front.solve(D, np.ones(2))
+        assert front.stats.cholesky_escapes == 1
+        assert front.stats.methods == {"ldlt": 1}
+        np.testing.assert_allclose(D @ x, np.ones(2), atol=1e-12)
+
+    def test_explicit_cholesky_still_escapes_like_auto(self):
+        # The escape keys on the numeric breakdown, not on who chose the
+        # method; the result must still solve the system.
+        D = np.array([[1.0, 2.0], [2.0, 1.0]])
+        front = SpecializedSolver()
+        x = front.solve(D, np.ones(2), method="cholesky")
+        np.testing.assert_allclose(D @ x, np.ones(2), atol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# Lazy specialization: warm calls are numeric-only
+# --------------------------------------------------------------------------- #
+class TestLazySpecialization:
+    def test_second_call_zero_compiles_zero_inspections(self, rng):
+        A = random_spd(40, 0.06, seed=9)
+        S = A.to_scipy()
+        front = SpecializedSolver()
+        front.solve(S, rng.normal(size=A.n))  # cold: specialize
+        misses_before = _shared_misses()
+        disk_before = disk_cache_stats().as_dict()
+        x = front.solve(S, rng.normal(size=A.n))  # warm: numeric only
+        assert _shared_misses() == misses_before  # zero symbolic inspections
+        disk_after = disk_cache_stats().as_dict()
+        assert disk_after["compiles"] == disk_before["compiles"]
+        assert disk_after["py_writes"] == disk_before["py_writes"]
+        assert front.stats.specializations == 1
+        assert front.stats.structure_hits == 1
+        assert np.isfinite(x).all()
+
+    def test_same_values_reuse_factors(self, rng):
+        A = random_spd(30, 0.08, seed=10)
+        b1, b2 = rng.normal(size=A.n), rng.normal(size=A.n)
+        front = SpecializedSolver()
+        front.solve(A, b1)
+        refact_before = front.stats.refactorizations
+        front.solve(A, b2)
+        assert front.stats.refactorizations == refact_before
+        assert front.stats.value_hits >= 1
+
+    def test_new_values_refactorize_without_respecializing(self, rng):
+        A = random_spd(30, 0.08, seed=11)
+        b = rng.normal(size=A.n)
+        front = SpecializedSolver()
+        x1 = front.solve(A, b)
+        x2 = front.solve(A.with_values(A.data * 2.0), b)
+        assert front.stats.specializations == 1
+        assert front.stats.refactorizations == 1
+        np.testing.assert_allclose(x2, x1 / 2.0, atol=1e-8)
+
+    def test_warm_pcg_route_zero_compiles(self):
+        A = laplacian_2d(8)
+        b = np.ones(A.n)
+        front = SpecializedSolver(iterative_threshold=10)
+        front.solve(A, b)
+        misses_before = _shared_misses()
+        front.solve(A, b * 2.0)
+        assert _shared_misses() == misses_before
+        assert front.stats.structure_hits == 1
+
+    def test_distinct_structures_specialize_separately(self, rng):
+        front = SpecializedSolver()
+        for n in (5, 6, 7):
+            A = laplacian_2d(n)
+            front.solve(A, rng.normal(size=A.n))
+        assert front.stats.specializations == 3
+        assert front.cache_info()["size"] == 3
+
+    def test_lru_eviction(self, rng):
+        front = SpecializedSolver(max_specializations=2)
+        for n in (5, 6, 7):
+            A = laplacian_2d(n)
+            front.solve(A, rng.normal(size=A.n))
+        assert front.cache_info()["size"] == 2
+        # Oldest structure (n=5) was evicted; solving it again respecializes.
+        A = laplacian_2d(5)
+        front.solve(A, rng.normal(size=A.n))
+        assert front.stats.specializations == 4
+
+    def test_clear(self):
+        front = SpecializedSolver()
+        A = laplacian_2d(5)
+        front.solve(A, np.ones(A.n))
+        front.clear()
+        assert front.cache_info()["size"] == 0
+
+    def test_module_level_solve_uses_default_instance(self):
+        A = laplacian_2d(5)
+        before = repro.frontend.default_frontend().stats.specializations
+        x = repro.solve(A, np.ones(A.n))
+        assert np.isfinite(x).all()
+        after = repro.frontend.default_frontend().stats.specializations
+        assert after >= before
+
+
+# --------------------------------------------------------------------------- #
+# The @sympiled decorator
+# --------------------------------------------------------------------------- #
+class TestSympiledDecorator:
+    def test_fixed_pattern_changing_values_loop(self):
+        A0 = laplacian_2d(6)
+
+        @sympiled
+        def step(scale):
+            return A0.with_values(A0.data * scale), np.ones(A0.n)
+
+        x1 = step(1.0)
+        x2 = step(2.0)
+        np.testing.assert_allclose(x2, x1 / 2.0, atol=1e-8)
+        info = step.cache_info()
+        assert info["specializations"] == 1
+        assert info["refactorizations"] == 1
+
+    def test_with_arguments(self, rng):
+        A = random_spd(24, 0.1, seed=13)
+
+        @sympiled(method="ldlt", ordering="natural")
+        def system():
+            return A, np.ones(A.n)
+
+        x = system()
+        x_ref = SparseLinearSolver(A, method="ldlt", ordering="natural").solve(
+            np.ones(A.n)
+        )
+        np.testing.assert_array_equal(x, x_ref)
+        assert system.solver.method == "ldlt"
+
+    def test_rejects_non_pair_return(self):
+        @sympiled
+        def broken():
+            return laplacian_2d(4)
+
+        with pytest.raises(TypeError):
+            broken()
+
+
+# --------------------------------------------------------------------------- #
+# Ingest wired into the explicit APIs (satellite: scipy/COO everywhere)
+# --------------------------------------------------------------------------- #
+class TestIngestInExplicitAPIs:
+    def test_sparse_linear_solver_scipy_bitwise(self, rng):
+        A = laplacian_2d(7)
+        b = rng.normal(size=A.n)
+        x_csc = SparseLinearSolver(A).solve(b)
+        x_scipy = SparseLinearSolver(A.to_scipy()).solve(b)
+        np.testing.assert_array_equal(x_scipy, x_csc)
+
+    def test_sparse_linear_solver_csc_object_unchanged(self):
+        # The historical path: a CSCMatrix input is used as-is, no copy.
+        A = laplacian_2d(6)
+        solver = SparseLinearSolver(A)
+        assert solver.A is A
+
+    def test_refactorize_accepts_scipy(self, rng):
+        A = laplacian_2d(6)
+        solver = SparseLinearSolver(A)
+        b = rng.normal(size=A.n)
+        x1 = solver.solve(b)
+        solver.factorize((A.to_scipy() * 2.0).tocsc())
+        np.testing.assert_allclose(solver.solve(b), x1 / 2.0, atol=1e-8)
+
+    def test_batched_solver_scipy_scenarios_bitwise(self, rng):
+        A = laplacian_2d(6)
+        scales = (1.0, 2.5, 4.0)
+        csc_scenarios = [A.with_values(A.data * s) for s in scales]
+        scipy_scenarios = [(A.to_scipy() * s).tocsc() for s in scales]
+        b = rng.normal(size=A.n)
+
+        batched_csc = BatchedSolver(A)
+        batched_scipy = BatchedSolver(A.to_scipy())
+        xs_csc = [h.solve(b) for h in batched_csc.factorize_batch(csc_scenarios)]
+        xs_scipy = [h.solve(b) for h in batched_scipy.factorize_batch(scipy_scenarios)]
+        for x_csc, x_scipy in zip(xs_csc, xs_scipy):
+            np.testing.assert_array_equal(x_scipy, x_csc)
+
+    def test_batched_solver_mixed_forms(self):
+        A = laplacian_2d(5)
+        handles = BatchedSolver(A).factorize_batch(
+            [A, A.to_scipy().tocsr(), (A.to_scipy() * 2.0).tocoo()]
+        )
+        assert all(h.ok for h in handles)
+
+    def test_service_register_pattern_scipy(self):
+        A = laplacian_2d(6)
+        svc = SolverService()
+        try:
+            handle = svc.register_pattern(A.to_scipy(), ordering="natural")
+            x = svc.solve(handle, A.data, np.ones(A.n))
+            svc_ref = svc.register_pattern(A, ordering="natural")
+            assert svc_ref.handle_id == handle.handle_id  # same fingerprint
+            np.testing.assert_allclose(A.matvec(x), np.ones(A.n), atol=1e-7)
+        finally:
+            svc.close()
+
+
+# --------------------------------------------------------------------------- #
+# num_threads unification (satellite: pcg gained the knob)
+# --------------------------------------------------------------------------- #
+class TestNumThreadsUnification:
+    def test_pcg_accepts_num_threads_bitwise_serial(self):
+        A = laplacian_2d(7)
+        b = np.ones(A.n)
+        r0 = preconditioned_conjugate_gradient(A, b)
+        r1 = preconditioned_conjugate_gradient(A, b, num_threads=2)
+        np.testing.assert_array_equal(r0.x, r1.x)
+        assert r0.iterations == r1.iterations
+
+    def test_solver_pcg_method_passes_num_threads(self):
+        A = laplacian_2d(6)
+        solver = SparseLinearSolver(A)
+        b = np.ones(A.n)
+        r0 = solver.pcg(b)
+        r1 = solver.pcg(b, num_threads=2)
+        np.testing.assert_array_equal(r0.x, r1.x)
+
+    def test_frontend_solve_passes_num_threads(self, rng):
+        A = random_spd(30, 0.08, seed=14)
+        b = rng.normal(size=A.n)
+        front = SpecializedSolver()
+        x0 = front.solve(A, b)
+        x1 = front.solve(A, b, num_threads=2)
+        np.testing.assert_array_equal(x0, x1)
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: generated matrices, probe vs. explicit API, bitwise
+# --------------------------------------------------------------------------- #
+_PROPERTY_CASES = [
+    ("spd-random", lambda: random_spd(36, 0.08, seed=21), "cholesky"),
+    ("spd-laplacian", lambda: laplacian_2d(7), "cholesky"),
+    ("sym-indefinite", lambda: saddle_point_indefinite(20, 8, seed=22), "ldlt"),
+    ("unsym-diag-dominant", lambda: unsymmetric_diag_dominant(44, seed=23), "lu"),
+]
+
+
+class TestSelectionProperties:
+    @pytest.mark.parametrize(
+        "make,expected", [(m, e) for _, m, e in _PROPERTY_CASES],
+        ids=[name for name, _, _ in _PROPERTY_CASES],
+    )
+    def test_probe_matches_explicit_api_bitwise(self, make, expected, rng):
+        A = make()
+        b = rng.normal(size=A.n)
+        assert select_method(A) == expected
+        front = SpecializedSolver()
+        x = front.solve(sp.csc_matrix(A.to_scipy()), b)
+        x_ref = SparseLinearSolver(A, method=expected, ordering="mindeg").solve(b)
+        np.testing.assert_array_equal(x, x_ref)
+
+    def test_large_sparse_goes_iterative(self):
+        A = laplacian_2d(12)  # n = 144
+        b = np.ones(A.n)
+        front = SpecializedSolver(iterative_threshold=100)
+        x = front.solve(A, b)
+        ref = preconditioned_conjugate_gradient(A, b)
+        assert front.stats.methods == {"pcg": 1}
+        np.testing.assert_array_equal(x, ref.x)
+
+    @pytest.mark.parametrize("method", ["cholesky", "ldlt", "pcg"])
+    def test_override_beats_probe_everywhere(self, method, rng):
+        A = laplacian_2d(7)  # probes say cholesky at default threshold
+        b = rng.normal(size=A.n)
+        front = SpecializedSolver()
+        x = front.solve(A, b, method=method)
+        if method == "pcg":
+            x_ref = preconditioned_conjugate_gradient(A, b).x
+        else:
+            x_ref = SparseLinearSolver(A, method=method, ordering="mindeg").solve(b)
+        assert front.stats.methods == {method: 1}
+        np.testing.assert_array_equal(x, x_ref)
