@@ -25,6 +25,10 @@ full system:
 * :mod:`repro.frontend` — the lazy-specializing, scipy-native front end:
   ``repro.solve(A, b)`` with kernel auto-selection and a per-structure
   specialization cache, plus the ``@sympiled`` decorator.
+* :mod:`repro.observe`  — unified observability: one metrics registry over
+  every stats surface, structured pipeline tracing (zero-cost when
+  disabled), and JSON/Chrome-trace/Prometheus exporters plus the live
+  amortization breakdown (``python -m repro.observe``).
 
 Quickstart::
 

@@ -24,6 +24,9 @@ Experiments
                single solves vs the serial compiled kernel (bitwise
                identity, 2-thread speedup, warm-reload recompile count,
                deep-etree serial fallback).
+``observe``  — the observability layer's cost contract: disabled-span
+               overhead as a fraction of a warm solve (gated < 3 %) plus
+               enabled-path export coverage.
 ``all``      — run every experiment in sequence.
 
 ``--json [DIR]`` additionally writes each experiment's rows to
@@ -57,6 +60,7 @@ from repro.bench.figures import (
     intro_triangular_speedups,
     ldlt_performance,
     lu_performance,
+    observe_overhead,
     overhead_report,
     pcg_performance,
     serving_throughput,
@@ -65,6 +69,8 @@ from repro.bench.figures import (
 )
 from repro.bench.reporting import render_csv, render_table
 from repro.bench.suite import build_suite, small_suite
+from repro.observe import phase_totals
+from repro.observe import trace as observe_trace
 
 _EXPERIMENTS = {
     "table2": ("Table 2: matrix suite", table2_suite_listing),
@@ -81,6 +87,7 @@ _EXPERIMENTS = {
     "serving": ("Solver service: coalesced vs uncoalesced dispatch", serving_throughput),
     "wavefront": ("Wavefront (H-Level) execution: single-solve parallelism", wavefront_execution),
     "frontend": ("Front end: lazy specialization, cold vs warm repro.solve", frontend_specialization),
+    "observe": ("Observability: disabled-tracing overhead and export coverage", observe_overhead),
 }
 
 
@@ -91,8 +98,23 @@ def _json_default(value):
     return str(value)
 
 
-def write_json_report(name: str, title: str, rows, *, directory: str, args_used: dict) -> str:
-    """Write one experiment's rows to ``BENCH_<name>.json`` and return the path."""
+def write_json_report(
+    name: str,
+    title: str,
+    rows,
+    *,
+    directory: str,
+    args_used: dict,
+    phase_seconds: dict | None = None,
+) -> str:
+    """Write one experiment's rows to ``BENCH_<name>.json`` and return the path.
+
+    ``phase_seconds`` (when tracing was enabled for the run) is the
+    experiment's per-phase accumulated wall time — the
+    :func:`repro.observe.phase_totals` delta measured around the experiment
+    call — so the uploaded perf trajectory carries *where* the time went
+    (inspect/codegen/cc/numeric/...), not just the row-level ratios.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
     payload = {
@@ -101,6 +123,8 @@ def write_json_report(name: str, title: str, rows, *, directory: str, args_used:
         "args": args_used,
         "rows": rows,
     }
+    if phase_seconds is not None:
+        payload["phase_seconds"] = phase_seconds
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=_json_default)
         fh.write("\n")
@@ -155,6 +179,32 @@ def main(argv=None) -> int:
     suite = small_suite() if args.small else build_suite()
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     regressions = []
+    # JSON reports carry a per-phase time breakdown; that needs the tracing
+    # layer on for the duration of the run (re-disabled on the way out so a
+    # bench invocation never leaves process-global state flipped).
+    tracing_for_json = args.json is not None and not observe_trace.enabled()
+    if tracing_for_json:
+        observe_trace.enable()
+    try:
+        return _run_experiments(args, suite, names, regressions)
+    finally:
+        if tracing_for_json:
+            observe_trace.disable()
+
+
+def _phase_delta(before: dict, after: dict) -> dict:
+    """Per-phase ``{seconds, calls}`` accumulated between two snapshots."""
+    delta = {}
+    for phase, totals in sorted(after.items()):
+        prior = before.get(phase, {"seconds": 0.0, "calls": 0})
+        seconds = totals["seconds"] - prior["seconds"]
+        calls = totals["calls"] - prior["calls"]
+        if calls > 0 or seconds > 0:
+            delta[phase] = {"seconds": seconds, "calls": calls}
+    return delta
+
+
+def _run_experiments(args, suite, names, regressions) -> int:
     for name in names:
         title, fn = _EXPERIMENTS[name]
         accepted = inspect.signature(fn).parameters
@@ -163,6 +213,7 @@ def main(argv=None) -> int:
             kwargs["backend"] = args.backend
         if "threads" in accepted and args.threads is not None:
             kwargs["threads"] = args.threads
+        phases_before = phase_totals() if args.json is not None else {}
         rows = fn(suite, **kwargs)
         if args.csv:
             sys.stdout.write(render_csv(rows))
@@ -180,6 +231,7 @@ def main(argv=None) -> int:
                     "backend": args.backend,
                     "threads": args.threads,
                 },
+                phase_seconds=_phase_delta(phases_before, phase_totals()),
             )
             sys.stdout.write(f"[json report written to {path}]\n")
         if args.compare is not None:

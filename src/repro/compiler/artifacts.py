@@ -27,6 +27,7 @@ from repro.compiler.codegen.runtime import pattern_fingerprint, rhs_fingerprint_
 from repro.compiler.options import SympilerOptions
 from repro.kernels.ldlt import LDLTFactors
 from repro.kernels.lu import LUFactors
+from repro.observe import trace as observe_trace
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.inspector import (
     CholeskyInspectionResult,
@@ -93,6 +94,36 @@ class CompiledArtifact:
     decisions: Dict[str, object]
     timings: CompileTimings
     fingerprint: str
+
+    #: Registry name used in pattern-mismatch hints and trace-span labels.
+    kernel_name = "kernel"
+
+    def _traced_numeric(self, op: str, args: tuple, kwargs: Dict[str, int]):
+        """Run the numeric entry under a ``numeric`` trace span.
+
+        Only called when tracing is enabled (the raw-array entry points take
+        the direct path otherwise).  With the tracer's ``wavefront_levels``
+        flag up and a wavefront-compiled module, the per-level wall times
+        recorded by the C runtime are attached to the span as
+        ``wf_level_seconds``.
+        """
+        wf = (
+            observe_trace.wavefront_levels_enabled()
+            and self.parallel_mode == "wavefront"
+        )
+        if wf:
+            # Raises the runtime flag in the loaded .so; the timestamp code
+            # is always compiled in, so this never recompiles anything.
+            self.module.set_wavefront_profiling(True)
+        with observe_trace.span(
+            "numeric", kernel=self.kernel_name, op=op, fingerprint=self.fingerprint
+        ) as sp:
+            out = self.entry(*args, **kwargs)
+            if wf:
+                levels = self.module.wavefront_level_seconds()
+                if levels is not None:
+                    sp.set(wf_level_seconds=[float(v) for v in levels])
+            return out
 
     @property
     def source(self) -> str:
@@ -172,6 +203,7 @@ class SympiledTriangularSolve(CompiledArtifact):
     """A triangular solve specialized to one ``L`` pattern and RHS pattern."""
 
     inspection: TriangularInspectionResult = None
+    kernel_name = "triangular-solve"
 
     def solve(self, L: CSCMatrix, b: np.ndarray, *, check_pattern: bool = False) -> np.ndarray:
         """Solve ``L x = b`` with the specialized numeric code.
@@ -200,9 +232,11 @@ class SympiledTriangularSolve(CompiledArtifact):
         level-parallel entry takes a per-call thread count); it is ignored by
         serial artifacts, so callers need not branch on the compiled mode.
         """
-        return self.entry(
-            Lp, Li, Lx, np.asarray(b, dtype=np.float64), **self._entry_kwargs(num_threads)
-        )
+        args = (Lp, Li, Lx, np.asarray(b, dtype=np.float64))
+        kwargs = self._entry_kwargs(num_threads)
+        if not observe_trace.enabled():
+            return self.entry(*args, **kwargs)
+        return self._traced_numeric("solve", args, kwargs)
 
     def verify_pattern(self, L: CSCMatrix) -> None:
         """Raise :class:`PatternMismatchError` if ``L`` has a different pattern."""
@@ -243,9 +277,11 @@ class SympiledFactorization(CompiledArtifact):
         level-parallel entry takes a per-call thread count); it is ignored by
         serial artifacts, so callers need not branch on the compiled mode.
         """
-        return self.entry(
-            Ap, Ai, np.asarray(Ax, dtype=np.float64), **self._entry_kwargs(num_threads)
-        )
+        args = (Ap, Ai, np.asarray(Ax, dtype=np.float64))
+        kwargs = self._entry_kwargs(num_threads)
+        if not observe_trace.enabled():
+            return self.entry(*args, **kwargs)
+        return self._traced_numeric("factorize", args, kwargs)
 
     def verify_pattern(self, A: CSCMatrix) -> None:
         """Raise :class:`PatternMismatchError` if ``A`` has a different pattern."""

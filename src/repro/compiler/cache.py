@@ -81,6 +81,11 @@ class CacheStats:
     thread's in-flight build of the same key (single-flight collapsing);
     ``removals`` counts explicit :meth:`ArtifactCache.remove` calls (service
     evictions under a memory budget), as opposed to LRU ``evictions``.
+
+    The process-wide shared cache's stats are also visible through the
+    unified observability layer (:mod:`repro.observe`) as the
+    ``artifact_cache`` pull collector — ``repro_artifact_cache_*`` gauges in
+    the Prometheus export, same counters, zero extra hot-path cost.
     """
 
     hits: int = 0

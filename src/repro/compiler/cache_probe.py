@@ -13,7 +13,10 @@ counters instead of hoping a pytest re-run exercised the path.
 The python backend participates in the same protocol: generated Python
 sources (and their constants) are persisted to the cache directory, so a
 warm run must also *regenerate* nothing — ``--assert-warm`` checks
-``py_writes == 0`` alongside ``so_compiles == 0``.  Without a C toolchain
+``py_writes == 0`` alongside ``so_compiles == 0``.  ``--json`` appends the
+unified observability registry snapshot (:func:`repro.observe.snapshot`) to
+the report, so CI can assert the warm-cache counters *and* the registry's
+view of them from one JSON document.  Without a C toolchain
 the probe still runs (the driver falls back to the Python backend) and the
 python counters carry the warm-cache assertion on their own.
 """
@@ -163,11 +166,22 @@ def main(argv=None) -> int:
         help="exit nonzero unless every shared object was reused from disk "
         "(zero C recompiles)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="include the unified observability registry snapshot "
+        "(repro.observe) in the report under an 'observe' key, so CI can "
+        "assert cache counters and registry state from one document",
+    )
     args = parser.parse_args(argv)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)
         report = run_probe(backend=args.backend)
     report["asserted_warm"] = bool(args.assert_warm)
+    if args.json:
+        from repro.observe import snapshot as observe_snapshot
+
+        report["observe"] = observe_snapshot()
     json.dump(report, sys.stdout, indent=2)
     sys.stdout.write("\n")
     if not all(report["workload"].values()):

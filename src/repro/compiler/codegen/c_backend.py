@@ -58,6 +58,7 @@ from repro.compiler.ast import (
 )
 from repro.compiler.codegen.runtime import generated_code_dir, pattern_fingerprint
 from repro.compiler.registration import register_unique
+from repro.observe.trace import span as observe_span
 
 __all__ = [
     "CBackend",
@@ -94,6 +95,11 @@ class DiskCacheStats:
     :mod:`repro.compiler.codegen.python_backend`).  A warm-cache CI run
     asserts ``compiles == 0`` and ``py_writes == 0`` through these counters —
     the compile-amortization story made checkable instead of assumed.
+
+    Also visible through the unified observability layer as the
+    ``disk_cache`` collector in :func:`repro.observe.snapshot` (and as
+    ``repro_disk_cache_*`` gauges in the Prometheus export); this class
+    remains the mutation surface.
     """
 
     compiles: int = 0
@@ -206,6 +212,7 @@ class CGeneratedModule:
     compile_seconds: float = 0.0
     shared_object: Optional[str] = None
     _callable: Optional[Callable] = field(default=None, repr=False)
+    _lib: Optional[ctypes.CDLL] = field(default=None, repr=False)
 
     @property
     def line_count(self) -> int:
@@ -260,7 +267,8 @@ class CGeneratedModule:
             tmp_so = tmp_path_for(so_path)
             cmd = [self.compiler, *self.flags, *extra_flags, "-o", tmp_so, c_path, "-lm"]
             try:
-                proc = subprocess.run(cmd, capture_output=True, text=True)
+                with observe_span("cc", entry=self.entry_name, method=self.method):
+                    proc = subprocess.run(cmd, capture_output=True, text=True)
                 if proc.returncode != 0:
                     raise CCompilationError(
                         f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr}"
@@ -274,10 +282,57 @@ class CGeneratedModule:
             _DISK_CACHE_STATS.bump("reuses")
         lib = ctypes.CDLL(so_path)
         fn = getattr(lib, self.entry_name)
+        self._lib = lib
         self.shared_object = so_path
         self.compile_seconds = time.perf_counter() - start
         self._callable = spec.wrapper_factory(self, fn)
         return self._callable
+
+    # ------------------------------------------------------------------ #
+    # Wavefront per-level profiling (observability layer)
+    # ------------------------------------------------------------------ #
+    def set_wavefront_profiling(self, on: bool) -> bool:
+        """Raise/lower the runtime per-level timing flag in the loaded ``.so``.
+
+        The timestamp instructions are always compiled into wavefront kernels
+        (so the cache key never forks on profiling) but record only while
+        this flag is up.  Returns False when this module is not a loaded
+        wavefront kernel (serial fallback, python backend, not yet compiled).
+        """
+        if self._lib is None or self.parallel != "wavefront":
+            return False
+        try:
+            setter = self._lib.repro_wf_set_profile
+        except AttributeError:  # pragma: no cover - older cached .so
+            return False
+        setter.argtypes = [ctypes.c_int64]
+        setter.restype = None
+        setter(1 if on else 0)
+        return True
+
+    def wavefront_level_seconds(self) -> Optional[np.ndarray]:
+        """Per-level durations (seconds) of the last *profiled* parallel run.
+
+        Reads the ``{entry}_wf_level_times`` timestamp buffer written by
+        participant 0 and returns its consecutive differences — one float per
+        schedule level.  ``None`` when this module is not a loaded wavefront
+        kernel or profiling was never enabled (the buffer is all zeros).
+        Note the serial dispatch path (``n_threads <= 1``) bypasses the pool
+        and records nothing.
+        """
+        n_levels = int(self.meta.get("wf_n_levels", 0))
+        if self._lib is None or self.parallel != "wavefront" or n_levels <= 0:
+            return None
+        try:
+            getter = getattr(self._lib, f"{self.entry_name}_wf_level_times")
+        except AttributeError:  # pragma: no cover - older cached .so
+            return None
+        getter.restype = ctypes.POINTER(ctypes.c_double)
+        getter.argtypes = []
+        ts = np.ctypeslib.as_array(getter(), shape=(n_levels + 1,))
+        if not ts.any():
+            return None
+        return np.diff(ts.copy())
 
 
 # --------------------------------------------------------------------------- #
@@ -768,6 +823,26 @@ static _Atomic int64_t repro_wf_bar_count;
 static _Atomic int64_t repro_wf_bar_sense;
 static _Atomic int64_t repro_wf_status;
 
+/* Per-level profiling is opt-in at *runtime* (the observability layer's
+   wavefront_levels flag): the timestamp code is always compiled in — so the
+   source fingerprint, and therefore the on-disk cache key, does not fork on
+   a profiling toggle — but records only while this flag is raised. */
+static _Atomic int64_t repro_wf_profile_flag;
+
+void repro_wf_set_profile(int64_t on) {
+    atomic_store_explicit(&repro_wf_profile_flag, on, memory_order_relaxed);
+}
+
+static int64_t repro_wf_profile_on(void) {
+    return atomic_load_explicit(&repro_wf_profile_flag, memory_order_relaxed);
+}
+
+static double repro_wf_now(void) {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec;
+}
+
 static void repro_wf_barrier(int64_t nparts, int64_t* sense) {
     int64_t s = 1 - *sense;
     *sense = s;
@@ -902,6 +977,7 @@ class CBackend:
             out.emit("#include <pthread.h>")
             out.emit("#include <stdatomic.h>")
             out.emit("#include <sched.h>")
+            out.emit("#include <time.h>")
         out.emit("")
         for name, value in sorted(self._constants.items()):
             out.emit(_format_c_array(name, value, "int64_t"))
@@ -936,6 +1012,11 @@ class CBackend:
         for name, value in self._constants.items():
             if name not in kernel.constants:
                 kernel.constants[name] = value
+        meta = dict(method_spec.module_meta(context)) if method_spec.module_meta else {}
+        if self._parallel_mode == "wavefront":
+            # The per-level profiling buffer length, needed by
+            # wavefront_level_seconds() to read the timestamps back out.
+            meta["wf_n_levels"] = int(context.inspection.schedule.n_levels)
         return CGeneratedModule(
             source=source,
             entry_name=kernel.name,
@@ -947,7 +1028,7 @@ class CBackend:
             n=self._n,
             factor_nnz=factor_nnz,
             parallel=self._parallel_mode,
-            meta=dict(method_spec.module_meta(context)) if method_spec.module_meta else {},
+            meta=meta,
         )
 
     # ------------------------------------------------------------------ #
@@ -1596,10 +1677,19 @@ class CBackend:
         fields = " ".join(f"{decl} {name};" for decl, name in params)
         p.emit(f"typedef struct {{ {fields} }} {entry}_wf_job_t;")
         p.emit("")
+        # Per-level wall-clock timestamps, recorded by participant 0 only
+        # (after each barrier every level's columns are complete, so tid 0's
+        # clock reads bound the level) and only while the runtime profiling
+        # flag is raised.  Exported for ctypes via {entry}_wf_level_times.
+        p.emit(f"static double {entry}_wf_level_ts[{schedule.n_levels} + 1];")
+        p.emit(f"double* {entry}_wf_level_times(void) {{ return {entry}_wf_level_ts; }}")
+        p.emit("")
         p.emit(f"static void {entry}_wf_run(int64_t tid, int64_t nt, void* jobv) {{")
         p.push()
         p.emit(f"{entry}_wf_job_t* job = ({entry}_wf_job_t*)jobv;")
         p.emit("int64_t wf_sense = 0;")
+        p.emit("int64_t wf_prof = tid == 0 && repro_wf_profile_on();")
+        p.emit(f"if (wf_prof) {entry}_wf_level_ts[0] = repro_wf_now();")
         if participant_clears_f:
             # A failed earlier call may have bailed out of a column body with
             # the thread-local work vector still scattered; restore the
@@ -1623,6 +1713,7 @@ class CBackend:
         p.pop()
         p.emit("}")
         p.emit("repro_wf_barrier(nt, &wf_sense);")
+        p.emit(f"if (wf_prof) {entry}_wf_level_ts[l + 1] = repro_wf_now();")
         p.pop()
         p.emit("}")
         p.pop()

@@ -72,6 +72,7 @@ from repro.compiler.codegen.c_backend import (
 )
 from repro.compiler.codegen.runtime import generated_code_dir, runtime_namespace
 from repro.compiler.registration import register_unique
+from repro.observe.trace import span as observe_span
 
 __all__ = [
     "PythonBackend",
@@ -196,11 +197,12 @@ class GeneratedModule:
         if self._callable is not None:
             return self._callable
         start = time.perf_counter()
-        namespace: Dict[str, object] = {"np": np, "_rt": runtime_namespace()}
-        for name, value in self.constants.items():
-            namespace[name] = value
-        code = compile(self.source, f"<sympiler:{self.entry_name}>", "exec")
-        exec(code, namespace)  # noqa: S102 - executing our own generated code
+        with observe_span("py-compile", entry=self.entry_name, method=self.method):
+            namespace: Dict[str, object] = {"np": np, "_rt": runtime_namespace()}
+            for name, value in self.constants.items():
+                namespace[name] = value
+            code = compile(self.source, f"<sympiler:{self.entry_name}>", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own generated code
         self.compile_seconds = time.perf_counter() - start
         fn = namespace.get(self.entry_name)
         if not callable(fn):

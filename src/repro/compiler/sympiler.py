@@ -43,6 +43,7 @@ from repro.compiler.options import SympilerOptions
 from repro.compiler.registry import KernelRegistry, default_registry
 from repro.compiler.transforms.base import CompilationContext
 from repro.compiler.transforms.pipeline import build_pipeline
+from repro.observe.trace import span
 from repro.sparse.csc import CSCMatrix
 
 __all__ = [
@@ -196,10 +197,28 @@ class Sympiler:
         forced_vi_prune: bool,
     ) -> CompiledArtifact:
         """Run the full inspection → transformation → codegen pipeline once."""
-        inspector = spec.inspector_cls()
-        inspection = inspector.inspect(matrix, **spec.inspect_kwargs(options, kernel_args))
+        with span("compile", kernel=spec.name, backend=options.backend, fingerprint=fingerprint):
+            return self._build_traced(
+                spec, matrix, options, kernel_args, fingerprint, forced_vi_prune
+            )
 
-        kernel_fn = spec.lower()
+    def _build_traced(
+        self,
+        spec,
+        matrix: CSCMatrix,
+        options: SympilerOptions,
+        kernel_args: dict,
+        fingerprint: str,
+        forced_vi_prune: bool,
+    ) -> CompiledArtifact:
+        inspector = spec.inspector_cls()
+        with span("inspect", kernel=spec.name):
+            inspection = inspector.inspect(
+                matrix, **spec.inspect_kwargs(options, kernel_args)
+            )
+
+        with span("lower", kernel=spec.name):
+            kernel_fn = spec.lower()
         # The same identity that keys the in-memory cache, stringified for
         # the backends' cross-process on-disk caches.  The lowering callable's
         # qualified name stands in for the spec object itself, so same-named
@@ -222,13 +241,15 @@ class Sympiler:
             context.decisions["vi-prune-forced"] = True
 
         t0 = time.perf_counter()
-        kernel_fn = build_pipeline(options, transforms=spec.transforms).run(
-            kernel_fn, context
-        )
+        with span("transform", kernel=spec.name):
+            kernel_fn = build_pipeline(options, transforms=spec.transforms).run(
+                kernel_fn, context
+            )
         transform_seconds = time.perf_counter() - t0
 
         backend = _backend_for(options)
-        module = backend.generate(kernel_fn, context)
+        with span("codegen", kernel=spec.name, backend=options.backend):
+            module = backend.generate(kernel_fn, context)
         entry = module.compile()
         timings = CompileTimings(
             inspection=inspection.symbolic_seconds,

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compiler.codegen.runtime import pattern_fingerprint
+from repro.observe.trace import span
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 
@@ -112,25 +113,27 @@ def ingest(A) -> IngestedMatrix:
     behaviour — and its bits — are unchanged by the front end existing.
     """
     if isinstance(A, CSCMatrix):
+        # Identity passthrough: no conversion happens, so no span either.
         return IngestedMatrix(csc=A, dtype=str(A.data.dtype), source_format="csc")
-    if isinstance(A, COOMatrix):
-        return IngestedMatrix(
-            csc=A.to_csc(), dtype=str(A.data.dtype), source_format="coo"
-        )
-    if _is_scipy_sparse(A):
-        dtype = str(getattr(A, "dtype", np.float64))
-        return IngestedMatrix(
-            csc=CSCMatrix.from_scipy(A), dtype=dtype, source_format="scipy"
-        )
-    if isinstance(A, tuple):
-        return _from_triplets(A)
-    arr = np.asarray(A)
-    if arr.ndim == 2:
-        return IngestedMatrix(
-            csc=CSCMatrix.from_dense(arr.astype(np.float64)),
-            dtype=str(arr.dtype),
-            source_format="dense",
-        )
+    with span("ingest", source=type(A).__name__):
+        if isinstance(A, COOMatrix):
+            return IngestedMatrix(
+                csc=A.to_csc(), dtype=str(A.data.dtype), source_format="coo"
+            )
+        if _is_scipy_sparse(A):
+            dtype = str(getattr(A, "dtype", np.float64))
+            return IngestedMatrix(
+                csc=CSCMatrix.from_scipy(A), dtype=dtype, source_format="scipy"
+            )
+        if isinstance(A, tuple):
+            return _from_triplets(A)
+        arr = np.asarray(A)
+        if arr.ndim == 2:
+            return IngestedMatrix(
+                csc=CSCMatrix.from_dense(arr.astype(np.float64)),
+                dtype=str(arr.dtype),
+                source_format="dense",
+            )
     raise TypeError(
         f"cannot ingest a matrix from {type(A).__name__!r}: expected a "
         "CSCMatrix, a scipy.sparse matrix, a COOMatrix, COO triplets "

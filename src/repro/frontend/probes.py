@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observe.trace import span
 from repro.sparse.csc import CSCMatrix
 
 __all__ = ["ProbeReport", "probe_structure", "select_method", "AUTO_METHODS"]
@@ -85,6 +86,11 @@ def probe_structure(
         raise ValueError(
             f"cannot auto-select a solver for a non-square {A.shape} matrix"
         )
+    with span("probe", n=A.n):
+        return _probe_square(A, iterative_threshold)
+
+
+def _probe_square(A: CSCMatrix, iterative_threshold: int) -> ProbeReport:
     n = A.n
     nnz = A.nnz
     At = A.transpose()

@@ -45,6 +45,7 @@ from repro.frontend.probes import (
     ProbeReport,
     probe_structure,
 )
+from repro.observe import trace as observe_trace
 from repro.solvers.linear_solver import SparseLinearSolver
 from repro.sparse.csc import CSCMatrix
 
@@ -62,6 +63,11 @@ class FrontendStats:
     ``value_hits`` counts solves that reused the cached factors outright;
     ``cholesky_escapes`` counts SPD-heuristic misdetections caught by the
     try-Cholesky-fall-back-to-LDLᵀ escape.
+
+    The *default* front end's instance of these counters is also visible
+    through the unified observability layer as the ``frontend`` collector in
+    :func:`repro.observe.snapshot` (Prometheus: ``repro_frontend_*``); this
+    class remains the mutation surface.
     """
 
     specializations: int = 0
@@ -313,7 +319,8 @@ class SpecializedSolver:
                 self._cache.pop(key)
                 self._cache[key] = spec
         if spec is None:
-            spec = self._specialize(ingested, requested, key)
+            with observe_trace.span("specialize", method=requested or "auto"):
+                spec = self._specialize(ingested, requested, key)
             with self._lock:
                 raced = self._cache.get(key)
                 if raced is not None:

@@ -1,0 +1,100 @@
+"""Unified observability: metrics registry, pipeline tracing, exporters.
+
+This package is the one place timing and counters live.  It replaces four
+ad-hoc surfaces that grew organically (``repro.service.metrics``'s
+``ServiceMetrics``, the in-memory ``ArtifactCache.stats``, the on-disk
+``disk_cache_stats()``, and the frontend's ``FrontendStats``) — all four
+keep their public APIs but are now visible through one
+:class:`~repro.observe.registry.MetricsRegistry` via pull-mode adapters.
+
+Three layers:
+
+* **registry** — counters / gauges / histograms / reservoirs, labeled
+  (``registry.counter("solves", kernel="cholesky")``), plus pull-mode
+  *collectors* polled only at snapshot time.
+* **trace** — nestable spans (``with observe.span("inspect"): ...``)
+  instrumenting ingest → probe → inspection → lowering → codegen → cc →
+  schedule → numeric → service dispatch, with explicit cross-thread
+  propagation (:func:`capture` / :func:`attach`).  Zero-cost when disabled.
+* **exporters** — JSON :func:`snapshot`, Chrome :func:`chrome_trace`,
+  Prometheus :func:`prometheus_text` (served by the service's ``metrics``
+  wire verb), and the paper's Fig. 8/9 amortization :func:`breakdown`.
+
+``python -m repro.observe`` runs a scripted workload with tracing on and
+prints the accumulated per-phase breakdown (inspection vs. codegen vs. cc
+vs. numeric) — the paper's amortization argument, reproduced live.
+"""
+
+from __future__ import annotations
+
+from repro.observe.adapters import install_default_collectors
+from repro.observe.exporters import (
+    PHASE_GROUPS,
+    breakdown,
+    chrome_trace,
+    format_breakdown,
+    phase_totals,
+    prometheus_text,
+    snapshot,
+    write_chrome_trace,
+)
+from repro.observe.registry import (
+    DEFAULT_RESERVOIR_SAMPLES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Reservoir,
+    get_registry,
+    percentile,
+)
+from repro.observe.trace import (
+    Span,
+    SpanContext,
+    Tracer,
+    attach,
+    capture,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    reset,
+    span,
+    wavefront_levels_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RESERVOIR_SAMPLES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASE_GROUPS",
+    "Reservoir",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "attach",
+    "breakdown",
+    "capture",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "enabled",
+    "format_breakdown",
+    "get_registry",
+    "get_tracer",
+    "install_default_collectors",
+    "percentile",
+    "phase_totals",
+    "prometheus_text",
+    "reset",
+    "snapshot",
+    "span",
+    "wavefront_levels_enabled",
+    "write_chrome_trace",
+]
+
+# The process-wide collectors (disk cache, shared artifact cache, frontend)
+# are installed on first import; they cost nothing until a snapshot is taken.
+install_default_collectors()

@@ -1,0 +1,138 @@
+"""``python -m repro.observe`` — the live amortization breakdown.
+
+Runs a small scripted workload (one structure compiled once, then many
+numeric solves against fresh right-hand sides — the paper's
+factor-once/solve-many shape) with tracing enabled, then prints the
+accumulated per-phase breakdown: inspection vs. lowering vs. codegen vs.
+cc vs. numeric, cumulative.  This is the Fig. 8/9 amortization argument of
+conf_sc_CheshmiKSD17 reproduced from a real run.
+
+``--trace-out trace.json`` additionally dumps the span timeline in Chrome
+trace-event format (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev), and ``--json snapshot.json`` writes the full
+registry snapshot (including the breakdown) as one JSON document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro import observe
+
+
+def _run_workload(args) -> dict:
+    """Compile once, solve ``--solves`` times; return basic sanity facts."""
+    from repro.compiler.cache import ArtifactCache
+    from repro.compiler.codegen.c_backend import c_compiler_available
+    from repro.compiler.options import SympilerOptions
+    import repro.compiler.sympiler as sympiler_module
+    from repro.frontend.specialized import SpecializedSolver
+    from repro.sparse.generators import laplacian_2d
+
+    options = SympilerOptions()
+    backend = args.backend
+    if backend is None:
+        backend = "c" if c_compiler_available(options.c_compiler) else "python"
+    options = options.with_updates(backend=backend)
+    if args.wavefront:
+        options = options.with_updates(parallel="wavefront")
+
+    A = laplacian_2d(args.grid, shift=0.1)
+    rng = np.random.default_rng(7)
+
+    # A fresh in-process artifact cache so the symbolic phases actually run
+    # (instead of being memoized away from a previous workload in the same
+    # process); the on-disk cache still applies, which is the point — a warm
+    # disk means the "cc" row shows ~0s while "numeric" accumulates.
+    shared_before = sympiler_module._SHARED_CACHE
+    sympiler_module._SHARED_CACHE = ArtifactCache()
+    try:
+        front = SpecializedSolver(options=options)
+        checks = 0
+        for _ in range(max(1, args.solves)):
+            b = rng.standard_normal(A.n)
+            x = front.solve(A, b)
+            checks += int(np.isfinite(x).all())
+    finally:
+        sympiler_module._SHARED_CACHE = shared_before
+    return {
+        "backend": backend,
+        "n": A.n,
+        "solves": max(1, args.solves),
+        "solves_finite": checks,
+        "frontend": front.stats.as_dict(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe", description=__doc__
+    )
+    parser.add_argument(
+        "--grid", type=int, default=24, help="laplacian_2d grid side (n = grid^2)"
+    )
+    parser.add_argument(
+        "--solves", type=int, default=32, help="numeric solves after the one compile"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["python", "c"],
+        default=None,
+        help="force a backend (default: c when a toolchain exists, else python)",
+    )
+    parser.add_argument(
+        "--wavefront",
+        action="store_true",
+        help="compile level-parallel (parallel='wavefront') and record "
+        "per-wavefront-level timings",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the span timeline as Chrome trace-event JSON to this path",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="write the full registry snapshot (plus breakdown) to this path",
+    )
+    args = parser.parse_args(argv)
+
+    observe.enable(wavefront_levels=args.wavefront)
+    try:
+        facts = _run_workload(args)
+    finally:
+        observe.disable()
+
+    data = observe.breakdown()
+    sys.stdout.write(observe.format_breakdown(data) + "\n")
+    sys.stdout.write(
+        f"workload: backend={facts['backend']} n={facts['n']} "
+        f"solves={facts['solves']}\n"
+    )
+
+    if args.trace_out:
+        observe.write_chrome_trace(args.trace_out)
+        sys.stdout.write(f"chrome trace written to {args.trace_out}\n")
+    if args.json:
+        doc = {
+            "workload": facts,
+            "breakdown": data,
+            "snapshot": observe.snapshot(),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        sys.stdout.write(f"registry snapshot written to {args.json}\n")
+
+    if facts["solves_finite"] != facts["solves"]:
+        sys.stderr.write("workload produced non-finite solutions\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Thin adapters plumbing the legacy stats surfaces into the registry.
+
+The four pre-existing counter surfaces keep their APIs untouched:
+
+* ``repro.compiler.codegen.c_backend.disk_cache_stats()`` (DiskCacheStats)
+  → pull collector ``disk_cache``
+* ``repro.compiler.sympiler._SHARED_CACHE.stats`` (ArtifactCache / CacheStats)
+  → pull collector ``artifact_cache``
+* ``repro.frontend.specialized.default_frontend().stats`` (FrontendStats)
+  → pull collector ``frontend``
+* ``repro.service.metrics.ServiceMetrics`` registers its *own* per-instance
+  collector on construction (see that module) because services are
+  per-instance, not process-wide.
+
+Adapters are *pull-mode*: nothing is pushed on the hot path; the registry
+calls these functions only when a snapshot/export is taken, so the legacy
+surfaces pay zero extra cost per operation.  Imports happen inside the
+collector bodies so ``repro.observe`` never participates in import cycles
+with the compiler/frontend packages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.observe.registry import MetricsRegistry, get_registry
+
+__all__ = ["install_default_collectors"]
+
+_installed = False
+
+
+def _collect_disk_cache() -> Dict[str, Any]:
+    from repro.compiler.codegen.c_backend import disk_cache_stats
+
+    return disk_cache_stats().as_dict()
+
+
+def _collect_artifact_cache() -> Dict[str, Any]:
+    import repro.compiler.sympiler as sympiler_module
+
+    return sympiler_module._SHARED_CACHE.stats.as_dict()
+
+
+def _collect_frontend() -> Dict[str, Any]:
+    import repro.frontend.specialized as specialized_module
+
+    front = specialized_module._default_frontend
+    if front is None:
+        # No default front end has been materialised yet — report a zeroed
+        # snapshot so the document shape stays stable across runs.
+        return specialized_module.FrontendStats().as_dict()
+    return front.stats.as_dict()
+
+
+def install_default_collectors(registry: Optional[MetricsRegistry] = None) -> None:
+    """Register the process-wide pull collectors (idempotent)."""
+    global _installed
+    reg = registry or get_registry()
+    if registry is None and _installed:
+        return
+    reg.register_collector("disk_cache", _collect_disk_cache, replace=True)
+    reg.register_collector("artifact_cache", _collect_artifact_cache, replace=True)
+    reg.register_collector("frontend", _collect_frontend, replace=True)
+    if registry is None:
+        _installed = True

@@ -1,0 +1,479 @@
+"""The central metrics registry: counters, gauges, histograms, reservoirs.
+
+One process-wide :class:`MetricsRegistry` (:func:`get_registry`) is the
+single aggregation point the four legacy stats surfaces plumb into:
+
+* :class:`~repro.service.metrics.ServiceMetrics` — pushes its counters as a
+  ``service`` collector (registered per :class:`~repro.service.session.SolverService`)
+  and records latencies through this module's :class:`Reservoir`,
+* :class:`~repro.compiler.cache.CacheStats` — pulled by the
+  ``artifact_cache`` collector (the process-wide shared compiler cache),
+* :class:`~repro.compiler.codegen.c_backend.DiskCacheStats` — pulled by the
+  ``disk_cache`` collector,
+* :class:`~repro.frontend.specialized.FrontendStats` — pulled by the
+  ``frontend`` collector (the process-wide default front end).
+
+Push metrics (counters/gauges/histograms/reservoirs) are created lazily and
+labeled (``registry.counter("phase_seconds_total", phase="inspect")``);
+pull metrics are *collectors* — zero-overhead adapters polled only at
+snapshot/export time, so the legacy surfaces keep their exact APIs and hot
+paths while still appearing in one unified document
+(:func:`~repro.observe.exporters.snapshot`, Prometheus text, the service's
+``metrics`` wire verb).
+
+Everything is thread-safe and stdlib-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "percentile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Reservoir",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_RESERVOIR_SAMPLES",
+]
+
+#: Samples kept per reservoir for quantile estimation (a sliding window;
+#: enough for stable p95 under the smoke workloads without unbounded growth).
+#: Re-homed here from ``repro.service.metrics`` so every surface shares one
+#: quantile implementation.
+DEFAULT_RESERVOIR_SAMPLES = 4096
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``samples`` by linear interpolation.
+
+    Stdlib-only (the wire layer keeps numpy out of metric aggregation so a
+    thin monitoring client could reuse it); empty input returns 0.0.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be within [0, 100]")
+    ordered = sorted(samples)
+    return _percentile_sorted(ordered, q)
+
+
+def _percentile_sorted(ordered: List[float], q: float) -> float:
+    """Percentile of an already-sorted sample list (shared sort amortized)."""
+    if not ordered:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be within [0, 100]")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class Counter:
+    """A monotonically increasing (float-valued) counter."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        with self._lock:
+            self.value += n
+
+    def get(self) -> float:
+        with self._lock:
+            return self.value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, cache size, ...)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, n: float) -> None:
+        with self._lock:
+            self.value += n
+
+    def get(self) -> float:
+        with self._lock:
+            return self.value
+
+
+#: Default histogram buckets: upper bounds in seconds, spanning the µs-scale
+#: compiled numeric kernels through multi-second cc invocations.
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram (Prometheus ``le`` convention)."""
+
+    __slots__ = ("_lock", "buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self._lock = threading.Lock()
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)  # trailing +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self.counts[idx] += 1
+            self.total += value
+            self.count += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self.counts)
+            total = self.total
+            count = self.count
+        return {
+            "buckets": list(self.buckets),
+            "counts": counts,
+            "sum": total,
+            "count": count,
+        }
+
+
+class Reservoir:
+    """A bounded sliding-window sample reservoir with consistent quantiles.
+
+    Re-homed from ``repro.service.metrics``: the latency deque, its running
+    count/total and the quantile math now live behind one lock, and
+    :meth:`quantiles` computes every requested percentile from **one**
+    consistent copy of the samples taken under that lock — a snapshot can
+    never mix samples from different moments into its p50 and p95.
+    """
+
+    __slots__ = ("_lock", "_samples", "count", "total")
+
+    def __init__(self, maxlen: int = DEFAULT_RESERVOIR_SAMPLES) -> None:
+        self._lock = threading.Lock()
+        self._samples: deque = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._samples.append(value)
+            self.count += 1
+            self.total += value
+
+    def snapshot(self) -> Tuple[List[float], int, float]:
+        """One consistent ``(samples, count, total)`` copy under the lock."""
+        with self._lock:
+            return list(self._samples), self.count, self.total
+
+    def quantiles(self, qs: Iterable[float]) -> Dict[float, float]:
+        """Percentiles computed from one consistent sample copy, sorted once."""
+        samples, _, _ = self.snapshot()
+        ordered = sorted(samples)
+        return {float(q): _percentile_sorted(ordered, float(q)) for q in qs}
+
+    def summary(self, qs: Iterable[float] = (50.0, 95.0)) -> Dict[str, float]:
+        """Count/mean plus the requested percentiles, all from one copy."""
+        samples, count, total = self.snapshot()
+        ordered = sorted(samples)
+        out: Dict[str, float] = {
+            "count": count,
+            "mean_seconds": (total / count) if count else 0.0,
+        }
+        for q in qs:
+            key = f"p{int(q) if float(q).is_integer() else q}_seconds"
+            out[key] = _percentile_sorted(ordered, float(q))
+        return out
+
+
+LabeledKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, object]) -> LabeledKey:
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+def render_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Render ``name{a="x",b="y"}`` (deterministic label order)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe registry of labeled metrics plus pull-mode collectors.
+
+    Metrics are created lazily by :meth:`counter` / :meth:`gauge` /
+    :meth:`histogram` / :meth:`reservoir` — repeated calls with the same
+    ``(name, labels)`` return the same object, so callsites keep no
+    references.  Asking for an existing name with a different metric kind
+    raises (one name, one type).
+
+    Collectors are named zero-argument callables returning a (possibly
+    nested) dict of numbers; they are polled only by :meth:`collect` /
+    :meth:`snapshot` / :meth:`to_prometheus`, never on a hot path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[LabeledKey, object] = {}
+        self._kinds: Dict[str, type] = {}
+        self._collectors: Dict[str, Callable[[], Mapping]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _get_or_create(self, name: str, labels: Mapping, kind: type, factory):
+        key = _key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is not None:
+                if not isinstance(metric, kind):
+                    raise TypeError(
+                        f"metric {name!r} is a {type(metric).__name__}, "
+                        f"not a {kind.__name__}"
+                    )
+                return metric
+            registered = self._kinds.get(name)
+            if registered is not None and registered is not kind:
+                raise TypeError(
+                    f"metric name {name!r} already registered as "
+                    f"{registered.__name__}"
+                )
+            metric = factory()
+            self._metrics[key] = metric
+            self._kinds[name] = kind
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create one labeled counter."""
+        return self._get_or_create(name, labels, Counter, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create one labeled gauge."""
+        return self._get_or_create(name, labels, Gauge, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        """Get or create one labeled histogram (buckets fixed on creation)."""
+        return self._get_or_create(
+            name, labels, Histogram, lambda: Histogram(buckets)
+        )
+
+    def reservoir(
+        self, name: str, maxlen: int = DEFAULT_RESERVOIR_SAMPLES, **labels
+    ) -> Reservoir:
+        """Get or create one labeled quantile reservoir."""
+        return self._get_or_create(
+            name, labels, Reservoir, lambda: Reservoir(maxlen)
+        )
+
+    # ------------------------------------------------------------------ #
+    def register_collector(
+        self,
+        name: str,
+        fn: Callable[[], Mapping],
+        *,
+        replace: bool = False,
+    ) -> str:
+        """Register a pull-mode collector; returns the name actually used.
+
+        A taken name gets a ``_2``/``_3``... suffix unless ``replace=True``
+        (used by the idempotent default adapters), so several service
+        instances can coexist in one registry.
+        """
+        with self._lock:
+            actual = name
+            if not replace:
+                i = 2
+                while actual in self._collectors:
+                    actual = f"{name}_{i}"
+                    i += 1
+            self._collectors[actual] = fn
+            return actual
+
+    def unregister_collector(self, name: str) -> bool:
+        with self._lock:
+            return self._collectors.pop(name, None) is not None
+
+    def collector_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._collectors)
+
+    def collect(self) -> Dict[str, Dict[str, object]]:
+        """Poll every collector; a raising collector contributes its error."""
+        with self._lock:
+            collectors = dict(self._collectors)
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(collectors):
+            try:
+                out[name] = dict(collectors[name]())
+            except Exception as exc:  # never let one adapter break a scrape
+                out[name] = {"collector_error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """One deterministic JSON-friendly view of every metric + collector."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, object] = {}
+        reservoirs: Dict[str, object] = {}
+        for (name, labels), metric in items:
+            rendered = render_key(name, labels)
+            if isinstance(metric, Counter):
+                counters[rendered] = metric.get()
+            elif isinstance(metric, Gauge):
+                gauges[rendered] = metric.get()
+            elif isinstance(metric, Histogram):
+                histograms[rendered] = metric.snapshot()
+            elif isinstance(metric, Reservoir):
+                reservoirs[rendered] = metric.summary()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "reservoirs": reservoirs,
+            "collectors": self.collect(),
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (collectors stay registered); tests only."""
+        with self._lock:
+            self._metrics.clear()
+            self._kinds.clear()
+
+    # ------------------------------------------------------------------ #
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition (version 0.0.4) of the whole registry.
+
+        Push metrics export under their own names; collector values flatten
+        to gauges named ``<prefix>_<collector>_<key>``.  Output is sorted and
+        deterministic for a fixed registry state.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
+        lines: List[str] = []
+        typed: set = set()
+
+        def emit_type(name: str, kind: str) -> None:
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, labels), metric in items:
+            full = _prom_name(f"{prefix}_{name}")
+            if isinstance(metric, Counter):
+                emit_type(full, "counter")
+                lines.append(f"{full}{_prom_labels(labels)} {_prom_num(metric.get())}")
+            elif isinstance(metric, Gauge):
+                emit_type(full, "gauge")
+                lines.append(f"{full}{_prom_labels(labels)} {_prom_num(metric.get())}")
+            elif isinstance(metric, Histogram):
+                emit_type(full, "histogram")
+                snap = metric.snapshot()
+                acc = 0
+                for bound, count in zip(snap["buckets"], snap["counts"]):
+                    acc += count
+                    le = labels + (("le", _prom_num(bound)),)
+                    lines.append(f"{full}_bucket{_prom_labels(le)} {acc}")
+                acc += snap["counts"][-1]
+                inf = labels + (("le", "+Inf"),)
+                lines.append(f"{full}_bucket{_prom_labels(inf)} {acc}")
+                lines.append(f"{full}_sum{_prom_labels(labels)} {_prom_num(snap['sum'])}")
+                lines.append(f"{full}_count{_prom_labels(labels)} {snap['count']}")
+            elif isinstance(metric, Reservoir):
+                emit_type(full, "summary")
+                samples, count, total = metric.snapshot()
+                ordered = sorted(samples)
+                for q in (0.5, 0.95):
+                    ql = labels + (("quantile", _prom_num(q)),)
+                    value = _percentile_sorted(ordered, q * 100.0)
+                    lines.append(f"{full}{_prom_labels(ql)} {_prom_num(value)}")
+                lines.append(f"{full}_sum{_prom_labels(labels)} {_prom_num(total)}")
+                lines.append(f"{full}_count{_prom_labels(labels)} {count}")
+        for cname, values in self.collect().items():
+            for key, value in sorted(_flatten(values).items()):
+                if isinstance(value, bool):
+                    value = float(value)
+                elif not isinstance(value, (int, float)):
+                    continue  # strings (backend names, errors) stay JSON-only
+                full = _prom_name(f"{prefix}_{cname}_{key}")
+                emit_type(full, "gauge")
+                lines.append(f"{full} {_prom_num(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _flatten(values: Mapping, prefix: str = "") -> Dict[str, object]:
+    """Flatten nested collector dicts: ``{"a": {"b": 1}}`` → ``{"a_b": 1}``."""
+    out: Dict[str, object] = {}
+    for key, value in values.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            out.update(_flatten(value, f"{name}_"))
+        else:
+            out[name] = value
+    return out
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if (c.isalnum() or c in "_:") else "_" for c in name)
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{_escape(v)}"' for k, v in labels)
+    return f"{{{inner}}}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_num(value: float) -> str:
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+#: The process-wide default registry every adapter and span plumbs into.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _DEFAULT_REGISTRY

@@ -45,6 +45,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.compiler.codegen.c_backend import CGeneratedModule
+from repro.observe import trace as observe_trace
 from repro.runtime.stacked import stacked_factorize_for
 
 __all__ = ["BatchExecutor", "BatchResult", "BatchItemError", "resolve_num_threads"]
@@ -241,13 +242,20 @@ class BatchExecutor:
         results: List[Optional[object]] = [None] * len(items)
         errors: List[BatchItemError] = []
 
+        # Thread pools do not propagate context variables, so the caller's
+        # open trace span is captured here and re-attached inside each worker
+        # — spans opened by ``fn`` in a pool thread join the submitting
+        # call's trace instead of starting orphan traces.
+        trace_ctx = observe_trace.capture()
+
         def run_range(lo: int, hi: int) -> List[BatchItemError]:
             local: List[BatchItemError] = []
-            for i in range(lo, hi):
-                try:
-                    results[i] = fn(items[i])
-                except Exception as exc:  # per-item isolation
-                    local.append(BatchItemError(index=i, error=exc))
+            with observe_trace.attach(trace_ctx):
+                for i in range(lo, hi):
+                    try:
+                        results[i] = fn(items[i])
+                    except Exception as exc:  # per-item isolation
+                        local.append(BatchItemError(index=i, error=exc))
             return local
 
         if strategy is None:

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.observe.trace import span
 from repro.symbolic.dependency_graph import DependencyGraph
 
 __all__ = [
@@ -184,14 +185,15 @@ def level_sets_from_parent(parent: np.ndarray, *, graph: str = "etree") -> Execu
     ``k`` of column ``j`` (``L[j, k] != 0``) has ``j`` as a proper etree
     ancestor, hence a strictly smaller level.
     """
-    parent = np.asarray(parent, dtype=np.int64)
-    n = parent.size
-    level = np.zeros(n, dtype=np.int64)
-    for j in range(n):  # parent[j] > j, so children are processed first
-        p = parent[j]
-        if p >= 0:
-            level[p] = max(level[p], level[j] + 1)
-    return schedule_from_level_array(level, graph=graph)
+    with span("schedule", graph=graph):
+        parent = np.asarray(parent, dtype=np.int64)
+        n = parent.size
+        level = np.zeros(n, dtype=np.int64)
+        for j in range(n):  # parent[j] > j, so children are processed first
+            p = parent[j]
+            if p >= 0:
+                level[p] = max(level[p], level[j] + 1)
+        return schedule_from_level_array(level, graph=graph)
 
 
 def level_sets_from_dependency_graph(
@@ -205,24 +207,25 @@ def level_sets_from_dependency_graph(
     subgraph*: dependencies through pruned columns never execute, so they do
     not constrain the schedule.
     """
-    n = dg.n
-    level = np.zeros(n, dtype=np.int64)
-    if active is None:
-        for j in range(n):
+    with span("schedule", graph=graph):
+        n = dg.n
+        level = np.zeros(n, dtype=np.int64)
+        if active is None:
+            for j in range(n):
+                lj = level[j] + 1
+                for i in dg.out_neighbors(j):
+                    if level[i] < lj:
+                        level[i] = lj
+            return schedule_from_level_array(level, graph=graph)
+        active = np.unique(np.asarray(active, dtype=np.int64))
+        is_active = np.zeros(n, dtype=bool)
+        is_active[active] = True
+        for j in active:  # ascending, edges only point upward
             lj = level[j] + 1
-            for i in dg.out_neighbors(j):
-                if level[i] < lj:
+            for i in dg.out_neighbors(int(j)):
+                if is_active[i] and level[i] < lj:
                     level[i] = lj
-        return schedule_from_level_array(level, graph=graph)
-    active = np.unique(np.asarray(active, dtype=np.int64))
-    is_active = np.zeros(n, dtype=bool)
-    is_active[active] = True
-    for j in active:  # ascending, edges only point upward
-        lj = level[j] + 1
-        for i in dg.out_neighbors(int(j)):
-            if is_active[i] and level[i] < lj:
-                level[i] = lj
-    return schedule_from_level_array(level, graph=graph, active=active)
+        return schedule_from_level_array(level, graph=graph, active=active)
 
 
 def level_sets_from_column_deps(
@@ -235,13 +238,14 @@ def level_sets_from_column_deps(
     above-diagonal ``U`` patterns (``U[k, j] != 0``).  Exact lists give the
     tightest (shallowest) schedule the kernel admits.
     """
-    n = len(deps)
-    level = np.zeros(n, dtype=np.int64)
-    for j in range(n):
-        dj = deps[j]
-        if len(dj):
-            level[j] = int(level[np.asarray(dj, dtype=np.int64)].max()) + 1
-    return schedule_from_level_array(level, graph=graph)
+    with span("schedule", graph=graph):
+        n = len(deps)
+        level = np.zeros(n, dtype=np.int64)
+        for j in range(n):
+            dj = deps[j]
+            if len(dj):
+                level[j] = int(level[np.asarray(dj, dtype=np.int64)].max()) + 1
+        return schedule_from_level_array(level, graph=graph)
 
 
 def dependency_graph_from_column_deps(

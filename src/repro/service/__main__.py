@@ -44,6 +44,32 @@ def _build_service(args) -> SolverService:
     )
 
 
+def _parse_prometheus(text: str, failures: List[str]) -> dict:
+    """Parse Prometheus text format 0.0.4 into ``{sample_key: value}``.
+
+    Strict enough for the smoke assert: every non-comment line must be
+    ``name[{labels}] value`` with a float-parseable value; malformed lines
+    are reported into ``failures``.
+    """
+    samples: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            failures.append(f"unparseable metrics line: {line!r}")
+            continue
+        key, raw = parts
+        try:
+            samples[key] = float(raw)
+        except ValueError:
+            failures.append(f"non-numeric metrics value: {line!r}")
+    if not samples:
+        failures.append("metrics verb returned no samples")
+    return samples
+
+
 def run_smoke(args) -> int:
     """The CI smoke: mixed-pattern wire load with the zero-recompile assert."""
     from repro.compiler.codegen.c_backend import disk_cache_stats
@@ -119,9 +145,26 @@ def run_smoke(args) -> int:
 
         with ServiceClient(address) as control:
             stats = control.stats()
+            metrics_text = control.metrics_text()
         solves = stats["counters"].get("solves_ok", 0)
 
         failures.extend(errors)
+        # The metrics wire verb must return parseable Prometheus exposition
+        # text whose service solve counter reflects the load just driven.
+        prom_samples = _parse_prometheus(metrics_text, failures)
+        solve_samples = [
+            v for k, v in prom_samples.items()
+            if k.startswith("repro_service") and "solves_ok" in k
+        ]
+        if not solve_samples:
+            failures.append(
+                "metrics verb returned no repro_service*solves_ok sample"
+            )
+        elif max(solve_samples) <= 0:
+            failures.append(
+                f"metrics verb reports {max(solve_samples)} solves_ok "
+                "(expected > 0 after the smoke load)"
+            )
         if solves < args.workers * per_worker:
             failures.append(
                 f"only {solves} solves completed "
@@ -145,6 +188,7 @@ def run_smoke(args) -> int:
             "coalescing_ratio": stats.get("coalescing_ratio"),
             "batch_size_histogram": stats.get("batch_size_histogram"),
             "latency": stats.get("latency"),
+            "metrics_samples": len(prom_samples),
             "failures": failures,
         }
         json.dump(report, sys.stdout, indent=2)

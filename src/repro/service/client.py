@@ -192,6 +192,19 @@ class ServiceClient:
         response, _ = self._call({"op": "stats"})
         return response["stats"]
 
+    def metrics_text(self) -> str:
+        """The server's unified registry as Prometheus exposition text.
+
+        Fetches the ``metrics`` wire verb: the server renders its default
+        :class:`~repro.observe.registry.MetricsRegistry` (service counters,
+        cache collectors, per-phase span totals) in text format 0.0.4 and
+        ships it as one ``uint8`` frame; this decodes it back to ``str``.
+        """
+        _, frames = self._call({"op": "metrics"})
+        if len(frames) != 1:
+            raise ProtocolError(f"metrics response carried {len(frames)} frames")
+        return bytes(np.asarray(frames[0], dtype=np.uint8)).decode("utf-8")
+
     def evict(self, handle: Union[RemoteHandle, str]) -> bool:
         """Explicitly evict a registered pattern server-side."""
         handle_id = handle.handle_id if isinstance(handle, RemoteHandle) else str(handle)

@@ -23,6 +23,8 @@ import threading
 import time
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.observe import trace as observe_trace
+
 __all__ = ["Coalescer"]
 
 
@@ -166,7 +168,12 @@ class Coalescer:
                 self._busy = True
             entry, batch = ready
             try:
-                self._dispatch(entry, batch)
+                # The dispatcher thread has no caller context of its own;
+                # the batch-level span starts a fresh trace here, while the
+                # per-request dispatch spans inside re-attach each
+                # submitter's captured context (see session._dispatch).
+                with observe_trace.span("coalesce", batch=len(batch)):
+                    self._dispatch(entry, batch)
             except Exception as exc:  # pragma: no cover - dispatch guards itself
                 _fail_batch(batch, exc)
             finally:

@@ -5,39 +5,36 @@ hot path (one lock, integer bumps, a bounded reservoir append) and surfaced
 as one JSON-friendly snapshot through the ``stats`` endpoint, which the tests
 and the CI smoke step assert on — the coalescing/amortization story measured,
 not assumed.
+
+The latency reservoir and the percentile math are re-homed in
+:mod:`repro.observe.registry` (:class:`~repro.observe.registry.Reservoir`);
+:func:`percentile` stays importable from here for compatibility.  A service's
+metrics are also visible through the unified observability layer: the
+session registers each instance as a pull-mode collector (``service``,
+auto-suffixed per instance) in the default
+:class:`~repro.observe.registry.MetricsRegistry`, so the Prometheus export
+(the ``metrics`` wire verb) carries ``repro_service_*`` gauges without any
+extra hot-path cost.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
-from typing import Deque, Dict, List
+from typing import Dict, Optional
+
+from repro.observe.registry import (
+    DEFAULT_RESERVOIR_SAMPLES,
+    MetricsRegistry,
+    Reservoir,
+    get_registry,
+    percentile,
+)
 
 __all__ = ["ServiceMetrics", "percentile"]
 
 #: Latency samples kept for quantile estimation (a sliding reservoir; enough
 #: for stable p95 under the smoke workloads without unbounded growth).
-DEFAULT_LATENCY_SAMPLES = 4096
-
-
-def percentile(samples: List[float], q: float) -> float:
-    """The ``q``-th percentile (0..100) of ``samples`` by linear interpolation.
-
-    Stdlib-only (the wire layer keeps numpy out of metric aggregation so a
-    thin monitoring client could reuse it); empty input returns 0.0.
-    """
-    if not samples:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("percentile q must be within [0, 100]")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = (q / 100.0) * (len(ordered) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+DEFAULT_LATENCY_SAMPLES = DEFAULT_RESERVOIR_SAMPLES
 
 
 class ServiceMetrics:
@@ -59,9 +56,9 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._batch_sizes: Dict[int, int] = {}
-        self._latencies: Deque[float] = deque(maxlen=max_latency_samples)
-        self._latency_count = 0
-        self._latency_total = 0.0
+        self._latency = Reservoir(maxlen=max_latency_samples)
+        self._collector_name: Optional[str] = None
+        self._collector_registry: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------ #
     def incr(self, name: str, n: int = 1) -> None:
@@ -84,20 +81,20 @@ class ServiceMetrics:
 
     def observe_latency(self, seconds: float) -> None:
         """Record one request's enqueue-to-completion latency."""
-        with self._lock:
-            self._latencies.append(float(seconds))
-            self._latency_count += 1
-            self._latency_total += float(seconds)
+        self._latency.observe(seconds)
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, object]:
-        """One consistent JSON-friendly view of every metric."""
+        """One consistent JSON-friendly view of every metric.
+
+        The latency quantiles come from **one** copy of the reservoir taken
+        under its lock (sorted once for both p50 and p95), so a snapshot can
+        never report a p95 below its own p50 because a concurrent solve
+        landed between the two reads.
+        """
         with self._lock:
             counters = dict(self._counters)
             histogram = dict(self._batch_sizes)
-            samples = list(self._latencies)
-            latency_count = self._latency_count
-            latency_total = self._latency_total
         solves = counters.get("solves_ok", 0) + counters.get("solves_failed", 0)
         batches = counters.get("batches", 0)
         dispatched = sum(size * count for size, count in histogram.items())
@@ -107,10 +104,30 @@ class ServiceMetrics:
             "solves": solves,
             "coalescing_ratio": (dispatched / batches) if batches else 0.0,
             "max_batch_size": max(histogram) if histogram else 0,
-            "latency": {
-                "count": latency_count,
-                "mean_seconds": (latency_total / latency_count) if latency_count else 0.0,
-                "p50_seconds": percentile(samples, 50.0),
-                "p95_seconds": percentile(samples, 95.0),
-            },
+            "latency": self._latency.summary(qs=(50.0, 95.0)),
         }
+
+    # ------------------------------------------------------------------ #
+    # Unified-registry integration (pull-mode; see repro.observe.adapters)
+    # ------------------------------------------------------------------ #
+    def register_collector(
+        self, registry: Optional[MetricsRegistry] = None, *, name: str = "service"
+    ) -> str:
+        """Expose this instance as a pull collector in ``registry``.
+
+        Returns the actual collector name (auto-suffixed ``service_2``, ...
+        when several services run in one process).  Idempotent per instance.
+        """
+        if self._collector_name is not None:
+            return self._collector_name
+        reg = registry or get_registry()
+        self._collector_name = reg.register_collector(name, self.snapshot)
+        self._collector_registry = reg
+        return self._collector_name
+
+    def unregister_collector(self) -> None:
+        """Remove this instance's pull collector (no-op when never registered)."""
+        if self._collector_name is not None and self._collector_registry is not None:
+            self._collector_registry.unregister_collector(self._collector_name)
+        self._collector_name = None
+        self._collector_registry = None

@@ -37,6 +37,7 @@ from repro.compiler.cache import options_fingerprint
 from repro.compiler.codegen.c_backend import disk_cache_stats
 from repro.compiler.codegen.runtime import pattern_fingerprint
 from repro.compiler.options import SympilerOptions
+from repro.observe import trace as observe_trace
 from repro.runtime.facade import BatchedSolver
 from repro.service.admission import (
     AdmissionController,
@@ -94,6 +95,10 @@ class _Request:
     rhs: np.ndarray
     future: Future
     enqueued_at: float
+    #: The submitter's open trace span (or None): the coalescer dispatcher
+    #: runs in its own thread, so the per-request dispatch span re-attaches
+    #: here to land in the submitting request's trace.
+    trace_ctx: object = None
 
 
 @dataclass
@@ -168,6 +173,10 @@ class SolverService:
         self.coalesce = bool(coalesce)
         self.num_threads = num_threads
         self.metrics = ServiceMetrics()
+        # Pull-mode registration in the unified registry: the Prometheus
+        # export / observe.snapshot() see this service's counters without
+        # any extra hot-path cost; unregistered again in close().
+        self.metrics.register_collector()
         self.admission = AdmissionController(
             max_in_flight=max_in_flight,
             max_patterns=max_patterns,
@@ -414,6 +423,7 @@ class SolverService:
             rhs=rhs,
             future=Future(),
             enqueued_at=time.monotonic(),
+            trace_ctx=observe_trace.capture(),
         )
         self.admission.touch_pattern(entry.key)
         if self.coalesce and entry.handle.execution_strategy != "wavefront":
@@ -484,9 +494,15 @@ class SolverService:
                     request.future.set_exception(factor_handle.error)
                     continue
                 try:
-                    x = factor_handle.solve(
-                        request.rhs, out=out[i], num_threads=solve_threads
-                    )
+                    # Attach the submitter's trace context so the dispatch
+                    # span (and the numeric span inside the solve) land in
+                    # the submitting request's trace, not an orphan one.
+                    with observe_trace.attach(request.trace_ctx), observe_trace.span(
+                        "dispatch", kernel=entry.handle.kernel, batch=len(live)
+                    ):
+                        x = factor_handle.solve(
+                            request.rhs, out=out[i], num_threads=solve_threads
+                        )
                 except Exception as exc:
                     self.metrics.incr("solves_failed")
                     request.future.set_exception(exc)
@@ -568,6 +584,7 @@ class SolverService:
         if self._closed:
             return
         self._closed = True
+        self.metrics.unregister_collector()
         self.coalescer.close(timeout=timeout)
         with self._lock:
             entries = list(self._entries.values())

@@ -15,7 +15,8 @@ arbitrary object deserialization).  Works identically over TCP
 
 Operations: ``register`` (pattern + values + kernel/options → handle
 metadata), ``solve`` (handle id + values + rhs → solution frame), ``stats``,
-``evict``, ``ping`` and ``shutdown``.  Error responses carry ``ok: false``,
+``metrics`` (the unified observability registry rendered as Prometheus text,
+returned as a ``uint8`` frame), ``evict``, ``ping`` and ``shutdown``.  Error responses carry ``ok: false``,
 a ``kind`` (``"overloaded"`` includes ``retry_after`` for client backoff,
 ``"evicted"`` means re-register) and the server-side message.
 """
@@ -204,6 +205,18 @@ def handle_request(
         return {"ok": True, "pong": True}, []
     if op == "stats":
         return {"ok": True, "stats": service.stats()}, []
+    if op == "metrics":
+        # Prometheus exposition text (unified registry: service counters,
+        # cache collectors, per-phase span totals) shipped as a uint8 frame
+        # so the existing framing rules carry it without a new encoding.
+        from repro.observe import prometheus_text
+
+        text = prometheus_text()
+        payload = np.frombuffer(text.encode("utf-8"), dtype=np.uint8)
+        return (
+            {"ok": True, "content_type": "text/plain; version=0.0.4"},
+            [payload],
+        )
     if op == "register":
         if len(frames) != 3:
             raise ProtocolError(
