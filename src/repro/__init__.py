@@ -29,6 +29,11 @@ full system:
   every stats surface, structured pipeline tracing (zero-cost when
   disabled), and JSON/Chrome-trace/Prometheus exporters plus the live
   amortization breakdown (``python -m repro.observe``).
+* :mod:`repro.service`  — the serving layer behind one
+  :class:`~repro.service.endpoint.SolverEndpoint` surface at three scales:
+  the in-process :class:`SolverService`, the pipelined version-negotiated
+  wire protocol with :class:`ServiceClient`, and the sharded
+  :class:`ShardFleet` (consistent-hash routing, warm shard failover).
 
 Quickstart::
 
@@ -86,6 +91,8 @@ __all__ = [
     "SolverService",
     "PatternHandle",
     "ServiceClient",
+    "ShardFleet",
+    "SolverEndpoint",
     "Sympiler",
     "SympilerOptions",
     "SympiledCholesky",
@@ -129,6 +136,8 @@ _LAZY_SERVICE = {
     "SolverService": "repro.service.session",
     "PatternHandle": "repro.service.session",
     "ServiceClient": "repro.service.client",
+    "ShardFleet": "repro.service.fleet",
+    "SolverEndpoint": "repro.service.endpoint",
     "solve": "repro.frontend.specialized",
     "sympiled": "repro.frontend.specialized",
     "SpecializedSolver": "repro.frontend.specialized",

@@ -27,6 +27,9 @@ Experiments
 ``observe``  — the observability layer's cost contract: disabled-span
                overhead as a fraction of a warm solve (gated < 3 %) plus
                enabled-path export coverage.
+``fleet``    — the sharded solver fleet: pipelined wire-protocol-v2
+               throughput vs lock-step v1, 2-shard vs 1-shard scaling,
+               and kill-a-shard failover with warm re-registration.
 ``all``      — run every experiment in sequence.
 
 ``--json [DIR]`` additionally writes each experiment's rows to
@@ -56,6 +59,7 @@ from repro.bench.figures import (
     fig7_cholesky_performance,
     fig8_triangular_accumulated,
     fig9_cholesky_accumulated,
+    fleet_throughput,
     frontend_specialization,
     intro_triangular_speedups,
     ldlt_performance,
@@ -88,6 +92,7 @@ _EXPERIMENTS = {
     "wavefront": ("Wavefront (H-Level) execution: single-solve parallelism", wavefront_execution),
     "frontend": ("Front end: lazy specialization, cold vs warm repro.solve", frontend_specialization),
     "observe": ("Observability: disabled-tracing overhead and export coverage", observe_overhead),
+    "fleet": ("Sharded fleet: pipelined v2 protocol, failover, shard scaling", fleet_throughput),
 }
 
 

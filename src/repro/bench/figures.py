@@ -924,6 +924,218 @@ def serving_throughput(
     return rows
 
 
+def fleet_throughput(
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    *,
+    backend: str = "python",
+    requests: int = 36,
+    window_ms: float = 5.0,
+    max_batch: int = 16,
+) -> List[Dict[str, object]]:
+    """The sharded fleet and the pipelined v2 wire protocol, end to end.
+
+    One row (``fleet_mixed``) over a mixed-pattern request stream, measuring
+    the two deliverables of the fleet redesign as same-run ratios plus the
+    deterministic failover guarantees:
+
+    * ``two_shards_over_one`` — aggregate pipelined throughput of a 2-shard
+      fleet over a 1-shard fleet on the identical stream.  Tracks the
+      runner's core count (≈1.0 on one core, >1.3 with two-plus); the
+      absolute multi-core assertion lives in the CI fleet step, the gate
+      here compares against the runner's own committed baseline.
+    * ``pipelined_over_roundtrip`` — protocol v2 (submit-all, one
+      connection, id-tagged responses) over protocol v1 (lock-step
+      round-trips) against the *same* server.  Wins even on one core: the
+      sync v1 client pays the coalescing window per request while the
+      pipelined client fills whole batches.
+    * ``v1_compat`` — a pinned-v1 client round-trips against the v2 server.
+    * ``all_complete`` / ``solutions_ok`` — every request in the
+      kill-a-shard-mid-stream fleet run completes and verifies against the
+      local reference solver.
+    * ``reregister_warm`` / ``failover_recompiles`` — the replacement shard
+      re-registers its patterns warm from the shared disk cache (zero cold
+      recompiles, from the fleet's own counters).
+    """
+    import os
+    import tempfile
+
+    from repro.service.client import ServiceClient
+    from repro.service.fleet import ShardFleet
+    from repro.service.session import SolverService
+    from repro.service.wire import serve_background
+    from repro.solvers.linear_solver import SparseLinearSolver
+    from repro.sparse.generators import fem_stencil_2d, laplacian_2d
+    from repro.sparse.ordering import ordering_by_name
+
+    options = SympilerOptions(backend=backend)
+    if backend == "python":
+        options = options.with_updates(enable_vs_block=False)
+
+    # A deterministic mixed-pattern workload: three distinct sparsity
+    # patterns so the router actually spreads load across shards.
+    mats = {}
+    for i, side in enumerate((22, 24, 26)):
+        grid = (
+            laplacian_2d(side, shift=0.1)
+            if i != 1
+            else fem_stencil_2d(side - 6, shift=0.2)
+        )
+        mats[f"p{i}"] = ordering_by_name("mindeg")(grid).symmetric_permute(grid)
+    names = sorted(mats)
+    refs = {
+        k: SparseLinearSolver(A, ordering="natural", options=options)
+        for k, A in mats.items()
+    }
+
+    def stream(k: int):
+        """Request ``k`` of the stream: (pattern key, values, rhs, oracle)."""
+        name = names[k % len(names)]
+        A = mats[name]
+        scale = 1.0 + 0.01 * (k + 1)
+        rhs = np.cos(np.arange(A.n, dtype=np.float64) * 0.01 * (k + 1))
+        return name, A.data * scale, rhs, refs[name].solve(rhs) / scale
+
+    def run_fleet(fleet, handles, lo: int, hi: int):
+        futures = []
+        for k in range(lo, hi):
+            name, values, rhs, _ = stream(k)
+            futures.append(fleet.submit(handles[name], values, rhs))
+        return [f.result(timeout=120.0) for f in futures]
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as cache_dir:
+        # --- 1 shard vs 2 shards: same stream, same shared disk cache ----
+        shard_seconds = {}
+        for shards in (1, 2):
+            with ShardFleet(
+                shards,
+                backend=backend,
+                cache_dir=cache_dir,
+                window_ms=window_ms,
+                max_batch=max_batch,
+                max_in_flight=max(4 * requests, 64),
+            ) as fleet:
+                handles = {
+                    k: fleet.register_pattern(A, options=options)
+                    for k, A in mats.items()
+                }
+                run_fleet(fleet, handles, 0, requests)  # warm-up round
+                seconds, _ = time_callable(
+                    lambda: run_fleet(fleet, handles, 0, requests),
+                    repeats=1,
+                    warmup=0,
+                )
+                shard_seconds[shards] = seconds
+
+        # --- failover mid-stream on a fresh 2-shard fleet ----------------
+        with ShardFleet(
+            2,
+            backend=backend,
+            cache_dir=cache_dir,
+            window_ms=window_ms,
+            max_batch=max_batch,
+            max_in_flight=max(4 * requests, 64),
+        ) as fleet:
+            handles = {
+                k: fleet.register_pattern(A, options=options)
+                for k, A in mats.items()
+            }
+            half = requests // 2
+            xs = run_fleet(fleet, handles, 0, half)
+            victim = int(
+                next(
+                    slot
+                    for slot, s in fleet.stats()["per_shard"].items()
+                    if s.get("registered_patterns", 0) > 0
+                )
+            )
+            fleet.kill_shard(victim)
+            xs += run_fleet(fleet, handles, half, requests)
+            counters = dict(fleet.counters)
+
+        all_complete = len(xs) == requests
+        solutions_ok = all_complete and all(
+            np.allclose(x, stream(k)[3], atol=1e-8) for k, x in enumerate(xs)
+        )
+        reregister_warm = bool(
+            counters["shard_deaths"] == 1
+            and counters["reregisters"] >= 1
+            and counters["warm_reregisters"] == counters["reregisters"]
+        )
+
+    # --- pipelined v2 vs lock-step v1 against one server -----------------
+    A = mats[names[0]]
+    ref = refs[names[0]]
+    wire_requests = max(12, requests // 2)
+    scales = 1.0 + 0.01 * np.arange(1, wire_requests + 1)
+    rhs_list = [
+        np.cos(np.arange(A.n, dtype=np.float64) * 0.02 * (k + 1))
+        for k in range(wire_requests)
+    ]
+    service = SolverService(
+        options=options,
+        window_seconds=window_ms / 1000.0,
+        max_batch=max_batch,
+        max_in_flight=max(4 * wire_requests, 64),
+    )
+    server, thread = serve_background(service)
+    try:
+        address = server.server_address
+        with ServiceClient(address, protocol=2) as c2:
+            handle = c2.register_pattern(A, options=options)
+
+            def run_pipelined():
+                futures = [
+                    c2.submit(handle, A.data * s, b)
+                    for s, b in zip(scales, rhs_list)
+                ]
+                return [f.result(timeout=120.0) for f in futures]
+
+            pipe_seconds, _ = time_callable(run_pipelined, repeats=1, warmup=1)
+        with ServiceClient(address, protocol=1) as c1:
+            x1 = c1.solve(handle, A.data * scales[0], rhs_list[0])
+            v1_compat = bool(
+                c1.protocol == 1
+                and np.allclose(x1, ref.solve(rhs_list[0]) / scales[0], atol=1e-8)
+            )
+
+            def run_roundtrip():
+                return [
+                    c1.solve(handle, A.data * s, b)
+                    for s, b in zip(scales, rhs_list)
+                ]
+
+            roundtrip_seconds, _ = time_callable(run_roundtrip, repeats=1, warmup=1)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+        service.close()
+
+    return [
+        {
+            "name": "fleet_mixed",
+            "backend": backend,
+            "patterns": len(mats),
+            "requests": requests,
+            "window_ms": window_ms,
+            "max_batch": max_batch,
+            "cpu_count": os.cpu_count() or 1,
+            "one_shard_seconds": shard_seconds[1],
+            "two_shard_seconds": shard_seconds[2],
+            "two_shards_over_one": shard_seconds[1] / max(shard_seconds[2], 1e-12),
+            "pipelined_seconds": pipe_seconds,
+            "roundtrip_seconds": roundtrip_seconds,
+            "pipelined_over_roundtrip": roundtrip_seconds / max(pipe_seconds, 1e-12),
+            "v1_compat": v1_compat,
+            "all_complete": all_complete,
+            "solutions_ok": solutions_ok,
+            "reregister_warm": reregister_warm,
+            "failover_recompiles": int(counters["cold_reregisters"]),
+            "shard_deaths": int(counters["shard_deaths"]),
+        }
+    ]
+
+
 def _raw_outputs_equal(a, b) -> bool:
     """Bitwise comparison of raw kernel outputs (arrays or array tuples)."""
     if isinstance(a, tuple) or isinstance(b, tuple):

@@ -16,8 +16,11 @@ process restarts and is shared between processes.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
@@ -29,6 +32,7 @@ __all__ = [
     "CacheStats",
     "options_fingerprint",
     "cache_key",
+    "build_file_once",
     "RUNTIME_ONLY_OPTIONS",
 ]
 
@@ -71,6 +75,90 @@ def cache_key(
     alias each other in a shared cache.
     """
     return (kernel, pattern_fp, options_fingerprint(options))
+
+
+def build_file_once(
+    target_path: str,
+    builder: Callable[[], None],
+    *,
+    timeout_seconds: float = 300.0,
+    poll_seconds: float = 0.005,
+    stale_lock_seconds: float = 60.0,
+) -> str:
+    """Cross-process single-flight build of one on-disk cache file.
+
+    :meth:`ArtifactCache.get_or_build` generalized across *processes*: when
+    several processes (fleet shard workers, parallel CI jobs) miss on the
+    same on-disk target concurrently, exactly one runs ``builder`` while the
+    others wait for the published file — the PyOP2/Firedrake
+    disk-cache-under-parallelism discipline (atomic ``O_EXCL``
+    compare-and-swap on a lockfile next to the target).
+
+    ``builder`` must *atomically publish* ``target_path`` before returning
+    (write to a temp name, then ``os.replace`` — the protocol
+    ``atomic_write_text``/``tmp_path_for`` in the C backend already follow),
+    so waiters never observe a half-written artifact.
+
+    Returns one of:
+
+    * ``"hit"`` — the target already existed (no coordination needed),
+    * ``"built"`` — this process won the lock and ran ``builder``,
+    * ``"waited"`` — another process built the target while we held back.
+
+    Failure semantics: if the winner's ``builder`` raises, the lock is
+    released with no target published; each waiter then retries the
+    acquisition and (re-)runs ``builder`` itself, so every caller observes
+    either a working artifact or the real build error — never a silent miss.
+    Locks abandoned by a killed process are broken after
+    ``stale_lock_seconds``; if the wait exceeds ``timeout_seconds`` the
+    caller builds anyway (duplicate work, still correct: publication is
+    atomic).
+    """
+    if os.path.exists(target_path):
+        return "hit"
+    lock_path = target_path + ".lock"
+    deadline = time.monotonic() + float(timeout_seconds)
+    waited = False
+    while True:
+        if os.path.exists(target_path):
+            return "waited" if waited else "hit"
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            waited = True
+            if time.monotonic() >= deadline:
+                # The winner is wedged (or glacial): build redundantly rather
+                # than fail — atomic publication keeps the result correct.
+                builder()
+                return "built"
+            try:
+                # Wall clock on both sides: getmtime is epoch-based, so the
+                # age must be too (monotonic has an arbitrary zero).
+                lock_age = time.time() - os.path.getmtime(lock_path)
+            except OSError:
+                continue  # lock vanished between exists() and getmtime(): retry
+            if lock_age > stale_lock_seconds:
+                # The lock holder died without cleaning up; break the lock.
+                # Several waiters may race this unlink — suppress the losers.
+                with contextlib.suppress(FileNotFoundError):
+                    os.unlink(lock_path)
+                continue
+            time.sleep(poll_seconds)
+            continue
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode())
+        finally:
+            os.close(fd)
+        try:
+            # Re-check under the lock: the previous holder may have published
+            # between our exists() check and the O_EXCL acquisition.
+            if os.path.exists(target_path):
+                return "waited" if waited else "hit"
+            builder()
+            return "built"
+        finally:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(lock_path)
 
 
 @dataclass

@@ -56,6 +56,7 @@ from repro.compiler.ast import (
     SupernodeTriangularBlock,
     Var,
 )
+from repro.compiler.cache import build_file_once
 from repro.compiler.codegen.runtime import generated_code_dir, pattern_fingerprint
 from repro.compiler.registration import register_unique
 from repro.observe.trace import span as observe_span
@@ -106,6 +107,10 @@ class DiskCacheStats:
     reuses: int = 0
     py_writes: int = 0
     py_reuses: int = 0
+    #: Compiles avoided by waiting on another *process's* in-flight build of
+    #: the same ``.so`` (cross-process single-flight via ``build_file_once``
+    #: lockfiles); such waits also count as ``reuses``.
+    lock_waits: int = 0
 
     def __post_init__(self) -> None:
         # Backends increment these counters from service worker threads; a
@@ -125,6 +130,7 @@ class DiskCacheStats:
             self.reuses = 0
             self.py_writes = 0
             self.py_reuses = 0
+            self.lock_waits = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view used by the cache probe CLI (a consistent snapshot)."""
@@ -134,6 +140,7 @@ class DiskCacheStats:
                 "reuses": self.reuses,
                 "py_writes": self.py_writes,
                 "py_reuses": self.py_reuses,
+                "lock_waits": self.lock_waits,
             }
 
 
@@ -263,7 +270,8 @@ class CGeneratedModule:
         c_path = os.path.join(cache, stem + ".c")
         so_path = os.path.join(cache, stem + ".so")
         atomic_write_text(c_path, self.source)
-        if not os.path.exists(so_path):
+
+        def _invoke_cc() -> None:
             tmp_so = tmp_path_for(so_path)
             cmd = [self.compiler, *self.flags, *extra_flags, "-o", tmp_so, c_path, "-lm"]
             try:
@@ -277,9 +285,17 @@ class CGeneratedModule:
             finally:
                 if os.path.exists(tmp_so):
                     os.unlink(tmp_so)
+
+        # Cross-process single-flight: shard workers (and parallel CI jobs)
+        # cold-compiling the same pattern run exactly one ``cc`` between them;
+        # the losers load the winner's atomically-published ``.so``.
+        outcome = build_file_once(so_path, _invoke_cc)
+        if outcome == "built":
             _DISK_CACHE_STATS.bump("compiles")
         else:
             _DISK_CACHE_STATS.bump("reuses")
+            if outcome == "waited":
+                _DISK_CACHE_STATS.bump("lock_waits")
         lib = ctypes.CDLL(so_path)
         fn = getattr(lib, self.entry_name)
         self._lib = lib

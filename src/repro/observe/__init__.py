@@ -35,6 +35,7 @@ from repro.observe.exporters import (
     format_breakdown,
     phase_totals,
     prometheus_text,
+    relabel_prometheus_text,
     snapshot,
     write_chrome_trace,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "percentile",
     "phase_totals",
     "prometheus_text",
+    "relabel_prometheus_text",
     "reset",
     "snapshot",
     "span",

@@ -33,6 +33,7 @@ __all__ = [
     "format_breakdown",
     "phase_totals",
     "prometheus_text",
+    "relabel_prometheus_text",
     "snapshot",
     "write_chrome_trace",
 ]
@@ -67,6 +68,42 @@ def prometheus_text(
 ) -> str:
     """Prometheus text exposition (format version 0.0.4)."""
     return (registry or get_registry()).to_prometheus(prefix=prefix)
+
+
+def relabel_prometheus_text(text: str, **labels: str) -> str:
+    """Add ``labels`` to every sample in Prometheus exposition ``text``.
+
+    The fleet router uses this to merge per-shard ``metrics`` verb output
+    into one scrape page: each shard's samples gain a ``shard="i"`` label so
+    identically-named series stay distinguishable.  ``# HELP``/``# TYPE``
+    comment lines are kept but deduplicated (each shard ships its own copy
+    of the same metadata); blank lines are dropped.
+    """
+    extra = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    if not extra:
+        return text
+    out: List[str] = []
+    seen_comments = set()
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            if stripped not in seen_comments:
+                seen_comments.add(stripped)
+                out.append(stripped)
+            continue
+        parts = stripped.rsplit(" ", 1)
+        if len(parts) != 2:
+            out.append(stripped)
+            continue
+        key, value = parts
+        if key.endswith("}"):
+            key = key[:-1] + ("," if "{" in key and key[-2] != "{" else "") + extra + "}"
+        else:
+            key = key + "{" + extra + "}"
+        out.append(f"{key} {value}")
+    return "\n".join(out) + "\n"
 
 
 def phase_totals(registry: Optional[MetricsRegistry] = None) -> Dict[str, Dict[str, float]]:

@@ -1,48 +1,76 @@
-"""The serving layer: a long-lived solver service over the compiled-kernel stack.
+"""The serving layer: solver services, a wire protocol, and a sharded fleet.
 
 The paper's inspector/executor amortization pays off when one compile serves
-many numeric executions; this package turns that into a served resource:
+many numeric executions; this package turns that into a served resource with
+**one uniform surface** — :class:`SolverEndpoint` — implemented at three
+scales:
 
-* :mod:`repro.service.session` — :class:`SolverService`:
+* :class:`SolverService` (:mod:`repro.service.session`) — in-process:
   ``register_pattern`` (compile + pin → :class:`PatternHandle`), ``submit``
   (future-based solves), synchronous ``solve``, explicit ``evict``.
-* :mod:`repro.service.coalescer` — micro-batched coalescing of in-flight
-  same-pattern requests into the batched runtime (stacked python kernels /
-  threaded C kernels), with per-request error isolation.
-* :mod:`repro.service.admission` — bounded in-flight work
-  (reject-with-retry-after backpressure) and the per-pattern LRU
-  compiled-artifact budget.
-* :mod:`repro.service.metrics` — cumulative counters, coalesced-batch-size
-  histogram and latency quantiles behind the ``stats`` endpoint.
-* :mod:`repro.service.wire` / :mod:`repro.service.client` — a stdlib-only
-  socket transport (JSON header + raw ndarray frames) and the mirroring
-  :class:`ServiceClient`; ``python -m repro.service`` runs the server.
+* :class:`ServiceClient` (:mod:`repro.service.client`) — one connection to a
+  remote service over the stdlib-only wire protocol
+  (:mod:`repro.service.wire`: JSON header + raw ndarray frames).  Protocol
+  **v2** is negotiated via a ``hello`` frame and pipelines many id-tagged
+  requests on one connection (``submit``/``result``); v1 peers interoperate
+  unchanged.  ``python -m repro.service`` runs the server.
+* :class:`ShardFleet` (:mod:`repro.service.fleet`) — N service *processes*
+  over the shared compiled-kernel disk cache behind a consistent-hash router
+  (:mod:`repro.service.router`): patterns pin to shards by fingerprint, and
+  a dead shard's replacement re-registers **warm** from disk — zero
+  recompiles, counter-asserted.
+
+Because all three implement :class:`SolverEndpoint`, code written against
+the protocol moves between in-process, networked, and sharded deployments
+without change — start with ``SolverService``, scale out later.
+
+Support modules: :mod:`repro.service.coalescer` (micro-batched coalescing of
+in-flight same-pattern requests with per-request error isolation),
+:mod:`repro.service.admission` (bounded in-flight work with
+reject-with-retry-after backpressure; per-pattern LRU artifact budget),
+:mod:`repro.service.metrics` (counters/histograms behind ``stats``), and
+:mod:`repro.service.errors` — the consolidated exception taxonomy
+(:class:`ServiceError` base with ``retryable``/``retry_after``) mapped
+*identically* in-process and over the wire.
 """
 
-from repro.service.admission import (
-    AdmissionController,
-    PatternEvictedError,
-    ServiceClosedError,
-    ServiceOverloadedError,
-)
-from repro.service.client import RemoteHandle, RemoteServiceError, ServiceClient
+from repro.service.admission import AdmissionController
+from repro.service.client import RemoteHandle, ServiceClient
 from repro.service.coalescer import Coalescer
+from repro.service.endpoint import SolverEndpoint
+from repro.service.errors import (
+    PatternEvictedError,
+    ProtocolError,
+    RemoteServiceError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ShardUnavailableError,
+)
+from repro.service.fleet import ShardFleet
 from repro.service.metrics import ServiceMetrics
+from repro.service.router import ConsistentHashRing
 from repro.service.session import PatternHandle, SolverService
 from repro.service.wire import SolverServiceServer, serve_background
 
 __all__ = [
+    "SolverEndpoint",
     "SolverService",
     "PatternHandle",
     "ServiceClient",
     "RemoteHandle",
-    "RemoteServiceError",
+    "ShardFleet",
+    "ConsistentHashRing",
     "SolverServiceServer",
     "serve_background",
     "Coalescer",
     "ServiceMetrics",
     "AdmissionController",
+    "ServiceError",
     "ServiceOverloadedError",
     "PatternEvictedError",
     "ServiceClosedError",
+    "ShardUnavailableError",
+    "ProtocolError",
+    "RemoteServiceError",
 ]

@@ -13,6 +13,13 @@ and assert the amortization invariant — **zero recompiles after warm-up**
 (no C recompiles, no python-module regenerations, no artifact-cache misses
 while serving).  Exits nonzero on any violation and prints the service stats
 JSON either way.
+
+``--fleet-smoke`` is the sharded-fleet variant: boot a ``--shards``-wide
+:class:`~repro.service.fleet.ShardFleet` (separate worker processes over one
+shared disk cache), pipeline ``--requests`` mixed-pattern solves through the
+v2 wire protocol, hard-kill a pattern-owning shard mid-stream, and assert
+that every request completes and that the replacement shard re-registers
+**warm** — zero cold recompiles.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.service.client import ServiceClient
 from repro.service.session import SolverService
 from repro.service.wire import SolverServiceServer, serve_background
 
-__all__ = ["main", "run_smoke"]
+__all__ = ["main", "run_smoke", "run_fleet_smoke"]
 
 
 def _build_service(args) -> SolverService:
@@ -204,6 +211,134 @@ def run_smoke(args) -> int:
     return 0
 
 
+def run_fleet_smoke(args) -> int:
+    """The CI fleet smoke: kill a shard mid-stream, nothing may be lost.
+
+    Boots a ``--shards``-wide :class:`~repro.service.fleet.ShardFleet`,
+    registers three distinct patterns, pipelines ``--requests`` mixed-pattern
+    solves through it, hard-kills one pattern-owning shard halfway, and
+    asserts: every request completes and verifies against a local reference
+    solver, the replacement shard re-registers **warm** from the shared disk
+    cache (zero cold recompiles, from the fleet counters), and the merged
+    Prometheus page carries every shard label plus the fleet counters.
+    Exits nonzero on any violation; prints a JSON report either way.
+    """
+    import tempfile
+
+    from repro.service.fleet import ShardFleet
+    from repro.solvers.linear_solver import SparseLinearSolver
+    from repro.sparse.generators import fem_stencil_2d, laplacian_2d
+
+    failures: List[str] = []
+    options = SympilerOptions(backend=args.backend)
+    if args.backend == "python":
+        options = options.with_updates(enable_vs_block=False)
+    matrices = {
+        "lap_small": laplacian_2d(12, shift=0.1),
+        "fem": fem_stencil_2d(9, shift=0.25),
+        "lap_large": laplacian_2d(15, shift=0.2),
+    }
+    references = {
+        name: SparseLinearSolver(A, ordering="natural", options=options)
+        for name, A in matrices.items()
+    }
+    names = list(matrices)
+    total = args.requests
+
+    def request(k: int):
+        name = names[k % len(names)]
+        A = matrices[name]
+        scale = 1.0 + 0.01 * (k + 1)
+        rhs = np.sin(np.arange(A.n, dtype=np.float64) + k)
+        return name, A.data * scale, rhs, references[name].solve(rhs) / scale
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as cache_dir:
+        with ShardFleet(
+            args.shards,
+            backend=args.backend,
+            cache_dir=cache_dir,
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            max_in_flight=max(4 * total, args.max_in_flight),
+            max_patterns=args.max_patterns,
+        ) as fleet:
+            handles = {
+                name: fleet.register_pattern(A, options=options)
+                for name, A in matrices.items()
+            }
+            half = total // 2
+            futures = [
+                (k, fleet.submit(handles[request(k)[0]], *request(k)[1:3]))
+                for k in range(half)
+            ]
+            # Hard-kill a shard that owns at least one pattern, mid-stream.
+            owned = {
+                slot: s.get("registered_patterns", 0)
+                for slot, s in fleet.stats()["per_shard"].items()
+            }
+            victim = int(next(slot for slot, n in owned.items() if n > 0))
+            fleet.kill_shard(victim)
+            futures += [
+                (k, fleet.submit(handles[request(k)[0]], *request(k)[1:3]))
+                for k in range(half, total)
+            ]
+            completed = 0
+            for k, future in futures:
+                try:
+                    x = fleet.result(future, timeout=120.0)
+                except Exception as exc:  # noqa: BLE001 - reported below
+                    failures.append(f"request {k}: {type(exc).__name__}: {exc}")
+                    continue
+                completed += 1
+                if not np.allclose(x, request(k)[3], atol=1e-8):
+                    failures.append(f"request {k}: solution mismatch")
+            counters = dict(fleet.counters)
+            metrics_text = fleet.metrics_text()
+            shards_alive = fleet.stats()["shards"]
+
+        if completed != total:
+            failures.append(f"only {completed}/{total} requests completed")
+        if counters["shard_deaths"] != 1:
+            failures.append(
+                f"expected exactly 1 shard death, saw {counters['shard_deaths']}"
+            )
+        if counters["reregisters"] != owned[str(victim)]:
+            failures.append(
+                f"replacement re-registered {counters['reregisters']} pattern(s), "
+                f"expected {owned[str(victim)]}"
+            )
+        if counters["cold_reregisters"] != 0:
+            failures.append(
+                f"{counters['cold_reregisters']} COLD re-registration(s) after "
+                "failover (expected 0: the shared disk cache must keep the "
+                "replacement warm)"
+            )
+        if shards_alive != args.shards:
+            failures.append(
+                f"fleet ended with {shards_alive} shard(s), expected {args.shards}"
+            )
+        for slot in range(args.shards):
+            if f'shard="{slot}"' not in metrics_text:
+                failures.append(f"merged metrics are missing shard=\"{slot}\" labels")
+        if "repro_fleet_shard_deaths 1" not in metrics_text:
+            failures.append("merged metrics are missing the fleet death counter")
+
+    report = {
+        "shards": args.shards,
+        "requests": completed,
+        "victim_slot": victim,
+        "counters": counters,
+        "failures": failures,
+    }
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    if failures:
+        for failure in failures:
+            sys.stderr.write(f"fleet smoke: {failure}\n")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service", description=__doc__
@@ -240,7 +375,18 @@ def main(argv=None) -> int:
         "--workers", type=int, default=4,
         help="[--smoke] concurrent client connections",
     )
+    parser.add_argument(
+        "--fleet-smoke", action="store_true",
+        help="run the sharded-fleet self-check: pipelined mixed-pattern load, "
+        "one shard hard-killed mid-stream, warm-failover assertion",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="[--fleet-smoke] fleet width",
+    )
     args = parser.parse_args(argv)
+    if args.fleet_smoke:
+        return run_fleet_smoke(args)
     if args.smoke:
         return run_smoke(args)
     service = _build_service(args)

@@ -20,32 +20,21 @@ import threading
 from collections import OrderedDict
 from typing import Hashable, List
 
+# The exception types historically lived here; they are now defined in the
+# consolidated :mod:`repro.service.errors` (with `retryable`/`retry_after`
+# and the wire mapping) and re-exported for compatibility.
+from repro.service.errors import (
+    PatternEvictedError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+
 __all__ = [
     "AdmissionController",
     "ServiceOverloadedError",
     "PatternEvictedError",
     "ServiceClosedError",
 ]
-
-
-class ServiceOverloadedError(RuntimeError):
-    """The service is saturated; retry after ``retry_after`` seconds."""
-
-    def __init__(self, message: str, *, retry_after: float) -> None:
-        super().__init__(message)
-        self.retry_after = float(retry_after)
-
-
-class PatternEvictedError(KeyError):
-    """The handle's pattern was evicted (or never registered here).
-
-    Re-register the pattern to obtain a fresh handle; the on-disk code cache
-    makes that a warm (zero-recompile) operation.
-    """
-
-
-class ServiceClosedError(RuntimeError):
-    """The service has been closed and accepts no further work."""
 
 
 class AdmissionController:

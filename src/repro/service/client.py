@@ -1,45 +1,64 @@
 """The wire client: :class:`ServiceClient` mirrors the in-process service API.
 
-One persistent connection per client (requests on it are serialized by a
-lock; run several clients for concurrency — the server coalesces their
-same-pattern requests into shared micro-batches regardless of which
-connection they arrive on).  Stdlib + numpy only; errors map back to the
-same exception types the in-process API raises, so code can move between
-``SolverService`` and ``ServiceClient`` unchanged:
+One persistent connection per client.  On connect the client sends a
+``hello`` (framed as v1, so pre-v2 servers answer with a harmless error and
+the client falls back) and negotiates the protocol generation:
 
-* ``overloaded`` → :class:`~repro.service.admission.ServiceOverloadedError`
+* **v2** (the default against a current server) — requests carry ids and a
+  background reader thread matches responses to pending futures, so one
+  connection **pipelines** many requests: :meth:`submit` returns a future
+  immediately, the server's coalescing window fills from a single client,
+  and responses may return out of order.  A timed-out request is simply
+  *abandoned* — its eventual response is recognized by id and discarded
+  (counted in :attr:`orphaned_responses`) — so one slow solve no longer
+  poisons the whole connection.
+* **v1** (``protocol=1``, or an old server) — the original lock-step mode:
+  calls serialize on a lock, one round-trip at a time, and a mid-call
+  failure still poisons the connection (without ids there is no way to
+  re-synchronize the stream).
+
+The sync API is unchanged either way — :meth:`solve` is submit + wait and
+returns bitwise-identical results over both generations.  Errors map back
+to the same consolidated exception types the in-process API raises
+(:mod:`repro.service.errors`), so code moves between ``SolverService``,
+``ServiceClient`` and ``ShardFleet`` unchanged:
+
+* ``overloaded`` → :class:`~repro.service.errors.ServiceOverloadedError`
   (carrying the server's ``retry_after`` hint),
-* ``evicted`` → :class:`~repro.service.admission.PatternEvictedError`,
-* anything else → :class:`RemoteServiceError` with the server-side message.
+* ``evicted`` → :class:`~repro.service.errors.PatternEvictedError`,
+* a broken connection → :class:`~repro.service.errors.ShardUnavailableError`
+  (retryable — the fleet uses it to fail over),
+* anything else → :class:`~repro.service.errors.RemoteServiceError` with the
+  server-side message and kind.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.compiler.options import SympilerOptions
-from repro.service.admission import PatternEvictedError, ServiceOverloadedError
-from repro.service.wire import ProtocolError, recv_message, send_message
+from repro.service.errors import (
+    ProtocolError,
+    RemoteServiceError,
+    ShardUnavailableError,
+    error_from_wire,
+)
+from repro.service.wire import (
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+    recv_message,
+    send_message,
+)
 from repro.sparse.csc import CSCMatrix
 
 __all__ = ["ServiceClient", "RemoteHandle", "RemoteServiceError"]
-
-
-class RemoteServiceError(RuntimeError):
-    """The server reported a failure with no more specific local type.
-
-    ``kind`` preserves the server-side classification (usually the remote
-    exception's class name).
-    """
-
-    def __init__(self, message: str, *, kind: str = "error") -> None:
-        super().__init__(message)
-        self.kind = kind
 
 
 @dataclass(frozen=True)
@@ -59,23 +78,24 @@ class RemoteHandle:
 
 
 def _raise_remote(response: Dict) -> None:
-    kind = str(response.get("kind", "error"))
-    message = str(response.get("error", "remote error"))
-    if kind == "overloaded":
-        raise ServiceOverloadedError(
-            message, retry_after=float(response.get("retry_after", 0.05))
-        )
-    if kind == "evicted":
-        raise PatternEvictedError(message)
-    raise RemoteServiceError(message, kind=kind)
+    raise error_from_wire(response)
 
 
 class ServiceClient:
     """Talk to a running solver service over TCP or a Unix domain socket.
 
     ``address`` is ``(host, port)`` for TCP or a filesystem path string for
-    a Unix socket.  The client is thread-safe (calls serialize on one
-    connection); it is also a context manager closing the socket on exit.
+    a Unix socket.  The client is thread-safe and a context manager.
+
+    ``protocol`` pins the wire generation: ``None`` (default) negotiates the
+    newest mutual version via ``hello``; ``1`` skips negotiation and speaks
+    the legacy lock-step protocol; ``2`` *requires* a v2 server (raises
+    :class:`ProtocolError` against an older one).
+
+    ``timeout`` bounds the connect/handshake and is the default per-request
+    timeout.  Under v2 the socket itself has no read timeout — the reader
+    thread blocks until data arrives and timeouts are enforced per future,
+    which is what makes a timeout recoverable instead of stream-corrupting.
     """
 
     def __init__(
@@ -83,8 +103,14 @@ class ServiceClient:
         address: Union[Tuple[str, int], str],
         *,
         timeout: Optional[float] = 60.0,
+        protocol: Optional[int] = None,
     ) -> None:
+        if protocol is not None and protocol not in SUPPORTED_WIRE_VERSIONS:
+            raise ValueError(
+                f"protocol must be one of {SUPPORTED_WIRE_VERSIONS} or None"
+            )
         self.address = address
+        self.timeout = timeout
         if isinstance(address, str):
             if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
                 raise OSError("unix domain sockets are unavailable on this platform")
@@ -96,24 +122,197 @@ class ServiceClient:
             self._sock = socket.create_connection((host, int(port)), timeout=timeout)
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # v1 round-trips; v2 sends
         self._closed = False
         self._broken = False
+        self._broken_reason = ""
+        #: v2 pipelining state: pending request futures by id, guarded by
+        #: ``_plock``; the reader thread resolves/discards them.
+        self._plock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._next_id = 0
+        self._reader: Optional[threading.Thread] = None
+        #: Responses whose request was abandoned (timed out) before they
+        #: arrived: discarded by id — the desync-recovery counter.
+        self.orphaned_responses = 0
+
+        self.protocol = self._negotiate(protocol)
+        if self.protocol >= 2:
+            # Timeouts are per-future under v2; a socket-level read timeout
+            # would tear the framed stream mid-message in the reader thread.
+            self._sock.settimeout(None)
+            self._reader = threading.Thread(
+                target=self._reader_loop, name="repro-client-reader", daemon=True
+            )
+            self._reader.start()
 
     # ------------------------------------------------------------------ #
+    # Negotiation
+    # ------------------------------------------------------------------ #
+    def _negotiate(self, protocol: Optional[int]) -> int:
+        if protocol == 1:
+            return 1
+        header = {
+            "op": "hello",
+            "version": WIRE_VERSION,
+            "versions": list(SUPPORTED_WIRE_VERSIONS),
+        }
+        try:
+            # Framed as v1: a pre-v2 server parses it and answers `unknown
+            # operation` instead of killing the connection.
+            send_message(self._wfile, header, version=1)
+            message = recv_message(self._rfile)
+        except BaseException:
+            self._teardown()
+            raise
+        if message is None:
+            self._teardown()
+            raise ShardUnavailableError("server closed the connection during hello")
+        response, _ = message
+        if response.get("ok"):
+            negotiated = min(int(response.get("version", 1)), WIRE_VERSION)
+        else:
+            # v1 server: `unknown operation 'hello'` — the connection is
+            # fine, the server just predates negotiation.
+            negotiated = 1
+        if protocol is not None and negotiated < protocol:
+            detail = response.get("error", "no error detail")
+            self._teardown()
+            raise ProtocolError(
+                f"server does not speak wire protocol v{protocol} ({detail})"
+            )
+        return negotiated
+
+    # ------------------------------------------------------------------ #
+    # v2 pipelining internals
+    # ------------------------------------------------------------------ #
+    def _reader_loop(self) -> None:
+        while True:
+            try:
+                message = recv_message(self._rfile)
+            except Exception as exc:  # ProtocolError, OSError, ValueError
+                self._fail_pending(exc)
+                return
+            if message is None:
+                self._fail_pending(
+                    ShardUnavailableError("server closed the connection")
+                )
+                return
+            response, frames = message
+            request_id = response.get("id")
+            with self._plock:
+                future = self._pending.pop(request_id, None)
+                if future is None:
+                    # The orphaned frame of an abandoned (timed-out or
+                    # id-less) request: discard it — only that request
+                    # failed, the connection stays synchronized by id.
+                    self.orphaned_responses += 1
+                    continue
+            future.set_result((response, frames))
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        with self._plock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        with self._lock:
+            if not self._closed:
+                self._broken = True
+                self._broken_reason = f"{type(exc).__name__}: {exc}"
+        for future in pending:
+            if isinstance(exc, ShardUnavailableError):
+                future.set_exception(exc)
+            else:
+                future.set_exception(
+                    ShardUnavailableError(f"connection lost mid-request ({exc})")
+                )
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            # ShardUnavailableError (a ConnectionError, retryable) rather
+            # than a bare RuntimeError: the fleet races requests against
+            # shard recovery, and a request that grabbed a just-retired
+            # connection must fail over, not fail outright.
+            raise ShardUnavailableError("client is closed")
+        if self._broken:
+            if self.protocol >= 2:
+                raise ShardUnavailableError(
+                    f"client connection is broken ({self._broken_reason}); "
+                    "open a new ServiceClient"
+                )
+            raise RuntimeError(
+                "client connection is desynchronized after a previous "
+                "mid-call failure; open a new ServiceClient"
+            )
+
+    def _submit_raw(
+        self, header: Dict, frames: Sequence[np.ndarray] = ()
+    ) -> Tuple[int, Future]:
+        """Send one id-tagged request; returns ``(id, raw-response future)``."""
+        future: Future = Future()
+        with self._plock:
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending[request_id] = future
+        header = dict(header)
+        header["id"] = request_id
+        try:
+            with self._lock:
+                self._check_usable()
+                send_message(self._wfile, header, frames, version=2)
+        except BaseException:
+            with self._plock:
+                self._pending.pop(request_id, None)
+            # A partial write leaves the outbound stream unframed: the server
+            # will drop the connection on the garbled message either way.
+            with self._lock:
+                if not self._closed and not self._broken:
+                    self._broken = True
+                    self._broken_reason = "send failed mid-frame"
+            raise
+        return request_id, future
+
+    def _result_raw(
+        self, request_id: int, future: Future, timeout: Optional[float]
+    ) -> Tuple[Dict, List[np.ndarray]]:
+        try:
+            response, frames = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            # Abandon the request: the reader discards its eventual response
+            # by id, so *only this request* fails — no connection poisoning.
+            with self._plock:
+                self._pending.pop(request_id, None)
+            raise TimeoutError(
+                f"no response to request {request_id} within {timeout}s "
+                "(request abandoned; the connection remains usable)"
+            ) from None
+        if not response.get("ok"):
+            _raise_remote(response)
+        return response, frames
+
+    # ------------------------------------------------------------------ #
+    # One call surface over both generations
+    # ------------------------------------------------------------------ #
     def _call(
+        self,
+        header: Dict,
+        frames: Sequence[np.ndarray] = (),
+        *,
+        timeout: Optional[float] = None,
+    ) -> Tuple[Dict, List[np.ndarray]]:
+        if self.protocol >= 2:
+            request_id, future = self._submit_raw(header, frames)
+            return self._result_raw(
+                request_id, future, self.timeout if timeout is None else timeout
+            )
+        return self._call_v1(header, frames)
+
+    def _call_v1(
         self, header: Dict, frames: Sequence[np.ndarray] = ()
     ) -> Tuple[Dict, List[np.ndarray]]:
         with self._lock:
-            if self._closed:
-                raise RuntimeError("client is closed")
-            if self._broken:
-                raise RuntimeError(
-                    "client connection is desynchronized after a previous "
-                    "mid-call failure; open a new ServiceClient"
-                )
+            self._check_usable()
             try:
-                send_message(self._wfile, header, frames)
+                send_message(self._wfile, header, frames, version=1)
                 message = recv_message(self._rfile)
             except BaseException:
                 # A timeout or I/O error mid-call leaves the stale response
@@ -129,6 +328,8 @@ class ServiceClient:
             _raise_remote(response)
         return response, out_frames
 
+    # ------------------------------------------------------------------ #
+    # Public API (the SolverEndpoint surface)
     # ------------------------------------------------------------------ #
     def register_pattern(
         self,
@@ -165,6 +366,67 @@ class ServiceClient:
         response, _ = self._call(header, [A.indptr, A.indices, A.data])
         return RemoteHandle(**response["handle"])
 
+    @staticmethod
+    def _solve_header_frames(handle, values, rhs, timeout=None):
+        handle_id = handle.handle_id if isinstance(handle, RemoteHandle) else str(handle)
+        header = {"op": "solve", "handle": handle_id, "timeout": timeout}
+        frames = [
+            np.ascontiguousarray(values, dtype=np.float64),
+            np.ascontiguousarray(rhs, dtype=np.float64),
+        ]
+        return header, frames
+
+    @staticmethod
+    def _solution_from(response: Dict, frames: List[np.ndarray]) -> np.ndarray:
+        if len(frames) != 1:
+            raise ProtocolError(f"solve response carried {len(frames)} frames")
+        return np.array(frames[0], dtype=np.float64, copy=True)
+
+    def submit(
+        self,
+        handle: Union[RemoteHandle, str],
+        values: np.ndarray,
+        rhs: np.ndarray,
+    ) -> Future:
+        """Enqueue one solve; returns a future resolving to the solution.
+
+        Under protocol v2 this is genuinely pipelined: the request goes on
+        the wire immediately and many submits can be in flight on one
+        connection — enough to fill the server's coalescing window from a
+        single client.  Under v1 the call degrades to a synchronous
+        round-trip whose (already-resolved) future is returned, preserving
+        the :class:`~repro.service.endpoint.SolverEndpoint` surface.
+        """
+        header, frames = self._solve_header_frames(handle, values, rhs)
+        if self.protocol < 2:
+            result: Future = Future()
+            try:
+                response, out_frames = self._call_v1(header, frames)
+                result.set_result(self._solution_from(response, out_frames))
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                result.set_exception(exc)
+            return result
+        _, raw = self._submit_raw(header, frames)
+        result = Future()
+
+        def _chain(done: Future) -> None:
+            try:
+                response, out_frames = done.result()
+                if not response.get("ok"):
+                    result.set_exception(error_from_wire(response))
+                    return
+                result.set_result(self._solution_from(response, out_frames))
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                result.set_exception(exc)
+
+        raw.add_done_callback(_chain)
+        return result
+
+    @staticmethod
+    def result(future: Future, *, timeout: Optional[float] = None) -> np.ndarray:
+        """Wait on a :meth:`submit` future (sugar for ``future.result``)."""
+        return future.result(timeout=timeout)
+
     def solve(
         self,
         handle: Union[RemoteHandle, str],
@@ -174,18 +436,9 @@ class ServiceClient:
         timeout: Optional[float] = None,
     ) -> np.ndarray:
         """Solve one system on a registered pattern; returns the solution."""
-        handle_id = handle.handle_id if isinstance(handle, RemoteHandle) else str(handle)
-        header = {"op": "solve", "handle": handle_id, "timeout": timeout}
-        _, frames = self._call(
-            header,
-            [
-                np.ascontiguousarray(values, dtype=np.float64),
-                np.ascontiguousarray(rhs, dtype=np.float64),
-            ],
-        )
-        if len(frames) != 1:
-            raise ProtocolError(f"solve response carried {len(frames)} frames")
-        return np.array(frames[0], dtype=np.float64, copy=True)
+        header, frames = self._solve_header_frames(handle, values, rhs, timeout)
+        response, out_frames = self._call(header, frames, timeout=timeout)
+        return self._solution_from(response, out_frames)
 
     def stats(self) -> Dict:
         """The server's cumulative metrics snapshot."""
@@ -221,21 +474,36 @@ class ServiceClient:
         self._call({"op": "shutdown"})
 
     # ------------------------------------------------------------------ #
+    def _teardown(self) -> None:
+        for stream in (self._wfile, self._rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
     def close(self) -> None:
-        """Close the connection (idempotent)."""
+        """Close the connection (idempotent).
+
+        Pending v2 futures fail with :class:`ShardUnavailableError` as the
+        reader thread observes the closed socket and drains them.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            for stream in (self._wfile, self._rfile):
-                try:
-                    stream.close()
-                except OSError:
-                    pass
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+        try:
+            # Unblock the reader thread's recv immediately.
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._teardown()
+        reader = self._reader
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=1.0)
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -1,0 +1,78 @@
+"""The :class:`SolverEndpoint` protocol — one solver-serving surface, three scales.
+
+Every way of reaching the compiled-kernel serving stack implements the same
+seven methods, so callers swap local ↔ remote ↔ fleet without code changes:
+
+* :class:`~repro.service.session.SolverService` — in process (one process,
+  many threads, micro-batched coalescing),
+* :class:`~repro.service.client.ServiceClient` — one server over the wire
+  (protocol v2 pipelines submits; v1 servers degrade gracefully),
+* :class:`~repro.service.fleet.ShardFleet` — N worker processes behind a
+  pattern-affinity consistent-hash router.
+
+The contract::
+
+    handle = endpoint.register_pattern(A, kernel=..., ordering=..., options=...)
+    future = endpoint.submit(handle, values, rhs)      # async, pipelined
+    x      = endpoint.solve(handle, values, rhs)       # sync = submit + wait
+    endpoint.evict(handle)                             # drop pinned artifacts
+    endpoint.stats()                                   # cumulative counters
+    endpoint.metrics_text()                            # Prometheus exposition
+    endpoint.close()
+
+``submit`` returns a :class:`concurrent.futures.Future` (or an object with
+the same ``result(timeout)``/``exception()``/``add_done_callback`` surface)
+resolving to the solution vector.  Errors are the consolidated types of
+:mod:`repro.service.errors` at every scale — an overloaded fleet raises the
+same :class:`~repro.service.errors.ServiceOverloadedError` (with the same
+``retry_after``) an overloaded in-process service does.
+
+The protocol is ``runtime_checkable``: ``isinstance(obj, SolverEndpoint)``
+verifies the method surface (names only, per :pep:`544`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+__all__ = ["SolverEndpoint"]
+
+
+@runtime_checkable
+class SolverEndpoint(Protocol):
+    """Anything that serves registered-pattern solves (local, wire, fleet)."""
+
+    def register_pattern(
+        self,
+        A,
+        *,
+        kernel: str = "cholesky",
+        ordering: str = "natural",
+        options=None,
+    ):
+        """Register a sparsity pattern; compile/pin once, return a handle."""
+        ...
+
+    def submit(self, handle, values, rhs):
+        """Enqueue one solve; returns a future resolving to the solution."""
+        ...
+
+    def solve(self, handle, values, rhs, *, timeout: Optional[float] = None):
+        """Synchronous solve: submit + wait."""
+        ...
+
+    def evict(self, handle) -> bool:
+        """Drop a registered pattern (idempotent); True when it was present."""
+        ...
+
+    def stats(self) -> Dict:
+        """Cumulative counters/histograms snapshot."""
+        ...
+
+    def metrics_text(self) -> str:
+        """The unified registry as Prometheus exposition text."""
+        ...
+
+    def close(self) -> None:
+        """Release every resource (idempotent)."""
+        ...

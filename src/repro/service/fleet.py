@@ -1,0 +1,593 @@
+"""The sharded solver fleet: N service processes behind one endpoint.
+
+:class:`ShardFleet` spawns ``shards`` worker processes (each a full
+``python -m repro.service`` server) over the **shared on-disk compiled-
+kernel cache** and fronts them with a consistent-hash router: a pattern's
+fingerprint (:func:`~repro.compiler.codegen.runtime.pattern_fingerprint`)
+pins it to one shard, so its compiled kernel, pinned artifacts and numeric
+factor stay hot there while distinct patterns spread across the fleet.
+
+The fleet implements the same :class:`~repro.service.endpoint.SolverEndpoint`
+surface as the in-process :class:`~repro.service.session.SolverService` and
+the single-connection :class:`~repro.service.client.ServiceClient` — code
+written against one runs against the others unchanged.
+
+**Failure model.**  Shard death is detected lazily, at the first call that
+hits the dead connection (:class:`ShardUnavailableError` — retryable).  The
+router then recovers under a generation-counted lock (concurrent failures
+collapse to one recovery) and retries the caller's request once:
+
+* ``respawn=True`` (default): a replacement process is spawned on the same
+  slot and every pattern routed there is re-registered.  Because handle ids
+  are deterministic (a hash of the pattern/kernel/ordering/options key) and
+  the compiled artifacts live in the shared disk cache, the replacement
+  comes up **warm — zero recompiles** — which the fleet counter-asserts via
+  the handle's ``warm`` flag (``warm_reregisters`` vs ``cold_reregisters``).
+* ``respawn=False``: the slot leaves the hash ring and its patterns
+  rebalance onto the survivors (consistent hashing moves only the dead
+  shard's share).
+
+Observability: :meth:`metrics_text` merges every shard's Prometheus page
+into one scrape, relabelled with ``shard="i"``, plus the fleet's own
+``repro_fleet_*`` counters (deaths, failovers, warm/cold re-registers).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import select
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.compiler.codegen.runtime import pattern_fingerprint
+from repro.compiler.options import SympilerOptions
+from repro.service.client import RemoteHandle, ServiceClient
+from repro.service.errors import PatternEvictedError, ShardUnavailableError
+from repro.service.router import ConsistentHashRing
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["ShardFleet"]
+
+_BANNER = re.compile(r"listening on ([\d.]+):(\d+)")
+
+#: Failures that mean "this shard (connection) is gone", triggering failover.
+_SHARD_FAILURES = (ShardUnavailableError, ConnectionError, OSError)
+
+
+@dataclass
+class _Shard:
+    """One live worker process and the fleet's connection to it."""
+
+    slot: int
+    generation: int
+    process: subprocess.Popen
+    address: Tuple[str, int]
+    client: ServiceClient
+
+
+@dataclass
+class _FleetPattern:
+    """Everything needed to re-register a pattern on a replacement shard."""
+
+    handle: RemoteHandle
+    A: CSCMatrix
+    kernel: str
+    ordering: str
+    options: Optional[Union[SympilerOptions, Dict]]
+    fingerprint: str
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ShardFleet:
+    """N solver-service processes behind one consistent-hash router.
+
+    ``shards`` worker processes are spawned eagerly; each binds an ephemeral
+    port on ``127.0.0.1`` and shares the process environment — in particular
+    ``REPRO_SYMPILER_CACHE`` (overridable via ``cache_dir``), so all shards
+    and any later replacements reuse one compiled-kernel disk cache.
+
+    The constructor arguments after ``shards`` mirror the worker CLI
+    (``python -m repro.service``).  ``respawn`` selects the failure policy
+    (replace in place vs. rebalance to survivors); ``spawn_timeout`` bounds
+    each worker's startup.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        backend: str = "python",
+        window_ms: float = 2.0,
+        max_batch: int = 32,
+        max_in_flight: int = 256,
+        max_patterns: int = 32,
+        respawn: bool = True,
+        cache_dir: Optional[Union[str, Path]] = None,
+        spawn_timeout: float = 60.0,
+        request_timeout: Optional[float] = 60.0,
+        vnodes: int = 64,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self.backend = backend
+        self.window_ms = float(window_ms)
+        self.max_batch = int(max_batch)
+        self.max_in_flight = int(max_in_flight)
+        self.max_patterns = int(max_patterns)
+        self.respawn = bool(respawn)
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.spawn_timeout = float(spawn_timeout)
+        self.request_timeout = request_timeout
+        self._ring = ConsistentHashRing(vnodes=vnodes)
+        self._shards: Dict[int, _Shard] = {}
+        self._patterns: Dict[str, _FleetPattern] = {}
+        self._lock = threading.Lock()  # shards/patterns/counters membership
+        self._recover_lock = threading.Lock()  # serializes shard recovery
+        self._closed = False
+        self.counters: Dict[str, int] = {
+            "shard_deaths": 0,
+            "failovers": 0,
+            "reregisters": 0,
+            "warm_reregisters": 0,
+            "cold_reregisters": 0,
+            "respawns": 0,
+            "rebalances": 0,
+        }
+        try:
+            for slot in range(shards):
+                self._shards[slot] = self._spawn(slot, generation=0)
+                self._ring.add(slot)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Process lifecycle
+    # ------------------------------------------------------------------ #
+    def _worker_command(self) -> List[str]:
+        return [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--backend",
+            self.backend,
+            "--window-ms",
+            str(self.window_ms),
+            "--max-batch",
+            str(self.max_batch),
+            "--max-in-flight",
+            str(self.max_in_flight),
+            "--max-patterns",
+            str(self.max_patterns),
+        ]
+
+    def _worker_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        # The worker must import this very package even when the parent runs
+        # from a source tree that is on sys.path but not in PYTHONPATH.
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + os.pathsep + existing if existing else package_root
+            )
+        if self.cache_dir is not None:
+            env["REPRO_SYMPILER_CACHE"] = self.cache_dir
+        return env
+
+    def _spawn(self, slot: int, generation: int) -> _Shard:
+        process = subprocess.Popen(
+            self._worker_command(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=self._worker_env(),
+            text=True,
+        )
+        try:
+            address = self._await_banner(process, slot)
+            client = ServiceClient(address, timeout=self.request_timeout)
+        except BaseException:
+            process.kill()
+            process.wait(timeout=10)
+            raise
+        return _Shard(
+            slot=slot,
+            generation=generation,
+            process=process,
+            address=address,
+            client=client,
+        )
+
+    def _await_banner(self, process: subprocess.Popen, slot: int) -> Tuple[str, int]:
+        """Wait for the worker's ``listening on host:port`` startup line."""
+        deadline = time.monotonic() + self.spawn_timeout
+        assert process.stdout is not None
+        while True:
+            if process.poll() is not None:
+                raise ShardUnavailableError(
+                    f"shard {slot} exited during startup "
+                    f"(returncode {process.returncode})"
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ShardUnavailableError(
+                    f"shard {slot} did not report its address within "
+                    f"{self.spawn_timeout}s"
+                )
+            ready, _, _ = select.select([process.stdout], [], [], min(remaining, 0.2))
+            if not ready:
+                continue
+            line = process.stdout.readline()
+            if not line:
+                continue  # EOF races with poll() above
+            match = _BANNER.search(line)
+            if match is None:
+                raise ShardUnavailableError(
+                    f"shard {slot} printed an unexpected banner: {line!r}"
+                )
+            return match.group(1), int(match.group(2))
+
+    def _retire(self, shard: _Shard) -> None:
+        try:
+            shard.client.close()
+        except Exception:
+            pass
+        if shard.process.poll() is None:
+            shard.process.kill()
+        try:
+            shard.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kill is forceful
+            pass
+        if shard.process.stdout is not None:
+            shard.process.stdout.close()
+
+    # ------------------------------------------------------------------ #
+    # Routing and recovery
+    # ------------------------------------------------------------------ #
+    def _route(self, fingerprint: str) -> _Shard:
+        if self._closed:
+            raise RuntimeError("fleet is closed")
+        try:
+            slot = self._ring.route(fingerprint)
+        except LookupError:
+            raise ShardUnavailableError(
+                "no live shards remain in the fleet"
+            ) from None
+        with self._lock:
+            shard = self._shards.get(slot)
+        if shard is None:  # pragma: no cover - membership races are tiny
+            raise ShardUnavailableError(f"shard {slot} is being replaced")
+        return shard
+
+    def _record_for(self, handle: Union[RemoteHandle, str]) -> _FleetPattern:
+        handle_id = (
+            handle.handle_id if isinstance(handle, RemoteHandle) else str(handle)
+        )
+        with self._lock:
+            record = self._patterns.get(handle_id)
+        if record is None:
+            raise PatternEvictedError(
+                f"no fleet-registered pattern for handle {handle_id!r}"
+            )
+        return record
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[counter] += amount
+
+    def _recover(self, slot: int, generation: int) -> None:
+        """Replace (or retire) a dead shard; idempotent per generation.
+
+        Every caller that observed the failure races here; the generation
+        check makes all but the first a no-op, so one death costs one
+        respawn no matter how many requests were in flight on it.
+        """
+        with self._recover_lock:
+            with self._lock:
+                shard = self._shards.get(slot)
+                if shard is None or shard.generation != generation:
+                    return  # someone else already recovered this death
+            if self._closed:
+                return
+            self._bump("shard_deaths")
+            self._retire(shard)
+            # Only the dead shard's patterns move — computed against the
+            # pre-removal ring, so survivors' patterns are never touched
+            # (consistent hashing's 1/N reshuffle bound, made literal).
+            with self._lock:
+                records = list(self._patterns.values())
+            affected = [
+                r for r in records if self._ring.route(r.fingerprint) == slot
+            ]
+            if self.respawn:
+                replacement = self._spawn(slot, generation=generation + 1)
+                with self._lock:
+                    self._shards[slot] = replacement
+                self._bump("respawns")
+            else:
+                with self._lock:
+                    self._shards.pop(slot, None)
+                self._ring.remove(slot)
+                self._bump("rebalances")
+            self._rehome(affected)
+
+    def _rehome(self, records: List[_FleetPattern]) -> None:
+        """Re-register ``records`` on whichever shard now owns them.
+
+        Registration is idempotent server-side; over the shared disk cache a
+        fresh replacement process comes back with ``handle.warm`` set — the
+        zero-recompile guarantee the counters assert.
+        """
+        for record in records:
+            try:
+                owner = self._ring.route(record.fingerprint)
+            except LookupError:
+                return  # fleet is empty; nothing to re-home
+            with self._lock:
+                shard = self._shards.get(owner)
+            if shard is None:
+                continue
+            handle = shard.client.register_pattern(
+                record.A,
+                kernel=record.kernel,
+                ordering=record.ordering,
+                options=record.options,
+            )
+            self._bump("reregisters")
+            self._bump("warm_reregisters" if handle.warm else "cold_reregisters")
+            with self._lock:
+                record.handle = handle
+
+    def kill_shard(self, slot: int) -> None:
+        """Fault injection: hard-kill shard ``slot``'s process.
+
+        Death is then observed (and recovered from) by the next request
+        routed to it, exactly like an uncontrolled crash.
+        """
+        with self._lock:
+            shard = self._shards.get(slot)
+        if shard is None:
+            raise LookupError(f"no live shard {slot}")
+        shard.process.kill()
+        shard.process.wait(timeout=10)
+
+    def recover_now(self, slot: int) -> None:
+        """Eagerly run recovery for ``slot`` (normally it happens lazily)."""
+        with self._lock:
+            shard = self._shards.get(slot)
+        if shard is not None:
+            self._recover(slot, shard.generation)
+
+    # ------------------------------------------------------------------ #
+    # SolverEndpoint surface
+    # ------------------------------------------------------------------ #
+    def register_pattern(
+        self,
+        A,
+        *,
+        kernel: str = "cholesky",
+        ordering: str = "natural",
+        options: Optional[Union[SympilerOptions, Dict]] = None,
+    ) -> RemoteHandle:
+        """Register ``A``'s pattern on the shard its fingerprint routes to."""
+        if not isinstance(A, CSCMatrix):
+            from repro.frontend.ingest import as_csc
+
+            A = as_csc(A)
+        fingerprint = pattern_fingerprint(A.indptr, A.indices, extra=f"n={A.n}")
+        attempts = 2
+        while True:
+            shard = self._route(fingerprint)
+            try:
+                handle = shard.client.register_pattern(
+                    A, kernel=kernel, ordering=ordering, options=options
+                )
+                break
+            except _SHARD_FAILURES:
+                attempts -= 1
+                if attempts <= 0:
+                    raise
+                self._bump("failovers")
+                self._recover(shard.slot, shard.generation)
+        with self._lock:
+            self._patterns[handle.handle_id] = _FleetPattern(
+                handle=handle,
+                A=A,
+                kernel=kernel,
+                ordering=ordering,
+                options=options,
+                fingerprint=fingerprint,
+            )
+        return handle
+
+    def solve(
+        self,
+        handle: Union[RemoteHandle, str],
+        values: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Solve on the owning shard, failing over once on shard death."""
+        record = self._record_for(handle)
+        attempts = 2
+        while True:
+            shard = self._route(record.fingerprint)
+            try:
+                return shard.client.solve(
+                    record.handle.handle_id, values, rhs, timeout=timeout
+                )
+            except _SHARD_FAILURES:
+                attempts -= 1
+                if attempts <= 0:
+                    raise
+                self._bump("failovers")
+                self._recover(shard.slot, shard.generation)
+
+    def submit(
+        self,
+        handle: Union[RemoteHandle, str],
+        values: np.ndarray,
+        rhs: np.ndarray,
+    ) -> Future:
+        """Pipelined solve: enqueue on the owning shard, future out.
+
+        The request rides the shard connection's protocol-v2 pipelining, so
+        many submits fill each shard's coalescing window concurrently.  On
+        shard death the future transparently resubmits once after recovery.
+        """
+        record = self._record_for(handle)
+        result: Future = Future()
+        self._submit_attempt(record, values, rhs, result, attempts=2)
+        return result
+
+    def _submit_attempt(
+        self,
+        record: _FleetPattern,
+        values: np.ndarray,
+        rhs: np.ndarray,
+        result: Future,
+        attempts: int,
+    ) -> None:
+        shard: Optional[_Shard] = None
+        try:
+            shard = self._route(record.fingerprint)
+            inner = shard.client.submit(record.handle.handle_id, values, rhs)
+        except _SHARD_FAILURES as exc:
+            self._failover_or_fail(record, values, rhs, result, attempts, shard, exc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            result.set_exception(exc)
+            return
+
+        def _done(done: Future) -> None:
+            try:
+                result.set_result(done.result())
+            except _SHARD_FAILURES as exc:
+                self._failover_or_fail(record, values, rhs, result, attempts, shard, exc)
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                result.set_exception(exc)
+
+        inner.add_done_callback(_done)
+
+    def _failover_or_fail(
+        self,
+        record: _FleetPattern,
+        values: np.ndarray,
+        rhs: np.ndarray,
+        result: Future,
+        attempts: int,
+        shard: Optional[_Shard],
+        exc: BaseException,
+    ) -> None:
+        if attempts <= 1:
+            result.set_exception(exc)
+            return
+        try:
+            self._bump("failovers")
+            if shard is not None:
+                self._recover(shard.slot, shard.generation)
+            self._submit_attempt(record, values, rhs, result, attempts - 1)
+        except BaseException as recovery_exc:  # noqa: BLE001 - future carries it
+            result.set_exception(recovery_exc)
+
+    @staticmethod
+    def result(future: Future, *, timeout: Optional[float] = None) -> np.ndarray:
+        """Wait on a :meth:`submit` future (sugar for ``future.result``)."""
+        return future.result(timeout=timeout)
+
+    def evict(self, handle: Union[RemoteHandle, str]) -> bool:
+        """Evict a pattern fleet-wide (owning shard + the router's records)."""
+        handle_id = (
+            handle.handle_id if isinstance(handle, RemoteHandle) else str(handle)
+        )
+        with self._lock:
+            record = self._patterns.pop(handle_id, None)
+        if record is None:
+            return False
+        try:
+            shard = self._route(record.fingerprint)
+            return shard.client.evict(handle_id)
+        except _SHARD_FAILURES:
+            return True  # the shard (and its registration) is already gone
+
+    def stats(self) -> Dict:
+        """Fleet-level stats: router counters plus per-shard snapshots."""
+        with self._lock:
+            shards = dict(self._shards)
+            counters = dict(self.counters)
+            registered = len(self._patterns)
+        per_shard: Dict[str, Dict] = {}
+        for slot, shard in sorted(shards.items()):
+            try:
+                per_shard[str(slot)] = shard.client.stats()
+            except _SHARD_FAILURES:
+                per_shard[str(slot)] = {"unavailable": True}
+        return {
+            "shards": len(shards),
+            "registered_patterns": registered,
+            "counters": counters,
+            "per_shard": per_shard,
+        }
+
+    def metrics_text(self) -> str:
+        """One merged Prometheus page: all shards, ``shard="i"``-labelled,
+        plus the fleet's own ``repro_fleet_*`` counters."""
+        from repro.observe.exporters import relabel_prometheus_text
+
+        with self._lock:
+            shards = dict(self._shards)
+            counters = dict(self.counters)
+        pages: List[str] = []
+        for slot, shard in sorted(shards.items()):
+            try:
+                text = shard.client.metrics_text()
+            except _SHARD_FAILURES:
+                continue
+            pages.append(relabel_prometheus_text(text, shard=str(slot)))
+        fleet_lines = [
+            "# TYPE repro_fleet_shards gauge",
+            f"repro_fleet_shards {len(shards)}",
+        ]
+        for name, value in sorted(counters.items()):
+            fleet_lines.append(f"# TYPE repro_fleet_{name} counter")
+            fleet_lines.append(f"repro_fleet_{name} {value}")
+        pages.append("\n".join(fleet_lines) + "\n")
+        return "".join(pages)
+
+    def close(self) -> None:
+        """Shut the whole fleet down (idempotent): close clients, kill workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            shards = list(self._shards.values())
+            self._shards.clear()
+            self._patterns.clear()
+        for shard in shards:
+            self._retire(shard)
+
+    def __enter__(self) -> "ShardFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            n = len(self._shards)
+            p = len(self._patterns)
+        return f"ShardFleet(shards={n}, patterns={p}, respawn={self.respawn})"

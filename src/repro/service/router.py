@@ -1,0 +1,90 @@
+"""Consistent-hash routing for the sharded solver fleet.
+
+A :class:`ConsistentHashRing` maps pattern fingerprints to shard slots so
+that (a) the same pattern always lands on the same shard — its compiled
+kernel and numeric factor stay hot there — and (b) when a shard leaves,
+only the patterns that lived on it move; every other pattern keeps its
+placement (the classic 1/N reshuffle bound, vs. N-1/N for modulo hashing).
+
+Each shard contributes ``vnodes`` virtual points on a 64-bit ring (the
+first 8 bytes of ``sha256(f"{slot}#{replica}")``); a key routes to the
+first point clockwise of ``sha256(key)``.  Virtual nodes smooth the load:
+with 64 points per shard the per-shard key share concentrates near 1/N.
+
+The ring is deliberately dumb — no health, no weights, no locks.  The
+fleet owns membership and serializes mutations; the ring just answers
+"which slot?" in O(log points) via :mod:`bisect`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit ring position for ``data``."""
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps string keys to integer shard slots with minimal reshuffling."""
+
+    def __init__(self, slots: Optional[List[int]] = None, *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._points: List[int] = []  # sorted ring positions
+        self._owner: Dict[int, int] = {}  # position -> slot
+        for slot in slots or ():
+            self.add(slot)
+
+    def add(self, slot: int) -> None:
+        """Add ``slot``'s virtual points (idempotent)."""
+        if slot in self.slots():
+            return
+        for replica in range(self.vnodes):
+            position = _point(f"{slot}#{replica}")
+            # 64-bit collisions across distinct slots are effectively
+            # impossible; first-writer-wins keeps the ring deterministic.
+            if position in self._owner:
+                continue
+            bisect.insort(self._points, position)
+            self._owner[position] = slot
+
+    def remove(self, slot: int) -> None:
+        """Remove ``slot``'s virtual points (idempotent)."""
+        positions = [p for p, s in self._owner.items() if s == slot]
+        for position in positions:
+            del self._owner[position]
+            index = bisect.bisect_left(self._points, position)
+            if index < len(self._points) and self._points[index] == position:
+                del self._points[index]
+
+    def slots(self) -> List[int]:
+        """The current member slots, sorted."""
+        return sorted(set(self._owner.values()))
+
+    def route(self, key: str) -> int:
+        """The slot owning ``key``: first virtual point clockwise of its hash."""
+        if not self._points:
+            raise LookupError("hash ring is empty (no live shards)")
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._owner[self._points[index]]
+
+    def __len__(self) -> int:
+        return len(self.slots())
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self.slots()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConsistentHashRing(slots={self.slots()}, vnodes={self.vnodes}, "
+            f"points={len(self._points)})"
+        )

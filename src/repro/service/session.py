@@ -574,6 +574,17 @@ class SolverService:
             snapshot["artifact_cache"]["pinned"] = cache.pinned_count
         return snapshot
 
+    def metrics_text(self) -> str:
+        """The unified registry as Prometheus exposition text.
+
+        The in-process leg of the :class:`~repro.service.endpoint.SolverEndpoint`
+        contract: the same text the wire ``metrics`` verb serves (this
+        service's counters are pull-collected into the default registry).
+        """
+        from repro.observe import prometheus_text
+
+        return prometheus_text()
+
     def close(self, timeout: float = 10.0) -> None:
         """Drain queued work, stop the dispatcher and reject further calls.
 

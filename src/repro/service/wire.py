@@ -16,9 +16,28 @@ arbitrary object deserialization).  Works identically over TCP
 Operations: ``register`` (pattern + values + kernel/options → handle
 metadata), ``solve`` (handle id + values + rhs → solution frame), ``stats``,
 ``metrics`` (the unified observability registry rendered as Prometheus text,
-returned as a ``uint8`` frame), ``evict``, ``ping`` and ``shutdown``.  Error responses carry ``ok: false``,
-a ``kind`` (``"overloaded"`` includes ``retry_after`` for client backoff,
-``"evicted"`` means re-register) and the server-side message.
+returned as a ``uint8`` frame), ``evict``, ``ping``, ``shutdown`` and
+``hello``.  Error responses carry ``ok: false``, a ``kind`` (the stable tags
+of :mod:`repro.service.errors` — ``"overloaded"`` includes ``retry_after``
+for client backoff, ``"evicted"`` means re-register), ``retryable`` and the
+server-side message.
+
+**Protocol v2** (negotiated, v1 clients keep working):
+
+* ``hello`` — the client's first message (framed as v1 so pre-v2 servers
+  answer with a harmless ``unknown operation`` error instead of dropping the
+  connection) advertises its supported versions; the server answers with the
+  highest mutual version.  No hello ⇒ the connection speaks v1.
+* **request ids** — a v2 request may carry ``id`` in its header; the
+  response echoes it.  ``solve`` requests with an id are dispatched through
+  the service's *async* ``submit`` path and their responses may arrive **out
+  of order**, so one connection keeps a full coalescing window in flight
+  instead of one lock-step round-trip per request.  Requests without an id
+  (and every v1 request) keep strict request/response ordering.
+
+Responses are framed with the same version byte as the request they answer,
+so both protocol generations coexist on one server (different connections —
+or even interleaved id-less messages on a v2 connection).
 """
 
 from __future__ import annotations
@@ -29,18 +48,19 @@ import socketserver
 import struct
 import threading
 from dataclasses import fields as dataclass_fields
-from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.compiler.options import SympilerOptions
-from repro.service.admission import PatternEvictedError, ServiceOverloadedError
+from repro.service.errors import ProtocolError, to_wire_error
 from repro.service.session import SolverService
 from repro.sparse.csc import CSCMatrix
 
 __all__ = [
     "MAGIC",
     "WIRE_VERSION",
+    "SUPPORTED_WIRE_VERSIONS",
     "ProtocolError",
     "send_message",
     "recv_message",
@@ -50,7 +70,14 @@ __all__ = [
 ]
 
 MAGIC = b"RSRV"
-WIRE_VERSION = 1
+#: The newest protocol generation this build speaks (and the default framing
+#: version for :func:`send_message`).
+WIRE_VERSION = 2
+#: Every generation the server accepts on the wire.  v1 is the original
+#: lock-step protocol; v2 adds ``hello`` negotiation and request-id
+#: pipelining.  The framing bytes are identical — only the version byte and
+#: the header vocabulary differ.
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 _HEAD = struct.Struct(">4sBI")
 
 #: Hard ceilings so a corrupt or malicious peer fails loudly instead of
@@ -65,17 +92,24 @@ _ALLOWED_DTYPES = frozenset(
 )
 
 
-class ProtocolError(RuntimeError):
-    """Malformed or oversized wire data."""
-
-
 # --------------------------------------------------------------------------- #
 # Framing
 # --------------------------------------------------------------------------- #
 def send_message(
-    stream: BinaryIO, header: Dict, frames: Sequence[np.ndarray] = ()
+    stream: BinaryIO,
+    header: Dict,
+    frames: Sequence[np.ndarray] = (),
+    *,
+    version: int = WIRE_VERSION,
 ) -> None:
-    """Write one framed message (header JSON + raw ndarray frames)."""
+    """Write one framed message (header JSON + raw ndarray frames).
+
+    ``version`` selects the framing version byte; servers answer each request
+    with the version it arrived under, clients frame according to what the
+    ``hello`` negotiation settled on.
+    """
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        raise ProtocolError(f"cannot frame unsupported wire version {version}")
     arrays = []
     for frame in frames:
         a = np.asarray(frame)
@@ -91,7 +125,7 @@ def send_message(
     payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_HEADER_BYTES:
         raise ProtocolError(f"header of {len(payload)} bytes exceeds the limit")
-    stream.write(_HEAD.pack(MAGIC, WIRE_VERSION, len(payload)))
+    stream.write(_HEAD.pack(MAGIC, version, len(payload)))
     stream.write(payload)
     for a in arrays:
         if a.ndim == 0:
@@ -118,8 +152,17 @@ def _read_exact(stream: BinaryIO, nbytes: int) -> bytes:
 
 def recv_message(
     stream: BinaryIO,
-) -> Optional[Tuple[Dict, List[np.ndarray]]]:
-    """Read one framed message; ``None`` on clean EOF before a new message."""
+    *,
+    with_version: bool = False,
+) -> Optional[
+    Union[Tuple[Dict, List[np.ndarray]], Tuple[Dict, List[np.ndarray], int]]
+]:
+    """Read one framed message; ``None`` on clean EOF before a new message.
+
+    Accepts every generation in :data:`SUPPORTED_WIRE_VERSIONS`.  With
+    ``with_version=True`` the result is ``(header, frames, version)`` — the
+    server uses it to answer each request under the version it arrived with.
+    """
     head = stream.read(_HEAD.size)
     if not head:
         return None
@@ -128,7 +171,7 @@ def recv_message(
     magic, version, header_len = _HEAD.unpack(head)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
         raise ProtocolError(f"unsupported wire version {version}")
     if header_len > MAX_HEADER_BYTES:
         raise ProtocolError(f"header of {header_len} bytes exceeds the limit")
@@ -152,6 +195,8 @@ def recv_message(
             raise ProtocolError(f"frame of {nbytes} bytes exceeds the limit")
         raw = _read_exact(stream, nbytes)
         frames.append(np.frombuffer(raw, dtype=dtype).reshape(shape))
+    if with_version:
+        return header, frames, version
     return header, frames
 
 
@@ -203,6 +248,29 @@ def handle_request(
     op = header.get("op")
     if op == "ping":
         return {"ok": True, "pong": True}, []
+    if op == "hello":
+        # Version negotiation: the client advertises what it speaks, the
+        # server answers with the highest mutual generation.  Framed as v1 on
+        # the wire so a pre-v2 server answers `unknown operation` (and the
+        # client falls back to v1) instead of dropping the connection.
+        offered = header.get("versions")
+        if offered is None:
+            offered = [int(header.get("version", 1))]
+        try:
+            offered = {int(v) for v in offered}
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"unparseable hello versions: {offered!r}") from exc
+        mutual = [v for v in SUPPORTED_WIRE_VERSIONS if v in offered]
+        if not mutual:
+            raise ProtocolError(
+                f"no mutual wire version (client {sorted(offered)}, "
+                f"server {list(SUPPORTED_WIRE_VERSIONS)})"
+            )
+        return {
+            "ok": True,
+            "version": max(mutual),
+            "versions": list(SUPPORTED_WIRE_VERSIONS),
+        }, []
     if op == "stats":
         return {"ok": True, "stats": service.stats()}, []
     if op == "metrics":
@@ -261,49 +329,104 @@ def handle_request(
 
 
 def _error_response(exc: Exception) -> Dict:
-    if isinstance(exc, ServiceOverloadedError):
-        return {
-            "ok": False,
-            "kind": "overloaded",
-            "error": str(exc),
-            "retry_after": exc.retry_after,
-        }
-    if isinstance(exc, PatternEvictedError):
-        # KeyError str() wraps the message in quotes; unwrap for the client.
-        message = exc.args[0] if exc.args else str(exc)
-        return {"ok": False, "kind": "evicted", "error": str(message)}
-    if isinstance(exc, ProtocolError):
-        return {"ok": False, "kind": "protocol", "error": str(exc)}
-    return {"ok": False, "kind": type(exc).__name__, "error": str(exc)}
+    # One mapping for the in-process and wire paths: defined in errors.py.
+    return to_wire_error(exc)
 
 
 class _ServiceConnectionHandler(socketserver.StreamRequestHandler):
-    """One client connection: a loop of framed request/response exchanges."""
+    """One client connection: a loop of framed request exchanges.
+
+    v1 (and id-less v2) requests run lock-step: handle, answer, next.  v2
+    ``solve`` requests carrying an ``id`` go through the service's async
+    ``submit`` path — the response is written by a completion callback under
+    the per-connection write lock, possibly out of order and interleaved
+    with later requests' responses, so a single connection fills the
+    service's coalescing window instead of trickling one request per
+    round-trip.
+    """
+
+    def setup(self) -> None:  # pragma: no cover - exercised via sockets
+        super().setup()
+        # Serializes response writes: the recv loop (sync responses) and the
+        # solve completion callbacks (pipelined responses) share one stream.
+        self._write_lock = threading.Lock()
+
+    def _send_response(
+        self, response: Dict, out_frames: Sequence[np.ndarray], version: int
+    ) -> bool:
+        try:
+            with self._write_lock:
+                send_message(self.wfile, response, out_frames, version=version)
+            return True
+        except (OSError, ValueError):
+            # The client went away (or the stream was torn down mid-write);
+            # the service itself is unaffected.
+            return False
+
+    def _submit_pipelined_solve(
+        self, header: Dict, frames: List[np.ndarray], version: int
+    ) -> None:
+        """Dispatch one id-carrying v2 solve through the async submit path."""
+        request_id = header.get("id")
+        service = self.server.service
+        try:
+            if len(frames) != 2:
+                raise ProtocolError(
+                    f"solve expects 2 frames (values, rhs), got {len(frames)}"
+                )
+            values, rhs = frames
+            future = service.submit(
+                str(header.get("handle", "")),
+                np.asarray(values, dtype=np.float64).reshape(-1),
+                np.asarray(rhs, dtype=np.float64).reshape(-1),
+            )
+        except Exception as exc:
+            # Synchronous rejection (overload, eviction, shape): answer
+            # immediately — only this request fails, the connection lives on.
+            response = _error_response(exc)
+            response["id"] = request_id
+            self._send_response(response, [], version)
+            return
+
+        def _finish(done) -> None:
+            try:
+                x = done.result()
+                response, out_frames = {"ok": True, "id": request_id}, [x]
+            except Exception as exc:  # noqa: BLE001 - mapped onto the wire
+                response = _error_response(exc)
+                response["id"] = request_id
+                out_frames = []
+            self._send_response(response, out_frames, version)
+
+        future.add_done_callback(_finish)
 
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
         while True:
             try:
-                message = recv_message(self.rfile)
+                message = recv_message(self.rfile, with_version=True)
             except ProtocolError as exc:
                 # The stream is unsynchronized after a framing error; report
                 # and drop the connection (the service itself is unaffected).
-                try:
-                    send_message(self.wfile, _error_response(exc))
-                except OSError:
-                    pass
+                # Framed as v1 — the lowest common denominator, since the
+                # offending message's generation is unknown.
+                self._send_response(_error_response(exc), [], 1)
                 return
             if message is None:
                 return
-            header, frames = message
+            header, frames, version = message
+            request_id = header.get("id")
+            if version >= 2 and request_id is not None and header.get("op") == "solve":
+                self._submit_pipelined_solve(header, frames, version)
+                continue
             try:
                 response, out_frames = handle_request(
                     self.server.service, header, frames
                 )
             except Exception as exc:
                 response, out_frames = _error_response(exc), []
-            try:
-                send_message(self.wfile, response, out_frames)
-            except OSError:
+            if request_id is not None:
+                response["id"] = request_id
+            if not self._send_response(response, out_frames, version):
                 return
             if header.get("op") == "shutdown" and response.get("ok"):
                 self.server.request_shutdown()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import io
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -247,9 +248,9 @@ class TestEndToEnd:
                 A, options=SympilerOptions(enable_vs_block=False)
             )
             assert handle.n == A.n
-            from repro.service.client import RemoteServiceError
+            from repro.service.errors import ProtocolError
 
-            with pytest.raises(RemoteServiceError):
+            with pytest.raises(ProtocolError, match="no_such_option"):
                 client.register_pattern(A, options={"no_such_option": True})
 
     def test_concurrent_clients_share_coalesced_batches(self, served):
@@ -281,13 +282,15 @@ class TestEndToEnd:
             assert np.allclose(x, baseline, atol=1e-8)
         assert service.metrics.count("solves_ok") >= 8
 
-    def test_midcall_failure_poisons_the_connection(self, served):
-        """After a timeout/desync the client refuses reuse instead of
-        silently reading the previous call's response."""
+    def test_midcall_failure_poisons_a_v1_connection(self, served):
+        """Under the legacy lock-step protocol a timeout/desync poisons the
+        connection: without request ids the client cannot tell the stale
+        response from the next call's, so reuse is refused."""
         address, _ = served
         A = laplacian_2d(6, shift=0.3)
-        client = ServiceClient(address, timeout=30.0)
+        client = ServiceClient(address, timeout=30.0, protocol=1)
         try:
+            assert client.protocol == 1
             handle = client.register_pattern(A)
             # Simulate a mid-call failure: a too-short read deadline while
             # the response is still in flight.
@@ -300,6 +303,26 @@ class TestEndToEnd:
         finally:
             client.close()
 
+    def test_v2_timeout_orphans_only_that_request(self, served):
+        """Under protocol v2 a timed-out solve is abandoned by id: the late
+        response is discarded as an orphan and the connection stays usable
+        — the desync-recovery fix."""
+        address, _ = served
+        A = laplacian_2d(6, shift=0.3)
+        with ServiceClient(address, timeout=30.0, protocol=2) as client:
+            assert client.protocol == 2
+            handle = client.register_pattern(A)
+            with pytest.raises(TimeoutError, match="abandoned"):
+                client.solve(handle, A.data, np.ones(A.n), timeout=0.000001)
+            # Same connection, next request: still works.
+            x = client.solve(handle, A.data, np.ones(A.n))
+            assert np.isfinite(x).all()
+            assert client.ping()
+            deadline = time.monotonic() + 5.0
+            while client.orphaned_responses < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert client.orphaned_responses >= 1
+
     def test_shutdown_op_stops_the_server(self):
         service = SolverService(options=SympilerOptions(enable_vs_block=False))
         server, thread = serve_background(service)
@@ -308,3 +331,118 @@ class TestEndToEnd:
         thread.join(timeout=10)
         assert not thread.is_alive()
         server.server_close()
+
+
+class TestProtocolV2:
+    """Negotiation, pipelining, and cross-generation compatibility."""
+
+    @pytest.fixture()
+    def served(self):
+        service = SolverService(
+            options=SympilerOptions(enable_vs_block=False),
+            window_seconds=0.005,
+            max_batch=16,
+        )
+        server, thread = serve_background(service)
+        yield server.server_address, service
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_hello_negotiates_v2_by_default(self, served):
+        address, _ = served
+        with ServiceClient(address) as client:
+            assert client.protocol == 2
+
+    def test_hello_handled_in_process(self):
+        service = SolverService(options=SympilerOptions(enable_vs_block=False))
+        try:
+            response, frames = handle_request(
+                service, {"op": "hello", "versions": [1, 2]}, []
+            )
+            assert response["ok"] and response["version"] == 2
+            assert frames == []
+            # A hypothetical future-only client with no mutual version.
+            with pytest.raises(ProtocolError, match="no mutual wire version"):
+                handle_request(service, {"op": "hello", "versions": [99]}, [])
+        finally:
+            service.close()
+
+    def test_v1_client_roundtrips_against_v2_server(self, served):
+        """The compatibility guarantee: a pinned-v1 client (standing in for
+        an old binary) registers and solves against the v2 server."""
+        address, _ = served
+        A = laplacian_2d(8, shift=0.1)
+        ref = SparseLinearSolver(
+            A, ordering="natural", options=SympilerOptions(enable_vs_block=False)
+        )
+        with ServiceClient(address, protocol=1) as client:
+            assert client.protocol == 1
+            assert client.ping()
+            handle = client.register_pattern(A)
+            x = client.solve(handle, A.data, np.linspace(0.5, 1.5, A.n))
+            assert np.array_equal(x, ref.solve(np.linspace(0.5, 1.5, A.n)))
+
+    def test_requiring_v2_is_refusable(self, served):
+        # protocol=2 against this (v2) server succeeds...
+        address, _ = served
+        with ServiceClient(address, protocol=2) as client:
+            assert client.protocol == 2
+        # ...and an unsupported pin is rejected up front.
+        with pytest.raises(ValueError, match="protocol"):
+            ServiceClient(address, protocol=3)
+
+    def test_pipelined_submits_roundtrip_bitwise(self, served):
+        """Many in-flight submits on ONE connection, resolved out of band,
+        each bitwise-identical to the lock-step answer."""
+        address, service = served
+        A = laplacian_2d(9, shift=0.1)
+        ref = SparseLinearSolver(
+            A, ordering="natural", options=SympilerOptions(enable_vs_block=False)
+        )
+        with ServiceClient(address) as client:
+            handle = client.register_pattern(A)
+            rhss = [np.linspace(0.1, 1.0 + w, A.n) for w in range(24)]
+            futures = [client.submit(handle, A.data, rhs) for rhs in rhss]
+            for rhs, future in zip(rhss, futures):
+                x = client.result(future, timeout=60)
+                assert np.array_equal(x, ref.solve(rhs))
+        # A single connection fed the coalescing window: at least one batch
+        # carried more than one request.
+        assert service.metrics.count("solves_ok") >= 24
+
+    def test_v1_submit_degrades_to_resolved_future(self, served):
+        address, _ = served
+        A = laplacian_2d(7, shift=0.2)
+        with ServiceClient(address, protocol=1) as client:
+            handle = client.register_pattern(A)
+            future = client.submit(handle, A.data, np.ones(A.n))
+            assert future.done()
+            assert np.isfinite(client.result(future)).all()
+
+    def test_submit_error_lands_in_the_future_not_the_connection(self, served):
+        address, _ = served
+        A = laplacian_2d(6, shift=0.2)
+        with ServiceClient(address) as client:
+            handle = client.register_pattern(A)
+            bad = client.submit("deadbeefdeadbeef", np.ones(3), np.ones(3))
+            with pytest.raises(PatternEvictedError):
+                client.result(bad, timeout=30)
+            # The connection is unaffected.
+            good = client.submit(handle, A.data, np.ones(A.n))
+            assert np.isfinite(client.result(good, timeout=30)).all()
+
+    def test_close_fails_pending_futures(self, served):
+        from repro.service.errors import ShardUnavailableError
+
+        address, service = served
+        A = laplacian_2d(6, shift=0.2)
+        client = ServiceClient(address)
+        handle = client.register_pattern(A)
+        # Park a request behind a long coalescing window, then close.
+        service.coalescer.window_seconds = 60.0
+        future = client.submit(handle, A.data, np.ones(A.n))
+        client.close()
+        with pytest.raises(ShardUnavailableError):
+            future.result(timeout=10)
+        service.coalescer.window_seconds = 0.005
