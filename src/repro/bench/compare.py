@@ -151,6 +151,12 @@ GATED_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
         # no-op path) lands at whole percents.  The absolute < 3 % ceiling
         # is asserted in the CI observe step.
         GatedMetric("disabled_overhead_pct", "lower", noise=2.0),
+        # Same contract across the service wire: spans opened by one remote
+        # solve (client + server side) priced at the disabled-span cost
+        # against the warm wire round-trip.  The wire adds latency headroom,
+        # so this sits even lower than the in-process figure; the same
+        # absolute allowance covers timing jitter.
+        GatedMetric("remote_span_overhead_pct", "lower", noise=2.0),
     ),
     "fleet": (
         GatedMetric("v1_compat", "bool"),

@@ -1428,8 +1428,13 @@ def observe_overhead(
 
     with ``K`` spans per warm solve, ``c`` the disabled span cost and ``t``
     the warm untraced solve time — the worst-case fraction of a production
-    solve spent on dormant instrumentation (CI asserts < 3 %).  The enabled
-    pass also proves the export surface end to end:
+    solve spent on dormant instrumentation (CI asserts < 3 %).  A second
+    leg prices the same contract across the service wire: an in-process
+    ``serve_background`` server, a warm untraced ``ServiceClient.solve``
+    (``warm_wire_seconds``), and the span count of one traced wire solve
+    (client ``wire-solve`` + server ``serve`` + dispatch spans) folded into
+    ``remote_span_overhead_pct`` — gated at the same < 3 % line.  The
+    enabled pass also proves the export surface end to end:
     ``breakdown_has_phases`` (the amortization breakdown saw the numeric
     phase) and ``trace_nonempty`` (the Chrome trace carries events).
 
@@ -1485,6 +1490,37 @@ def observe_overhead(
         spans_per_warm_solve = len(tracer)
         trace_doc = observe.chrome_trace()
         breakdown = observe.breakdown()
+
+        # Wire leg: the same contract measured across the service wire.  The
+        # server runs in-process (serve_background thread), so both the
+        # client-side ``wire-solve`` span and the server-side ``serve`` span
+        # hit the same process-global tracer — the span count per wire solve
+        # is the total dormant-instrumentation exposure of one remote solve.
+        observe_trace.disable()
+        from repro.service import ServiceClient, SolverService, serve_background
+
+        service = SolverService(
+            options=SympilerOptions(backend=backend, enable_vs_block=False),
+            window_seconds=0.002,
+            max_batch=8,
+        )
+        server, thread = serve_background(service)
+        try:
+            with ServiceClient(server.server_address) as client:
+                handle = client.register_pattern(A)
+                client.solve(handle, A.data, b)  # warm the wire path
+                warm_wire_seconds = best_of(
+                    lambda: client.solve(handle, A.data, b)
+                )
+                observe_trace.enable()
+                observe_trace.reset()
+                client.solve(handle, A.data, b)
+                spans_per_wire_solve = len(tracer)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()
     finally:
         _sympiler_module._SHARED_CACHE = shared_before
         if was_enabled:
@@ -1498,6 +1534,12 @@ def observe_overhead(
         * disabled_span_seconds
         / max(warm_solve_seconds, 1e-12)
     )
+    remote_span_overhead_pct = (
+        100.0
+        * spans_per_wire_solve
+        * disabled_span_seconds
+        / max(warm_wire_seconds, 1e-12)
+    )
     numeric_group = breakdown["groups"].get("numeric", {})
     return [
         {
@@ -1509,6 +1551,9 @@ def observe_overhead(
             "disabled_span_ns": disabled_span_seconds * 1e9,
             "spans_per_warm_solve": int(spans_per_warm_solve),
             "disabled_overhead_pct": disabled_overhead_pct,
+            "warm_wire_seconds": warm_wire_seconds,
+            "spans_per_wire_solve": int(spans_per_wire_solve),
+            "remote_span_overhead_pct": remote_span_overhead_pct,
             "breakdown_has_phases": bool(numeric_group.get("calls", 0) > 0),
             "trace_nonempty": bool(trace_doc["traceEvents"]),
         }

@@ -142,6 +142,16 @@ def build_file_once(
                 # Several waiters may race this unlink — suppress the losers.
                 with contextlib.suppress(FileNotFoundError):
                     os.unlink(lock_path)
+                # Local import: repro.observe pulls in the adapters (and so
+                # this module) at package-import time; this rare cold path is
+                # the wrong place to force that cycle.
+                from repro.observe import events as observe_events
+
+                observe_events.emit(
+                    "stale_lock_break",
+                    lock_path=lock_path,
+                    lock_age_seconds=lock_age,
+                )
                 continue
             time.sleep(poll_seconds)
             continue

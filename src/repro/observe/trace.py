@@ -25,6 +25,7 @@ amortization breakdown (:func:`repro.observe.exporters.breakdown`) and the
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import deque
@@ -39,6 +40,7 @@ __all__ = [
     "SpanContext",
     "Tracer",
     "attach",
+    "attach_remote",
     "capture",
     "disable",
     "enable",
@@ -47,13 +49,26 @@ __all__ = [
     "reset",
     "span",
     "wavefront_levels_enabled",
+    "wire_trace_headers",
 ]
 
 DEFAULT_MAX_SPANS = 65536
 
 _enabled = False
 _wavefront_levels = False
-_ids = itertools.count(1)
+
+
+def _fresh_id_counter() -> "itertools.count[int]":
+    # Span/trace ids must stay unique across *processes*: a fleet merge
+    # (`ShardFleet.chrome_trace`) interleaves spans from every shard, and two
+    # shards both counting 1, 2, 3… would alias unrelated spans.  The low 40
+    # bits count locally; the high bits carry a per-process random tag (xor'd
+    # with the pid so even clones of a forked RNG state diverge).
+    tag = int.from_bytes(os.urandom(3), "big") ^ (os.getpid() & 0xFFFFFF)
+    return itertools.count((((tag << 1) | 1) << 40) + 1)
+
+
+_ids = _fresh_id_counter()
 
 
 @dataclass(frozen=True)
@@ -170,6 +185,18 @@ class Tracer:
         with self._lock:
             self._spans.clear()
 
+    def drain(self) -> List[Span]:
+        """Atomically snapshot-and-clear the finished spans, oldest first.
+
+        This is what the ``trace`` wire verb serves: each drain hands the
+        caller every span finished since the previous drain exactly once, so
+        repeated fleet merges never duplicate shard spans.
+        """
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._spans)
@@ -247,6 +274,38 @@ def attach(ctx: Optional[SpanContext]) -> _Attach:
     a no-op context manager, so worker code wraps unconditionally.
     """
     return _Attach(ctx)
+
+
+def wire_trace_headers() -> Dict[str, int]:
+    """Header keys carrying the current span context across a process boundary.
+
+    Returns ``{"trace_id": ..., "parent_id": ...}`` for the innermost open
+    span, or ``{}`` when tracing is disabled or no span is open — so wire
+    headers carry **no** trace keys unless there is something to propagate
+    (the disabled hot path merges an empty dict).  v1 servers ignore unknown
+    header keys, so the caller never needs to version-gate this.
+    """
+    if not _enabled:
+        return {}
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return {}
+    return {"trace_id": ctx.trace_id, "parent_id": ctx.span_id}
+
+
+def attach_remote(
+    trace_id: Optional[int], parent_id: Optional[int], name: str = "remote"
+) -> _Attach:
+    """Adopt a span context propagated from another process.
+
+    The server side calls this with the ``trace_id``/``parent_id`` wire
+    header values; spans opened under it join the remote caller's trace,
+    parented at the caller's request span.  Missing/malformed ids or
+    locally-disabled tracing degrade to a no-op context manager.
+    """
+    if not _enabled or not isinstance(trace_id, int) or not isinstance(parent_id, int):
+        return _Attach(None)
+    return _Attach(SpanContext(trace_id=trace_id, span_id=parent_id, name=name))
 
 
 def enable(*, wavefront_levels: bool = False, max_spans: Optional[int] = None) -> None:

@@ -16,16 +16,20 @@ JSON either way.
 
 ``--fleet-smoke`` is the sharded-fleet variant: boot a ``--shards``-wide
 :class:`~repro.service.fleet.ShardFleet` (separate worker processes over one
-shared disk cache), pipeline ``--requests`` mixed-pattern solves through the
-v2 wire protocol, hard-kill a pattern-owning shard mid-stream, and assert
-that every request completes and that the replacement shard re-registers
-**warm** — zero cold recompiles.
+shared disk cache) with distributed tracing on, pipeline ``--requests``
+mixed-pattern solves through the v2 wire protocol, hard-kill a
+pattern-owning shard mid-stream, and assert that every request completes,
+that the replacement shard re-registers **warm** — zero cold recompiles —
+that the merged Chrome trace carries spans from ≥ 2 distinct shard pids
+joined to the client's trace ids, and that the kill shows up as
+``shard_death`` + ``failover`` events in the structured event log.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 from typing import List
@@ -221,11 +225,14 @@ def run_fleet_smoke(args) -> int:
     solver, the replacement shard re-registers **warm** from the shared disk
     cache (zero cold recompiles, from the fleet counters), and the merged
     Prometheus page carries every shard label plus the fleet counters.
-    Exits nonzero on any violation; prints a JSON report either way.
+    With tracing enabled fleet-wide it additionally asserts the merged
+    Chrome trace carries spans from ≥ 2 distinct shard pids joined to the
+    client's trace ids, and that the kill emitted ``shard_death`` +
+    ``failover`` events.  Exits nonzero on any violation; prints a JSON
+    report either way.
     """
-    import tempfile
-
-    from repro.service.fleet import ShardFleet
+    from repro import observe
+    from repro.observe import events as observe_events
     from repro.solvers.linear_solver import SparseLinearSolver
     from repro.sparse.generators import fem_stencil_2d, laplacian_2d
 
@@ -252,6 +259,29 @@ def run_fleet_smoke(args) -> int:
         rhs = np.sin(np.arange(A.n, dtype=np.float64) + k)
         return name, A.data * scale, rhs, references[name].solve(rhs) / scale
 
+    # Distributed tracing on, both sides of the wire: the fleet client here,
+    # and (via `trace=True` → the worker `--trace` flag) every shard process.
+    observe.enable()
+    observe.reset()
+    observe_events.get_event_log().clear()
+    try:
+        return _run_fleet_smoke_traced(
+            args, matrices, references, request, failures, total
+        )
+    finally:
+        observe.disable()
+        observe.reset()
+
+
+def _run_fleet_smoke_traced(args, matrices, references, request, failures, total) -> int:
+    import tempfile
+
+    from repro.observe import events as observe_events
+    from repro.service.fleet import ShardFleet
+
+    options = SympilerOptions(backend=args.backend)
+    if args.backend == "python":
+        options = options.with_updates(enable_vs_block=False)
     with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as cache_dir:
         with ShardFleet(
             args.shards,
@@ -261,6 +291,7 @@ def run_fleet_smoke(args) -> int:
             max_batch=args.max_batch,
             max_in_flight=max(4 * total, args.max_in_flight),
             max_patterns=args.max_patterns,
+            trace=True,
         ) as fleet:
             handles = {
                 name: fleet.register_pattern(A, options=options)
@@ -295,6 +326,41 @@ def run_fleet_smoke(args) -> int:
             counters = dict(fleet.counters)
             metrics_text = fleet.metrics_text()
             shards_alive = fleet.stats()["shards"]
+            health = fleet.health()
+            trace_doc = fleet.chrome_trace()
+
+        # ---- distributed-trace asserts: shard spans joined to client ids --
+        local_pid = os.getpid()
+        span_events = [e for e in trace_doc["traceEvents"] if e.get("ph") == "X"]
+        shard_pids = sorted({e["pid"] for e in span_events if e["pid"] != local_pid})
+        client_trace_ids = {
+            e["args"].get("trace_id")
+            for e in span_events
+            if e["pid"] == local_pid and e["name"] == "wire-submit"
+        }
+        shard_trace_ids = {
+            e["args"].get("trace_id") for e in span_events if e["pid"] != local_pid
+        }
+        joined_traces = len(client_trace_ids & shard_trace_ids)
+        if len(shard_pids) < min(2, args.shards):
+            failures.append(
+                f"merged Chrome trace has spans from only {len(shard_pids)} "
+                f"shard pid(s) {shard_pids} (expected ≥ {min(2, args.shards)})"
+            )
+        if joined_traces == 0:
+            failures.append(
+                "no shard-side span shares a trace_id with a client "
+                "wire-submit span (trace propagation broken)"
+            )
+        event_kinds = observe_events.get_event_log().kinds()
+        for kind in ("shard_death", "failover"):
+            if not event_kinds.get(kind):
+                failures.append(
+                    f"killing a shard emitted no {kind!r} event "
+                    f"(event log kinds: {event_kinds})"
+                )
+        if health.get("last_failover_at") is None:
+            failures.append("fleet health carries no last-failover timestamp")
 
         if completed != total:
             failures.append(f"only {completed}/{total} requests completed")
@@ -328,6 +394,10 @@ def run_fleet_smoke(args) -> int:
         "requests": completed,
         "victim_slot": victim,
         "counters": counters,
+        "trace_shard_pids": shard_pids,
+        "trace_joined": joined_traces,
+        "event_kinds": event_kinds,
+        "fleet_status": health.get("status"),
         "failures": failures,
     }
     json.dump(report, sys.stdout, indent=2)
@@ -384,11 +454,21 @@ def main(argv=None) -> int:
         "--shards", type=int, default=2,
         help="[--fleet-smoke] fleet width",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable tracing in this server process (requests carrying "
+        "trace_id/parent_id headers join the caller's trace; the span "
+        "buffer is drained via the trace wire verb)",
+    )
     args = parser.parse_args(argv)
     if args.fleet_smoke:
         return run_fleet_smoke(args)
     if args.smoke:
         return run_smoke(args)
+    if args.trace:
+        from repro import observe
+
+        observe.enable()
     service = _build_service(args)
     server = SolverServiceServer((args.host, args.port), service)
     host, port = server.server_address

@@ -34,8 +34,10 @@ to the same consolidated exception types the in-process API raises
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import asdict, dataclass
@@ -44,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.compiler.options import SympilerOptions
+from repro.observe import trace as observe_trace
 from repro.service.errors import (
     ProtocolError,
     RemoteServiceError,
@@ -363,7 +366,9 @@ class ServiceClient:
             "ordering": ordering,
             "options": payload,
         }
-        response, _ = self._call(header, [A.indptr, A.indices, A.data])
+        with observe_trace.span("wire-register", kernel=kernel, n=A.n):
+            header.update(observe_trace.wire_trace_headers())
+            response, _ = self._call(header, [A.indptr, A.indices, A.data])
         return RemoteHandle(**response["handle"])
 
     @staticmethod
@@ -398,15 +403,22 @@ class ServiceClient:
         the :class:`~repro.service.endpoint.SolverEndpoint` surface.
         """
         header, frames = self._solve_header_frames(handle, values, rhs)
+        # The span covers enqueueing only (the future resolves later), but
+        # the trace headers captured under it make every shard-side span a
+        # child of this request — that is the cross-process trace edge.
         if self.protocol < 2:
             result: Future = Future()
             try:
-                response, out_frames = self._call_v1(header, frames)
+                with observe_trace.span("wire-submit", handle=header["handle"]):
+                    header.update(observe_trace.wire_trace_headers())
+                    response, out_frames = self._call_v1(header, frames)
                 result.set_result(self._solution_from(response, out_frames))
             except BaseException as exc:  # noqa: BLE001 - future carries it
                 result.set_exception(exc)
             return result
-        _, raw = self._submit_raw(header, frames)
+        with observe_trace.span("wire-submit", handle=header["handle"]):
+            header.update(observe_trace.wire_trace_headers())
+            _, raw = self._submit_raw(header, frames)
         result = Future()
 
         def _chain(done: Future) -> None:
@@ -437,7 +449,9 @@ class ServiceClient:
     ) -> np.ndarray:
         """Solve one system on a registered pattern; returns the solution."""
         header, frames = self._solve_header_frames(handle, values, rhs, timeout)
-        response, out_frames = self._call(header, frames, timeout=timeout)
+        with observe_trace.span("wire-solve", handle=header["handle"]):
+            header.update(observe_trace.wire_trace_headers())
+            response, out_frames = self._call(header, frames, timeout=timeout)
         return self._solution_from(response, out_frames)
 
     def stats(self) -> Dict:
@@ -468,6 +482,78 @@ class ServiceClient:
         """Liveness probe."""
         response, _ = self._call({"op": "ping"})
         return bool(response.get("pong"))
+
+    def ping_info(self) -> Dict:
+        """A timed liveness probe: the server's reply plus round-trip facts.
+
+        Against a v2 server the reply carries ``server_wall_time`` /
+        ``server_monotonic`` / ``pid``; this adds the client-side send/recv
+        wall clocks and ``rtt_seconds``, which is everything
+        :meth:`estimate_clock_offset` needs from one probe.  Against a v1
+        server only the client-side fields are present.
+        """
+        sent_at = time.time()
+        response, _ = self._call({"op": "ping"})
+        received_at = time.time()
+        info = dict(response)
+        info["client_send_wall_time"] = sent_at
+        info["client_recv_wall_time"] = received_at
+        info["rtt_seconds"] = received_at - sent_at
+        return info
+
+    def estimate_clock_offset(self, samples: int = 5) -> float:
+        """Estimate ``server_wall_clock - client_wall_clock`` in seconds.
+
+        NTP-style: each timed ping brackets the server's reported wall time
+        between the client's send and receive stamps; the sample with the
+        smallest round-trip (least queueing noise) wins, and the offset is
+        the server time minus the bracket midpoint.  Returns 0.0 against a
+        v1 server (no server timestamps — clocks are assumed shared, which
+        holds for the single-host fleet).  Used by
+        :meth:`ShardFleet.chrome_trace` to place every shard's spans on the
+        fleet client's clock.
+        """
+        best_rtt: Optional[float] = None
+        best_offset = 0.0
+        for _ in range(max(1, samples)):
+            info = self.ping_info()
+            server_wall = info.get("server_wall_time")
+            if server_wall is None:
+                return 0.0
+            midpoint = (
+                info["client_send_wall_time"] + info["client_recv_wall_time"]
+            ) / 2.0
+            if best_rtt is None or info["rtt_seconds"] < best_rtt:
+                best_rtt = info["rtt_seconds"]
+                best_offset = float(server_wall) - midpoint
+        return best_offset
+
+    def health(self) -> Dict:
+        """The server's health document (uptime, wire version, load facts).
+
+        Fetches the ``health`` wire verb: service-level liveness (uptime,
+        registered patterns, in-flight count, queue depth, solve counters)
+        plus transport facts (wire version, server pid, server clocks,
+        whether tracing is enabled server-side).
+        """
+        response, _ = self._call({"op": "health"})
+        return response["health"]
+
+    def trace_spans(self, *, drain: bool = True) -> Dict:
+        """Fetch (and by default drain) the server's finished-span buffer.
+
+        Returns ``{"pid": ..., "enabled": ..., "spans": [span dicts]}``.
+        With ``drain=True`` each span is returned exactly once across calls,
+        so repeated fleet trace merges never duplicate work.
+        """
+        response, frames = self._call({"op": "trace", "drain": bool(drain)})
+        if len(frames) != 1:
+            raise ProtocolError(f"trace response carried {len(frames)} frames")
+        raw = bytes(np.asarray(frames[0], dtype=np.uint8)).decode("utf-8")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ProtocolError(f"undecodable trace payload: {exc}") from exc
 
     def shutdown_server(self) -> None:
         """Ask the server to shut down (it answers, then stops accepting)."""

@@ -1,7 +1,7 @@
 """The :class:`SolverEndpoint` protocol — one solver-serving surface, three scales.
 
 Every way of reaching the compiled-kernel serving stack implements the same
-seven methods, so callers swap local ↔ remote ↔ fleet without code changes:
+eight methods, so callers swap local ↔ remote ↔ fleet without code changes:
 
 * :class:`~repro.service.session.SolverService` — in process (one process,
   many threads, micro-batched coalescing),
@@ -17,6 +17,7 @@ The contract::
     x      = endpoint.solve(handle, values, rhs)       # sync = submit + wait
     endpoint.evict(handle)                             # drop pinned artifacts
     endpoint.stats()                                   # cumulative counters
+    endpoint.health()                                  # liveness + load facts
     endpoint.metrics_text()                            # Prometheus exposition
     endpoint.close()
 
@@ -67,6 +68,10 @@ class SolverEndpoint(Protocol):
 
     def stats(self) -> Dict:
         """Cumulative counters/histograms snapshot."""
+        ...
+
+    def health(self) -> Dict:
+        """A small liveness document: status, uptime, load facts."""
         ...
 
     def metrics_text(self) -> str:

@@ -29,11 +29,20 @@ collapse to one recovery) and retries the caller's request once:
 
 Observability: :meth:`metrics_text` merges every shard's Prometheus page
 into one scrape, relabelled with ``shard="i"``, plus the fleet's own
-``repro_fleet_*`` counters (deaths, failovers, warm/cold re-registers).
+``repro_fleet_*`` counters (deaths, failovers, warm/cold re-registers) and
+per-shard health gauges (up/uptime/in-flight/registered patterns).
+:meth:`health` aggregates every shard's ``health`` wire verb;
+:meth:`chrome_trace` drains every shard's span buffer and merges it with the
+fleet client's own spans into one clock-offset-corrected Chrome trace (one
+``pid`` per shard process) — pass ``trace=True`` so worker processes start
+with tracing enabled, and every lifecycle edge (spawn, death, failover,
+re-register) lands in the structured event log
+(:mod:`repro.observe.events`).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import select
@@ -50,6 +59,8 @@ import numpy as np
 
 from repro.compiler.codegen.runtime import pattern_fingerprint
 from repro.compiler.options import SympilerOptions
+from repro.observe import events as observe_events
+from repro.observe import trace as observe_trace
 from repro.service.client import RemoteHandle, ServiceClient
 from repro.service.errors import PatternEvictedError, ShardUnavailableError
 from repro.service.router import ConsistentHashRing
@@ -115,6 +126,7 @@ class ShardFleet:
         spawn_timeout: float = 60.0,
         request_timeout: Optional[float] = 60.0,
         vnodes: int = 64,
+        trace: bool = False,
     ) -> None:
         if shards < 1:
             raise ValueError("a fleet needs at least one shard")
@@ -127,6 +139,13 @@ class ShardFleet:
         self.cache_dir = None if cache_dir is None else str(cache_dir)
         self.spawn_timeout = float(spawn_timeout)
         self.request_timeout = request_timeout
+        #: ``trace=True`` starts every worker with tracing enabled (the
+        #: ``--trace`` worker flag) so :meth:`chrome_trace` has shard-side
+        #: spans to merge.  The fleet client's own tracing is controlled
+        #: separately via :func:`repro.observe.enable`.
+        self.trace = bool(trace)
+        self.started_at = time.time()
+        self.last_failover_at: Optional[float] = None
         self._ring = ConsistentHashRing(vnodes=vnodes)
         self._shards: Dict[int, _Shard] = {}
         self._patterns: Dict[str, _FleetPattern] = {}
@@ -172,7 +191,7 @@ class ShardFleet:
             str(self.max_in_flight),
             "--max-patterns",
             str(self.max_patterns),
-        ]
+        ] + (["--trace"] if self.trace else [])
 
     def _worker_env(self) -> Dict[str, str]:
         env = dict(os.environ)
@@ -203,6 +222,13 @@ class ShardFleet:
             process.kill()
             process.wait(timeout=10)
             raise
+        observe_events.emit(
+            "shard_spawn",
+            slot=slot,
+            generation=generation,
+            pid=process.pid,
+            address=f"{address[0]}:{address[1]}",
+        )
         return _Shard(
             slot=slot,
             generation=generation,
@@ -288,6 +314,15 @@ class ShardFleet:
         with self._lock:
             self.counters[counter] += amount
 
+    def _note_failover(self, shard: Optional[_Shard]) -> None:
+        """Count one failover, stamp it for the health surface, log the event."""
+        with self._lock:
+            self.counters["failovers"] += 1
+            self.last_failover_at = time.time()
+        observe_events.emit(
+            "failover", slot=None if shard is None else shard.slot
+        )
+
     def _recover(self, slot: int, generation: int) -> None:
         """Replace (or retire) a dead shard; idempotent per generation.
 
@@ -303,6 +338,13 @@ class ShardFleet:
             if self._closed:
                 return
             self._bump("shard_deaths")
+            observe_events.emit(
+                "shard_death",
+                slot=slot,
+                generation=generation,
+                pid=shard.process.pid,
+                respawn=self.respawn,
+            )
             self._retire(shard)
             # Only the dead shard's patterns move — computed against the
             # pre-removal ring, so survivors' patterns are never touched
@@ -348,6 +390,12 @@ class ShardFleet:
             )
             self._bump("reregisters")
             self._bump("warm_reregisters" if handle.warm else "cold_reregisters")
+            observe_events.emit(
+                "reregister",
+                slot=owner,
+                fingerprint=record.fingerprint,
+                warm=bool(handle.warm),
+            )
             with self._lock:
                 record.handle = handle
 
@@ -400,7 +448,7 @@ class ShardFleet:
                 attempts -= 1
                 if attempts <= 0:
                     raise
-                self._bump("failovers")
+                self._note_failover(shard)
                 self._recover(shard.slot, shard.generation)
         with self._lock:
             self._patterns[handle.handle_id] = _FleetPattern(
@@ -434,7 +482,7 @@ class ShardFleet:
                 attempts -= 1
                 if attempts <= 0:
                     raise
-                self._bump("failovers")
+                self._note_failover(shard)
                 self._recover(shard.slot, shard.generation)
 
     def submit(
@@ -497,7 +545,7 @@ class ShardFleet:
             result.set_exception(exc)
             return
         try:
-            self._bump("failovers")
+            self._note_failover(shard)
             if shard is not None:
                 self._recover(shard.slot, shard.generation)
             self._submit_attempt(record, values, rhs, result, attempts - 1)
@@ -543,19 +591,102 @@ class ShardFleet:
             "per_shard": per_shard,
         }
 
+    def health(self) -> Dict:
+        """One aggregated health document: fleet facts + every shard's verb.
+
+        ``status`` is ``"ok"`` when every shard answered its ``health`` wire
+        verb, ``"degraded"`` otherwise.  Per-shard documents carry uptime,
+        wire version, registered patterns, in-flight count and the server's
+        pid/clocks; the fleet adds its own uptime, the last-failover wall
+        timestamp and the lifecycle counters.
+        """
+        with self._lock:
+            shards = dict(self._shards)
+            counters = dict(self.counters)
+            registered = len(self._patterns)
+            last_failover = self.last_failover_at
+        per_shard: Dict[str, Dict] = {}
+        for slot, shard in sorted(shards.items()):
+            try:
+                per_shard[str(slot)] = shard.client.health()
+            except _SHARD_FAILURES:
+                per_shard[str(slot)] = {"status": "unreachable"}
+        healthy = sum(1 for doc in per_shard.values() if doc.get("status") == "ok")
+        return {
+            "status": "ok" if shards and healthy == len(shards) else "degraded",
+            "shards": len(shards),
+            "shards_healthy": healthy,
+            "registered_patterns": registered,
+            "uptime_seconds": time.time() - self.started_at,
+            "last_failover_at": last_failover,
+            "counters": counters,
+            "per_shard": per_shard,
+        }
+
+    def chrome_trace(self) -> Dict:
+        """One merged Chrome trace document across the whole fleet.
+
+        The fleet client's own finished spans keep this process's pid; each
+        shard's buffer is drained over the ``trace`` wire verb and its span
+        timestamps are mapped onto this process's wall clock using the
+        NTP-style offset from timed pings
+        (:meth:`ServiceClient.estimate_clock_offset`), so cross-process
+        parent/child spans line up on one timeline.  Each shard appears as a
+        distinct ``pid`` with a ``process_name`` metadata record
+        (``shard-<slot>``).  Load the result in ``chrome://tracing`` /
+        Perfetto, or write it with :meth:`write_chrome_trace`.
+
+        Draining is destructive on the shard side (each span is merged
+        exactly once across calls); unreachable shards are skipped.
+        """
+        from repro.observe.exporters import chrome_trace_events, process_name_event
+
+        local_pid = os.getpid()
+        events = [process_name_event(local_pid, "fleet-client")]
+        events += chrome_trace_events(
+            [sp.as_dict() for sp in observe_trace.get_tracer().drain()],
+            pid=local_pid,
+        )
+        with self._lock:
+            shards = dict(self._shards)
+        for slot, shard in sorted(shards.items()):
+            try:
+                offset = shard.client.estimate_clock_offset()
+                payload = shard.client.trace_spans(drain=True)
+            except _SHARD_FAILURES:
+                continue
+            shard_pid = int(payload.get("pid", shard.process.pid))
+            events.append(process_name_event(shard_pid, f"shard-{slot}"))
+            events += chrome_trace_events(
+                payload.get("spans", []), pid=shard_pid, clock_offset=offset
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> str:
+        """Write :meth:`chrome_trace` to ``path``; returns the path."""
+        path = str(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh)
+        return path
+
     def metrics_text(self) -> str:
         """One merged Prometheus page: all shards, ``shard="i"``-labelled,
-        plus the fleet's own ``repro_fleet_*`` counters."""
+        plus the fleet's own ``repro_fleet_*`` counters, the last-failover
+        timestamp and per-shard health gauges."""
         from repro.observe.exporters import relabel_prometheus_text
 
         with self._lock:
             shards = dict(self._shards)
             counters = dict(self.counters)
+            last_failover = self.last_failover_at
         pages: List[str] = []
+        shard_health: Dict[int, Dict] = {}
         for slot, shard in sorted(shards.items()):
             try:
                 text = shard.client.metrics_text()
+                shard_health[slot] = shard.client.health()
             except _SHARD_FAILURES:
+                shard_health[slot] = {"status": "unreachable"}
                 continue
             pages.append(relabel_prometheus_text(text, shard=str(slot)))
         fleet_lines = [
@@ -565,6 +696,29 @@ class ShardFleet:
         for name, value in sorted(counters.items()):
             fleet_lines.append(f"# TYPE repro_fleet_{name} counter")
             fleet_lines.append(f"repro_fleet_{name} {value}")
+        fleet_lines.append(
+            "# TYPE repro_fleet_last_failover_timestamp_seconds gauge"
+        )
+        fleet_lines.append(
+            "repro_fleet_last_failover_timestamp_seconds "
+            f"{0.0 if last_failover is None else last_failover}"
+        )
+        gauges = (
+            ("repro_fleet_shard_up", lambda doc: 1 if doc.get("status") == "ok" else 0),
+            ("repro_fleet_shard_uptime_seconds", lambda doc: doc.get("uptime_seconds", 0.0)),
+            ("repro_fleet_shard_in_flight", lambda doc: doc.get("in_flight", 0)),
+            (
+                "repro_fleet_shard_registered_patterns",
+                lambda doc: doc.get("registered_patterns", 0),
+            ),
+            ("repro_fleet_shard_wire_version", lambda doc: doc.get("wire_version", 0)),
+        )
+        for gauge_name, extract in gauges:
+            fleet_lines.append(f"# TYPE {gauge_name} gauge")
+            for slot in sorted(shard_health):
+                fleet_lines.append(
+                    f'{gauge_name}{{shard="{slot}"}} {extract(shard_health[slot])}'
+                )
         pages.append("\n".join(fleet_lines) + "\n")
         return "".join(pages)
 

@@ -37,6 +37,7 @@ from repro.compiler.cache import options_fingerprint
 from repro.compiler.codegen.c_backend import disk_cache_stats
 from repro.compiler.codegen.runtime import pattern_fingerprint
 from repro.compiler.options import SympilerOptions
+from repro.observe import events as observe_events
 from repro.observe import trace as observe_trace
 from repro.runtime.facade import BatchedSolver
 from repro.service.admission import (
@@ -323,6 +324,14 @@ class SolverService:
             if isinstance(solver._factorization.module, CGeneratedModule)
             else "python"
         )
+        observe_events.emit(
+            "compile_warm" if warm else "compile_cold",
+            kernel=solver.method,
+            fingerprint=key[1],
+            n=A.n,
+            backend=backend_effective,
+            strategy=strategy,
+        )
         return _PatternEntry(
             key=key,
             handle=handle,
@@ -349,6 +358,12 @@ class SolverService:
             cache.release_artifact(artifact)
         self.metrics.incr("patterns_evicted")
         self.metrics.incr(f"patterns_evicted_{reason}")
+        observe_events.emit(
+            "pattern_evicted",
+            reason=reason,
+            fingerprint=key[1],
+            handle_id=entry.handle.handle_id,
+        )
         return True
 
     def evict(self, handle) -> bool:
@@ -410,8 +425,14 @@ class SolverService:
             raise ValueError(f"rhs must have shape ({entry.handle.n},)")
         try:
             self.admission.acquire()
-        except ServiceOverloadedError:
+        except ServiceOverloadedError as exc:
             self.metrics.incr("rejected")
+            observe_events.emit(
+                "admission_rejected",
+                handle_id=entry.handle.handle_id,
+                in_flight=self.admission.in_flight,
+                retry_after_seconds=getattr(exc, "retry_after", None),
+            )
             raise
         try:
             permuted = entry.batched.permute_values(values)
@@ -518,9 +539,42 @@ class SolverService:
         finally:
             now = time.monotonic()
             self.metrics.observe_batch(len(requests))
+            slow_after = observe_events.get_event_log().slow_request_seconds
             for request in requests:
                 self.admission.release()
-                self.metrics.observe_latency(now - request.enqueued_at)
+                latency = now - request.enqueued_at
+                self.metrics.observe_latency(latency)
+                if slow_after is not None and latency >= slow_after:
+                    self._sample_slow_request(entry, request, latency)
+
+    def _sample_slow_request(
+        self, entry: _PatternEntry, request: _Request, latency: float
+    ) -> None:
+        """Keep a slow request's full span tree as a structured event.
+
+        Only requests over the event log's ``slow_request_seconds`` threshold
+        pay this: their trace's finished spans are copied into the event
+        payload, so the *why* of a tail-latency outlier survives after the
+        tracer ring has rolled over.
+        """
+        ctx = request.trace_ctx
+        spans = []
+        if ctx is not None:
+            trace_id = getattr(ctx, "trace_id", None)
+            spans = [
+                sp.as_dict()
+                for sp in observe_trace.get_tracer().spans()
+                if sp.trace_id == trace_id
+            ]
+        self.metrics.incr("slow_requests")
+        observe_events.emit(
+            "slow_request",
+            kernel=entry.handle.kernel,
+            fingerprint=entry.handle.fingerprint,
+            latency_seconds=latency,
+            trace_id=None if ctx is None else getattr(ctx, "trace_id", None),
+            spans=spans,
+        )
 
     # ------------------------------------------------------------------ #
     # Observability / lifecycle
@@ -573,6 +627,29 @@ class SolverService:
             snapshot["artifact_cache"] = dict(cache.stats.as_dict())
             snapshot["artifact_cache"]["pinned"] = cache.pinned_count
         return snapshot
+
+    def health(self) -> Dict[str, object]:
+        """A small liveness/readiness document (cheap; no per-pattern detail).
+
+        The in-process leg of the ``health`` wire verb: uptime and load facts
+        only — :meth:`stats` has the full per-pattern snapshot.  The wire
+        layer augments this with transport facts (wire version, pid, server
+        clocks); :meth:`ShardFleet.health` aggregates it across shards.
+        """
+        with self._lock:
+            registered = len(self._entries)
+            closed = self._closed
+        return {
+            "status": "closed" if closed else "ok",
+            "started_at": self.started_at,
+            "uptime_seconds": time.time() - self.started_at,
+            "registered_patterns": registered,
+            "in_flight": self.admission.in_flight,
+            "queue_depth": self.coalescer.depth(),
+            "solves_ok": self.metrics.count("solves_ok"),
+            "solves_failed": self.metrics.count("solves_failed"),
+            "rejected": self.metrics.count("rejected"),
+        }
 
     def metrics_text(self) -> str:
         """The unified registry as Prometheus exposition text.

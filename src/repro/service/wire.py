@@ -16,11 +16,20 @@ arbitrary object deserialization).  Works identically over TCP
 Operations: ``register`` (pattern + values + kernel/options → handle
 metadata), ``solve`` (handle id + values + rhs → solution frame), ``stats``,
 ``metrics`` (the unified observability registry rendered as Prometheus text,
-returned as a ``uint8`` frame), ``evict``, ``ping``, ``shutdown`` and
-``hello``.  Error responses carry ``ok: false``, a ``kind`` (the stable tags
-of :mod:`repro.service.errors` — ``"overloaded"`` includes ``retry_after``
-for client backoff, ``"evicted"`` means re-register), ``retryable`` and the
-server-side message.
+returned as a ``uint8`` frame), ``health`` (service liveness + uptime +
+wire/pid/clock facts), ``trace`` (drain this process's finished-span buffer
+as a JSON ``uint8`` frame — what :meth:`ShardFleet.chrome_trace` merges),
+``evict``, ``ping``, ``shutdown`` and ``hello``.  Error responses carry
+``ok: false``, a ``kind`` (the stable tags of :mod:`repro.service.errors` —
+``"overloaded"`` includes ``retry_after`` for client backoff, ``"evicted"``
+means re-register), ``retryable`` and the server-side message.
+
+**Distributed tracing**: any request header may carry ``trace_id`` /
+``parent_id`` (emitted by :func:`repro.observe.trace.wire_trace_headers` on
+the client only while a span is open).  The server ``attach_remote``-s that
+context around the operation, so shard-side spans join the caller's trace,
+parented under the caller's request span.  v1 servers ignore the keys; when
+tracing is disabled the headers carry no trace keys at all.
 
 **Protocol v2** (negotiated, v1 clients keep working):
 
@@ -44,15 +53,18 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import socketserver
 import struct
 import threading
+import time
 from dataclasses import fields as dataclass_fields
 from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.compiler.options import SympilerOptions
+from repro.observe import trace as observe_trace
 from repro.service.errors import ProtocolError, to_wire_error
 from repro.service.session import SolverService
 from repro.sparse.csc import CSCMatrix
@@ -237,17 +249,65 @@ def _handle_payload(handle) -> Dict:
 
 
 def handle_request(
-    service: SolverService, header: Dict, frames: List[np.ndarray]
+    service: SolverService,
+    header: Dict,
+    frames: List[np.ndarray],
+    *,
+    version: int = 1,
 ) -> Tuple[Dict, List[np.ndarray]]:
     """Execute one wire operation against ``service``.
 
     Returns ``(response_header, response_frames)``; raises for error paths
     (the connection handler maps exceptions to ``ok: false`` responses so
     one bad request never kills the connection, let alone the server).
+    ``version`` is the wire generation the request arrived under — v1
+    replies keep their original byte shape (e.g. the bare ``ping`` ack).
     """
+    with observe_trace.attach_remote(header.get("trace_id"), header.get("parent_id")):
+        with observe_trace.span("serve", op=str(header.get("op"))):
+            return _dispatch_op(service, header, frames, version)
+
+
+def _dispatch_op(
+    service: SolverService, header: Dict, frames: List[np.ndarray], version: int
+) -> Tuple[Dict, List[np.ndarray]]:
     op = header.get("op")
     if op == "ping":
-        return {"ok": True, "pong": True}, []
+        reply: Dict = {"ok": True, "pong": True}
+        if version >= 2:
+            # Server-side clocks let one probe serve both the health surface
+            # and the clock-offset estimator behind the merged fleet trace.
+            # v2-only: the v1 reply shape stays byte-compatible.
+            reply["server_wall_time"] = time.time()
+            reply["server_monotonic"] = time.monotonic()
+            reply["pid"] = os.getpid()
+        return reply, []
+    if op == "health":
+        health = dict(service.health())
+        health.update(
+            {
+                "wire_version": WIRE_VERSION,
+                "wire_versions": list(SUPPORTED_WIRE_VERSIONS),
+                "pid": os.getpid(),
+                "server_wall_time": time.time(),
+                "server_monotonic": time.monotonic(),
+                "tracing_enabled": observe_trace.enabled(),
+            }
+        )
+        return {"ok": True, "health": health}, []
+    if op == "trace":
+        tracer = observe_trace.get_tracer()
+        spans = tracer.drain() if header.get("drain", True) else tracer.spans()
+        payload = {
+            "pid": os.getpid(),
+            "enabled": observe_trace.enabled(),
+            "spans": [sp.as_dict() for sp in spans],
+        }
+        raw = np.frombuffer(
+            json.dumps(payload, separators=(",", ":"), default=repr).encode("utf-8"),
+            dtype=np.uint8,
+        )
+        return {"ok": True, "count": len(spans)}, [raw]
     if op == "hello":
         # Version negotiation: the client advertises what it speaks, the
         # server answers with the highest mutual generation.  Framed as v1 on
@@ -375,11 +435,19 @@ class _ServiceConnectionHandler(socketserver.StreamRequestHandler):
                     f"solve expects 2 frames (values, rhs), got {len(frames)}"
                 )
             values, rhs = frames
-            future = service.submit(
-                str(header.get("handle", "")),
-                np.asarray(values, dtype=np.float64).reshape(-1),
-                np.asarray(rhs, dtype=np.float64).reshape(-1),
-            )
+            # The serve span closes as soon as the request is enqueued (the
+            # connection thread moves on to the next pipelined message), but
+            # `submit` captures the context first — so the coalescer's
+            # dispatch spans still land under the remote caller's trace.
+            with observe_trace.attach_remote(
+                header.get("trace_id"), header.get("parent_id")
+            ):
+                with observe_trace.span("serve", op="solve"):
+                    future = service.submit(
+                        str(header.get("handle", "")),
+                        np.asarray(values, dtype=np.float64).reshape(-1),
+                        np.asarray(rhs, dtype=np.float64).reshape(-1),
+                    )
         except Exception as exc:
             # Synchronous rejection (overload, eviction, shape): answer
             # immediately — only this request fails, the connection lives on.
@@ -420,7 +488,7 @@ class _ServiceConnectionHandler(socketserver.StreamRequestHandler):
                 continue
             try:
                 response, out_frames = handle_request(
-                    self.server.service, header, frames
+                    self.server.service, header, frames, version=version
                 )
             except Exception as exc:
                 response, out_frames = _error_response(exc), []
